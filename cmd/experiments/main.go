@@ -1,0 +1,84 @@
+// Command experiments regenerates every table and figure of the paper.
+//
+// Usage:
+//
+//	experiments [-exp all|table1|table2|figure1|figure3] [-out DIR] [-points N]
+//
+// With -out, artifacts (prov.json, DOT files, rendered tables) are also
+// written to DIR.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "which experiment: all|table1|table2|figure1|figure3")
+	out := flag.String("out", "", "optional output directory for artifacts")
+	points := flag.Int("points", 50000, "points per metric series for table1")
+	flag.Parse()
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	write := func(name string, data []byte) {
+		if *out == "" {
+			return
+		}
+		if err := os.WriteFile(filepath.Join(*out, name), data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	runAll := *exp == "all"
+	if runAll || *exp == "table1" {
+		res, err := experiments.RunTable1(*points, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		text := experiments.RenderTable1(res)
+		fmt.Print(text)
+		fmt.Println()
+		write("table1.txt", []byte(text))
+	}
+	if runAll || *exp == "table2" {
+		rows, err := experiments.RunTable2()
+		if err != nil {
+			log.Fatal(err)
+		}
+		text := experiments.RenderTable2(rows)
+		fmt.Print(text)
+		fmt.Println()
+		write("table2.txt", []byte(text))
+	}
+	if runAll || *exp == "figure1" {
+		res, err := experiments.RunFigure1()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.DescribeFigure1(res))
+		fmt.Println(res.ASCII)
+		write("figure1_prov.json", res.ProvJSON)
+		write("figure1.dot", []byte(res.DOT))
+	}
+	if runAll || *exp == "figure3" {
+		res, err := experiments.RunFigure3(true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		text := experiments.RenderFigure3(res)
+		fmt.Print(text)
+		write("figure3.txt", []byte(text))
+		for id, payload := range res.ProvDocsJSON {
+			write("figure3_"+id+".json", payload)
+		}
+	}
+}

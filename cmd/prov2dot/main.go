@@ -1,0 +1,40 @@
+// Command prov2dot converts a PROV-JSON document to Graphviz DOT, the
+// rendering used to draw graphs like the paper's Figure 1.
+//
+// Usage:
+//
+//	prov2dot <prov.json>   (or "-" for stdin)
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/prov"
+	"repro/internal/provgraph"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: prov2dot <prov.json | ->")
+		os.Exit(1)
+	}
+	var raw []byte
+	var err error
+	if os.Args[1] == "-" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	doc, err := prov.ParseJSON(raw)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(provgraph.DOT(doc))
+}

@@ -1,0 +1,55 @@
+// Command yprov-server runs the yProv provenance service: a RESTful
+// JSON API over an embedded property-graph document store.
+//
+// Usage:
+//
+//	yprov-server [-addr :3000] [-token SECRET]
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"repro/internal/provservice"
+	"repro/internal/provstore"
+)
+
+func main() {
+	addr := flag.String("addr", ":3000", "listen address")
+	token := flag.String("token", "", "bearer token required for mutating requests (empty = open)")
+	data := flag.String("data", "", "data directory for durable document storage (empty = in-memory only)")
+	flag.Parse()
+
+	store := provstore.New()
+	if *data != "" {
+		ids, err := store.LoadFrom(*data)
+		if err != nil {
+			log.Fatalf("loading %s: %v", *data, err)
+		}
+		log.Printf("loaded %d document(s) from %s", len(ids), *data)
+	}
+	var opts []provservice.Option
+	if *token != "" {
+		opts = append(opts, provservice.WithToken(*token))
+	}
+	svc := provservice.New(store, opts...)
+
+	handler := http.Handler(svc)
+	if *data != "" {
+		// Persist after every mutating request.
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			svc.ServeHTTP(w, r)
+			if r.Method == http.MethodPut || r.Method == http.MethodPost || r.Method == http.MethodDelete {
+				if err := store.SaveTo(*data); err != nil {
+					log.Printf("persisting to %s: %v", *data, err)
+				}
+			}
+		})
+	}
+
+	log.Printf("yprov-server listening on %s (auth: %v, data: %q)", *addr, *token != "", *data)
+	if err := http.ListenAndServe(*addr, handler); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+// Development tracking (§3.1): record console commands and source-tree
+// snapshots while iterating on a training script, diff two states, link
+// a snapshot to the run it produced, and export the whole development
+// history as a PROV document.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/devtrack"
+	"repro/internal/provgraph"
+)
+
+func main() {
+	store := devtrack.NewSnapshotStore()
+	journal := devtrack.NewJournal()
+	t0 := time.Date(2025, 5, 3, 10, 0, 0, 0, time.UTC)
+	tick := 0
+	clock := func() time.Time { tick++; return t0.Add(time.Duration(tick) * time.Minute) }
+	store.SetClock(clock)
+	journal.SetClock(clock)
+
+	// First iteration of the training script.
+	v1 := store.TakeSnapshotFiles(map[string][]byte{
+		"train.py":   []byte("lr = 0.1\nepochs = 2\nmodel = build_vit('100M')\n"),
+		"config.yml": []byte("dataset: modis\nbatch: 64\n"),
+	}, "initial version")
+	journal.Record("python train.py", "epoch 0: loss=2.31\nepoch 1: loss=2.25", 0, v1.ID)
+	die(store.LinkRun(v1.ID, "run_001"))
+
+	// Tune the learning rate and batch, rerun.
+	v2 := store.TakeSnapshotFiles(map[string][]byte{
+		"train.py":   []byte("lr = 0.001\nepochs = 2\nmodel = build_vit('100M')\n"),
+		"config.yml": []byte("dataset: modis\nbatch: 256\n"),
+	}, "lower lr, bigger batch")
+	journal.Record("python train.py", "epoch 0: loss=1.92\nepoch 1: loss=1.71", 0, v2.ID)
+	die(store.LinkRun(v2.ID, "run_002"))
+	journal.Record("git push", "rejected: remote offline", 1, v2.ID)
+
+	// What changed between the two runs?
+	changes, err := store.DiffSnapshots(v1.ID, v2.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("changes between %s (run_001) and %s (run_002):\n", v1.ID, v2.ID)
+	for _, ch := range changes {
+		st := devtrack.Stats(ch.Ops)
+		fmt.Printf("  %-12s %-10s +%d -%d\n", ch.Path, ch.Status, st.Inserted, st.Deleted)
+		fmt.Print(indent(devtrack.Unified(ch.Ops)))
+	}
+
+	// Roll back: restore the exact state that produced run_001.
+	restored, err := store.Restore(v1.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restored %d files from %s (train.py starts %q)\n",
+		len(restored), v1.ID, firstLine(restored["train.py"]))
+
+	// Export the development graph as PROV.
+	doc, err := journal.BuildProv(store)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndevelopment graph: %s\n", provgraph.Summary(doc))
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "      " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}
+
+func firstLine(b []byte) string {
+	for i, c := range b {
+		if c == '\n' {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}
+
+func die(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

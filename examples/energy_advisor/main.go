@@ -1,0 +1,89 @@
+// Energy advisor (§3.2 trade-offs oriented training): an online advisor
+// watches the metrics yProv4ML collects and recommends when to stop —
+// on an energy budget, a loss plateau, or diminishing loss-per-joule
+// returns — then reports the carbon cost of what was actually spent.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/advisor"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/telemetry"
+	"repro/internal/trainsim"
+)
+
+func main() {
+	// A long-ish run: MAE-600M on 32 GPUs, 12 epochs (no walltime cap).
+	spec, err := trainsim.PaperSpec(trainsim.MaskedAutoencoder, "600M", 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec.Epochs = 12
+	spec.Walltime = 0
+	res, err := spec.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	exp := core.NewExperiment("advised-training", core.WithUser("green-team"))
+	run := exp.StartRun("mae-600m-advised",
+		core.WithClock(core.NewSimClock(time.Date(2025, 6, 1, 0, 0, 0, 0, time.UTC), time.Second)),
+		core.WithStorage(core.StorageInline))
+
+	adv := advisor.New(advisor.Config{
+		EnergyBudgetJ:         res.TotalEnergy * 0.75, // 75% of the full-run cost
+		PlateauWindow:         3,
+		PlateauMinImprovement: 0.002,
+		MinMarginalGainPerMJ:  1e-6,
+	})
+
+	var cumEnergy float64
+	var elapsed time.Duration
+	stoppedAt := -1
+	for _, ep := range res.Epochs {
+		cumEnergy += ep.EnergyJ
+		elapsed += ep.Time
+		die(run.StartEpoch(metrics.Training, ep.Index))
+		die(run.LogMetric("loss", metrics.Training, int64(ep.Index), ep.Loss))
+		die(run.LogMetric("cum_energy_mj", metrics.Training, int64(ep.Index), cumEnergy/1e6))
+		die(run.EndEpoch(metrics.Training))
+
+		a := adv.Observe(advisor.Observation{
+			Step: int64(ep.Index), Loss: ep.Loss, EnergyJ: cumEnergy, Elapsed: elapsed,
+		})
+		fmt.Printf("epoch %2d  loss %.4f  energy %7.1f MJ  -> %s (%s)\n",
+			ep.Index, ep.Loss, cumEnergy/1e6, a.Action, a.Reason)
+		if a.Action == advisor.Stop {
+			stoppedAt = ep.Index
+			break
+		}
+	}
+	if _, err := run.End(); err != nil {
+		log.Fatal(err)
+	}
+
+	grid := telemetry.GridUSSoutheast
+	fmt.Println()
+	if stoppedAt >= 0 {
+		saved := res.TotalEnergy - cumEnergy
+		fmt.Printf("stopped after epoch %d: spent %s, saved %s vs running all %d epochs\n",
+			stoppedAt, grid.Describe(cumEnergy), grid.Describe(saved), spec.Epochs)
+	} else {
+		fmt.Printf("ran to completion: %s\n", grid.Describe(cumEnergy))
+	}
+	fmt.Print("loss improvement per MJ by epoch: ")
+	for _, g := range adv.EfficiencyCurve() {
+		fmt.Printf("%.3g ", g)
+	}
+	fmt.Println()
+}
+
+func die(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

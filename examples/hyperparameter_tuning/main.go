@@ -1,0 +1,78 @@
+// Hyperparameter tuning (§3.4): run a grid of configurations, track
+// each with yProv4ML, then mine the collected runs — best configuration
+// under a metric, parameter influence ranking, and a comparison table —
+// instead of burning compute on further trial and error.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/compare"
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// objective simulates a validation loss surface over (lr, batch):
+// best around lr=1e-3, mild preference for larger batches.
+func objective(lr float64, batch int, rng *rand.Rand) float64 {
+	lrTerm := math.Pow(math.Log10(lr)+3, 2) * 0.15 // minimum at 1e-3
+	batchTerm := 0.4 / math.Sqrt(float64(batch))
+	return 1.2 + lrTerm + batchTerm + 0.01*rng.NormFloat64()
+}
+
+func main() {
+	exp := core.NewExperiment("hyperparam-grid", core.WithUser("tuner"))
+	rng := rand.New(rand.NewSource(11))
+	clock := core.NewSimClock(time.Date(2025, 5, 2, 0, 0, 0, 0, time.UTC), time.Second)
+
+	var infos []compare.RunInfo
+	for _, lr := range []float64{1e-1, 1e-2, 1e-3, 1e-4} {
+		for _, batch := range []int{64, 128, 256} {
+			run := exp.StartRun(fmt.Sprintf("lr%g_b%d", lr, batch),
+				core.WithClock(clock), core.WithStorage(core.StorageInline))
+			die(run.LogParam("lr", lr))
+			die(run.LogParam("batch", batch))
+
+			finalLoss := 0.0
+			for step := 0; step < 20; step++ {
+				progress := objective(lr, batch, rng) * (1 + 1.5/math.Sqrt(float64(step+1)))
+				die(run.LogMetric("val_loss", metrics.Validation, int64(step), progress))
+				finalLoss = progress
+			}
+			if _, err := run.End(); err != nil {
+				log.Fatal(err)
+			}
+
+			infos = append(infos, compare.RunInfo{
+				ID:      run.ID,
+				Params:  map[string]float64{"lr": lr, "log10_lr": math.Log10(lr), "batch": float64(batch)},
+				Tags:    map[string]string{"experiment": exp.Name},
+				Metrics: map[string]float64{"val_loss": finalLoss},
+			})
+		}
+	}
+
+	best, err := compare.Best(infos, "val_loss", true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best run: %s (val_loss %.4f, lr=%g batch=%.0f)\n\n",
+		best.ID, best.Metrics["val_loss"], best.Params["lr"], best.Params["batch"])
+
+	fmt.Println("parameter influence on val_loss (Pearson |r| ranking):")
+	for _, pi := range compare.RankParams(infos, "val_loss") {
+		fmt.Printf("  %-10s r=%+.3f over %d runs\n", pi.Param, pi.Corr, pi.N)
+	}
+	fmt.Println()
+	fmt.Println(compare.Table(infos, []string{"val_loss"}))
+}
+
+func die(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

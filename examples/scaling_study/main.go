@@ -1,0 +1,131 @@
+// Scaling study: the paper's §5 MODIS-FM use case end to end.
+//
+// It sweeps MAE and SwinT-V2 models (100M..1.4B parameters) over 8..128
+// simulated Frontier GPUs under a 2-hour walltime, tracks every run
+// with yProv4ML, prints the Figure 3 energy x loss grids, fits a
+// scaling law to the completed runs (§3.3 "estimation without
+// training"), and packages one run's artifacts as an RO-Crate.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/forecast"
+	"repro/internal/metrics"
+	"repro/internal/rocrate"
+	"repro/internal/trainsim"
+)
+
+func main() {
+	outDir := "scaling_output"
+	exp := core.NewExperiment("modis-fm-scaling", core.WithDir(outDir), core.WithUser("ornl-team"))
+
+	var records []forecast.RunRecord
+	fmt.Println("GPU Energy Consumption x Loss (kJ x nats); -- = exceeded 2h walltime")
+	for _, fam := range []trainsim.Family{trainsim.MaskedAutoencoder, trainsim.SwinTransformerV2} {
+		fmt.Printf("\n%s\n%6s", fam, "size")
+		for _, g := range []int{8, 16, 32, 64, 128} {
+			fmt.Printf("%10d", g)
+		}
+		fmt.Println()
+		sizes := trainsim.PaperSizes()
+		for i := len(sizes) - 1; i >= 0; i-- {
+			size := sizes[i]
+			fmt.Printf("%6s", size)
+			for _, gpus := range []int{8, 16, 32, 64, 128} {
+				spec, err := trainsim.PaperSpec(fam, size, gpus)
+				if err != nil {
+					log.Fatal(err)
+				}
+				res, err := spec.Run()
+				if err != nil {
+					log.Fatal(err)
+				}
+				trackRun(exp, spec, res)
+				if res.Truncated {
+					fmt.Printf("%10s", "--")
+					continue
+				}
+				fmt.Printf("%10.0f", res.EnergyLossProduct())
+				records = append(records, forecast.RunRecord{
+					RunID:   spec.Model.Name,
+					Family:  string(fam),
+					Params:  float64(spec.Model.Params),
+					Tokens:  float64(res.SamplesSeen) * float64(spec.Model.TokensPerSample),
+					GPUs:    gpus,
+					Loss:    res.FinalLoss,
+					EnergyJ: res.TotalEnergy,
+					TimeS:   res.TotalTime.Seconds(),
+				})
+			}
+			fmt.Println()
+		}
+	}
+
+	// §3.3: fit a scaling law to MAE runs and predict an unseen config.
+	var maeRecords []forecast.RunRecord
+	for _, r := range records {
+		if r.Family == string(trainsim.MaskedAutoencoder) {
+			maeRecords = append(maeRecords, r)
+		}
+	}
+	law, err := forecast.Fit(maeRecords)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfitted MAE scaling law: L = %.3f + %.3g/N^%.2f + %.3g/D^%.2f (rmse %.4f)\n",
+		law.E, law.A, law.Alpha, law.B, law.Beta, law.RMSE)
+	fmt.Printf("predicted loss for a hypothetical 400M model on this corpus: %.4f\n",
+		law.Predict(4e8, maeRecords[0].Tokens))
+
+	cost, err := forecast.FitCost(maeRecords)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eta, err := cost.EstimateTime(4e8, maeRecords[0].Tokens, 48)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimated energy %.1f MJ, time %s on 48 GPUs — without training\n",
+		cost.EstimateEnergy(4e8, maeRecords[0].Tokens)/1e6, time.Duration(eta*float64(time.Second)).Round(time.Second))
+
+	// Package the experiment directory as an RO-Crate.
+	if _, err := os.Stat(outDir); err == nil {
+		crate, err := rocrate.WrapDirectory(outDir, "modis-fm scaling study", "yProv4ML-tracked scaling runs")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nRO-Crate written: %s (%d files)\n", filepath.Join(outDir, rocrate.MetadataFilename), len(crate.Files()))
+	}
+}
+
+// trackRun records one simulated run through yProv4ML.
+func trackRun(exp *core.Experiment, spec trainsim.TrainSpec, res trainsim.Result) {
+	clock := core.NewSimClock(time.Date(2025, 4, 2, 0, 0, 0, 0, time.UTC), time.Second)
+	run := exp.StartRun(fmt.Sprintf("%s_g%d", spec.Model.Name, spec.Cluster.GPUs),
+		core.WithClock(clock), core.WithStorage(core.StorageZarr))
+	die := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	die(run.LogParam("family", string(spec.Model.Family)))
+	die(run.LogParam("model_params", spec.Model.Params))
+	die(run.LogParam("gpus", spec.Cluster.GPUs))
+	die(run.LogParam("global_batch", spec.GlobalBatch))
+	die(run.LogParam("walltime_s", spec.Walltime.Seconds()))
+	for _, ep := range res.Epochs {
+		die(run.StartEpoch(metrics.Training, ep.Index))
+		die(run.LogMetric("loss", metrics.Training, int64(ep.Index), ep.Loss))
+		die(run.LogMetric("epoch_energy_kj", metrics.Training, int64(ep.Index), ep.EnergyJ/1e3))
+		die(run.EndEpoch(metrics.Training))
+	}
+	die(run.LogParam("truncated", res.Truncated))
+	_, err := run.End()
+	die(err)
+}

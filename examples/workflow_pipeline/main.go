@@ -1,0 +1,118 @@
+// Workflow pipeline: multi-level provenance with yProv4WFs + yProv.
+//
+// A three-task ML pipeline (preprocess -> train -> evaluate) runs under
+// the workflow engine; the train task is itself instrumented with
+// yProv4ML, producing a run-level document that the task links into the
+// workflow-level document. Both documents are uploaded to an in-process
+// yProv service and queried back for cross-level lineage.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/provclient"
+	"repro/internal/provgraph"
+	"repro/internal/provservice"
+	"repro/internal/provstore"
+	"repro/internal/workflow"
+)
+
+func main() {
+	// Start an in-process yProv service.
+	srv := httptest.NewServer(provservice.New(provstore.New()))
+	defer srv.Close()
+	client := provclient.New(srv.URL)
+	if err := client.Health(); err != nil {
+		log.Fatal(err)
+	}
+
+	exp := core.NewExperiment("pipeline-demo", core.WithUser("workflow-user"))
+	var runDocID string
+
+	wf := workflow.New("modis-pipeline").
+		MustAdd(workflow.Task{Name: "preprocess", Fn: func(tc *workflow.TaskContext) error {
+			tc.RecordInput("raw-modis-granules")
+			tc.RecordOutput("curated-patches")
+			tc.SetParam("patch_size", "128")
+			return nil
+		}}).
+		MustAdd(workflow.Task{Name: "train", Deps: []string{"preprocess"}, Fn: func(tc *workflow.TaskContext) error {
+			tc.RecordInput("curated-patches")
+			tc.RecordOutput("model-checkpoint")
+
+			// Run-level tracking inside the task.
+			run := exp.StartRun("train-task",
+				core.WithClock(core.NewSimClock(time.Date(2025, 5, 4, 0, 0, 0, 0, time.UTC), time.Second)),
+				core.WithStorage(core.StorageInline))
+			if err := run.LogParam("lr", 1e-3); err != nil {
+				return err
+			}
+			for step := 0; step < 10; step++ {
+				if err := run.LogMetric("loss", metrics.Training, int64(step), 2.0/float64(step+1)); err != nil {
+					return err
+				}
+			}
+			res, err := run.End()
+			if err != nil {
+				return err
+			}
+			// Upload the run-level document and pair it with this task.
+			if err := client.UploadRaw(run.ID, res.ProvJSON); err != nil {
+				return err
+			}
+			runDocID = run.ID
+			tc.LinkRunDocument(run.ID)
+			return nil
+		}}).
+		MustAdd(workflow.Task{Name: "evaluate", Deps: []string{"train"}, Fn: func(tc *workflow.TaskContext) error {
+			tc.RecordInput("model-checkpoint")
+			tc.RecordOutput("evaluation-report")
+			return nil
+		}})
+
+	res, err := wf.Run(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workflow %s: succeeded=%v\n", res.Workflow, res.Succeeded())
+	for _, name := range res.TaskOrder() {
+		tr := res.Tasks[name]
+		fmt.Printf("  %-12s %-10s in=%v out=%v\n", name, tr.Status, tr.Inputs, tr.Outputs)
+	}
+
+	// Upload the workflow-level document.
+	wfDoc, err := workflow.BuildProv(wf, res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := client.Upload("wf_modis-pipeline", wfDoc); err != nil {
+		log.Fatal(err)
+	}
+
+	// Multi-level exploration: from the evaluation report back to the
+	// raw granules at workflow level, then down into the run document.
+	anc, err := client.Lineage("wf_modis-pipeline", "ex:artifact_evaluation-report", provstore.Ancestors, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nworkflow-level ancestors of the evaluation report: %v\n", anc)
+
+	runDoc, err := client.Get(runDocID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("run-level document %s: %s\n", runDocID, provgraph.Summary(runDoc))
+
+	hits, err := client.SearchByType("yprov:RunDocument")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, h := range hits {
+		fmt.Printf("cross-level link: workflow doc %q pairs task output %s\n", h.Doc, h.Node)
+	}
+}

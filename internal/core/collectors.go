@@ -1,0 +1,68 @@
+package core
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// TelemetryCollector adapts telemetry samplers into run collectors,
+// driving them with a load function (e.g. trainsim.Result.LoadProfile).
+type TelemetryCollector struct {
+	Label    string
+	Samplers []telemetry.Sampler
+	Load     telemetry.LoadFunc
+}
+
+// Name implements Collector.
+func (t *TelemetryCollector) Name() string {
+	if t.Label != "" {
+		return t.Label
+	}
+	return "telemetry"
+}
+
+// Collect implements Collector.
+func (t *TelemetryCollector) Collect(elapsed time.Duration) []telemetry.Reading {
+	load := 1.0
+	if t.Load != nil {
+		load = t.Load(elapsed)
+	}
+	var out []telemetry.Reading
+	for _, s := range t.Samplers {
+		out = append(out, s.Sample(elapsed, load)...)
+	}
+	return out
+}
+
+// NewGPUFleetCollector builds a collector simulating gpus accelerators
+// under the given load profile.
+func NewGPUFleetCollector(gpus int, seed int64, load telemetry.LoadFunc) *TelemetryCollector {
+	samplers := make([]telemetry.Sampler, 0, gpus+1)
+	for i := 0; i < gpus; i++ {
+		samplers = append(samplers, telemetry.NewGPUSampler(telemetry.MI250XGCD(), i, seed))
+	}
+	samplers = append(samplers, telemetry.NewCPUSampler(seed))
+	return &TelemetryCollector{Label: "hw", Samplers: samplers, Load: load}
+}
+
+// RuntimeCollector reports Go runtime statistics of the tracking process
+// itself — the library's own overhead, which the paper argues must stay
+// minimal.
+type RuntimeCollector struct{}
+
+// Name implements Collector.
+func (RuntimeCollector) Name() string { return "goruntime" }
+
+// Collect implements Collector.
+func (RuntimeCollector) Collect(time.Duration) []telemetry.Reading {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return []telemetry.Reading{
+		{Metric: "heap_alloc_mb", Value: float64(ms.HeapAlloc) / (1 << 20)},
+		{Metric: "total_alloc_mb", Value: float64(ms.TotalAlloc) / (1 << 20)},
+		{Metric: "num_gc", Value: float64(ms.NumGC)},
+		{Metric: "goroutines", Value: float64(runtime.NumGoroutine())},
+	}
+}

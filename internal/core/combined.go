@@ -1,0 +1,46 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/prov"
+)
+
+// BuildCombinedProv merges every run of the experiment into a single
+// provenance document — the paper's stated future work of "tracking all
+// experiment runs in a single provenance file, to enable easier
+// comparison with each individual execution". Runs share the experiment
+// entity, so the merged graph links all executions through it.
+func (e *Experiment) BuildCombinedProv() (*prov.Document, error) {
+	e.mu.Lock()
+	runs := append([]*Run(nil), e.runs...)
+	e.mu.Unlock()
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("core: experiment %q has no runs", e.Name)
+	}
+	combined := prov.NewDocument()
+	for _, r := range runs {
+		doc, err := r.BuildProv(nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: run %s: %w", r.ID, err)
+		}
+		if err := combined.Merge(doc); err != nil {
+			return nil, fmt.Errorf("core: merging run %s: %w", r.ID, err)
+		}
+	}
+	if _, err := combined.Validate(); err != nil {
+		return nil, err
+	}
+	return combined, nil
+}
+
+// RunIDs lists the experiment's run identifiers in start order.
+func (e *Experiment) RunIDs() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, len(e.runs))
+	for i, r := range e.runs {
+		out[i] = r.ID
+	}
+	return out
+}

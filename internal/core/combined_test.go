@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/prov"
+)
+
+func TestBuildCombinedProv(t *testing.T) {
+	exp := NewExperiment("multi-run", WithUser("alice"))
+	base := time.Date(2025, 5, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 3; i++ {
+		r := exp.StartRun("probe", WithClock(NewSimClock(base.Add(time.Duration(i)*time.Hour), time.Second)), WithStorage(StorageInline))
+		if err := r.LogParam("lr", 0.1/float64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.LogMetric("loss", metrics.Training, 0, 2.0-float64(i)*0.3); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.End(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	doc, err := exp.BuildCombinedProv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// One shared experiment entity, three run activities.
+	runCount := 0
+	for _, id := range doc.ActivityIDs() {
+		if v, ok := doc.Activities[id].Attrs["prov:type"]; ok && v.AsString() == "provml:RunExecution" {
+			runCount++
+		}
+	}
+	if runCount != 3 {
+		t.Errorf("run activities = %d", runCount)
+	}
+	expEnt := 0
+	for _, id := range doc.EntityIDs() {
+		if v, ok := doc.Entities[id].Attrs["prov:type"]; ok && v.AsString() == "provml:Experiment" {
+			expEnt++
+		}
+	}
+	if expEnt != 1 {
+		t.Errorf("experiment entities = %d, want 1 shared", expEnt)
+	}
+	// Every run is connected to the experiment entity via used.
+	used := doc.RelationsOfKind(prov.RelUsed)
+	expQ := prov.NewQName("ex", "multi-run")
+	links := 0
+	for _, r := range used {
+		if r.Object == expQ {
+			links++
+		}
+	}
+	if links != 3 {
+		t.Errorf("experiment links = %d", links)
+	}
+	if got := len(exp.RunIDs()); got != 3 {
+		t.Errorf("run ids = %d", got)
+	}
+}
+
+func TestBuildCombinedProvEmpty(t *testing.T) {
+	exp := NewExperiment("empty")
+	if _, err := exp.BuildCombinedProv(); err == nil {
+		t.Fatal("empty experiment must fail")
+	}
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/trainsim"
+)
+
+// Figure3Cell is one heat-grid cell.
+type Figure3Cell struct {
+	Size      string
+	GPUs      int
+	Metric    float64 // loss x energy (kJ)
+	LossFinal float64
+	EnergyKJ  float64
+	TimeS     float64
+	Truncated bool
+}
+
+// Figure3Grid is one architecture's heat grid.
+type Figure3Grid struct {
+	Family trainsim.Family
+	Cells  map[string]map[int]Figure3Cell // size -> gpus -> cell
+}
+
+// Figure3Result holds both grids plus the provenance documents the
+// instrumented runs produced (exercising the full library pipeline).
+type Figure3Result struct {
+	Grids        []Figure3Grid
+	ProvDocsJSON map[string][]byte // run id -> prov.json payload
+}
+
+// GPUCounts are the paper's device configurations.
+var GPUCounts = []int{8, 16, 32, 64, 128}
+
+// RunFigure3 executes the full scaling-study sweep through the
+// simulator, tracking every run with yProv4ML (parameters, per-epoch
+// metrics, energy) exactly as the §5 use case describes.
+func RunFigure3(instrument bool) (Figure3Result, error) {
+	res := Figure3Result{ProvDocsJSON: make(map[string][]byte)}
+	exp := core.NewExperiment("modis-fm-scaling", core.WithUser("ornl-team"))
+	for _, fam := range []trainsim.Family{trainsim.MaskedAutoencoder, trainsim.SwinTransformerV2} {
+		grid := Figure3Grid{Family: fam, Cells: make(map[string]map[int]Figure3Cell)}
+		for _, size := range trainsim.PaperSizes() {
+			grid.Cells[size] = make(map[int]Figure3Cell)
+			for _, gpus := range GPUCounts {
+				spec, err := trainsim.PaperSpec(fam, size, gpus)
+				if err != nil {
+					return res, err
+				}
+				simRes, err := spec.Run()
+				if err != nil {
+					return res, err
+				}
+				cell := Figure3Cell{
+					Size:      size,
+					GPUs:      gpus,
+					Metric:    simRes.EnergyLossProduct(),
+					LossFinal: simRes.FinalLoss,
+					EnergyKJ:  simRes.TotalEnergy / 1e3,
+					TimeS:     simRes.TotalTime.Seconds(),
+					Truncated: simRes.Truncated,
+				}
+				grid.Cells[size][gpus] = cell
+
+				if instrument {
+					payload, runID, err := trackRun(exp, spec, simRes)
+					if err != nil {
+						return res, err
+					}
+					res.ProvDocsJSON[runID] = payload
+				}
+			}
+		}
+		res.Grids = append(res.Grids, grid)
+	}
+	return res, nil
+}
+
+// trackRun records one simulated run through the core library and
+// returns the resulting PROV-JSON.
+func trackRun(exp *core.Experiment, spec trainsim.TrainSpec, simRes trainsim.Result) ([]byte, string, error) {
+	clock := core.NewSimClock(time.Date(2025, 4, 2, 0, 0, 0, 0, time.UTC), time.Second)
+	run := exp.StartRun(spec.Model.Name, core.WithClock(clock), core.WithStorage(core.StorageInline))
+	params := map[string]interface{}{
+		"family":       string(spec.Model.Family),
+		"model_params": spec.Model.Params,
+		"gpus":         spec.Cluster.GPUs,
+		"global_batch": spec.GlobalBatch,
+		"epochs":       spec.Epochs,
+		"dataset":      spec.Dataset.Name,
+		"patches":      spec.Dataset.Patches,
+	}
+	for k, v := range params {
+		if err := run.LogParam(k, v); err != nil {
+			return nil, "", err
+		}
+	}
+	for _, ep := range simRes.Epochs {
+		if err := run.StartEpoch(metrics.Training, ep.Index); err != nil {
+			return nil, "", err
+		}
+		if err := run.LogMetric("loss", metrics.Training, int64(ep.Index), ep.Loss); err != nil {
+			return nil, "", err
+		}
+		if err := run.LogMetric("epoch_energy_kj", metrics.Training, int64(ep.Index), ep.EnergyJ/1e3); err != nil {
+			return nil, "", err
+		}
+		if err := run.LogMetric("gpu_util", metrics.Training, int64(ep.Index), ep.GPUUtil); err != nil {
+			return nil, "", err
+		}
+		if err := run.EndEpoch(metrics.Training); err != nil {
+			return nil, "", err
+		}
+	}
+	if err := run.LogParam("final_loss", simRes.FinalLoss, core.InContext(metrics.Training)); err != nil {
+		return nil, "", err
+	}
+	if err := run.LogParam("truncated", simRes.Truncated); err != nil {
+		return nil, "", err
+	}
+	endRes, err := run.End()
+	if err != nil {
+		return nil, "", err
+	}
+	return endRes.ProvJSON, run.ID, nil
+}
+
+// RenderFigure3 formats both grids like the paper's heat maps, with
+// "--" marking walltime-exceeded cells.
+func RenderFigure3(res Figure3Result) string {
+	var sb strings.Builder
+	for _, grid := range res.Grids {
+		fmt.Fprintf(&sb, "GPU Energy Consumption x Loss (%s), kJ x nats\n", grid.Family)
+		fmt.Fprintf(&sb, "%6s", "size")
+		for _, g := range GPUCounts {
+			fmt.Fprintf(&sb, "%10d", g)
+		}
+		sb.WriteByte('\n')
+		sizes := trainsim.PaperSizes()
+		for i := len(sizes) - 1; i >= 0; i-- {
+			fmt.Fprintf(&sb, "%6s", sizes[i])
+			for _, g := range GPUCounts {
+				cell := grid.Cells[sizes[i]][g]
+				if cell.Truncated {
+					fmt.Fprintf(&sb, "%10s", "--")
+				} else {
+					fmt.Fprintf(&sb, "%10.0f", cell.Metric)
+				}
+			}
+			sb.WriteByte('\n')
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("-- = exceeded the 2 h walltime (paper: empty cells)\n")
+	return sb.String()
+}

@@ -1,0 +1,176 @@
+// Package experiments contains the harnesses that regenerate every
+// table and figure of the paper's evaluation: Table 1 (provenance file
+// size under metric offloading), Table 2 (W3C PROV vs RO-Crate feature
+// matrix), Figure 1 (an example multi-context PROV document), and
+// Figure 3 (the energy x loss scaling-study heat grids).
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/zarr"
+)
+
+// Table1Row is one row of the file-size comparison.
+type Table1Row struct {
+	File            string
+	NormalBytes     int
+	CompressedBytes int
+}
+
+// Table1Result is the full Table 1 reproduction.
+type Table1Result struct {
+	PointsPerSeries int
+	Series          int
+	Rows            []Table1Row
+	// ReductionPct is the size reduction of the best binary format
+	// versus inline JSON (the paper reports "gains of more than 90%").
+	ReductionPct float64
+}
+
+// syntheticCollection builds metric series shaped like real training
+// telemetry: a decaying loss curve plus jittery power/utilization
+// signals, which is what dominates provenance file volume.
+func syntheticCollection(pointsPerSeries int, seed int64) *metrics.Collection {
+	rng := rand.New(rand.NewSource(seed))
+	c := metrics.NewCollection()
+	base := time.Date(2025, 4, 1, 0, 0, 0, 0, time.UTC)
+	names := []struct {
+		name string
+		gen  func(i int) float64
+	}{
+		{"loss", func(i int) float64 { return 0.4 + 1.8/math.Sqrt(float64(i+1)) + 0.01*rng.NormFloat64() }},
+		{"val_loss", func(i int) float64 { return 0.45 + 1.9/math.Sqrt(float64(i+1)) + 0.015*rng.NormFloat64() }},
+		{"gpu0_power_w", func(i int) float64 { return 470 + 40*math.Sin(float64(i)/500) + 8*rng.NormFloat64() }},
+		{"gpu0_util", func(i int) float64 { return clamp01(0.82 + 0.05*math.Sin(float64(i)/200) + 0.02*rng.NormFloat64()) }},
+		{"gpu0_mem_gb", func(i int) float64 { return 52 + 2*rng.Float64() }},
+		{"throughput_sps", func(i int) float64 { return 1900 + 60*rng.NormFloat64() }},
+	}
+	for _, spec := range names {
+		ctx := metrics.Training
+		if strings.HasPrefix(spec.name, "val_") {
+			ctx = metrics.Validation
+		}
+		for i := 0; i < pointsPerSeries; i++ {
+			c.Log(spec.name, ctx, metrics.Point{
+				Step:  int64(i),
+				Epoch: i / (pointsPerSeries/4 + 1),
+				Time:  base.Add(time.Duration(i) * 120 * time.Millisecond),
+				Value: spec.gen(i),
+			})
+		}
+	}
+	return c
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// RunTable1 reproduces Table 1 with the given series length (the paper's
+// original file was ~40 MB; pointsPerSeries ≈ 50000 lands in the same
+// regime, smaller values keep tests fast).
+func RunTable1(pointsPerSeries int, seed int64) (Table1Result, error) {
+	c := syntheticCollection(pointsPerSeries, seed)
+	res := Table1Result{PointsPerSeries: pointsPerSeries, Series: len(c.Keys())}
+
+	// Row 1: everything inline in JSON (the "Original_file.json").
+	inline := &metrics.InlineJSONSink{}
+	if _, err := inline.Flush(c); err != nil {
+		return res, err
+	}
+	jsonBytes := inline.LastPayload()
+	jsonGz, err := metrics.GzipSize(jsonBytes)
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, Table1Row{"Original_file.json", len(jsonBytes), jsonGz})
+
+	// Row 2: Zarr offload. "Normal" is the store as the format writes it
+	// (per-chunk gzip codec, the zarr deployment default); "Compressed"
+	// additionally gzips the concatenated store, as one would for
+	// transport (the paper's second column).
+	gzStore := zarr.NewMemStore()
+	gzSink := &metrics.ZarrSink{Store: gzStore}
+	if _, err := gzSink.Flush(c); err != nil {
+		return res, err
+	}
+	zarrNormal := int(gzStore.TotalBytes())
+	zarrGz, err := gzipStoreSize(gzStore)
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, Table1Row{"Converted_to.zarr", zarrNormal, zarrGz})
+
+	// Row 3: NetCDF offload (uncompressed binary by format definition);
+	// compressed column gzips the .nc file.
+	nc := &metrics.NetCDFSink{}
+	if _, err := nc.Flush(c); err != nil {
+		return res, err
+	}
+	ncBytes := nc.LastPayload()
+	ncGz, err := metrics.GzipSize(ncBytes)
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, Table1Row{"Converted_to.nc", len(ncBytes), ncGz})
+
+	// The paper reports gains "of more than 90% on average": average the
+	// reduction of the two binary offloads against the inline JSON.
+	jsonSize := float64(res.Rows[0].NormalBytes)
+	res.ReductionPct = 100 * (1 - (float64(res.Rows[1].NormalBytes)+float64(res.Rows[2].NormalBytes))/(2*jsonSize))
+	return res, nil
+}
+
+// gzipStoreSize gzips every key's content as one stream (transport
+// compression of the whole array directory).
+func gzipStoreSize(store *zarr.MemStore) (int, error) {
+	keys, err := store.List("")
+	if err != nil {
+		return 0, err
+	}
+	var all []byte
+	for _, k := range keys {
+		v, err := store.Get(k)
+		if err != nil {
+			return 0, err
+		}
+		all = append(all, v...)
+	}
+	return metrics.GzipSize(all)
+}
+
+// RenderTable1 formats the result like the paper's Table 1.
+func RenderTable1(r Table1Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 1: provenance file size comparison (%d series x %d points)\n",
+		r.Series, r.PointsPerSeries)
+	fmt.Fprintf(&sb, "%-22s %14s %16s\n", "File", "Normal Size", "Compressed Size")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-22s %14s %16s\n", row.File, humanBytes(row.NormalBytes), humanBytes(row.CompressedBytes))
+	}
+	fmt.Fprintf(&sb, "binary offload reduction vs inline JSON: %.1f%%\n", r.ReductionPct)
+	return sb.String()
+}
+
+func humanBytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

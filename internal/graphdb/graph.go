@@ -1,0 +1,574 @@
+// Package graphdb is an embedded, in-memory property-graph engine. It
+// stands in for the Neo4j back-end of the yProv service: labeled nodes
+// and typed relationships carry property maps, label and property
+// indexes accelerate lookup, and traversal primitives (neighbors, BFS
+// closure, shortest path) support multi-level lineage exploration. A
+// small pattern-query language is provided in query.go.
+package graphdb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// NodeID identifies a node.
+type NodeID int64
+
+// RelID identifies a relationship.
+type RelID int64
+
+// Props is a property bag. Values must be string, int64, float64 or bool.
+type Props map[string]interface{}
+
+// Clone returns a copy of the property bag.
+func (p Props) Clone() Props {
+	if p == nil {
+		return Props{}
+	}
+	c := make(Props, len(p))
+	for k, v := range p {
+		c[k] = v
+	}
+	return c
+}
+
+func validateProps(p Props) error {
+	for k, v := range p {
+		switch v.(type) {
+		case string, int64, float64, bool:
+		case int:
+			p[k] = int64(v.(int))
+		default:
+			return fmt.Errorf("graphdb: property %q has unsupported type %T", k, v)
+		}
+	}
+	return nil
+}
+
+// Node is a labeled vertex.
+type Node struct {
+	ID     NodeID
+	Labels []string
+	Props  Props
+}
+
+// HasLabel reports whether the node carries the label.
+func (n *Node) HasLabel(label string) bool {
+	for _, l := range n.Labels {
+		if l == label {
+			return true
+		}
+	}
+	return false
+}
+
+// Rel is a directed, typed relationship.
+type Rel struct {
+	ID    RelID
+	Type  string
+	From  NodeID
+	To    NodeID
+	Props Props
+}
+
+// Direction selects traversal orientation.
+type Direction int
+
+// Traversal directions.
+const (
+	Outgoing Direction = iota
+	Incoming
+	Both
+)
+
+// Graph is the engine. All methods are safe for concurrent use.
+type Graph struct {
+	mu      sync.RWMutex
+	nodes   map[NodeID]*Node
+	rels    map[RelID]*Rel
+	out     map[NodeID][]RelID
+	in      map[NodeID][]RelID
+	byLabel map[string]map[NodeID]struct{}
+	// propIndex[label][prop][valueKey] -> node set
+	propIndex map[string]map[string]map[string]map[NodeID]struct{}
+	nextNode  NodeID
+	nextRel   RelID
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes:     make(map[NodeID]*Node),
+		rels:      make(map[RelID]*Rel),
+		out:       make(map[NodeID][]RelID),
+		in:        make(map[NodeID][]RelID),
+		byLabel:   make(map[string]map[NodeID]struct{}),
+		propIndex: make(map[string]map[string]map[string]map[NodeID]struct{}),
+	}
+}
+
+// valueKey renders an indexable property value as a map key.
+func valueKey(v interface{}) string {
+	switch x := v.(type) {
+	case string:
+		return "s:" + x
+	case int64:
+		return fmt.Sprintf("i:%d", x)
+	case int:
+		return fmt.Sprintf("i:%d", x)
+	case float64:
+		return fmt.Sprintf("f:%g", x)
+	case bool:
+		return fmt.Sprintf("b:%t", x)
+	}
+	return fmt.Sprintf("?:%v", v)
+}
+
+// CreateNode inserts a node and returns its id.
+func (g *Graph) CreateNode(labels []string, props Props) (NodeID, error) {
+	props = props.Clone()
+	if err := validateProps(props); err != nil {
+		return 0, err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.nextNode++
+	id := g.nextNode
+	n := &Node{ID: id, Labels: append([]string(nil), labels...), Props: props}
+	g.nodes[id] = n
+	for _, l := range n.Labels {
+		if g.byLabel[l] == nil {
+			g.byLabel[l] = make(map[NodeID]struct{})
+		}
+		g.byLabel[l][id] = struct{}{}
+		g.indexNodeLocked(l, n)
+	}
+	return id, nil
+}
+
+// indexNodeLocked adds node properties to any indexes on label l.
+func (g *Graph) indexNodeLocked(label string, n *Node) {
+	idx, ok := g.propIndex[label]
+	if !ok {
+		return
+	}
+	for prop, values := range idx {
+		if v, ok := n.Props[prop]; ok {
+			key := valueKey(v)
+			if values[key] == nil {
+				values[key] = make(map[NodeID]struct{})
+			}
+			values[key][n.ID] = struct{}{}
+		}
+	}
+}
+
+// unindexNodeLocked removes node n from all indexes.
+func (g *Graph) unindexNodeLocked(n *Node) {
+	for _, l := range n.Labels {
+		idx, ok := g.propIndex[l]
+		if !ok {
+			continue
+		}
+		for prop, values := range idx {
+			if v, ok := n.Props[prop]; ok {
+				key := valueKey(v)
+				if set, ok := values[key]; ok {
+					delete(set, n.ID)
+				}
+			}
+		}
+	}
+}
+
+// GetNode returns a copy of the node.
+func (g *Graph) GetNode(id NodeID) (Node, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n, ok := g.nodes[id]
+	if !ok {
+		return Node{}, false
+	}
+	return Node{ID: n.ID, Labels: append([]string(nil), n.Labels...), Props: n.Props.Clone()}, true
+}
+
+// SetProps merges the given properties into the node.
+func (g *Graph) SetProps(id NodeID, props Props) error {
+	props = props.Clone()
+	if err := validateProps(props); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n, ok := g.nodes[id]
+	if !ok {
+		return fmt.Errorf("graphdb: node %d does not exist", id)
+	}
+	g.unindexNodeLocked(n)
+	for k, v := range props {
+		n.Props[k] = v
+	}
+	for _, l := range n.Labels {
+		g.indexNodeLocked(l, n)
+	}
+	return nil
+}
+
+// DeleteNode removes a node and all relationships attached to it.
+func (g *Graph) DeleteNode(id NodeID) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n, ok := g.nodes[id]
+	if !ok {
+		return fmt.Errorf("graphdb: node %d does not exist", id)
+	}
+	for _, rid := range append(append([]RelID(nil), g.out[id]...), g.in[id]...) {
+		g.deleteRelLocked(rid)
+	}
+	g.unindexNodeLocked(n)
+	for _, l := range n.Labels {
+		delete(g.byLabel[l], id)
+	}
+	delete(g.nodes, id)
+	delete(g.out, id)
+	delete(g.in, id)
+	return nil
+}
+
+// CreateRel inserts a relationship between existing nodes.
+func (g *Graph) CreateRel(from, to NodeID, relType string, props Props) (RelID, error) {
+	props = props.Clone()
+	if err := validateProps(props); err != nil {
+		return 0, err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.nodes[from]; !ok {
+		return 0, fmt.Errorf("graphdb: from-node %d does not exist", from)
+	}
+	if _, ok := g.nodes[to]; !ok {
+		return 0, fmt.Errorf("graphdb: to-node %d does not exist", to)
+	}
+	g.nextRel++
+	id := g.nextRel
+	g.rels[id] = &Rel{ID: id, Type: relType, From: from, To: to, Props: props}
+	g.out[from] = append(g.out[from], id)
+	g.in[to] = append(g.in[to], id)
+	return id, nil
+}
+
+// GetRel returns a copy of the relationship.
+func (g *Graph) GetRel(id RelID) (Rel, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	r, ok := g.rels[id]
+	if !ok {
+		return Rel{}, false
+	}
+	return Rel{ID: r.ID, Type: r.Type, From: r.From, To: r.To, Props: r.Props.Clone()}, true
+}
+
+// DeleteRel removes a relationship.
+func (g *Graph) DeleteRel(id RelID) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.rels[id]; !ok {
+		return fmt.Errorf("graphdb: rel %d does not exist", id)
+	}
+	g.deleteRelLocked(id)
+	return nil
+}
+
+func (g *Graph) deleteRelLocked(id RelID) {
+	r, ok := g.rels[id]
+	if !ok {
+		return
+	}
+	g.out[r.From] = removeRelID(g.out[r.From], id)
+	g.in[r.To] = removeRelID(g.in[r.To], id)
+	delete(g.rels, id)
+}
+
+func removeRelID(list []RelID, id RelID) []RelID {
+	for i, x := range list {
+		if x == id {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+// NodeCount returns the number of nodes.
+func (g *Graph) NodeCount() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.nodes)
+}
+
+// RelCount returns the number of relationships.
+func (g *Graph) RelCount() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.rels)
+}
+
+// NodesByLabel returns ids of all nodes with the label, sorted.
+func (g *Graph) NodesByLabel(label string) []NodeID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return sortedNodeIDs(g.byLabel[label])
+}
+
+func sortedNodeIDs(set map[NodeID]struct{}) []NodeID {
+	out := make([]NodeID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CreateIndex builds (or rebuilds) an index on (label, prop).
+func (g *Graph) CreateIndex(label, prop string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.propIndex[label] == nil {
+		g.propIndex[label] = make(map[string]map[string]map[NodeID]struct{})
+	}
+	values := make(map[string]map[NodeID]struct{})
+	g.propIndex[label][prop] = values
+	for id := range g.byLabel[label] {
+		n := g.nodes[id]
+		if v, ok := n.Props[prop]; ok {
+			key := valueKey(v)
+			if values[key] == nil {
+				values[key] = make(map[NodeID]struct{})
+			}
+			values[key][id] = struct{}{}
+		}
+	}
+}
+
+// HasIndex reports whether (label, prop) is indexed.
+func (g *Graph) HasIndex(label, prop string) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	idx, ok := g.propIndex[label]
+	if !ok {
+		return false
+	}
+	_, ok = idx[prop]
+	return ok
+}
+
+// FindNodes returns ids of nodes with the label whose property equals
+// value, using the index when available and a label scan otherwise.
+func (g *Graph) FindNodes(label, prop string, value interface{}) []NodeID {
+	if iv, ok := value.(int); ok {
+		value = int64(iv)
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if idx, ok := g.propIndex[label]; ok {
+		if values, ok := idx[prop]; ok {
+			return sortedNodeIDs(values[valueKey(value)])
+		}
+	}
+	var out []NodeID
+	for id := range g.byLabel[label] {
+		if v, ok := g.nodes[id].Props[prop]; ok && valueKey(v) == valueKey(value) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Neighbor is one hop from a traversal origin.
+type Neighbor struct {
+	Node NodeID
+	Rel  RelID
+}
+
+// Neighbors returns adjacent nodes in the given direction, optionally
+// filtered by relationship type ("" matches all), sorted by node id.
+func (g *Graph) Neighbors(id NodeID, dir Direction, relType string) []Neighbor {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []Neighbor
+	appendFrom := func(list []RelID, pickTo bool) {
+		for _, rid := range list {
+			r := g.rels[rid]
+			if relType != "" && r.Type != relType {
+				continue
+			}
+			other := r.From
+			if pickTo {
+				other = r.To
+			}
+			out = append(out, Neighbor{Node: other, Rel: rid})
+		}
+	}
+	if dir == Outgoing || dir == Both {
+		appendFrom(g.out[id], true)
+	}
+	if dir == Incoming || dir == Both {
+		appendFrom(g.in[id], false)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Rel < out[j].Rel
+	})
+	return out
+}
+
+// Closure returns every node reachable from start within maxDepth hops
+// (maxDepth <= 0 means unlimited), excluding start, sorted.
+func (g *Graph) Closure(start NodeID, dir Direction, relType string, maxDepth int) []NodeID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	type qe struct {
+		id    NodeID
+		depth int
+	}
+	visited := map[NodeID]bool{start: true}
+	queue := []qe{{start, 0}}
+	var out []NodeID
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if maxDepth > 0 && cur.depth >= maxDepth {
+			continue
+		}
+		for _, nb := range g.neighborsLocked(cur.id, dir, relType) {
+			if visited[nb.Node] {
+				continue
+			}
+			visited[nb.Node] = true
+			out = append(out, nb.Node)
+			queue = append(queue, qe{nb.Node, cur.depth + 1})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// neighborsLocked is Neighbors without locking, for internal traversals.
+func (g *Graph) neighborsLocked(id NodeID, dir Direction, relType string) []Neighbor {
+	var out []Neighbor
+	appendFrom := func(list []RelID, pickTo bool) {
+		for _, rid := range list {
+			r := g.rels[rid]
+			if relType != "" && r.Type != relType {
+				continue
+			}
+			other := r.From
+			if pickTo {
+				other = r.To
+			}
+			out = append(out, Neighbor{Node: other, Rel: rid})
+		}
+	}
+	if dir == Outgoing || dir == Both {
+		appendFrom(g.out[id], true)
+	}
+	if dir == Incoming || dir == Both {
+		appendFrom(g.in[id], false)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// ShortestPath returns node ids from -> ... -> to (inclusive), or nil.
+func (g *Graph) ShortestPath(from, to NodeID, dir Direction, relType string) []NodeID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if from == to {
+		return []NodeID{from}
+	}
+	prev := map[NodeID]NodeID{}
+	visited := map[NodeID]bool{from: true}
+	queue := []NodeID{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.neighborsLocked(cur, dir, relType) {
+			if visited[nb.Node] {
+				continue
+			}
+			visited[nb.Node] = true
+			prev[nb.Node] = cur
+			if nb.Node == to {
+				var path []NodeID
+				for n := to; ; n = prev[n] {
+					path = append([]NodeID{n}, path...)
+					if n == from {
+						return path
+					}
+				}
+			}
+			queue = append(queue, nb.Node)
+		}
+	}
+	return nil
+}
+
+// Rels returns copies of all relationships touching the node.
+func (g *Graph) Rels(id NodeID) []Rel {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []Rel
+	for _, rid := range g.out[id] {
+		r := g.rels[rid]
+		out = append(out, Rel{ID: r.ID, Type: r.Type, From: r.From, To: r.To, Props: r.Props.Clone()})
+	}
+	for _, rid := range g.in[id] {
+		r := g.rels[rid]
+		out = append(out, Rel{ID: r.ID, Type: r.Type, From: r.From, To: r.To, Props: r.Props.Clone()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AllNodes returns copies of every node, sorted by id.
+func (g *Graph) AllNodes() []Node {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]Node, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, Node{ID: n.ID, Labels: append([]string(nil), n.Labels...), Props: n.Props.Clone()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AllRels returns copies of every relationship, sorted by id.
+func (g *Graph) AllRels() []Rel {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]Rel, 0, len(g.rels))
+	for _, r := range g.rels {
+		out = append(out, Rel{ID: r.ID, Type: r.Type, From: r.From, To: r.To, Props: r.Props.Clone()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Clear removes everything.
+func (g *Graph) Clear() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.nodes = make(map[NodeID]*Node)
+	g.rels = make(map[RelID]*Rel)
+	g.out = make(map[NodeID][]RelID)
+	g.in = make(map[NodeID][]RelID)
+	g.byLabel = make(map[string]map[NodeID]struct{})
+	for label := range g.propIndex {
+		for prop := range g.propIndex[label] {
+			g.propIndex[label][prop] = make(map[string]map[NodeID]struct{})
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package graphdb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestRandomOpsInvariants drives the graph with random create/delete
+// operations and checks structural invariants after every step:
+// adjacency lists reference live nodes/rels, label and property indexes
+// agree with scans, and counts are consistent.
+func TestRandomOpsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	g := New()
+	g.CreateIndex("N", "v")
+	var nodes []NodeID
+	var rels []RelID
+
+	checkInvariants := func(step int) {
+		t.Helper()
+		all := g.AllNodes()
+		if len(all) != g.NodeCount() {
+			t.Fatalf("step %d: AllNodes %d != NodeCount %d", step, len(all), g.NodeCount())
+		}
+		liveNode := map[NodeID]bool{}
+		for _, n := range all {
+			liveNode[n.ID] = true
+		}
+		for _, r := range g.AllRels() {
+			if !liveNode[r.From] || !liveNode[r.To] {
+				t.Fatalf("step %d: rel %d references dead node", step, r.ID)
+			}
+		}
+		// Index vs scan agreement for a few values.
+		for v := int64(0); v < 5; v++ {
+			idx := g.FindNodes("N", "v", v)
+			var scan []NodeID
+			for _, n := range all {
+				if n.HasLabel("N") && n.Props["v"] == v {
+					scan = append(scan, n.ID)
+				}
+			}
+			if len(idx) != len(scan) {
+				t.Fatalf("step %d: index %v != scan %v for v=%d", step, idx, scan, v)
+			}
+		}
+	}
+
+	for step := 0; step < 400; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // create node
+			id, err := g.CreateNode([]string{"N"}, Props{"v": rng.Int63n(5)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes = append(nodes, id)
+		case op < 7 && len(nodes) >= 2: // create rel
+			a := nodes[rng.Intn(len(nodes))]
+			b := nodes[rng.Intn(len(nodes))]
+			id, err := g.CreateRel(a, b, fmt.Sprintf("T%d", rng.Intn(3)), nil)
+			if err == nil {
+				rels = append(rels, id)
+			}
+		case op < 8 && len(nodes) > 0: // delete node
+			i := rng.Intn(len(nodes))
+			_ = g.DeleteNode(nodes[i])
+			nodes = append(nodes[:i], nodes[i+1:]...)
+		case op < 9 && len(rels) > 0: // delete rel (may already be gone)
+			i := rng.Intn(len(rels))
+			_ = g.DeleteRel(rels[i])
+			rels = append(rels[:i], rels[i+1:]...)
+		default: // mutate props
+			if len(nodes) > 0 {
+				_ = g.SetProps(nodes[rng.Intn(len(nodes))], Props{"v": rng.Int63n(5)})
+			}
+		}
+		if step%40 == 0 {
+			checkInvariants(step)
+		}
+	}
+	checkInvariants(400)
+}
+
+// TestClosureSubsetOfQueryStar cross-checks two traversal APIs.
+func TestClosureSubsetOfQueryStar(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := New()
+	var ids []NodeID
+	for i := 0; i < 30; i++ {
+		id, err := g.CreateNode([]string{"N"}, Props{"i": int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for i := 0; i < 60; i++ {
+		_, _ = g.CreateRel(ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))], "E", nil)
+	}
+	closure := g.Closure(ids[0], Outgoing, "E", 0)
+	res, err := g.Query(`MATCH (a:N {i: 0})-[:E*]->(b)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromQuery := map[NodeID]bool{}
+	for _, b := range res {
+		fromQuery[b["b"]] = true
+	}
+	// Query's variable-length star can also revisit the start node via
+	// cycles; closure excludes it. Every closure node must be in the
+	// query result, and the query may add at most the start node.
+	for _, n := range closure {
+		if !fromQuery[n] {
+			t.Errorf("closure node %d missing from query result", n)
+		}
+	}
+	extra := 0
+	for n := range fromQuery {
+		found := n == ids[0]
+		for _, c := range closure {
+			if c == n {
+				found = true
+			}
+		}
+		if !found {
+			extra++
+		}
+	}
+	if extra > 0 {
+		t.Errorf("query found %d nodes outside closure+start", extra)
+	}
+}

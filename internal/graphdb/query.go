@@ -1,0 +1,410 @@
+package graphdb
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// The query language is a deliberately small Cypher-like subset, enough
+// for lineage exploration over provenance graphs:
+//
+//	MATCH (a:Entity {name: "model"})
+//	MATCH (a:Entity)-[:USED]->(b)
+//	MATCH (a)-[:GEN*1..4]->(b:Activity)
+//	MATCH (a)<-[:USED]-(b)
+//
+// A query returns one binding map per match, keyed by the variable names
+// appearing in the pattern.
+
+// Binding maps pattern variable names to matched node ids.
+type Binding map[string]NodeID
+
+// nodePattern is one parenthesized node spec.
+type nodePattern struct {
+	variable string
+	label    string
+	propKey  string
+	propVal  interface{}
+	hasProp  bool
+}
+
+// relPattern is one relationship spec between two node patterns.
+type relPattern struct {
+	relType  string
+	minHops  int
+	maxHops  int
+	leftward bool // true for <-[...]-
+}
+
+type pattern struct {
+	nodes []nodePattern
+	rels  []relPattern
+}
+
+type tokenizer struct {
+	src []rune
+	pos int
+}
+
+func (t *tokenizer) skipSpace() {
+	for t.pos < len(t.src) && unicode.IsSpace(t.src[t.pos]) {
+		t.pos++
+	}
+}
+
+func (t *tokenizer) peek() rune {
+	if t.pos >= len(t.src) {
+		return 0
+	}
+	return t.src[t.pos]
+}
+
+func (t *tokenizer) consume(want string) bool {
+	t.skipSpace()
+	if t.pos+len(want) <= len(t.src) && string(t.src[t.pos:t.pos+len(want)]) == want {
+		t.pos += len(want)
+		return true
+	}
+	return false
+}
+
+func (t *tokenizer) expect(want string) error {
+	if !t.consume(want) {
+		return fmt.Errorf("graphdb: query syntax error at position %d: expected %q", t.pos, want)
+	}
+	return nil
+}
+
+func (t *tokenizer) ident() string {
+	t.skipSpace()
+	start := t.pos
+	for t.pos < len(t.src) && (unicode.IsLetter(t.src[t.pos]) || unicode.IsDigit(t.src[t.pos]) || t.src[t.pos] == '_') {
+		t.pos++
+	}
+	return string(t.src[start:t.pos])
+}
+
+func (t *tokenizer) stringLit() (string, error) {
+	t.skipSpace()
+	if t.peek() != '"' {
+		return "", fmt.Errorf("graphdb: expected string literal at %d", t.pos)
+	}
+	t.pos++
+	var sb strings.Builder
+	for t.pos < len(t.src) && t.src[t.pos] != '"' {
+		if t.src[t.pos] == '\\' && t.pos+1 < len(t.src) {
+			t.pos++
+		}
+		sb.WriteRune(t.src[t.pos])
+		t.pos++
+	}
+	if t.pos >= len(t.src) {
+		return "", fmt.Errorf("graphdb: unterminated string literal")
+	}
+	t.pos++
+	return sb.String(), nil
+}
+
+func (t *tokenizer) number() (interface{}, error) {
+	t.skipSpace()
+	start := t.pos
+	for t.pos < len(t.src) {
+		c := t.src[t.pos]
+		// Stop at "..": that is the range separator, not a decimal point.
+		if c == '.' && t.pos+1 < len(t.src) && t.src[t.pos+1] == '.' {
+			break
+		}
+		if !(unicode.IsDigit(c) || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E') {
+			break
+		}
+		t.pos++
+	}
+	lit := string(t.src[start:t.pos])
+	if i, err := strconv.ParseInt(lit, 10, 64); err == nil {
+		return i, nil
+	}
+	f, err := strconv.ParseFloat(lit, 64)
+	if err != nil {
+		return nil, fmt.Errorf("graphdb: bad number %q", lit)
+	}
+	return f, nil
+}
+
+func (t *tokenizer) parseNode() (nodePattern, error) {
+	var np nodePattern
+	if err := t.expect("("); err != nil {
+		return np, err
+	}
+	np.variable = t.ident()
+	t.skipSpace()
+	if t.consume(":") {
+		np.label = t.ident()
+		if np.label == "" {
+			return np, fmt.Errorf("graphdb: empty label at %d", t.pos)
+		}
+	}
+	t.skipSpace()
+	if t.consume("{") {
+		np.propKey = t.ident()
+		if np.propKey == "" {
+			return np, fmt.Errorf("graphdb: empty property key at %d", t.pos)
+		}
+		if err := t.expect(":"); err != nil {
+			return np, err
+		}
+		t.skipSpace()
+		switch {
+		case t.peek() == '"':
+			s, err := t.stringLit()
+			if err != nil {
+				return np, err
+			}
+			np.propVal = s
+		case t.consume("true"):
+			np.propVal = true
+		case t.consume("false"):
+			np.propVal = false
+		default:
+			n, err := t.number()
+			if err != nil {
+				return np, err
+			}
+			np.propVal = n
+		}
+		np.hasProp = true
+		if err := t.expect("}"); err != nil {
+			return np, err
+		}
+	}
+	if err := t.expect(")"); err != nil {
+		return np, err
+	}
+	return np, nil
+}
+
+func (t *tokenizer) parseRel() (relPattern, bool, error) {
+	rp := relPattern{minHops: 1, maxHops: 1}
+	t.skipSpace()
+	switch {
+	case t.consume("<-"):
+		rp.leftward = true
+	case t.consume("-"):
+	default:
+		return rp, false, nil // no more pattern parts
+	}
+	if t.consume("[") {
+		if t.consume(":") {
+			rp.relType = t.ident()
+		}
+		if t.consume("*") {
+			t.skipSpace()
+			if unicode.IsDigit(t.peek()) {
+				n, err := t.number()
+				if err != nil {
+					return rp, false, err
+				}
+				rp.minHops = int(n.(int64))
+				rp.maxHops = rp.minHops
+				if t.consume("..") {
+					m, err := t.number()
+					if err != nil {
+						return rp, false, err
+					}
+					rp.maxHops = int(m.(int64))
+				}
+			} else {
+				rp.minHops, rp.maxHops = 1, 1<<30 // unbounded
+			}
+		}
+		if err := t.expect("]"); err != nil {
+			return rp, false, err
+		}
+	}
+	if rp.leftward {
+		if err := t.expect("-"); err != nil {
+			return rp, false, err
+		}
+	} else if !t.consume("->") {
+		if err := t.expect("-"); err != nil {
+			return rp, false, err
+		}
+		rp.leftward = false
+		rp.minHops = -rp.minHops // marker for undirected; fixed below
+	}
+	return rp, true, nil
+}
+
+func parseQuery(q string) (*pattern, error) {
+	t := &tokenizer{src: []rune(q)}
+	if !t.consume("MATCH") && !t.consume("match") {
+		return nil, fmt.Errorf("graphdb: query must start with MATCH")
+	}
+	p := &pattern{}
+	first, err := t.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	p.nodes = append(p.nodes, first)
+	for {
+		rp, more, err := t.parseRel()
+		if err != nil {
+			return nil, err
+		}
+		if !more {
+			break
+		}
+		next, err := t.parseNode()
+		if err != nil {
+			return nil, err
+		}
+		p.rels = append(p.rels, rp)
+		p.nodes = append(p.nodes, next)
+	}
+	t.skipSpace()
+	if t.pos != len(t.src) {
+		return nil, fmt.Errorf("graphdb: trailing input at position %d", t.pos)
+	}
+	return p, nil
+}
+
+// candidates returns the ids matching one node pattern.
+func (g *Graph) candidates(np nodePattern) []NodeID {
+	if np.label != "" && np.hasProp {
+		return g.FindNodes(np.label, np.propKey, np.propVal)
+	}
+	if np.label != "" {
+		return g.NodesByLabel(np.label)
+	}
+	// Unlabeled: scan everything (optionally filtering on the property).
+	var out []NodeID
+	for _, n := range g.AllNodes() {
+		if np.hasProp {
+			v, ok := n.Props[np.propKey]
+			if !ok || valueKey(v) != valueKey(np.propVal) {
+				continue
+			}
+		}
+		out = append(out, n.ID)
+	}
+	return out
+}
+
+// nodeMatches re-checks a node pattern against a specific node.
+func (g *Graph) nodeMatches(id NodeID, np nodePattern) bool {
+	n, ok := g.GetNode(id)
+	if !ok {
+		return false
+	}
+	if np.label != "" && !n.HasLabel(np.label) {
+		return false
+	}
+	if np.hasProp {
+		v, ok := n.Props[np.propKey]
+		if !ok || valueKey(v) != valueKey(np.propVal) {
+			return false
+		}
+	}
+	return true
+}
+
+// hopTargets returns all nodes reachable from id in [minHops, maxHops]
+// hops over relType edges in the given direction.
+func (g *Graph) hopTargets(id NodeID, rp relPattern) []NodeID {
+	dir := Outgoing
+	if rp.leftward {
+		dir = Incoming
+	}
+	minHops, maxHops := rp.minHops, rp.maxHops
+	if minHops < 0 { // undirected marker from the parser
+		dir = Both
+		minHops = -minHops
+	}
+	// Bound unbounded patterns by the graph size: any simple path has at
+	// most NodeCount hops, and level-set expansion below converges once
+	// the frontier repeats, so this cap is safe.
+	if n := g.NodeCount(); maxHops > n {
+		maxHops = n
+	}
+	// Level-set expansion: frontier[d] is the set of nodes reachable in
+	// exactly d hops (allowing revisits across depths, as in Cypher
+	// variable-length matches). Union levels minHops..maxHops.
+	frontier := map[NodeID]struct{}{id: {}}
+	result := map[NodeID]struct{}{}
+	for depth := 1; depth <= maxHops; depth++ {
+		next := map[NodeID]struct{}{}
+		for cur := range frontier {
+			for _, nb := range g.Neighbors(cur, dir, rp.relType) {
+				next[nb.Node] = struct{}{}
+			}
+		}
+		if depth >= minHops {
+			added := false
+			for n := range next {
+				if _, ok := result[n]; !ok {
+					result[n] = struct{}{}
+					added = true
+				}
+			}
+			// Convergence: if nothing new appeared and the frontier is a
+			// subset of what we have seen, further depths add nothing.
+			if !added && depth > minHops {
+				break
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		frontier = next
+	}
+	out := make([]NodeID, 0, len(result))
+	for n := range result {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Query runs a MATCH pattern and returns all bindings. Unnamed pattern
+// variables are omitted from the binding maps.
+func (g *Graph) Query(q string) ([]Binding, error) {
+	p, err := parseQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	var results []Binding
+	var walk func(idx int, current NodeID, bound Binding)
+	walk = func(idx int, current NodeID, bound Binding) {
+		if idx == len(p.rels) {
+			b := make(Binding, len(bound))
+			for k, v := range bound {
+				b[k] = v
+			}
+			results = append(results, b)
+			return
+		}
+		for _, next := range g.hopTargets(current, p.rels[idx]) {
+			if !g.nodeMatches(next, p.nodes[idx+1]) {
+				continue
+			}
+			v := p.nodes[idx+1].variable
+			if v != "" {
+				bound[v] = next
+			}
+			walk(idx+1, next, bound)
+			if v != "" {
+				delete(bound, v)
+			}
+		}
+	}
+	for _, start := range g.candidates(p.nodes[0]) {
+		bound := Binding{}
+		if v := p.nodes[0].variable; v != "" {
+			bound[v] = start
+		}
+		walk(0, start, bound)
+	}
+	return results, nil
+}

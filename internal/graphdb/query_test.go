@@ -1,0 +1,211 @@
+package graphdb
+
+import (
+	"testing"
+)
+
+// provGraph builds a little provenance-shaped graph:
+//
+//	dataset(Entity) <-USED- train(Activity) <-GEN- model(Entity)
+//	train -ASSOC-> alice(Agent)
+//	model -DERIVED-> dataset
+func provGraph(t testing.TB) (*Graph, map[string]NodeID) {
+	g := New()
+	ids := map[string]NodeID{}
+	var err error
+	add := func(name string, labels []string, props Props) {
+		ids[name], err = g.CreateNode(labels, props)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("dataset", []string{"Entity"}, Props{"name": "modis", "patches": 800000})
+	add("model", []string{"Entity"}, Props{"name": "vit-100m"})
+	add("train", []string{"Activity"}, Props{"name": "run0"})
+	add("alice", []string{"Agent"}, Props{"name": "alice"})
+	rel := func(from, to, typ string) {
+		if _, err := g.CreateRel(ids[from], ids[to], typ, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rel("train", "dataset", "USED")
+	rel("model", "train", "GEN")
+	rel("train", "alice", "ASSOC")
+	rel("model", "dataset", "DERIVED")
+	return g, ids
+}
+
+func TestQuerySingleNode(t *testing.T) {
+	g, ids := provGraph(t)
+	res, err := g.Query(`MATCH (e:Entity {name: "modis"})`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0]["e"] != ids["dataset"] {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestQueryByLabelOnly(t *testing.T) {
+	g, _ := provGraph(t)
+	res, err := g.Query(`MATCH (e:Entity)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("entities = %v", res)
+	}
+}
+
+func TestQueryOneHop(t *testing.T) {
+	g, ids := provGraph(t)
+	res, err := g.Query(`MATCH (a:Activity)-[:USED]->(e:Entity)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0]["a"] != ids["train"] || res[0]["e"] != ids["dataset"] {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestQueryLeftward(t *testing.T) {
+	g, ids := provGraph(t)
+	res, err := g.Query(`MATCH (e:Entity)<-[:USED]-(a:Activity)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0]["e"] != ids["dataset"] || res[0]["a"] != ids["train"] {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestQueryMultiHopRange(t *testing.T) {
+	g, ids := provGraph(t)
+	// model -GEN-> train -USED-> dataset is 2 hops over mixed types.
+	res, err := g.Query(`MATCH (m:Entity {name: "vit-100m"})-[*1..2]->(x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[NodeID]bool{}
+	for _, b := range res {
+		found[b["x"]] = true
+	}
+	// 1 hop: train, dataset (via DERIVED); 2 hops: dataset, alice.
+	for _, want := range []string{"train", "dataset", "alice"} {
+		if !found[ids[want]] {
+			t.Errorf("missing %s in %v", want, res)
+		}
+	}
+}
+
+func TestQueryUnboundedStar(t *testing.T) {
+	g := New()
+	ids := buildChain(t, g, 10)
+	res, err := g.Query(`MATCH (a:N {i: 0})-[:NEXT*]->(b)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 9 {
+		t.Fatalf("reachable = %d, want 9", len(res))
+	}
+	_ = ids
+}
+
+func TestQueryExactHops(t *testing.T) {
+	g := New()
+	buildChain(t, g, 6)
+	res, err := g.Query(`MATCH (a:N {i: 0})-[:NEXT*3]->(b)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("res = %v", res)
+	}
+	n, _ := g.GetNode(res[0]["b"])
+	if n.Props["i"] != int64(3) {
+		t.Errorf("landed on i=%v, want 3", n.Props["i"])
+	}
+}
+
+func TestQueryChainPattern(t *testing.T) {
+	g, ids := provGraph(t)
+	res, err := g.Query(`MATCH (m:Entity)-[:GEN]->(a:Activity)-[:ASSOC]->(p:Agent)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0]["m"] != ids["model"] || res[0]["p"] != ids["alice"] {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestQueryIntProp(t *testing.T) {
+	g, ids := provGraph(t)
+	res, err := g.Query(`MATCH (e:Entity {patches: 800000})`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0]["e"] != ids["dataset"] {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestQueryNoMatches(t *testing.T) {
+	g, _ := provGraph(t)
+	res, err := g.Query(`MATCH (e:Entity {name: "nope"})`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestQuerySyntaxErrors(t *testing.T) {
+	g := New()
+	for _, q := range []string{
+		"",
+		"FETCH (a)",
+		"MATCH (a",
+		"MATCH (a)-[:X->(b)",
+		`MATCH (a {k: })`,
+		`MATCH (a) trailing`,
+		`MATCH (a:Entity {name: "unterminated})`,
+	} {
+		if _, err := g.Query(q); err == nil {
+			t.Errorf("query %q should fail", q)
+		}
+	}
+}
+
+func TestQueryCycleTermination(t *testing.T) {
+	g := New()
+	a := mustNode(t, g, []string{"N"}, Props{"i": 0})
+	b := mustNode(t, g, []string{"N"}, Props{"i": 1})
+	mustRel(t, g, a, b, "NEXT")
+	mustRel(t, g, b, a, "NEXT")
+	res, err := g.Query(`MATCH (x:N {i: 0})-[:NEXT*]->(y)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reachable from a over any number of hops: b (1 hop) and a (2 hops).
+	if len(res) != 2 {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestQueryOddEvenCycleDepths(t *testing.T) {
+	// Regression for level-set expansion: a node reachable only at a
+	// deeper depth than another visit must still match exact-hop queries.
+	g := New()
+	a := mustNode(t, g, []string{"N"}, Props{"i": 0})
+	b := mustNode(t, g, []string{"N"}, Props{"i": 1})
+	mustRel(t, g, a, b, "E")
+	mustRel(t, g, b, a, "E")
+	res, err := g.Query(`MATCH (x:N {i: 0})-[:E*2]->(y)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0]["y"] != a {
+		t.Fatalf("2-hop from a in 2-cycle = %v, want self", res)
+	}
+}

@@ -1,0 +1,179 @@
+// Package harvest mines provenance documents back into analyzable run
+// records — the bridge that turns a yProv service full of PROV-JSON
+// into the "knowledge base of previous runs" the paper's §3.2–§3.4
+// scenarios build on: compare.RunInfo for hyperparameter mining and
+// forecast.RunRecord for scaling-law fitting, extracted purely from the
+// documents' parameter and metric entities.
+package harvest
+
+import (
+	"fmt"
+
+	"repro/internal/compare"
+	"repro/internal/forecast"
+	"repro/internal/prov"
+)
+
+// RunInfo extracts a compare.RunInfo from a run document produced by
+// the core library: input parameters become Params (numeric) or Tags
+// (string/bool), metric entities contribute their recorded last value
+// under "CONTEXT/name".
+func RunInfo(doc *prov.Document) (compare.RunInfo, error) {
+	info := compare.RunInfo{
+		Params:  map[string]float64{},
+		Tags:    map[string]string{},
+		Metrics: map[string]float64{},
+	}
+	for _, id := range doc.ActivityIDs() {
+		a := doc.Activities[id]
+		if t, ok := a.Attrs["prov:type"]; ok && t.AsString() == "provml:RunExecution" {
+			if info.ID != "" {
+				return info, fmt.Errorf("harvest: multiple run executions in document")
+			}
+			if v, ok := a.Attrs["provml:run_id"]; ok {
+				info.ID = v.AsString()
+			}
+		}
+	}
+	if info.ID == "" {
+		return info, fmt.Errorf("harvest: no provml:RunExecution activity")
+	}
+	for _, id := range doc.EntityIDs() {
+		e := doc.Entities[id]
+		t, ok := e.Attrs["prov:type"]
+		if !ok {
+			continue
+		}
+		switch t.AsString() {
+		case "provml:Parameter":
+			name := attr(e.Attrs, "provml:name")
+			v, ok := e.Attrs["provml:value"]
+			if name == "" || !ok {
+				continue
+			}
+			switch v.Kind() {
+			case prov.KindInt, prov.KindFloat:
+				f, _ := v.AsFloat()
+				info.Params[name] = f
+			default:
+				info.Tags[name] = v.AsString()
+			}
+		case "provml:Metric":
+			key := attr(e.Attrs, "provml:context") + "/" + attr(e.Attrs, "provml:name")
+			if v, ok := e.Attrs["provml:last"]; ok {
+				f, _ := v.AsFloat()
+				info.Metrics[key] = f
+			}
+		}
+	}
+	return info, nil
+}
+
+func attr(a prov.Attrs, key string) string {
+	if v, ok := a[key]; ok {
+		return v.AsString()
+	}
+	return ""
+}
+
+// RunRecord extracts a forecast.RunRecord from a scaling-study run
+// document (requires the family / model_params / gpus / global_batch /
+// epochs / patches parameters plus a TRAINING loss metric; energy comes
+// from the epoch_energy_kj series when present).
+func RunRecord(doc *prov.Document) (forecast.RunRecord, error) {
+	info, err := RunInfo(doc)
+	if err != nil {
+		return forecast.RunRecord{}, err
+	}
+	rec := forecast.RunRecord{RunID: info.ID, Family: info.Tags["family"]}
+
+	need := func(name string) (float64, error) {
+		v, ok := info.Params[name]
+		if !ok {
+			return 0, fmt.Errorf("harvest: parameter %q missing", name)
+		}
+		return v, nil
+	}
+	if rec.Params, err = need("model_params"); err != nil {
+		return rec, err
+	}
+	gpus, err := need("gpus")
+	if err != nil {
+		return rec, err
+	}
+	rec.GPUs = int(gpus)
+
+	loss, ok := info.Metrics["TRAINING/loss"]
+	if !ok {
+		return rec, fmt.Errorf("harvest: TRAINING/loss metric missing")
+	}
+	rec.Loss = loss
+
+	// Tokens: samples processed x tokens per sample (256 in the study).
+	patches, okP := info.Params["patches"]
+	epochs, okE := info.Params["epochs"]
+	if okP && okE {
+		rec.Tokens = patches * epochs * 256
+	}
+
+	// Energy: the harness logs per-epoch energy in kJ; total = mean x n.
+	if e, ok := metricTotal(doc, "epoch_energy_kj"); ok {
+		rec.EnergyJ = e * 1e3
+	}
+
+	// Walltime from the run activity interval.
+	for _, id := range doc.ActivityIDs() {
+		a := doc.Activities[id]
+		if t, ok := a.Attrs["prov:type"]; ok && t.AsString() == "provml:RunExecution" {
+			if !a.StartTime.IsZero() && !a.EndTime.IsZero() {
+				rec.TimeS = a.EndTime.Sub(a.StartTime).Seconds()
+			}
+		}
+	}
+	return rec, nil
+}
+
+// metricTotal reconstructs sum(series) from a metric entity's recorded
+// mean and point count.
+func metricTotal(doc *prov.Document, name string) (float64, bool) {
+	for _, id := range doc.EntityIDs() {
+		e := doc.Entities[id]
+		if t, ok := e.Attrs["prov:type"]; !ok || t.AsString() != "provml:Metric" {
+			continue
+		}
+		if attr(e.Attrs, "provml:name") != name {
+			continue
+		}
+		mean, ok1 := e.Attrs["provml:mean"]
+		points, ok2 := e.Attrs["provml:points"]
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		m, _ := mean.AsFloat()
+		n, _ := points.AsInt()
+		return m * float64(n), true
+	}
+	return 0, false
+}
+
+// AllRunInfos harvests every parseable run document from a set.
+func AllRunInfos(docs map[string]*prov.Document) []compare.RunInfo {
+	var out []compare.RunInfo
+	for _, doc := range docs {
+		if info, err := RunInfo(doc); err == nil {
+			out = append(out, info)
+		}
+	}
+	return out
+}
+
+// AllRunRecords harvests every parseable scaling-study record.
+func AllRunRecords(docs map[string]*prov.Document) []forecast.RunRecord {
+	var out []forecast.RunRecord
+	for _, doc := range docs {
+		if rec, err := RunRecord(doc); err == nil {
+			out = append(out, rec)
+		}
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package harvest
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/compare"
+	"repro/internal/experiments"
+	"repro/internal/forecast"
+	"repro/internal/prov"
+)
+
+func figure3Docs(t *testing.T) map[string]*prov.Document {
+	t.Helper()
+	res, err := experiments.RunFigure3(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := make(map[string]*prov.Document, len(res.ProvDocsJSON))
+	for id, payload := range res.ProvDocsJSON {
+		doc, err := prov.ParseJSON(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs[id] = doc
+	}
+	return docs
+}
+
+func TestRunInfoFromDocument(t *testing.T) {
+	docs := figure3Docs(t)
+	infos := AllRunInfos(docs)
+	if len(infos) != 40 {
+		t.Fatalf("harvested %d infos, want 40", len(infos))
+	}
+	for _, info := range infos {
+		if info.ID == "" {
+			t.Fatal("missing run id")
+		}
+		if _, ok := info.Params["gpus"]; !ok {
+			t.Errorf("%s: gpus param missing", info.ID)
+		}
+		if info.Tags["family"] == "" {
+			t.Errorf("%s: family tag missing", info.ID)
+		}
+		if _, ok := info.Metrics["TRAINING/loss"]; !ok {
+			t.Errorf("%s: loss metric missing", info.ID)
+		}
+	}
+	// The harvested set is directly usable by compare: best run by loss.
+	best, err := compare.Best(infos, "TRAINING/loss", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lowest loss must be a SwinV2 1B run (best architecture, most params).
+	if best.Tags["family"] != "SwinTransformerV2" || best.Params["model_params"] != 1.4e9 {
+		t.Errorf("best run = %+v", best)
+	}
+}
+
+func TestRunRecordFromDocument(t *testing.T) {
+	docs := figure3Docs(t)
+	recs := AllRunRecords(docs)
+	if len(recs) != 40 {
+		t.Fatalf("harvested %d records, want 40", len(recs))
+	}
+	for _, r := range recs {
+		if r.Params <= 0 || r.GPUs <= 0 || r.Loss <= 0 || r.Tokens <= 0 {
+			t.Fatalf("incomplete record %+v", r)
+		}
+		if r.EnergyJ <= 0 {
+			t.Errorf("%s: no energy harvested", r.RunID)
+		}
+	}
+	// Harvested records must be fittable — the paper's §3.3 loop:
+	// provenance -> knowledge base -> scaling-law estimate.
+	var mae []forecast.RunRecord
+	for _, r := range recs {
+		if r.Family == "MaskedAutoencoder" {
+			mae = append(mae, r)
+		}
+	}
+	sort.Slice(mae, func(i, j int) bool { return mae[i].RunID < mae[j].RunID })
+	law, err := forecast.Fit(mae)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if law.RMSE > 0.05 {
+		t.Errorf("fit over harvested records poor: rmse %v", law.RMSE)
+	}
+}
+
+func TestRunInfoErrors(t *testing.T) {
+	d := prov.NewDocument()
+	d.AddEntity("ex:e", nil)
+	if _, err := RunInfo(d); err == nil {
+		t.Error("document without run must fail")
+	}
+	if _, err := RunRecord(d); err == nil {
+		t.Error("record from empty doc must fail")
+	}
+}
+
+func TestRunRecordMissingParams(t *testing.T) {
+	d := prov.NewDocument()
+	d.AddActivity("ex:run", prov.Attrs{
+		"prov:type":     prov.Str("provml:RunExecution"),
+		"provml:run_id": prov.Str("r1"),
+	})
+	if _, err := RunRecord(d); err == nil {
+		t.Error("record without model_params must fail")
+	}
+}

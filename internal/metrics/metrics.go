@@ -1,0 +1,204 @@
+// Package metrics implements the time-series side of yProv4ML: metric
+// points accumulated during a run, grouped by (name, context), with
+// pluggable persistence backends. The inline-JSON backend embeds every
+// point in the provenance document (the paper's "original" layout);
+// the Zarr and NetCDF backends offload series into compact binary files
+// and leave only a reference in the document — the mechanism evaluated
+// in Table 1.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Context labels the run stage a metric belongs to (paper Figure 2).
+type Context string
+
+// Standard contexts; users may define their own.
+const (
+	Training   Context = "TRAINING"
+	Validation Context = "VALIDATION"
+	Testing    Context = "TESTING"
+)
+
+// Point is one metric observation.
+type Point struct {
+	Step  int64
+	Epoch int
+	Time  time.Time
+	Value float64
+}
+
+// Series is an ordered sequence of observations for one metric in one
+// context.
+type Series struct {
+	Name    string
+	Context Context
+	Points  []Point
+}
+
+// Append adds a point to the series.
+func (s *Series) Append(p Point) { s.Points = append(s.Points, p) }
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Values returns the raw values.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.Value
+	}
+	return out
+}
+
+// Stats summarizes a series.
+type Stats struct {
+	Count     int
+	Mean      float64
+	Min       float64
+	Max       float64
+	Last      float64
+	FirstTime time.Time
+	LastTime  time.Time
+}
+
+// Stats computes summary statistics; zero-valued for an empty series.
+func (s *Series) Stats() Stats {
+	if len(s.Points) == 0 {
+		return Stats{}
+	}
+	st := Stats{
+		Count:     len(s.Points),
+		Min:       math.Inf(1),
+		Max:       math.Inf(-1),
+		Last:      s.Points[len(s.Points)-1].Value,
+		FirstTime: s.Points[0].Time,
+		LastTime:  s.Points[len(s.Points)-1].Time,
+	}
+	var sum float64
+	for _, p := range s.Points {
+		sum += p.Value
+		if p.Value < st.Min {
+			st.Min = p.Value
+		}
+		if p.Value > st.Max {
+			st.Max = p.Value
+		}
+	}
+	st.Mean = sum / float64(len(s.Points))
+	return st
+}
+
+// Downsample returns at most n points, evenly strided, always keeping
+// the final point.
+func (s *Series) Downsample(n int) []Point {
+	if n <= 0 || len(s.Points) == 0 {
+		return nil
+	}
+	if len(s.Points) <= n {
+		return append([]Point(nil), s.Points...)
+	}
+	if n == 1 {
+		return []Point{s.Points[len(s.Points)-1]}
+	}
+	out := make([]Point, 0, n)
+	stride := float64(len(s.Points)-1) / float64(n-1)
+	for i := 0; i < n; i++ {
+		out = append(out, s.Points[int(float64(i)*stride+0.5)])
+	}
+	out[len(out)-1] = s.Points[len(s.Points)-1]
+	return out
+}
+
+// Key identifies a series within a collection.
+type Key struct {
+	Name    string
+	Context Context
+}
+
+func (k Key) String() string { return string(k.Context) + "/" + k.Name }
+
+// Collection is a thread-safe set of series for one run.
+type Collection struct {
+	mu     sync.RWMutex
+	series map[Key]*Series
+}
+
+// NewCollection returns an empty collection.
+func NewCollection() *Collection {
+	return &Collection{series: make(map[Key]*Series)}
+}
+
+// Log appends one observation, creating the series on first use.
+func (c *Collection) Log(name string, ctx Context, p Point) {
+	k := Key{Name: name, Context: ctx}
+	c.mu.Lock()
+	s, ok := c.series[k]
+	if !ok {
+		s = &Series{Name: name, Context: ctx}
+		c.series[k] = s
+	}
+	s.Append(p)
+	c.mu.Unlock()
+}
+
+// Get returns a copy of the series for the key.
+func (c *Collection) Get(name string, ctx Context) (Series, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.series[Key{Name: name, Context: ctx}]
+	if !ok {
+		return Series{}, false
+	}
+	cp := Series{Name: s.Name, Context: s.Context, Points: append([]Point(nil), s.Points...)}
+	return cp, true
+}
+
+// Keys lists all series keys in sorted order.
+func (c *Collection) Keys() []Key {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	keys := make([]Key, 0, len(c.series))
+	for k := range c.series {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	return keys
+}
+
+// TotalPoints counts points across all series.
+func (c *Collection) TotalPoints() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := 0
+	for _, s := range c.series {
+		n += len(s.Points)
+	}
+	return n
+}
+
+// Each invokes fn with a snapshot of every series, in key order.
+func (c *Collection) Each(fn func(Series)) {
+	for _, k := range c.Keys() {
+		if s, ok := c.Get(k.Name, k.Context); ok {
+			fn(s)
+		}
+	}
+}
+
+// Sink persists a collection and returns, per series, a reference
+// string that the provenance document can embed in place of raw points.
+type Sink interface {
+	// Name identifies the backend ("json-inline", "zarr", "netcdf").
+	Name() string
+	// Flush writes all series and returns series-key -> reference.
+	Flush(c *Collection) (map[Key]string, error)
+}
+
+// ErrEmptyCollection is returned by sinks asked to flush nothing.
+var ErrEmptyCollection = fmt.Errorf("metrics: empty collection")

@@ -1,0 +1,278 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func fill(c *Collection, name string, ctx Context, n int) {
+	base := time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		c.Log(name, ctx, Point{
+			Step:  int64(i),
+			Epoch: i / 100,
+			Time:  base.Add(time.Duration(i) * time.Second),
+			Value: 2.0 / float64(i+1),
+		})
+	}
+}
+
+func TestLogAndGet(t *testing.T) {
+	c := NewCollection()
+	fill(c, "loss", Training, 10)
+	s, ok := c.Get("loss", Training)
+	if !ok || s.Len() != 10 {
+		t.Fatalf("series = %+v", s)
+	}
+	if _, ok := c.Get("loss", Validation); ok {
+		t.Error("wrong context must not match")
+	}
+	if c.TotalPoints() != 10 {
+		t.Errorf("total = %d", c.TotalPoints())
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	c := NewCollection()
+	fill(c, "loss", Training, 3)
+	s, _ := c.Get("loss", Training)
+	s.Points[0].Value = 999
+	s2, _ := c.Get("loss", Training)
+	if s2.Points[0].Value == 999 {
+		t.Error("Get must return an isolated copy")
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	c := NewCollection()
+	fill(c, "z", Training, 1)
+	fill(c, "a", Validation, 1)
+	fill(c, "a", Training, 1)
+	keys := c.Keys()
+	if len(keys) != 3 {
+		t.Fatalf("keys = %v", keys)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1].String() >= keys[i].String() {
+			t.Errorf("keys not sorted: %v", keys)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := NewCollection()
+	base := time.Now().UTC()
+	for i, v := range []float64{3, 1, 2} {
+		c.Log("m", Training, Point{Step: int64(i), Time: base.Add(time.Duration(i) * time.Second), Value: v})
+	}
+	s, _ := c.Get("m", Training)
+	st := s.Stats()
+	if st.Count != 3 || st.Min != 1 || st.Max != 3 || st.Last != 2 || math.Abs(st.Mean-2) > 1e-12 {
+		t.Fatalf("stats = %+v", st)
+	}
+	empty := (&Series{}).Stats()
+	if empty.Count != 0 {
+		t.Errorf("empty stats = %+v", empty)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	c := NewCollection()
+	fill(c, "m", Training, 1000)
+	s, _ := c.Get("m", Training)
+	ds := s.Downsample(10)
+	if len(ds) != 10 {
+		t.Fatalf("downsample len = %d", len(ds))
+	}
+	if ds[0].Step != 0 || ds[9].Step != 999 {
+		t.Errorf("endpoints = %v .. %v", ds[0].Step, ds[9].Step)
+	}
+	if got := s.Downsample(5000); len(got) != 1000 {
+		t.Errorf("oversample len = %d", len(got))
+	}
+	if s.Downsample(0) != nil {
+		t.Error("n=0 must return nil")
+	}
+}
+
+func TestConcurrentLogging(t *testing.T) {
+	c := NewCollection()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c.Log("loss", Training, Point{Step: int64(w*200 + i), Value: 1})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.TotalPoints() != 1600 {
+		t.Errorf("points = %d", c.TotalPoints())
+	}
+}
+
+func TestInlineJSONSink(t *testing.T) {
+	c := NewCollection()
+	fill(c, "loss", Training, 50)
+	fill(c, "gpu_power", Training, 50)
+	sink := &InlineJSONSink{Dir: t.TempDir()}
+	refs, err := sink.Flush(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 2 {
+		t.Fatalf("refs = %v", refs)
+	}
+	if len(sink.LastPayload()) == 0 {
+		t.Fatal("payload empty")
+	}
+}
+
+func TestSinkEmptyCollection(t *testing.T) {
+	for _, sink := range []Sink{&InlineJSONSink{}, &ZarrSink{}, &NetCDFSink{}} {
+		if _, err := sink.Flush(NewCollection()); err == nil {
+			t.Errorf("%s: empty flush must fail", sink.Name())
+		}
+	}
+}
+
+func TestZarrSinkRoundTrip(t *testing.T) {
+	c := NewCollection()
+	fill(c, "loss", Training, 321)
+	sink := &ZarrSink{ChunkSize: 64}
+	refs, err := sink.Flush(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := refs[Key{Name: "loss", Context: Training}]
+	back, err := LoadZarrSeries(sink.Store, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := c.Get("loss", Training)
+	if back.Len() != orig.Len() {
+		t.Fatalf("len %d != %d", back.Len(), orig.Len())
+	}
+	for i := range orig.Points {
+		o, b := orig.Points[i], back.Points[i]
+		if o.Value != b.Value || o.Step != b.Step || o.Epoch != b.Epoch {
+			t.Fatalf("point %d: %+v != %+v", i, b, o)
+		}
+		if d := o.Time.Sub(b.Time); d > time.Microsecond || d < -time.Microsecond {
+			t.Fatalf("timestamp drift %v at %d", d, i)
+		}
+	}
+}
+
+func TestNetCDFSink(t *testing.T) {
+	c := NewCollection()
+	fill(c, "loss", Training, 100)
+	fill(c, "loss", Validation, 40)
+	sink := &NetCDFSink{}
+	refs, err := sink.Flush(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 2 {
+		t.Fatalf("refs = %v", refs)
+	}
+	payload := sink.LastPayload()
+	if len(payload) == 0 || string(payload[:3]) != "CDF" {
+		t.Fatal("payload is not a CDF file")
+	}
+}
+
+func TestOffloadingBeatsInlineJSON(t *testing.T) {
+	// The core Table 1 mechanism: binary offloading must be much
+	// smaller than numbers-as-JSON for a realistic series volume.
+	c := NewCollection()
+	fill(c, "loss", Training, 20000)
+	fill(c, "gpu0_power_w", Training, 20000)
+
+	inline := &InlineJSONSink{}
+	if _, err := inline.Flush(c); err != nil {
+		t.Fatal(err)
+	}
+	jsonSize := len(inline.LastPayload())
+
+	zs := &ZarrSink{}
+	if _, err := zs.Flush(c); err != nil {
+		t.Fatal(err)
+	}
+	zarrSize := int(zs.Store.(interface{ TotalBytes() int64 }).TotalBytes())
+
+	nc := &NetCDFSink{}
+	if _, err := nc.Flush(c); err != nil {
+		t.Fatal(err)
+	}
+	ncSize := len(nc.LastPayload())
+
+	if float64(zarrSize) > 0.5*float64(jsonSize) {
+		t.Errorf("zarr %d should be well under inline JSON %d", zarrSize, jsonSize)
+	}
+	if float64(ncSize) > 0.5*float64(jsonSize) {
+		t.Errorf("netcdf %d should be well under inline JSON %d", ncSize, jsonSize)
+	}
+}
+
+func TestGzipSize(t *testing.T) {
+	data := make([]byte, 10000) // zeros compress extremely well
+	n, err := GzipSize(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 || n >= len(data)/10 {
+		t.Errorf("gzip size = %d", n)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"loss":        "loss",
+		"gpu/0 power": "gpu_0_power",
+		"weird:name*": "weird_name_",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDownsampleQuick(t *testing.T) {
+	f := func(total, n uint16) bool {
+		s := &Series{}
+		for i := 0; i < int(total)%3000; i++ {
+			s.Append(Point{Step: int64(i), Value: float64(i)})
+		}
+		k := int(n)%100 + 1
+		ds := s.Downsample(k)
+		if len(s.Points) == 0 {
+			return ds == nil || len(ds) == 0
+		}
+		if len(s.Points) <= k {
+			return len(ds) == len(s.Points)
+		}
+		if k == 1 {
+			return len(ds) == 1 && ds[0].Step == s.Points[len(s.Points)-1].Step
+		}
+		// Strictly increasing steps, endpoints preserved.
+		if len(ds) != k || ds[0].Step != 0 || ds[len(ds)-1].Step != s.Points[len(s.Points)-1].Step {
+			return false
+		}
+		for i := 1; i < len(ds); i++ {
+			if ds[i].Step <= ds[i-1].Step {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,298 @@
+package metrics
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/netcdf"
+	"repro/internal/zarr"
+)
+
+// jsonPoint is the inline representation of one observation in the
+// PROV-JSON attribute style the library writes to disk: numbers are
+// typed string literals ({"$": ..., "type": "xsd:..."}), timestamps are
+// RFC3339 strings, and the document is indented — deliberately the
+// verbose layout the paper's "original file" measures in Table 1.
+type jsonPoint struct {
+	Step  typedLiteral `json:"provml:step"`
+	Epoch typedLiteral `json:"provml:epoch"`
+	Time  typedLiteral `json:"provml:time"`
+	Value typedLiteral `json:"provml:value"`
+}
+
+type typedLiteral struct {
+	Dollar string `json:"$"`
+	Type   string `json:"type"`
+}
+
+// jsonSeries is one series in the inline layout.
+type jsonSeries struct {
+	Name    string      `json:"provml:name"`
+	Context string      `json:"provml:context"`
+	Points  []jsonPoint `json:"provml:points"`
+}
+
+// InlineJSONSink serializes every metric point into one JSON document
+// under Dir (or returns the bytes via LastPayload for size accounting).
+type InlineJSONSink struct {
+	Dir         string
+	lastPayload []byte
+}
+
+// Name implements Sink.
+func (s *InlineJSONSink) Name() string { return "json-inline" }
+
+// LastPayload returns the bytes produced by the most recent Flush.
+func (s *InlineJSONSink) LastPayload() []byte { return s.lastPayload }
+
+// Flush implements Sink.
+func (s *InlineJSONSink) Flush(c *Collection) (map[Key]string, error) {
+	keys := c.Keys()
+	if len(keys) == 0 {
+		return nil, ErrEmptyCollection
+	}
+	doc := make([]jsonSeries, 0, len(keys))
+	refs := make(map[Key]string, len(keys))
+	for _, k := range keys {
+		series, _ := c.Get(k.Name, k.Context)
+		js := jsonSeries{Name: series.Name, Context: string(series.Context)}
+		js.Points = make([]jsonPoint, len(series.Points))
+		for i, p := range series.Points {
+			js.Points[i] = jsonPoint{
+				Step:  typedLiteral{strconv.FormatInt(p.Step, 10), "xsd:long"},
+				Epoch: typedLiteral{strconv.Itoa(p.Epoch), "xsd:int"},
+				Time:  typedLiteral{p.Time.UTC().Format(time.RFC3339Nano), "xsd:dateTime"},
+				Value: typedLiteral{strconv.FormatFloat(p.Value, 'g', -1, 64), "xsd:double"},
+			}
+		}
+		doc = append(doc, js)
+		refs[k] = "inline:" + k.String()
+	}
+	payload, err := json.MarshalIndent(map[string]interface{}{"metrics": doc}, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	s.lastPayload = payload
+	if s.Dir != "" {
+		if err := os.MkdirAll(s.Dir, 0o755); err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(filepath.Join(s.Dir, "metrics_inline.json"), payload, 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return refs, nil
+}
+
+// ZarrSink offloads each series into a chunked, gzip-compressed array
+// group: <root>/<context>/<name>/{value,step,epoch,tstamp}.
+type ZarrSink struct {
+	Store     zarr.Store
+	ChunkSize int
+}
+
+// Name implements Sink.
+func (s *ZarrSink) Name() string { return "zarr" }
+
+// Flush implements Sink.
+func (s *ZarrSink) Flush(c *Collection) (map[Key]string, error) {
+	keys := c.Keys()
+	if len(keys) == 0 {
+		return nil, ErrEmptyCollection
+	}
+	if s.Store == nil {
+		s.Store = zarr.NewMemStore()
+	}
+	chunk := s.ChunkSize
+	if chunk <= 0 {
+		chunk = 4096
+	}
+	refs := make(map[Key]string, len(keys))
+	for _, k := range keys {
+		series, _ := c.Get(k.Name, k.Context)
+		base := sanitize(string(k.Context)) + "/" + sanitize(k.Name)
+		n := len(series.Points)
+		cols := map[string]struct {
+			dtype zarr.DType
+			data  []float64
+		}{
+			"value":  {zarr.Float64, make([]float64, n)},
+			"step":   {zarr.Int64, make([]float64, n)},
+			"epoch":  {zarr.Int32, make([]float64, n)},
+			"tstamp": {zarr.Float64, make([]float64, n)},
+		}
+		for i, p := range series.Points {
+			cols["value"].data[i] = p.Value
+			cols["step"].data[i] = float64(p.Step)
+			cols["epoch"].data[i] = float64(p.Epoch)
+			cols["tstamp"].data[i] = float64(p.Time.UnixNano()) / 1e9
+		}
+		for col, spec := range cols {
+			arr, err := zarr.Create(s.Store, base+"/"+col, []int{n}, []int{chunk}, spec.dtype, zarr.GzipCodec{})
+			if err != nil {
+				return nil, fmt.Errorf("metrics: zarr sink %s/%s: %w", base, col, err)
+			}
+			if err := arr.WriteFloat64(spec.data); err != nil {
+				return nil, fmt.Errorf("metrics: zarr sink %s/%s: %w", base, col, err)
+			}
+			if col == "value" {
+				// Record provenance-relevant metadata on the value array.
+				if err := arr.SetAttrs(map[string]interface{}{
+					"metric":  k.Name,
+					"context": string(k.Context),
+					"points":  n,
+				}); err != nil {
+					return nil, err
+				}
+			}
+		}
+		refs[k] = "zarr:" + base
+	}
+	return refs, nil
+}
+
+// LoadZarrSeries reads a series back from a zarr store reference.
+func LoadZarrSeries(store zarr.Store, ref string) (Series, error) {
+	base := strings.TrimPrefix(ref, "zarr:")
+	read := func(col string) ([]float64, error) {
+		arr, err := zarr.Open(store, base+"/"+col)
+		if err != nil {
+			return nil, err
+		}
+		return arr.ReadFloat64()
+	}
+	values, err := read("value")
+	if err != nil {
+		return Series{}, err
+	}
+	steps, err := read("step")
+	if err != nil {
+		return Series{}, err
+	}
+	epochs, err := read("epoch")
+	if err != nil {
+		return Series{}, err
+	}
+	tstamps, err := read("tstamp")
+	if err != nil {
+		return Series{}, err
+	}
+	if len(steps) != len(values) || len(epochs) != len(values) || len(tstamps) != len(values) {
+		return Series{}, fmt.Errorf("metrics: inconsistent column lengths under %q", base)
+	}
+	parts := strings.Split(base, "/")
+	s := Series{Context: Context(parts[0])}
+	if len(parts) > 1 {
+		s.Name = parts[1]
+	}
+	s.Points = make([]Point, len(values))
+	for i := range values {
+		s.Points[i] = Point{
+			Step:  int64(steps[i]),
+			Epoch: int(epochs[i]),
+			Time:  time.Unix(0, int64(tstamps[i]*1e9)).UTC(),
+			Value: values[i],
+		}
+	}
+	return s, nil
+}
+
+// NetCDFSink offloads all series into a single CDF-1 file.
+type NetCDFSink struct {
+	Path        string
+	lastPayload []byte
+}
+
+// Name implements Sink.
+func (s *NetCDFSink) Name() string { return "netcdf" }
+
+// LastPayload returns the bytes produced by the most recent Flush.
+func (s *NetCDFSink) LastPayload() []byte { return s.lastPayload }
+
+// Flush implements Sink.
+func (s *NetCDFSink) Flush(c *Collection) (map[Key]string, error) {
+	keys := c.Keys()
+	if len(keys) == 0 {
+		return nil, ErrEmptyCollection
+	}
+	f := &netcdf.File{}
+	f.Attrs = append(f.Attrs, netcdf.StrAttr("title", "yProv4ML offloaded metrics"))
+	refs := make(map[Key]string, len(keys))
+	for i, k := range keys {
+		series, _ := c.Get(k.Name, k.Context)
+		n := len(series.Points)
+		if n == 0 {
+			continue
+		}
+		dim := f.AddDim(fmt.Sprintf("n%d", i), n)
+		base := sanitize(string(k.Context)) + "_" + sanitize(k.Name)
+		value := make([]float64, n)
+		step := make([]float64, n)
+		tstamp := make([]float64, n)
+		for j, p := range series.Points {
+			value[j] = p.Value
+			step[j] = float64(p.Step)
+			tstamp[j] = float64(p.Time.UnixNano()) / 1e9
+		}
+		f.AddVar(netcdf.Var{
+			Name: base + "_value", Type: netcdf.Double, Dims: []int{dim},
+			Attrs: []netcdf.Attr{netcdf.StrAttr("context", string(k.Context)), netcdf.StrAttr("metric", k.Name)},
+			Data:  value,
+		})
+		f.AddVar(netcdf.Var{Name: base + "_step", Type: netcdf.Int, Dims: []int{dim}, Data: step})
+		f.AddVar(netcdf.Var{Name: base + "_tstamp", Type: netcdf.Double, Dims: []int{dim}, Data: tstamp})
+		refs[k] = "netcdf:" + base
+	}
+	payload, err := f.Encode()
+	if err != nil {
+		return nil, err
+	}
+	s.lastPayload = payload
+	if s.Path != "" {
+		if err := os.MkdirAll(filepath.Dir(s.Path), 0o755); err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(s.Path, payload, 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return refs, nil
+}
+
+// sanitize maps arbitrary series names to path-safe tokens.
+func sanitize(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// GzipSize returns the gzip-compressed size of data (Table 1's
+// "Compressed Size" column).
+func GzipSize(data []byte) (int, error) {
+	var buf bytes.Buffer
+	w, err := gzip.NewWriterLevel(&buf, gzip.DefaultCompression)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(data); err != nil {
+		return 0, err
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	return buf.Len(), nil
+}

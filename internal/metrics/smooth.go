@@ -1,0 +1,69 @@
+package metrics
+
+import "math"
+
+// Smoothing utilities used by dashboards and the online advisor: noisy
+// per-step series (loss, power) are smoothed before stopping decisions
+// or trade-off plots.
+
+// EMA returns the exponential moving average of the series values with
+// smoothing factor alpha in (0, 1]; alpha = 1 reproduces the input.
+func (s *Series) EMA(alpha float64) []float64 {
+	if len(s.Points) == 0 || alpha <= 0 || alpha > 1 {
+		return nil
+	}
+	out := make([]float64, len(s.Points))
+	out[0] = s.Points[0].Value
+	for i := 1; i < len(s.Points); i++ {
+		out[i] = alpha*s.Points[i].Value + (1-alpha)*out[i-1]
+	}
+	return out
+}
+
+// RollingMean returns the trailing mean over a window of w points
+// (shorter at the head).
+func (s *Series) RollingMean(w int) []float64 {
+	if len(s.Points) == 0 || w <= 0 {
+		return nil
+	}
+	out := make([]float64, len(s.Points))
+	var sum float64
+	for i, p := range s.Points {
+		sum += p.Value
+		if i >= w {
+			sum -= s.Points[i-w].Value
+		}
+		n := i + 1
+		if n > w {
+			n = w
+		}
+		out[i] = sum / float64(n)
+	}
+	return out
+}
+
+// Slope estimates the least-squares slope of value over step for the
+// last w points (w <= 0 uses the whole series). NaN when undefined.
+func (s *Series) Slope(w int) float64 {
+	pts := s.Points
+	if w > 0 && len(pts) > w {
+		pts = pts[len(pts)-w:]
+	}
+	if len(pts) < 2 {
+		return math.NaN()
+	}
+	var sx, sy, sxx, sxy float64
+	for _, p := range pts {
+		x := float64(p.Step)
+		sx += x
+		sy += p.Value
+		sxx += x * x
+		sxy += x * p.Value
+	}
+	n := float64(len(pts))
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return math.NaN()
+	}
+	return (n*sxy - sx*sy) / den
+}

@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func seriesOf(values ...float64) *Series {
+	s := &Series{Name: "x", Context: Training}
+	for i, v := range values {
+		s.Append(Point{Step: int64(i), Value: v})
+	}
+	return s
+}
+
+func TestEMA(t *testing.T) {
+	s := seriesOf(1, 1, 1, 1)
+	out := s.EMA(0.5)
+	for _, v := range out {
+		if v != 1 {
+			t.Fatalf("constant series EMA = %v", out)
+		}
+	}
+	// alpha=1 reproduces the input.
+	s2 := seriesOf(3, 1, 4)
+	out2 := s2.EMA(1)
+	if out2[0] != 3 || out2[1] != 1 || out2[2] != 4 {
+		t.Errorf("alpha=1 EMA = %v", out2)
+	}
+	if s2.EMA(0) != nil || s2.EMA(1.5) != nil {
+		t.Error("bad alpha must return nil")
+	}
+	if (&Series{}).EMA(0.5) != nil {
+		t.Error("empty series must return nil")
+	}
+}
+
+func TestEMADamping(t *testing.T) {
+	// A single spike in a flat series must be damped by small alpha.
+	s := seriesOf(1, 1, 10, 1, 1)
+	out := s.EMA(0.2)
+	if out[2] >= 5 {
+		t.Errorf("spike not damped: %v", out)
+	}
+	if out[4] <= 1 || out[4] >= 3 {
+		t.Errorf("EMA should decay back toward 1: %v", out)
+	}
+}
+
+func TestRollingMean(t *testing.T) {
+	s := seriesOf(2, 4, 6, 8)
+	out := s.RollingMean(2)
+	want := []float64{2, 3, 5, 7}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Fatalf("rolling mean = %v, want %v", out, want)
+		}
+	}
+	if s.RollingMean(0) != nil {
+		t.Error("w=0 must return nil")
+	}
+	// Window larger than series = expanding mean.
+	out = s.RollingMean(100)
+	if math.Abs(out[3]-5) > 1e-12 {
+		t.Errorf("expanding mean = %v", out)
+	}
+}
+
+func TestSlope(t *testing.T) {
+	s := seriesOf(0, 2, 4, 6) // slope 2 per step
+	if got := s.Slope(0); math.Abs(got-2) > 1e-12 {
+		t.Errorf("slope = %v", got)
+	}
+	// Last-2-points window of a bent series.
+	bent := seriesOf(0, 0, 0, 10)
+	if got := bent.Slope(2); math.Abs(got-10) > 1e-12 {
+		t.Errorf("windowed slope = %v", got)
+	}
+	if !math.IsNaN(seriesOf(5).Slope(0)) {
+		t.Error("single point slope must be NaN")
+	}
+	flatSteps := &Series{}
+	flatSteps.Append(Point{Step: 7, Value: 1})
+	flatSteps.Append(Point{Step: 7, Value: 2})
+	if !math.IsNaN(flatSteps.Slope(0)) {
+		t.Error("degenerate x must be NaN")
+	}
+}

@@ -1,0 +1,121 @@
+// Package mlflowcompat offers an MLflow-style, package-level logging
+// facade over the core yProv4ML library. The paper positions yProv4ML
+// as exposing "logging utilities similar to MLFlow, allowing for quick
+// integration": this shim lets code written against the familiar
+// set_experiment / start_run / log_param / log_metric sequence switch
+// to provenance-backed tracking by changing only the import.
+package mlflowcompat
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+var (
+	mu         sync.Mutex
+	experiment *core.Experiment
+	active     *core.Run
+	runOpts    []core.RunOption
+)
+
+// SetExperiment selects (creating if needed) the active experiment.
+func SetExperiment(name string, opts ...core.ExperimentOption) {
+	mu.Lock()
+	defer mu.Unlock()
+	experiment = core.NewExperiment(name, opts...)
+	active = nil
+}
+
+// SetRunOptions sets default options applied to every StartRun.
+func SetRunOptions(opts ...core.RunOption) {
+	mu.Lock()
+	defer mu.Unlock()
+	runOpts = opts
+}
+
+// StartRun begins a run; it errors if one is already active (MLflow's
+// nested-run semantics are intentionally not reproduced).
+func StartRun(name string) error {
+	mu.Lock()
+	defer mu.Unlock()
+	if experiment == nil {
+		experiment = core.NewExperiment("default")
+	}
+	if active != nil && !active.Ended() {
+		return fmt.Errorf("mlflowcompat: run %s still active; call EndRun first", active.ID)
+	}
+	active = experiment.StartRun(name, runOpts...)
+	return nil
+}
+
+// ActiveRun exposes the underlying run for advanced calls.
+func ActiveRun() (*core.Run, error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if active == nil {
+		return nil, fmt.Errorf("mlflowcompat: no active run")
+	}
+	return active, nil
+}
+
+// LogParam records a parameter on the active run.
+func LogParam(key string, value interface{}) error {
+	r, err := ActiveRun()
+	if err != nil {
+		return err
+	}
+	return r.LogParam(key, value)
+}
+
+// LogMetric records a TRAINING-context metric at the given step.
+func LogMetric(key string, value float64, step int64) error {
+	r, err := ActiveRun()
+	if err != nil {
+		return err
+	}
+	return r.LogMetric(key, metrics.Training, step, value)
+}
+
+// LogMetricCtx records a metric in an explicit context.
+func LogMetricCtx(key string, ctx metrics.Context, value float64, step int64) error {
+	r, err := ActiveRun()
+	if err != nil {
+		return err
+	}
+	return r.LogMetric(key, ctx, step, value)
+}
+
+// LogArtifact records a file artifact on the active run.
+func LogArtifact(path string) error {
+	r, err := ActiveRun()
+	if err != nil {
+		return err
+	}
+	_, err = r.LogArtifact(path)
+	return err
+}
+
+// EndRun finalizes the active run and returns where provenance landed.
+func EndRun() (core.EndResult, error) {
+	mu.Lock()
+	r := active
+	mu.Unlock()
+	if r == nil {
+		return core.EndResult{}, fmt.Errorf("mlflowcompat: no active run")
+	}
+	res, err := r.End()
+	mu.Lock()
+	active = nil
+	mu.Unlock()
+	return res, err
+}
+
+// Reset clears all global state (tests).
+func Reset() {
+	mu.Lock()
+	experiment, active, runOpts = nil, nil, nil
+	mu.Unlock()
+}

@@ -1,0 +1,80 @@
+package mlflowcompat
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func setupSim(t *testing.T) {
+	t.Helper()
+	Reset()
+	SetExperiment("compat-test")
+	SetRunOptions(core.WithClock(core.NewSimClock(time.Unix(1000, 0), time.Second)), core.WithStorage(core.StorageInline))
+	t.Cleanup(Reset)
+}
+
+func TestHappyPath(t *testing.T) {
+	setupSim(t)
+	if err := StartRun("r1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := LogParam("lr", 0.01); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := LogMetric("loss", 2.0/float64(i+1), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := EndRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DocStats.Entities == 0 {
+		t.Errorf("doc stats = %+v", res.DocStats)
+	}
+}
+
+func TestNoActiveRun(t *testing.T) {
+	setupSim(t)
+	if err := LogParam("x", 1); err == nil {
+		t.Error("LogParam without run must fail")
+	}
+	if _, err := EndRun(); err == nil {
+		t.Error("EndRun without run must fail")
+	}
+}
+
+func TestDoubleStart(t *testing.T) {
+	setupSim(t)
+	if err := StartRun("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := StartRun("b"); err == nil {
+		t.Error("second StartRun with active run must fail")
+	}
+	if _, err := EndRun(); err != nil {
+		t.Fatal(err)
+	}
+	if err := StartRun("b"); err != nil {
+		t.Errorf("StartRun after EndRun should work: %v", err)
+	}
+}
+
+func TestDefaultExperiment(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	SetRunOptions(core.WithClock(core.NewSimClock(time.Unix(0, 0), time.Second)), core.WithStorage(core.StorageInline))
+	if err := StartRun("orphan"); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ActiveRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Experiment().Name != "default" {
+		t.Errorf("experiment = %q", r.Experiment().Name)
+	}
+}

@@ -1,0 +1,168 @@
+package netcdf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildRecordFile makes a file with one unlimited dim, a fixed var and
+// two record vars (interleaving exercised).
+func buildRecordFile(records int) *File {
+	f := &File{}
+	dTime := f.AddDim("time", 0) // unlimited
+	dGPU := f.AddDim("gpu", 3)
+	fixed := []float64{7, 8, 9}
+	f.AddVar(Var{Name: "gpu_id", Type: Int, Dims: []int{dGPU}, Data: fixed})
+
+	loss := make([]float64, records)
+	power := make([]float64, records*3)
+	for i := range loss {
+		loss[i] = 2.0 / float64(i+1)
+	}
+	for i := range power {
+		power[i] = 300 + float64(i)
+	}
+	f.AddVar(Var{Name: "loss", Type: Double, Dims: []int{dTime}, Data: loss})
+	f.AddVar(Var{Name: "power", Type: Float, Dims: []int{dTime, dGPU}, Data: power})
+	return f
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	f := buildRecordFile(5)
+	raw, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss, ok := back.VarByName("loss")
+	if !ok || len(loss.Data) != 5 {
+		t.Fatalf("loss = %+v", loss)
+	}
+	for i := range loss.Data {
+		if loss.Data[i] != 2.0/float64(i+1) {
+			t.Errorf("loss[%d] = %v", i, loss.Data[i])
+		}
+	}
+	power, _ := back.VarByName("power")
+	if len(power.Data) != 15 {
+		t.Fatalf("power len = %d", len(power.Data))
+	}
+	for i := range power.Data {
+		if power.Data[i] != 300+float64(i) {
+			t.Fatalf("power[%d] = %v (interleaving broken)", i, power.Data[i])
+		}
+	}
+	gpuID, _ := back.VarByName("gpu_id")
+	if gpuID.Data[2] != 9 {
+		t.Errorf("fixed var corrupted: %v", gpuID.Data)
+	}
+}
+
+func TestRecordZeroRecords(t *testing.T) {
+	f := buildRecordFile(0)
+	raw, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss, ok := back.VarByName("loss")
+	if !ok || len(loss.Data) != 0 {
+		t.Fatalf("loss = %+v", loss)
+	}
+}
+
+func TestRecordSingleVarNoPadding(t *testing.T) {
+	// One record variable of a 2-byte type: the special case where
+	// record slabs are not padded to 4 bytes.
+	f := &File{}
+	dTime := f.AddDim("time", 0)
+	f.AddVar(Var{Name: "s", Type: Short, Dims: []int{dTime}, Data: []float64{1, -2, 3, -4, 5}})
+	raw, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := back.VarByName("s")
+	want := []float64{1, -2, 3, -4, 5}
+	for i := range want {
+		if s.Data[i] != want[i] {
+			t.Fatalf("s = %v", s.Data)
+		}
+	}
+}
+
+func TestRecordCharVariable(t *testing.T) {
+	f := &File{}
+	dTime := f.AddDim("time", 0)
+	dW := f.AddDim("width", 3)
+	f.AddVar(Var{Name: "tag", Type: Char, Dims: []int{dTime, dW}, Text: "abcdefghi"})
+	f.AddVar(Var{Name: "v", Type: Double, Dims: []int{dTime}, Data: []float64{1, 2, 3}})
+	raw, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag, _ := back.VarByName("tag")
+	if tag.Text != "abcdefghi" {
+		t.Errorf("tag = %q", tag.Text)
+	}
+	v, _ := back.VarByName("v")
+	if v.Data[2] != 3 {
+		t.Errorf("v = %v", v.Data)
+	}
+}
+
+func TestRecordErrors(t *testing.T) {
+	// Record dim not first.
+	f := &File{}
+	dTime := f.AddDim("time", 0)
+	dX := f.AddDim("x", 2)
+	f.AddVar(Var{Name: "bad", Type: Double, Dims: []int{dX, dTime}, Data: []float64{1, 2}})
+	if _, err := f.Encode(); err == nil {
+		t.Error("record dim in non-first position must fail")
+	}
+
+	// Two unlimited dims.
+	g := &File{}
+	g.AddDim("t1", 0)
+	g.AddDim("t2", 0)
+	if _, err := g.Encode(); err == nil {
+		t.Error("two record dims must fail")
+	}
+
+	// Disagreeing record counts.
+	h := &File{}
+	dT := h.AddDim("time", 0)
+	h.AddVar(Var{Name: "a", Type: Double, Dims: []int{dT}, Data: []float64{1, 2}})
+	h.AddVar(Var{Name: "b", Type: Double, Dims: []int{dT}, Data: []float64{1, 2, 3}})
+	if _, err := h.Encode(); err == nil {
+		t.Error("disagreeing record counts must fail")
+	}
+}
+
+func TestRecordFuzzNoPanic(t *testing.T) {
+	raw, err := buildRecordFile(4).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(123))
+	for i := 0; i < 500; i++ {
+		mut := append([]byte(nil), raw...)
+		for j := 0; j < 1+rng.Intn(8); j++ {
+			mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+		}
+		_, _ = Decode(mut) // must not panic or OOM
+	}
+}

@@ -1,0 +1,86 @@
+package prov
+
+import "fmt"
+
+// CheckConstraints applies a subset of the W3C PROV-CONSTRAINTS
+// ordering rules that are decidable on our documents:
+//
+//   - generation-before-usage: an entity must not be used before it was
+//     generated (within the same document).
+//   - usage/generation within activity bounds: a relation timestamp on
+//     used/wasGeneratedBy must fall inside its activity's [start, end]
+//     interval when both are known.
+//   - derivation consistency: if e2 wasDerivedFrom e1 and both have
+//     generation times, gen(e2) must not precede gen(e1).
+//
+// Violations are returned as warnings (PROV documents are frequently
+// partial; the paper's producers tolerate missing times), so callers
+// decide whether to reject.
+func (d *Document) CheckConstraints() []ValidationIssue {
+	var issues []ValidationIssue
+	warn := func(format string, args ...interface{}) {
+		issues = append(issues, ValidationIssue{Severity: "warning", Message: fmt.Sprintf(format, args...)})
+	}
+
+	// First generation time per entity.
+	genTime := map[QName][]*Relation{}
+	for _, r := range d.Relations {
+		if r.Kind == RelWasGeneratedBy && !r.Time.IsZero() {
+			genTime[r.Subject] = append(genTime[r.Subject], r)
+		}
+	}
+	earliestGen := func(e QName) (*Relation, bool) {
+		list := genTime[e]
+		if len(list) == 0 {
+			return nil, false
+		}
+		best := list[0]
+		for _, r := range list[1:] {
+			if r.Time.Before(best.Time) {
+				best = r
+			}
+		}
+		return best, true
+	}
+
+	for _, r := range d.Relations {
+		switch r.Kind {
+		case RelUsed:
+			if r.Time.IsZero() {
+				continue
+			}
+			if gen, ok := earliestGen(r.Object); ok && r.Time.Before(gen.Time) {
+				warn("entity %s used at %s before its generation at %s",
+					r.Object, r.Time.Format("2006-01-02T15:04:05.000"), gen.Time.Format("2006-01-02T15:04:05.000"))
+			}
+			if a, ok := d.Activities[r.Subject]; ok {
+				if !a.StartTime.IsZero() && r.Time.Before(a.StartTime) {
+					warn("activity %s uses %s before its own start", r.Subject, r.Object)
+				}
+				if !a.EndTime.IsZero() && r.Time.After(a.EndTime) {
+					warn("activity %s uses %s after its own end", r.Subject, r.Object)
+				}
+			}
+		case RelWasGeneratedBy:
+			if r.Time.IsZero() {
+				continue
+			}
+			if a, ok := d.Activities[r.Object]; ok {
+				if !a.StartTime.IsZero() && r.Time.Before(a.StartTime) {
+					warn("entity %s generated before activity %s started", r.Subject, r.Object)
+				}
+				if !a.EndTime.IsZero() && r.Time.After(a.EndTime) {
+					warn("entity %s generated after activity %s ended", r.Subject, r.Object)
+				}
+			}
+		case RelWasDerivedFrom:
+			g2, ok2 := earliestGen(r.Subject)
+			g1, ok1 := earliestGen(r.Object)
+			if ok1 && ok2 && g2.Time.Before(g1.Time) {
+				warn("derived entity %s generated (%s) before its source %s (%s)",
+					r.Subject, g2.Time.Format("15:04:05"), r.Object, g1.Time.Format("15:04:05"))
+			}
+		}
+	}
+	return issues
+}

@@ -1,0 +1,84 @@
+package prov
+
+import (
+	"testing"
+	"time"
+)
+
+func ts(sec int) time.Time { return time.Unix(int64(sec), 0).UTC() }
+
+func TestConstraintsCleanDoc(t *testing.T) {
+	d := NewDocument()
+	d.AddEntity("ex:in", nil)
+	d.AddEntity("ex:out", nil)
+	a := d.AddActivity("ex:run", nil)
+	a.StartTime, a.EndTime = ts(0), ts(100)
+	d.Used("ex:run", "ex:in", ts(10))
+	d.WasGeneratedBy("ex:out", "ex:run", ts(90))
+	d.WasDerivedFrom("ex:out", "ex:in")
+	if issues := d.CheckConstraints(); len(issues) != 0 {
+		t.Fatalf("clean document flagged: %v", issues)
+	}
+}
+
+func TestConstraintUseBeforeGeneration(t *testing.T) {
+	d := NewDocument()
+	d.AddEntity("ex:x", nil)
+	d.AddActivity("ex:gen", nil)
+	d.AddActivity("ex:use", nil)
+	d.WasGeneratedBy("ex:x", "ex:gen", ts(50))
+	d.Used("ex:use", "ex:x", ts(10)) // before generation
+	issues := d.CheckConstraints()
+	if len(issues) != 1 {
+		t.Fatalf("issues = %v", issues)
+	}
+}
+
+func TestConstraintOutsideActivityBounds(t *testing.T) {
+	d := NewDocument()
+	d.AddEntity("ex:x", nil)
+	a := d.AddActivity("ex:run", nil)
+	a.StartTime, a.EndTime = ts(100), ts(200)
+	d.Used("ex:run", "ex:x", ts(50))            // before start (and before generation)
+	d.WasGeneratedBy("ex:x", "ex:run", ts(300)) // after end
+	issues := d.CheckConstraints()
+	// Three violations: use-before-generation, use-before-activity-start,
+	// generation-after-activity-end.
+	if len(issues) != 3 {
+		t.Fatalf("issues = %v", issues)
+	}
+}
+
+func TestConstraintDerivationOrder(t *testing.T) {
+	d := NewDocument()
+	d.AddEntity("ex:src", nil)
+	d.AddEntity("ex:derived", nil)
+	d.AddActivity("ex:a1", nil)
+	d.AddActivity("ex:a2", nil)
+	d.WasGeneratedBy("ex:src", "ex:a1", ts(100))
+	d.WasGeneratedBy("ex:derived", "ex:a2", ts(50)) // derived exists first!
+	d.WasDerivedFrom("ex:derived", "ex:src")
+	issues := d.CheckConstraints()
+	if len(issues) != 1 {
+		t.Fatalf("issues = %v", issues)
+	}
+}
+
+func TestConstraintsIgnoreMissingTimes(t *testing.T) {
+	d := NewDocument()
+	d.AddEntity("ex:x", nil)
+	d.AddActivity("ex:a", nil)
+	d.Used("ex:a", "ex:x", time.Time{})
+	d.WasGeneratedBy("ex:x", "ex:a", time.Time{})
+	if issues := d.CheckConstraints(); len(issues) != 0 {
+		t.Fatalf("untimed relations flagged: %v", issues)
+	}
+}
+
+func TestCoreDocumentsSatisfyConstraints(t *testing.T) {
+	// Every document sampleDoc-style must be temporally consistent.
+	d := sampleDoc(t)
+	if issues := d.CheckConstraints(); len(issues) != 0 {
+		t.Fatalf("sample doc violates constraints: %v", issues)
+	}
+}

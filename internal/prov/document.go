@@ -1,0 +1,377 @@
+package prov
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Attrs is an attribute bag keyed by qualified-name strings.
+type Attrs map[string]Value
+
+// Clone returns a copy of the attribute bag.
+func (a Attrs) Clone() Attrs {
+	if a == nil {
+		return nil
+	}
+	c := make(Attrs, len(a))
+	for k, v := range a {
+		c[k] = v
+	}
+	return c
+}
+
+// SortedKeys returns the attribute keys in lexical order.
+func (a Attrs) SortedKeys() []string {
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Element is a named PROV element (entity, activity or agent).
+type Element struct {
+	ID    QName
+	Attrs Attrs
+}
+
+// Activity extends Element with optional start and end times.
+type Activity struct {
+	Element
+	StartTime time.Time
+	EndTime   time.Time
+}
+
+// RelationKind enumerates the PROV relation types supported.
+type RelationKind string
+
+// Relation kinds, named after their PROV-JSON section names.
+const (
+	RelUsed             RelationKind = "used"
+	RelWasGeneratedBy   RelationKind = "wasGeneratedBy"
+	RelWasAssociatedW   RelationKind = "wasAssociatedWith"
+	RelWasAttributedTo  RelationKind = "wasAttributedTo"
+	RelWasDerivedFrom   RelationKind = "wasDerivedFrom"
+	RelWasInformedBy    RelationKind = "wasInformedBy"
+	RelActedOnBehalfOf  RelationKind = "actedOnBehalfOf"
+	RelWasStartedBy     RelationKind = "wasStartedBy"
+	RelWasEndedBy       RelationKind = "wasEndedBy"
+	RelHadMember        RelationKind = "hadMember"
+	RelSpecializationOf RelationKind = "specializationOf"
+	RelAlternateOf      RelationKind = "alternateOf"
+)
+
+// AllRelationKinds lists every supported relation kind in a stable order.
+var AllRelationKinds = []RelationKind{
+	RelUsed, RelWasGeneratedBy, RelWasAssociatedW, RelWasAttributedTo,
+	RelWasDerivedFrom, RelWasInformedBy, RelActedOnBehalfOf,
+	RelWasStartedBy, RelWasEndedBy, RelHadMember,
+	RelSpecializationOf, RelAlternateOf,
+}
+
+// relationRoles gives the PROV-JSON property names for (subject, object)
+// of each relation kind.
+var relationRoles = map[RelationKind][2]string{
+	RelUsed:             {"prov:activity", "prov:entity"},
+	RelWasGeneratedBy:   {"prov:entity", "prov:activity"},
+	RelWasAssociatedW:   {"prov:activity", "prov:agent"},
+	RelWasAttributedTo:  {"prov:entity", "prov:agent"},
+	RelWasDerivedFrom:   {"prov:generatedEntity", "prov:usedEntity"},
+	RelWasInformedBy:    {"prov:informed", "prov:informant"},
+	RelActedOnBehalfOf:  {"prov:delegate", "prov:responsible"},
+	RelWasStartedBy:     {"prov:activity", "prov:trigger"},
+	RelWasEndedBy:       {"prov:activity", "prov:trigger"},
+	RelHadMember:        {"prov:collection", "prov:entity"},
+	RelSpecializationOf: {"prov:specificEntity", "prov:generalEntity"},
+	RelAlternateOf:      {"prov:alternate1", "prov:alternate2"},
+}
+
+// RelationRoles returns the PROV-JSON subject and object property names
+// for kind, e.g. ("prov:activity", "prov:entity") for used.
+func RelationRoles(kind RelationKind) (subject, object string, ok bool) {
+	r, ok := relationRoles[kind]
+	return r[0], r[1], ok
+}
+
+// Relation is one edge of a provenance document. Subject and Object
+// follow the orientation listed in relationRoles; Time is optional and
+// only meaningful for used / wasGeneratedBy / wasStartedBy / wasEndedBy.
+type Relation struct {
+	ID      string // local relation identifier, e.g. "_:u1"
+	Kind    RelationKind
+	Subject QName
+	Object  QName
+	Time    time.Time
+	Attrs   Attrs
+}
+
+// Document is an in-memory W3C PROV document.
+type Document struct {
+	Namespaces *NamespaceSet
+	Entities   map[QName]*Element
+	Activities map[QName]*Activity
+	Agents     map[QName]*Element
+	Relations  []*Relation
+
+	relSeq int // monotonically increasing relation-id counter
+}
+
+// NewDocument returns an empty document with the default namespaces.
+func NewDocument() *Document {
+	return &Document{
+		Namespaces: NewNamespaceSet(),
+		Entities:   make(map[QName]*Element),
+		Activities: make(map[QName]*Activity),
+		Agents:     make(map[QName]*Element),
+	}
+}
+
+// AddEntity inserts (or returns the existing) entity with the given id.
+func (d *Document) AddEntity(id QName, attrs Attrs) *Element {
+	if e, ok := d.Entities[id]; ok {
+		mergeAttrs(e.Attrs, attrs)
+		return e
+	}
+	e := &Element{ID: id, Attrs: ensureAttrs(attrs)}
+	d.Entities[id] = e
+	return e
+}
+
+// AddActivity inserts (or returns the existing) activity with the given id.
+func (d *Document) AddActivity(id QName, attrs Attrs) *Activity {
+	if a, ok := d.Activities[id]; ok {
+		mergeAttrs(a.Attrs, attrs)
+		return a
+	}
+	a := &Activity{Element: Element{ID: id, Attrs: ensureAttrs(attrs)}}
+	d.Activities[id] = a
+	return a
+}
+
+// AddAgent inserts (or returns the existing) agent with the given id.
+func (d *Document) AddAgent(id QName, attrs Attrs) *Element {
+	if g, ok := d.Agents[id]; ok {
+		mergeAttrs(g.Attrs, attrs)
+		return g
+	}
+	g := &Element{ID: id, Attrs: ensureAttrs(attrs)}
+	d.Agents[id] = g
+	return g
+}
+
+func ensureAttrs(a Attrs) Attrs {
+	if a == nil {
+		return make(Attrs)
+	}
+	return a
+}
+
+func mergeAttrs(dst, src Attrs) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// nextRelID mints a fresh blank-node relation identifier.
+func (d *Document) nextRelID(kind RelationKind) string {
+	d.relSeq++
+	return fmt.Sprintf("_:%s%d", shortKind(kind), d.relSeq)
+}
+
+func shortKind(kind RelationKind) string {
+	switch kind {
+	case RelUsed:
+		return "u"
+	case RelWasGeneratedBy:
+		return "g"
+	case RelWasAssociatedW:
+		return "assoc"
+	case RelWasAttributedTo:
+		return "attr"
+	case RelWasDerivedFrom:
+		return "d"
+	case RelWasInformedBy:
+		return "inf"
+	case RelActedOnBehalfOf:
+		return "del"
+	case RelWasStartedBy:
+		return "start"
+	case RelWasEndedBy:
+		return "end"
+	case RelHadMember:
+		return "mem"
+	case RelSpecializationOf:
+		return "spec"
+	case RelAlternateOf:
+		return "alt"
+	}
+	return "r"
+}
+
+// AddRelation appends a relation edge and returns it. A fresh identifier
+// is minted when rel.ID is empty.
+func (d *Document) AddRelation(rel Relation) *Relation {
+	if rel.ID == "" {
+		rel.ID = d.nextRelID(rel.Kind)
+	}
+	if rel.Attrs == nil {
+		rel.Attrs = make(Attrs)
+	}
+	r := rel
+	d.Relations = append(d.Relations, &r)
+	return &r
+}
+
+// Used records that activity used entity at time t (zero time allowed).
+func (d *Document) Used(activity, entity QName, t time.Time) *Relation {
+	return d.AddRelation(Relation{Kind: RelUsed, Subject: activity, Object: entity, Time: t})
+}
+
+// WasGeneratedBy records that entity was generated by activity at time t.
+func (d *Document) WasGeneratedBy(entity, activity QName, t time.Time) *Relation {
+	return d.AddRelation(Relation{Kind: RelWasGeneratedBy, Subject: entity, Object: activity, Time: t})
+}
+
+// WasAssociatedWith records that activity was associated with agent.
+func (d *Document) WasAssociatedWith(activity, agent QName) *Relation {
+	return d.AddRelation(Relation{Kind: RelWasAssociatedW, Subject: activity, Object: agent})
+}
+
+// WasAttributedTo records that entity was attributed to agent.
+func (d *Document) WasAttributedTo(entity, agent QName) *Relation {
+	return d.AddRelation(Relation{Kind: RelWasAttributedTo, Subject: entity, Object: agent})
+}
+
+// WasDerivedFrom records that generated was derived from used.
+func (d *Document) WasDerivedFrom(generated, used QName) *Relation {
+	return d.AddRelation(Relation{Kind: RelWasDerivedFrom, Subject: generated, Object: used})
+}
+
+// WasInformedBy records that informed was informed by informant.
+func (d *Document) WasInformedBy(informed, informant QName) *Relation {
+	return d.AddRelation(Relation{Kind: RelWasInformedBy, Subject: informed, Object: informant})
+}
+
+// ActedOnBehalfOf records a delegation between two agents.
+func (d *Document) ActedOnBehalfOf(delegate, responsible QName) *Relation {
+	return d.AddRelation(Relation{Kind: RelActedOnBehalfOf, Subject: delegate, Object: responsible})
+}
+
+// HadMember records collection membership.
+func (d *Document) HadMember(collection, member QName) *Relation {
+	return d.AddRelation(Relation{Kind: RelHadMember, Subject: collection, Object: member})
+}
+
+// SpecializationOf records that specific specializes general.
+func (d *Document) SpecializationOf(specific, general QName) *Relation {
+	return d.AddRelation(Relation{Kind: RelSpecializationOf, Subject: specific, Object: general})
+}
+
+// RelationsOfKind returns all relations of the given kind in insertion order.
+func (d *Document) RelationsOfKind(kind RelationKind) []*Relation {
+	var out []*Relation
+	for _, r := range d.Relations {
+		if r.Kind == kind {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// EntityIDs returns the entity identifiers in sorted order.
+func (d *Document) EntityIDs() []QName { return sortedIDs(d.Entities) }
+
+// AgentIDs returns the agent identifiers in sorted order.
+func (d *Document) AgentIDs() []QName { return sortedIDs(d.Agents) }
+
+// ActivityIDs returns the activity identifiers in sorted order.
+func (d *Document) ActivityIDs() []QName {
+	ids := make([]QName, 0, len(d.Activities))
+	for id := range d.Activities {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func sortedIDs(m map[QName]*Element) []QName {
+	ids := make([]QName, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// HasNode reports whether id names an entity, activity or agent in d.
+func (d *Document) HasNode(id QName) bool {
+	if _, ok := d.Entities[id]; ok {
+		return true
+	}
+	if _, ok := d.Activities[id]; ok {
+		return true
+	}
+	_, ok := d.Agents[id]
+	return ok
+}
+
+// NodeKind returns "entity", "activity", "agent" or "".
+func (d *Document) NodeKind(id QName) string {
+	if _, ok := d.Entities[id]; ok {
+		return "entity"
+	}
+	if _, ok := d.Activities[id]; ok {
+		return "activity"
+	}
+	if _, ok := d.Agents[id]; ok {
+		return "agent"
+	}
+	return ""
+}
+
+// Stats summarizes document cardinalities.
+type Stats struct {
+	Entities   int
+	Activities int
+	Agents     int
+	Relations  int
+}
+
+// Stats returns counts of each element class in d.
+func (d *Document) Stats() Stats {
+	return Stats{
+		Entities:   len(d.Entities),
+		Activities: len(d.Activities),
+		Agents:     len(d.Agents),
+		Relations:  len(d.Relations),
+	}
+}
+
+// Clone returns a deep copy of the document.
+func (d *Document) Clone() *Document {
+	c := NewDocument()
+	c.Namespaces = d.Namespaces.Clone()
+	for id, e := range d.Entities {
+		c.Entities[id] = &Element{ID: e.ID, Attrs: e.Attrs.Clone()}
+	}
+	for id, a := range d.Activities {
+		c.Activities[id] = &Activity{
+			Element:   Element{ID: a.ID, Attrs: a.Attrs.Clone()},
+			StartTime: a.StartTime,
+			EndTime:   a.EndTime,
+		}
+	}
+	for id, g := range d.Agents {
+		c.Agents[id] = &Element{ID: g.ID, Attrs: g.Attrs.Clone()}
+	}
+	c.Relations = make([]*Relation, len(d.Relations))
+	for i, r := range d.Relations {
+		cr := *r
+		cr.Attrs = r.Attrs.Clone()
+		c.Relations[i] = &cr
+	}
+	c.relSeq = d.relSeq
+	return c
+}

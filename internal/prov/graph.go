@@ -1,0 +1,169 @@
+package prov
+
+import "sort"
+
+// Edge is a directed provenance edge for traversal purposes, oriented
+// subject -> object (e.g. used: activity -> entity; wasGeneratedBy:
+// entity -> activity). Following edges therefore walks *backwards in
+// time*: from results toward their origins.
+type Edge struct {
+	Kind RelationKind
+	From QName
+	To   QName
+}
+
+// Edges returns all relations as traversal edges.
+func (d *Document) Edges() []Edge {
+	out := make([]Edge, 0, len(d.Relations))
+	for _, r := range d.Relations {
+		out = append(out, Edge{Kind: r.Kind, From: r.Subject, To: r.Object})
+	}
+	return out
+}
+
+// adjacency builds forward (subject->object) or reverse adjacency lists.
+func (d *Document) adjacency(reverse bool) map[QName][]QName {
+	adj := make(map[QName][]QName)
+	for _, r := range d.Relations {
+		from, to := r.Subject, r.Object
+		if reverse {
+			from, to = to, from
+		}
+		adj[from] = append(adj[from], to)
+	}
+	for _, list := range adj {
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+	}
+	return adj
+}
+
+// Ancestors returns every node reachable from start by following relation
+// edges in their natural orientation (toward origins), excluding start
+// itself, in sorted order.
+func (d *Document) Ancestors(start QName) []QName {
+	return d.closure(start, false)
+}
+
+// Descendants returns every node that can reach start, i.e. everything
+// derived (directly or transitively) from it, in sorted order.
+func (d *Document) Descendants(start QName) []QName {
+	return d.closure(start, true)
+}
+
+func (d *Document) closure(start QName, reverse bool) []QName {
+	adj := d.adjacency(reverse)
+	visited := map[QName]bool{start: true}
+	queue := []QName{start}
+	var out []QName
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range adj[cur] {
+			if visited[next] {
+				continue
+			}
+			visited[next] = true
+			out = append(out, next)
+			queue = append(queue, next)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Path returns one shortest chain of node ids from -> ... -> to following
+// edges in natural orientation, or nil if no path exists.
+func (d *Document) Path(from, to QName) []QName {
+	if from == to {
+		return []QName{from}
+	}
+	adj := d.adjacency(false)
+	prev := map[QName]QName{}
+	visited := map[QName]bool{from: true}
+	queue := []QName{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range adj[cur] {
+			if visited[next] {
+				continue
+			}
+			visited[next] = true
+			prev[next] = cur
+			if next == to {
+				var path []QName
+				for n := to; ; n = prev[n] {
+					path = append([]QName{n}, path...)
+					if n == from {
+						return path
+					}
+				}
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil
+}
+
+// Subgraph extracts the sub-document induced by the given node set:
+// those elements plus every relation whose both endpoints are in the set.
+func (d *Document) Subgraph(nodes []QName) *Document {
+	keep := make(map[QName]bool, len(nodes))
+	for _, n := range nodes {
+		keep[n] = true
+	}
+	sub := NewDocument()
+	sub.Namespaces = d.Namespaces.Clone()
+	for id, e := range d.Entities {
+		if keep[id] {
+			sub.AddEntity(id, e.Attrs.Clone())
+		}
+	}
+	for id, a := range d.Activities {
+		if keep[id] {
+			na := sub.AddActivity(id, a.Attrs.Clone())
+			na.StartTime, na.EndTime = a.StartTime, a.EndTime
+		}
+	}
+	for id, g := range d.Agents {
+		if keep[id] {
+			sub.AddAgent(id, g.Attrs.Clone())
+		}
+	}
+	for _, r := range d.Relations {
+		if keep[r.Subject] && keep[r.Object] {
+			sub.AddRelation(Relation{Kind: r.Kind, Subject: r.Subject, Object: r.Object, Time: r.Time, Attrs: r.Attrs.Clone()})
+		}
+	}
+	return sub
+}
+
+// Neighborhood returns the sub-document within the given number of hops
+// of start, ignoring edge direction.
+func (d *Document) Neighborhood(start QName, hops int) *Document {
+	fwd := d.adjacency(false)
+	rev := d.adjacency(true)
+	dist := map[QName]int{start: 0}
+	queue := []QName{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if dist[cur] >= hops {
+			continue
+		}
+		for _, adj := range [2]map[QName][]QName{fwd, rev} {
+			for _, next := range adj[cur] {
+				if _, ok := dist[next]; ok {
+					continue
+				}
+				dist[next] = dist[cur] + 1
+				queue = append(queue, next)
+			}
+		}
+	}
+	nodes := make([]QName, 0, len(dist))
+	for n := range dist {
+		nodes = append(nodes, n)
+	}
+	return d.Subgraph(nodes)
+}

@@ -1,0 +1,184 @@
+package prov
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// chainDoc builds raw -> prep(activity) -> curated -> train(activity) -> model.
+func chainDoc() *Document {
+	d := NewDocument()
+	d.AddEntity("ex:raw", nil)
+	d.AddEntity("ex:curated", nil)
+	d.AddEntity("ex:model", nil)
+	d.AddActivity("ex:prep", nil)
+	d.AddActivity("ex:train", nil)
+	d.Used("ex:prep", "ex:raw", time.Time{})
+	d.WasGeneratedBy("ex:curated", "ex:prep", time.Time{})
+	d.Used("ex:train", "ex:curated", time.Time{})
+	d.WasGeneratedBy("ex:model", "ex:train", time.Time{})
+	return d
+}
+
+func TestAncestors(t *testing.T) {
+	d := chainDoc()
+	anc := d.Ancestors("ex:model")
+	want := map[QName]bool{"ex:train": true, "ex:curated": true, "ex:prep": true, "ex:raw": true}
+	if len(anc) != len(want) {
+		t.Fatalf("ancestors = %v", anc)
+	}
+	for _, a := range anc {
+		if !want[a] {
+			t.Errorf("unexpected ancestor %s", a)
+		}
+	}
+}
+
+func TestDescendants(t *testing.T) {
+	d := chainDoc()
+	desc := d.Descendants("ex:raw")
+	want := map[QName]bool{"ex:prep": true, "ex:curated": true, "ex:train": true, "ex:model": true}
+	if len(desc) != len(want) {
+		t.Fatalf("descendants = %v", desc)
+	}
+}
+
+func TestAncestorsOfRootEmpty(t *testing.T) {
+	d := chainDoc()
+	if anc := d.Ancestors("ex:raw"); len(anc) != 0 {
+		t.Errorf("raw should have no ancestors, got %v", anc)
+	}
+}
+
+func TestPath(t *testing.T) {
+	d := chainDoc()
+	p := d.Path("ex:model", "ex:raw")
+	if len(p) != 5 || p[0] != "ex:model" || p[4] != "ex:raw" {
+		t.Fatalf("path = %v", p)
+	}
+	if d.Path("ex:raw", "ex:model") != nil {
+		t.Error("no forward path should exist from raw to model")
+	}
+	if p := d.Path("ex:raw", "ex:raw"); len(p) != 1 {
+		t.Errorf("self path = %v", p)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	d := chainDoc()
+	sub := d.Subgraph([]QName{"ex:model", "ex:train"})
+	if len(sub.Entities) != 1 || len(sub.Activities) != 1 {
+		t.Fatalf("subgraph stats = %+v", sub.Stats())
+	}
+	if len(sub.Relations) != 1 || sub.Relations[0].Kind != RelWasGeneratedBy {
+		t.Fatalf("subgraph relations = %v", sub.Relations)
+	}
+	if _, err := sub.Validate(); err != nil {
+		t.Errorf("subgraph must be valid: %v", err)
+	}
+}
+
+func TestNeighborhood(t *testing.T) {
+	d := chainDoc()
+	n1 := d.Neighborhood("ex:curated", 1)
+	// 1 hop from curated: prep (generatedBy) and train (used).
+	if n1.Stats().Entities != 1 || n1.Stats().Activities != 2 {
+		t.Fatalf("1-hop stats = %+v", n1.Stats())
+	}
+	nAll := d.Neighborhood("ex:curated", 10)
+	if nAll.Stats().Entities != 3 || nAll.Stats().Activities != 2 {
+		t.Fatalf("full neighborhood stats = %+v", nAll.Stats())
+	}
+}
+
+func TestCycleSafety(t *testing.T) {
+	d := NewDocument()
+	d.AddEntity("ex:a", nil)
+	d.AddEntity("ex:b", nil)
+	d.WasDerivedFrom("ex:a", "ex:b")
+	d.WasDerivedFrom("ex:b", "ex:a") // cycle
+	if got := len(d.Ancestors("ex:a")); got != 1 {
+		t.Errorf("cyclic ancestors = %d, want 1", got)
+	}
+}
+
+func TestMergeDedupes(t *testing.T) {
+	a := chainDoc()
+	b := chainDoc()
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(a.Relations); got != 4 {
+		t.Errorf("merge duplicated relations: %d, want 4", got)
+	}
+	if !a.Equal(chainDoc()) {
+		t.Error("merging an identical doc must be a no-op")
+	}
+}
+
+func TestMergeAddsNew(t *testing.T) {
+	a := chainDoc()
+	b := NewDocument()
+	b.AddEntity("ex:report", nil)
+	b.AddActivity("ex:eval", nil)
+	b.Used("ex:eval", "ex:report", time.Time{})
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.HasNode("ex:report") || len(a.Relations) != 5 {
+		t.Fatalf("merge lost additions: %+v", a.Stats())
+	}
+}
+
+func TestValidateDangling(t *testing.T) {
+	d := NewDocument()
+	d.AddActivity("ex:a", nil)
+	d.Used("ex:a", "ex:missing", time.Time{})
+	if _, err := d.Validate(); err == nil {
+		t.Fatal("dangling endpoint must be an error")
+	}
+}
+
+func TestValidateWrongClass(t *testing.T) {
+	d := NewDocument()
+	d.AddEntity("ex:e", nil)
+	d.AddEntity("ex:e2", nil)
+	// used requires an activity subject; ex:e is an entity.
+	d.Used("ex:e", "ex:e2", time.Time{})
+	if _, err := d.Validate(); err == nil {
+		t.Fatal("wrong endpoint class must be an error")
+	}
+}
+
+func TestValidateTimeOrder(t *testing.T) {
+	d := NewDocument()
+	a := d.AddActivity("ex:a", nil)
+	a.StartTime = time.Date(2025, 1, 2, 0, 0, 0, 0, time.UTC)
+	a.EndTime = time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC)
+	if _, err := d.Validate(); err == nil {
+		t.Fatal("end before start must be an error")
+	}
+}
+
+func TestValidateWarningsOnly(t *testing.T) {
+	d := NewDocument()
+	d.AddEntity("weird:e", nil) // unregistered prefix -> warning only
+	issues, err := d.Validate()
+	if err != nil {
+		t.Fatalf("warnings must not fail validation: %v", err)
+	}
+	if len(issues) == 0 {
+		t.Error("expected a warning for unregistered prefix")
+	}
+}
+
+func TestProvNOutput(t *testing.T) {
+	d := chainDoc()
+	n := d.ProvN()
+	for _, want := range []string{"document", "endDocument", "entity(ex:raw)", "used(", "wasGeneratedBy("} {
+		if !strings.Contains(n, want) {
+			t.Errorf("PROV-N missing %q in:\n%s", want, n)
+		}
+	}
+}

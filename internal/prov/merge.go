@@ -1,0 +1,106 @@
+package prov
+
+import "fmt"
+
+// Merge folds other into d: namespaces are united (conflicts are errors),
+// elements with the same id have their attributes merged (other wins on
+// key collisions), and other's relations are appended, skipping exact
+// duplicates (same kind, subject, object and time).
+func (d *Document) Merge(other *Document) error {
+	if err := d.Namespaces.Merge(other.Namespaces); err != nil {
+		return fmt.Errorf("prov: merge: %w", err)
+	}
+	for _, id := range other.EntityIDs() {
+		d.AddEntity(id, other.Entities[id].Attrs)
+	}
+	for _, id := range other.AgentIDs() {
+		d.AddAgent(id, other.Agents[id].Attrs)
+	}
+	for _, id := range other.ActivityIDs() {
+		oa := other.Activities[id]
+		a := d.AddActivity(id, oa.Attrs)
+		if a.StartTime.IsZero() {
+			a.StartTime = oa.StartTime
+		}
+		if a.EndTime.IsZero() {
+			a.EndTime = oa.EndTime
+		}
+	}
+
+	type relKey struct {
+		kind     RelationKind
+		subj, ob QName
+		unix     int64
+	}
+	seen := make(map[relKey]bool, len(d.Relations))
+	for _, r := range d.Relations {
+		seen[relKey{r.Kind, r.Subject, r.Object, r.Time.UnixNano()}] = true
+	}
+	for _, r := range other.Relations {
+		k := relKey{r.Kind, r.Subject, r.Object, r.Time.UnixNano()}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		d.AddRelation(Relation{Kind: r.Kind, Subject: r.Subject, Object: r.Object, Time: r.Time, Attrs: r.Attrs.Clone()})
+	}
+	return nil
+}
+
+// Equal reports whether two documents contain the same elements and
+// relations (ignoring relation identifiers and insertion order).
+func (d *Document) Equal(other *Document) bool {
+	if len(d.Entities) != len(other.Entities) ||
+		len(d.Activities) != len(other.Activities) ||
+		len(d.Agents) != len(other.Agents) ||
+		len(d.Relations) != len(other.Relations) {
+		return false
+	}
+	for id, e := range d.Entities {
+		oe, ok := other.Entities[id]
+		if !ok || !attrsEqual(e.Attrs, oe.Attrs) {
+			return false
+		}
+	}
+	for id, g := range d.Agents {
+		og, ok := other.Agents[id]
+		if !ok || !attrsEqual(g.Attrs, og.Attrs) {
+			return false
+		}
+	}
+	for id, a := range d.Activities {
+		oa, ok := other.Activities[id]
+		if !ok || !attrsEqual(a.Attrs, oa.Attrs) ||
+			!a.StartTime.Equal(oa.StartTime) || !a.EndTime.Equal(oa.EndTime) {
+			return false
+		}
+	}
+	// Relations: compare as multisets keyed by (kind, subject, object, time).
+	count := make(map[string]int, len(d.Relations))
+	key := func(r *Relation) string {
+		return fmt.Sprintf("%s|%s|%s|%d", r.Kind, r.Subject, r.Object, r.Time.UnixNano())
+	}
+	for _, r := range d.Relations {
+		count[key(r)]++
+	}
+	for _, r := range other.Relations {
+		count[key(r)]--
+		if count[key(r)] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func attrsEqual(a, b Attrs) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		bv, ok := b[k]
+		if !ok || !v.Equal(bv) {
+			return false
+		}
+	}
+	return true
+}

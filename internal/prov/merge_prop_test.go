@@ -1,0 +1,106 @@
+package prov
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// Property tests for document merge semantics.
+
+func TestMergeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 30; i++ {
+		d := randomDoc(rng)
+		merged := d.Clone()
+		if err := merged.Merge(d); err != nil {
+			t.Fatal(err)
+		}
+		if !merged.Equal(d) {
+			t.Fatalf("case %d: self-merge changed the document", i)
+		}
+	}
+}
+
+// normalize dedups internal duplicate relations by merging into an
+// empty document (Merge has set semantics over incoming relations).
+func normalize(t *testing.T, d *Document) *Document {
+	t.Helper()
+	out := NewDocument()
+	if err := out.Merge(d); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestMergeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for i := 0; i < 30; i++ {
+		a := normalize(t, randomDoc(rng))
+		b := normalize(t, randomDoc(rng))
+
+		ab := a.Clone()
+		if err := ab.Merge(b); err != nil {
+			t.Fatal(err)
+		}
+		ba := b.Clone()
+		if err := ba.Merge(a); err != nil {
+			t.Fatal(err)
+		}
+		// Merge is commutative up to attribute overwrite; since randomDoc
+		// uses distinct attr values per doc, restrict the check to node
+		// sets and relation multisets.
+		if len(ab.Entities) != len(ba.Entities) ||
+			len(ab.Activities) != len(ba.Activities) ||
+			len(ab.Agents) != len(ba.Agents) ||
+			len(ab.Relations) != len(ba.Relations) {
+			t.Fatalf("case %d: merge not commutative: %+v vs %+v", i, ab.Stats(), ba.Stats())
+		}
+	}
+}
+
+func TestMergeAssociativeCardinality(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 20; i++ {
+		a := normalize(t, randomDoc(rng))
+		b := normalize(t, randomDoc(rng))
+		c := normalize(t, randomDoc(rng))
+		left := a.Clone()
+		if err := left.Merge(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := left.Merge(c); err != nil {
+			t.Fatal(err)
+		}
+		bc := b.Clone()
+		if err := bc.Merge(c); err != nil {
+			t.Fatal(err)
+		}
+		right := a.Clone()
+		if err := right.Merge(bc); err != nil {
+			t.Fatal(err)
+		}
+		if left.Stats() != right.Stats() {
+			t.Fatalf("case %d: association changed stats: %+v vs %+v", i, left.Stats(), right.Stats())
+		}
+	}
+}
+
+func TestMergedDocStillSerializes(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	a, b := randomDoc(rng), randomDoc(rng)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseJSON(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(back) {
+		t.Fatal("merged doc lost data through serialization")
+	}
+}

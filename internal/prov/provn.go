@@ -1,0 +1,96 @@
+package prov
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WriteProvN renders the document in PROV-N (the human-readable W3C
+// provenance notation). Output is deterministic: elements sorted by id,
+// relations in insertion order.
+func (d *Document) WriteProvN(sb *strings.Builder) {
+	sb.WriteString("document\n")
+	for _, p := range d.Namespaces.Prefixes() {
+		uri, _ := d.Namespaces.Lookup(p)
+		fmt.Fprintf(sb, "  prefix %s <%s>\n", p, uri)
+	}
+	sb.WriteByte('\n')
+
+	for _, id := range d.EntityIDs() {
+		e := d.Entities[id]
+		fmt.Fprintf(sb, "  entity(%s%s)\n", id, provnAttrs(e.Attrs))
+	}
+	for _, id := range d.ActivityIDs() {
+		a := d.Activities[id]
+		fmt.Fprintf(sb, "  activity(%s, %s, %s%s)\n",
+			id, provnTime(a.StartTime), provnTime(a.EndTime), provnAttrs(a.Attrs))
+	}
+	for _, id := range d.AgentIDs() {
+		g := d.Agents[id]
+		fmt.Fprintf(sb, "  agent(%s%s)\n", id, provnAttrs(g.Attrs))
+	}
+
+	for _, r := range d.Relations {
+		switch r.Kind {
+		case RelUsed, RelWasGeneratedBy, RelWasStartedBy, RelWasEndedBy:
+			fmt.Fprintf(sb, "  %s(%s; %s, %s, %s%s)\n",
+				provnName(r.Kind), r.ID, r.Subject, r.Object, provnTime(r.Time), provnAttrs(r.Attrs))
+		default:
+			fmt.Fprintf(sb, "  %s(%s; %s, %s%s)\n",
+				provnName(r.Kind), r.ID, r.Subject, r.Object, provnAttrs(r.Attrs))
+		}
+	}
+	sb.WriteString("endDocument\n")
+}
+
+// ProvN returns the PROV-N rendering of the document.
+func (d *Document) ProvN() string {
+	var sb strings.Builder
+	d.WriteProvN(&sb)
+	return sb.String()
+}
+
+func provnName(kind RelationKind) string {
+	// PROV-N uses the same camelCase names as PROV-JSON sections.
+	return string(kind)
+}
+
+func provnTime(t time.Time) string {
+	if t.IsZero() {
+		return "-"
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+func provnAttrs(a Attrs) string {
+	if len(a) == 0 {
+		return ""
+	}
+	keys := a.SortedKeys()
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%s", k, provnValue(a[k])))
+	}
+	sort.Strings(parts)
+	return ", [" + strings.Join(parts, ", ") + "]"
+}
+
+func provnValue(v Value) string {
+	switch v.Kind() {
+	case KindString:
+		return fmt.Sprintf("%q", v.AsString())
+	case KindInt:
+		return fmt.Sprintf("%q %%%% xsd:long", v.AsString())
+	case KindFloat:
+		return fmt.Sprintf("%q %%%% xsd:double", v.AsString())
+	case KindBool:
+		return fmt.Sprintf("%q %%%% xsd:boolean", v.AsString())
+	case KindTime:
+		return fmt.Sprintf("%q %%%% xsd:dateTime", v.AsString())
+	case KindRef:
+		return "'" + v.AsString() + "'"
+	}
+	return "\"\""
+}

@@ -1,0 +1,126 @@
+// Package prov implements the W3C PROV data model (PROV-DM) with
+// PROV-JSON and PROV-N serializations, document validation, merging and
+// graph traversal. It is the foundation of the yProv4ML provenance
+// producer and of the yProv service (provstore/provservice).
+//
+// The subset implemented covers everything the yProv4ML data model needs:
+// entities, activities and agents with typed attributes, and the core
+// relations used / wasGeneratedBy / wasAssociatedWith / wasAttributedTo /
+// wasDerivedFrom / wasInformedBy / actedOnBehalfOf / wasStartedBy /
+// wasEndedBy / hadMember / specializationOf / alternateOf.
+package prov
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Well-known namespace URIs registered in every new Document.
+const (
+	NSProv    = "http://www.w3.org/ns/prov#"
+	NSXSD     = "http://www.w3.org/2001/XMLSchema#"
+	NSProvML  = "http://example.org/ns/provml#"
+	NSYProv   = "http://yprov.disi.unitn.it/ns/yprov#"
+	NSDefault = "http://example.org/ns/default#"
+)
+
+// QName is a qualified name, i.e. "prefix:local". The zero QName is invalid.
+type QName string
+
+// NewQName builds a qualified name from a prefix and local part.
+func NewQName(prefix, local string) QName {
+	return QName(prefix + ":" + local)
+}
+
+// Prefix returns the namespace prefix of q, or "" if q has no colon.
+func (q QName) Prefix() string {
+	if i := strings.IndexByte(string(q), ':'); i >= 0 {
+		return string(q)[:i]
+	}
+	return ""
+}
+
+// Local returns the local part of q (everything after the first colon).
+func (q QName) Local() string {
+	if i := strings.IndexByte(string(q), ':'); i >= 0 {
+		return string(q)[i+1:]
+	}
+	return string(q)
+}
+
+// Valid reports whether q has a non-empty prefix and local part.
+func (q QName) Valid() bool {
+	i := strings.IndexByte(string(q), ':')
+	return i > 0 && i < len(q)-1
+}
+
+func (q QName) String() string { return string(q) }
+
+// NamespaceSet maps prefixes to namespace URIs for one document.
+type NamespaceSet struct {
+	byPrefix map[string]string
+}
+
+// NewNamespaceSet returns a set pre-populated with the prov, xsd, provml
+// and yprov namespaces.
+func NewNamespaceSet() *NamespaceSet {
+	ns := &NamespaceSet{byPrefix: make(map[string]string)}
+	ns.Register("prov", NSProv)
+	ns.Register("xsd", NSXSD)
+	ns.Register("provml", NSProvML)
+	ns.Register("yprov", NSYProv)
+	ns.Register("ex", NSDefault)
+	return ns
+}
+
+// Register binds prefix to uri, replacing any previous binding.
+func (n *NamespaceSet) Register(prefix, uri string) {
+	n.byPrefix[prefix] = uri
+}
+
+// Lookup returns the URI bound to prefix.
+func (n *NamespaceSet) Lookup(prefix string) (string, bool) {
+	uri, ok := n.byPrefix[prefix]
+	return uri, ok
+}
+
+// Prefixes returns all registered prefixes in sorted order.
+func (n *NamespaceSet) Prefixes() []string {
+	out := make([]string, 0, len(n.byPrefix))
+	for p := range n.byPrefix {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Expand resolves a QName to its full URI form.
+func (n *NamespaceSet) Expand(q QName) (string, error) {
+	uri, ok := n.byPrefix[q.Prefix()]
+	if !ok {
+		return "", fmt.Errorf("prov: unknown namespace prefix %q in %q", q.Prefix(), q)
+	}
+	return uri + q.Local(), nil
+}
+
+// Clone returns a deep copy of the namespace set.
+func (n *NamespaceSet) Clone() *NamespaceSet {
+	c := &NamespaceSet{byPrefix: make(map[string]string, len(n.byPrefix))}
+	for k, v := range n.byPrefix {
+		c.byPrefix[k] = v
+	}
+	return c
+}
+
+// Merge adds all bindings from other that do not conflict; conflicting
+// bindings (same prefix, different URI) are reported as an error.
+func (n *NamespaceSet) Merge(other *NamespaceSet) error {
+	for p, uri := range other.byPrefix {
+		if existing, ok := n.byPrefix[p]; ok && existing != uri {
+			return fmt.Errorf("prov: namespace conflict for prefix %q: %q vs %q", p, existing, uri)
+		}
+		n.byPrefix[p] = uri
+	}
+	return nil
+}

@@ -1,0 +1,412 @@
+package prov
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+	"unicode"
+)
+
+// PROV-O serialization: documents render to RDF Turtle using the PROV
+// ontology terms (prov:Entity / prov:Activity / prov:Agent classes,
+// prov:used / prov:wasGeneratedBy / ... object properties, and
+// prov:qualified* reification for relations carrying timestamps). A
+// subset Turtle parser supports round-tripping documents produced by
+// WriteTurtle.
+
+// relation kind -> PROV-O property local name.
+var provOProperty = map[RelationKind]string{
+	RelUsed:             "used",
+	RelWasGeneratedBy:   "wasGeneratedBy",
+	RelWasAssociatedW:   "wasAssociatedWith",
+	RelWasAttributedTo:  "wasAttributedTo",
+	RelWasDerivedFrom:   "wasDerivedFrom",
+	RelWasInformedBy:    "wasInformedBy",
+	RelActedOnBehalfOf:  "actedOnBehalfOf",
+	RelWasStartedBy:     "wasStartedBy",
+	RelWasEndedBy:       "wasEndedBy",
+	RelHadMember:        "hadMember",
+	RelSpecializationOf: "specializationOf",
+	RelAlternateOf:      "alternateOf",
+}
+
+var provOPropertyInverse = func() map[string]RelationKind {
+	m := make(map[string]RelationKind, len(provOProperty))
+	for k, v := range provOProperty {
+		m["prov:"+v] = k
+	}
+	return m
+}()
+
+// Turtle renders the document as PROV-O Turtle.
+func (d *Document) Turtle() string {
+	var sb strings.Builder
+	for _, p := range d.Namespaces.Prefixes() {
+		uri, _ := d.Namespaces.Lookup(p)
+		fmt.Fprintf(&sb, "@prefix %s: <%s> .\n", p, uri)
+	}
+	sb.WriteByte('\n')
+
+	writeElement := func(id QName, class string, attrs Attrs, extra []string) {
+		fmt.Fprintf(&sb, "%s a prov:%s", id, class)
+		keys := attrs.SortedKeys()
+		for _, k := range keys {
+			if k == "prov:type" {
+				// prov:type maps onto an additional rdf:type-ish statement;
+				// keep it as a plain property to stay lossless.
+				fmt.Fprintf(&sb, " ;\n    prov:type %s", turtleLiteral(attrs[k]))
+				continue
+			}
+			fmt.Fprintf(&sb, " ;\n    %s %s", k, turtleLiteral(attrs[k]))
+		}
+		for _, e := range extra {
+			fmt.Fprintf(&sb, " ;\n    %s", e)
+		}
+		sb.WriteString(" .\n")
+	}
+
+	for _, id := range d.EntityIDs() {
+		writeElement(id, "Entity", d.Entities[id].Attrs, nil)
+	}
+	for _, id := range d.ActivityIDs() {
+		a := d.Activities[id]
+		var extra []string
+		if !a.StartTime.IsZero() {
+			extra = append(extra, fmt.Sprintf("prov:startedAtTime %s", turtleTime(a.StartTime)))
+		}
+		if !a.EndTime.IsZero() {
+			extra = append(extra, fmt.Sprintf("prov:endedAtTime %s", turtleTime(a.EndTime)))
+		}
+		writeElement(id, "Activity", a.Attrs, extra)
+	}
+	for _, id := range d.AgentIDs() {
+		writeElement(id, "Agent", d.Agents[id].Attrs, nil)
+	}
+	sb.WriteByte('\n')
+
+	for _, r := range d.Relations {
+		prop, ok := provOProperty[r.Kind]
+		if !ok {
+			continue
+		}
+		if r.Time.IsZero() {
+			fmt.Fprintf(&sb, "%s prov:%s %s .\n", r.Subject, prop, r.Object)
+		} else {
+			// Qualified pattern to carry the timestamp.
+			fmt.Fprintf(&sb, "%s prov:%s %s .\n", r.Subject, prop, r.Object)
+			fmt.Fprintf(&sb, "%s prov:atTime_%s_%s %s .\n", r.Subject, prop, escapeLocal(string(r.Object)), turtleTime(r.Time))
+		}
+	}
+	return sb.String()
+}
+
+func escapeLocal(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+func turtleTime(t time.Time) string {
+	return fmt.Sprintf("%q^^xsd:dateTime", t.UTC().Format(time.RFC3339Nano))
+}
+
+func turtleLiteral(v Value) string {
+	switch v.Kind() {
+	case KindString:
+		return strconv.Quote(v.AsString())
+	case KindInt:
+		return fmt.Sprintf("%q^^xsd:long", v.AsString())
+	case KindFloat:
+		return fmt.Sprintf("%q^^xsd:double", v.AsString())
+	case KindBool:
+		return fmt.Sprintf("%q^^xsd:boolean", v.AsString())
+	case KindTime:
+		return turtleTime(mustTime(v))
+	case KindRef:
+		return v.AsString()
+	}
+	return `""`
+}
+
+func mustTime(v Value) time.Time {
+	t, _ := v.AsTime()
+	return t
+}
+
+// --- subset parser ------------------------------------------------------
+
+// ParseTurtle parses Turtle produced by (*Document).Turtle. It supports
+// @prefix directives and triples with ';' continuation, quoted literals
+// with ^^ datatypes, and qname subjects/objects. It is not a general
+// Turtle parser.
+func ParseTurtle(src string) (*Document, error) {
+	d := NewDocument()
+	type pendingTime struct {
+		subject QName
+		prop    string
+		at      time.Time
+	}
+	var pendingTimes []pendingTime
+
+	lines := splitTurtleStatements(src)
+	for _, stmt := range lines {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		if strings.HasPrefix(stmt, "@prefix") {
+			var prefix, uri string
+			if _, err := fmt.Sscanf(stmt, "@prefix %s <%s", &prefix, &uri); err != nil {
+				return nil, fmt.Errorf("prov: bad @prefix: %q", stmt)
+			}
+			prefix = strings.TrimSuffix(prefix, ":")
+			uri = strings.TrimSuffix(strings.TrimSuffix(uri, "."), ">")
+			uri = strings.TrimSpace(uri)
+			d.Namespaces.Register(prefix, uri)
+			continue
+		}
+		// subject pred obj (; pred obj)*
+		parts := splitTopLevel(stmt, ';')
+		first := strings.TrimSpace(parts[0])
+		fields := splitFields(first)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("prov: bad triple %q", first)
+		}
+		subject := QName(fields[0])
+		preds := [][]string{fields[1:]}
+		for _, cont := range parts[1:] {
+			f := splitFields(strings.TrimSpace(cont))
+			if len(f) < 2 {
+				return nil, fmt.Errorf("prov: bad continuation %q", cont)
+			}
+			preds = append(preds, f)
+		}
+		for _, pv := range preds {
+			pred := pv[0]
+			objTokens := pv[1:]
+			obj := strings.Join(objTokens, " ")
+			switch {
+			case pred == "a":
+				switch obj {
+				case "prov:Entity":
+					d.AddEntity(subject, nil)
+				case "prov:Activity":
+					d.AddActivity(subject, nil)
+				case "prov:Agent":
+					d.AddAgent(subject, nil)
+				default:
+					return nil, fmt.Errorf("prov: unknown class %q", obj)
+				}
+			case pred == "prov:startedAtTime" || pred == "prov:endedAtTime":
+				t, err := parseTurtleTime(obj)
+				if err != nil {
+					return nil, err
+				}
+				a := d.AddActivity(subject, nil)
+				if pred == "prov:startedAtTime" {
+					a.StartTime = t
+				} else {
+					a.EndTime = t
+				}
+			case strings.HasPrefix(pred, "prov:atTime_"):
+				rest := strings.TrimPrefix(pred, "prov:atTime_")
+				us := strings.SplitN(rest, "_", 2)
+				t, err := parseTurtleTime(obj)
+				if err != nil {
+					return nil, err
+				}
+				pendingTimes = append(pendingTimes, pendingTime{subject: subject, prop: "prov:" + us[0], at: t})
+			default:
+				if kind, ok := provOPropertyInverse[pred]; ok {
+					d.AddRelation(Relation{Kind: kind, Subject: subject, Object: QName(obj)})
+					continue
+				}
+				// Attribute literal.
+				v, err := parseTurtleLiteral(obj)
+				if err != nil {
+					return nil, fmt.Errorf("prov: %s %s: %w", subject, pred, err)
+				}
+				switch d.NodeKind(subject) {
+				case "entity":
+					d.Entities[subject].Attrs[pred] = v
+				case "activity":
+					d.Activities[subject].Attrs[pred] = v
+				case "agent":
+					d.Agents[subject].Attrs[pred] = v
+				default:
+					return nil, fmt.Errorf("prov: attribute for undeclared node %s", subject)
+				}
+			}
+		}
+	}
+	// Attach pending relation timestamps: match by (subject, property)
+	// in declaration order.
+	for _, pt := range pendingTimes {
+		for _, r := range d.Relations {
+			if r.Subject == pt.subject && "prov:"+provOProperty[r.Kind] == pt.prop && r.Time.IsZero() {
+				r.Time = pt.at
+				break
+			}
+		}
+	}
+	return d, nil
+}
+
+// splitTurtleStatements splits on '.' terminators outside quotes.
+func splitTurtleStatements(src string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if c == '"' && (i == 0 || src[i-1] != '\\') {
+			inQuote = !inQuote
+		}
+		if c == '.' && !inQuote {
+			// Terminator only if followed by whitespace/EOL.
+			if i+1 >= len(src) || src[i+1] == '\n' || src[i+1] == ' ' || src[i+1] == '\r' {
+				out = append(out, cur.String())
+				cur.Reset()
+				continue
+			}
+		}
+		cur.WriteByte(c)
+	}
+	if strings.TrimSpace(cur.String()) != "" {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+// splitTopLevel splits on sep outside quotes.
+func splitTopLevel(s string, sep byte) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '"' && (i == 0 || s[i-1] != '\\') {
+			inQuote = !inQuote
+		}
+		if c == sep && !inQuote {
+			out = append(out, cur.String())
+			cur.Reset()
+			continue
+		}
+		cur.WriteByte(c)
+	}
+	out = append(out, cur.String())
+	return out
+}
+
+// splitFields splits on whitespace outside quotes.
+func splitFields(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '"' && (i == 0 || s[i-1] != '\\') {
+			inQuote = !inQuote
+		}
+		if (c == ' ' || c == '\t' || c == '\n') && !inQuote {
+			if cur.Len() > 0 {
+				out = append(out, cur.String())
+				cur.Reset()
+			}
+			continue
+		}
+		cur.WriteByte(c)
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+func parseTurtleTime(obj string) (time.Time, error) {
+	lit, dt, err := splitLiteral(obj)
+	if err != nil {
+		return time.Time{}, err
+	}
+	if dt != "xsd:dateTime" {
+		return time.Time{}, fmt.Errorf("prov: expected xsd:dateTime, got %q", dt)
+	}
+	return time.Parse(time.RFC3339Nano, lit)
+}
+
+func splitLiteral(obj string) (lit, datatype string, err error) {
+	if !strings.HasPrefix(obj, "\"") {
+		return "", "", fmt.Errorf("prov: not a literal: %q", obj)
+	}
+	end := -1
+	for i := 1; i < len(obj); i++ {
+		if obj[i] == '"' && obj[i-1] != '\\' {
+			end = i
+			break
+		}
+	}
+	if end < 0 {
+		return "", "", fmt.Errorf("prov: unterminated literal: %q", obj)
+	}
+	lit, err = strconv.Unquote(obj[:end+1])
+	if err != nil {
+		return "", "", fmt.Errorf("prov: bad literal %q: %v", obj, err)
+	}
+	rest := obj[end+1:]
+	if strings.HasPrefix(rest, "^^") {
+		datatype = strings.TrimSpace(rest[2:])
+	}
+	return lit, datatype, nil
+}
+
+func parseTurtleLiteral(obj string) (Value, error) {
+	if !strings.HasPrefix(obj, "\"") {
+		// Bare qname = reference.
+		return Ref(QName(obj)), nil
+	}
+	lit, dt, err := splitLiteral(obj)
+	if err != nil {
+		return Value{}, err
+	}
+	switch dt {
+	case "":
+		return Str(lit), nil
+	case "xsd:long", "xsd:int", "xsd:integer":
+		i, err := strconv.ParseInt(lit, 10, 64)
+		if err != nil {
+			return Value{}, err
+		}
+		return Int(i), nil
+	case "xsd:double", "xsd:float", "xsd:decimal":
+		if f, ok := parseSpecialFloat(lit); ok {
+			return Float(f), nil
+		}
+		f, err := strconv.ParseFloat(lit, 64)
+		if err != nil {
+			return Value{}, err
+		}
+		return Float(f), nil
+	case "xsd:boolean":
+		b, err := strconv.ParseBool(lit)
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(b), nil
+	case "xsd:dateTime":
+		t, err := time.Parse(time.RFC3339Nano, lit)
+		if err != nil {
+			return Value{}, err
+		}
+		return Time(t), nil
+	default:
+		return Str(lit), nil
+	}
+}

@@ -1,0 +1,108 @@
+package prov
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ValidationIssue describes one problem found by Validate.
+type ValidationIssue struct {
+	Severity string // "error" or "warning"
+	Message  string
+}
+
+func (v ValidationIssue) String() string {
+	return v.Severity + ": " + v.Message
+}
+
+// ErrInvalidDocument is wrapped by Validate when errors are present.
+var ErrInvalidDocument = errors.New("prov: invalid document")
+
+// expectedNodeKinds gives, per relation kind, the required node classes
+// of (subject, object). Empty string means "entity, activity or agent".
+var expectedNodeKinds = map[RelationKind][2]string{
+	RelUsed:             {"activity", "entity"},
+	RelWasGeneratedBy:   {"entity", "activity"},
+	RelWasAssociatedW:   {"activity", "agent"},
+	RelWasAttributedTo:  {"entity", "agent"},
+	RelWasDerivedFrom:   {"entity", "entity"},
+	RelWasInformedBy:    {"activity", "activity"},
+	RelActedOnBehalfOf:  {"agent", "agent"},
+	RelWasStartedBy:     {"activity", "entity"},
+	RelWasEndedBy:       {"activity", "entity"},
+	RelHadMember:        {"entity", "entity"},
+	RelSpecializationOf: {"entity", "entity"},
+	RelAlternateOf:      {"entity", "entity"},
+}
+
+// Validate checks the document for structural problems: dangling relation
+// endpoints, wrong endpoint classes, invalid qualified names, activities
+// whose end precedes their start, and unknown namespace prefixes. It
+// returns the full issue list and a non-nil error if any issue has
+// severity "error".
+func (d *Document) Validate() ([]ValidationIssue, error) {
+	var issues []ValidationIssue
+	addErr := func(format string, args ...interface{}) {
+		issues = append(issues, ValidationIssue{Severity: "error", Message: fmt.Sprintf(format, args...)})
+	}
+	addWarn := func(format string, args ...interface{}) {
+		issues = append(issues, ValidationIssue{Severity: "warning", Message: fmt.Sprintf(format, args...)})
+	}
+
+	checkQName := func(what string, q QName) {
+		if !q.Valid() {
+			addErr("%s has invalid qualified name %q", what, q)
+			return
+		}
+		if _, ok := d.Namespaces.Lookup(q.Prefix()); !ok {
+			addWarn("%s uses unregistered namespace prefix %q", what, q.Prefix())
+		}
+	}
+
+	for _, id := range d.EntityIDs() {
+		checkQName("entity", id)
+	}
+	for _, id := range d.AgentIDs() {
+		checkQName("agent", id)
+	}
+	for _, id := range d.ActivityIDs() {
+		checkQName("activity", id)
+		a := d.Activities[id]
+		if !a.StartTime.IsZero() && !a.EndTime.IsZero() && a.EndTime.Before(a.StartTime) {
+			addErr("activity %s ends (%s) before it starts (%s)", id, a.EndTime, a.StartTime)
+		}
+	}
+
+	for _, r := range d.Relations {
+		want, ok := expectedNodeKinds[r.Kind]
+		if !ok {
+			addErr("relation %s has unsupported kind %q", r.ID, r.Kind)
+			continue
+		}
+		if !d.HasNode(r.Subject) {
+			addErr("relation %s (%s) references missing subject %s", r.ID, r.Kind, r.Subject)
+		} else if got := d.NodeKind(r.Subject); want[0] != "" && got != want[0] {
+			addErr("relation %s (%s) subject %s is a %s, want %s", r.ID, r.Kind, r.Subject, got, want[0])
+		}
+		if !d.HasNode(r.Object) {
+			addErr("relation %s (%s) references missing object %s", r.ID, r.Kind, r.Object)
+		} else if got := d.NodeKind(r.Object); want[1] != "" && got != want[1] {
+			addErr("relation %s (%s) object %s is a %s, want %s", r.ID, r.Kind, r.Object, got, want[1])
+		}
+	}
+
+	for _, iss := range issues {
+		if iss.Severity == "error" {
+			return issues, fmt.Errorf("%w: %d issue(s), first: %s", ErrInvalidDocument, len(issues), issues[0].Message)
+		}
+	}
+	return issues, nil
+}
+
+// MustValidate panics when the document is invalid; intended for tests
+// and examples where an invalid document is a programming error.
+func (d *Document) MustValidate() {
+	if _, err := d.Validate(); err != nil {
+		panic(err)
+	}
+}

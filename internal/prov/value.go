@@ -1,0 +1,275 @@
+package prov
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+)
+
+// ValueKind discriminates the dynamic type held by a Value.
+type ValueKind int
+
+// Supported attribute value kinds.
+const (
+	KindString ValueKind = iota
+	KindInt
+	KindFloat
+	KindBool
+	KindTime
+	KindRef // a QName reference to another identifiable element
+)
+
+// Value is a typed PROV attribute value. Values serialize to PROV-JSON
+// either as bare JSON scalars (strings, numbers, booleans) or as
+// {"$": "...", "type": "xsd:..."} objects when the type must be preserved
+// (times, references, and non-finite floats).
+type Value struct {
+	kind ValueKind
+	s    string
+	i    int64
+	f    float64
+	b    bool
+	t    time.Time
+}
+
+// Str returns a string Value.
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// Int returns an integer Value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float returns a floating-point Value.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// Bool returns a boolean Value.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Time returns a timestamp Value (serialized as xsd:dateTime).
+func Time(t time.Time) Value { return Value{kind: KindTime, t: t.UTC()} }
+
+// Ref returns a Value referencing another element by qualified name.
+func Ref(q QName) Value { return Value{kind: KindRef, s: string(q)} }
+
+// Kind returns the value's kind.
+func (v Value) Kind() ValueKind { return v.kind }
+
+// AsString returns the value rendered as a string, whatever its kind.
+func (v Value) AsString() string {
+	switch v.kind {
+	case KindString, KindRef:
+		return v.s
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	case KindTime:
+		return v.t.Format(time.RFC3339Nano)
+	}
+	return ""
+}
+
+// AsInt returns the integer held by the value; float values are truncated.
+func (v Value) AsInt() (int64, bool) {
+	switch v.kind {
+	case KindInt:
+		return v.i, true
+	case KindFloat:
+		return int64(v.f), true
+	}
+	return 0, false
+}
+
+// AsFloat returns the numeric content of the value.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.kind {
+	case KindFloat:
+		return v.f, true
+	case KindInt:
+		return float64(v.i), true
+	}
+	return 0, false
+}
+
+// AsBool returns the boolean held by the value.
+func (v Value) AsBool() (bool, bool) {
+	if v.kind == KindBool {
+		return v.b, true
+	}
+	return false, false
+}
+
+// AsTime returns the timestamp held by the value.
+func (v Value) AsTime() (time.Time, bool) {
+	if v.kind == KindTime {
+		return v.t, true
+	}
+	return time.Time{}, false
+}
+
+// AsRef returns the QName reference held by the value.
+func (v Value) AsRef() (QName, bool) {
+	if v.kind == KindRef {
+		return QName(v.s), true
+	}
+	return "", false
+}
+
+// Equal reports deep equality of two values.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindString, KindRef:
+		return v.s == o.s
+	case KindInt:
+		return v.i == o.i
+	case KindFloat:
+		return v.f == o.f || (math.IsNaN(v.f) && math.IsNaN(o.f))
+	case KindBool:
+		return v.b == o.b
+	case KindTime:
+		return v.t.Equal(o.t)
+	}
+	return false
+}
+
+// typedJSON is the PROV-JSON {"$": ..., "type": ...} representation.
+type typedJSON struct {
+	Dollar string `json:"$"`
+	Type   string `json:"type"`
+}
+
+// MarshalJSON renders the value in PROV-JSON attribute form.
+func (v Value) MarshalJSON() ([]byte, error) {
+	switch v.kind {
+	case KindString:
+		return json.Marshal(v.s)
+	case KindInt:
+		return json.Marshal(typedJSON{Dollar: strconv.FormatInt(v.i, 10), Type: "xsd:long"})
+	case KindFloat:
+		if math.IsInf(v.f, 0) || math.IsNaN(v.f) {
+			return json.Marshal(typedJSON{Dollar: formatSpecialFloat(v.f), Type: "xsd:double"})
+		}
+		return json.Marshal(typedJSON{Dollar: strconv.FormatFloat(v.f, 'g', -1, 64), Type: "xsd:double"})
+	case KindBool:
+		return json.Marshal(v.b)
+	case KindTime:
+		return json.Marshal(typedJSON{Dollar: v.t.Format(time.RFC3339Nano), Type: "xsd:dateTime"})
+	case KindRef:
+		return json.Marshal(typedJSON{Dollar: v.s, Type: "prov:QUALIFIED_NAME"})
+	}
+	return nil, fmt.Errorf("prov: cannot marshal value of kind %d", v.kind)
+}
+
+func formatSpecialFloat(f float64) string {
+	switch {
+	case math.IsNaN(f):
+		return "NaN"
+	case math.IsInf(f, 1):
+		return "INF"
+	default:
+		return "-INF"
+	}
+}
+
+func parseSpecialFloat(s string) (float64, bool) {
+	switch s {
+	case "NaN":
+		return math.NaN(), true
+	case "INF", "+INF":
+		return math.Inf(1), true
+	case "-INF":
+		return math.Inf(-1), true
+	}
+	return 0, false
+}
+
+// UnmarshalJSON parses either a bare JSON scalar or a typed
+// {"$": ..., "type": ...} object.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	var raw interface{}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	if err := dec.Decode(&raw); err != nil {
+		return err
+	}
+	return v.fromInterface(raw)
+}
+
+func (v *Value) fromInterface(raw interface{}) error {
+	switch x := raw.(type) {
+	case string:
+		*v = Str(x)
+		return nil
+	case bool:
+		*v = Bool(x)
+		return nil
+	case json.Number:
+		if i, err := x.Int64(); err == nil {
+			*v = Int(i)
+			return nil
+		}
+		f, err := x.Float64()
+		if err != nil {
+			return fmt.Errorf("prov: bad number %q: %v", x.String(), err)
+		}
+		*v = Float(f)
+		return nil
+	case float64:
+		*v = Float(x)
+		return nil
+	case map[string]interface{}:
+		dollar, _ := x["$"].(string)
+		typ, _ := x["type"].(string)
+		return v.fromTyped(dollar, typ)
+	}
+	return fmt.Errorf("prov: unsupported attribute value %T", raw)
+}
+
+func (v *Value) fromTyped(dollar, typ string) error {
+	switch typ {
+	case "xsd:long", "xsd:int", "xsd:integer", "xsd:short", "xsd:byte":
+		i, err := strconv.ParseInt(dollar, 10, 64)
+		if err != nil {
+			return fmt.Errorf("prov: bad %s %q: %v", typ, dollar, err)
+		}
+		*v = Int(i)
+	case "xsd:double", "xsd:float", "xsd:decimal":
+		if f, ok := parseSpecialFloat(dollar); ok {
+			*v = Float(f)
+			return nil
+		}
+		f, err := strconv.ParseFloat(dollar, 64)
+		if err != nil {
+			return fmt.Errorf("prov: bad %s %q: %v", typ, dollar, err)
+		}
+		*v = Float(f)
+	case "xsd:boolean":
+		b, err := strconv.ParseBool(dollar)
+		if err != nil {
+			return fmt.Errorf("prov: bad xsd:boolean %q: %v", dollar, err)
+		}
+		*v = Bool(b)
+	case "xsd:dateTime":
+		t, err := time.Parse(time.RFC3339Nano, dollar)
+		if err != nil {
+			return fmt.Errorf("prov: bad xsd:dateTime %q: %v", dollar, err)
+		}
+		*v = Time(t)
+	case "prov:QUALIFIED_NAME", "xsd:QName":
+		*v = Ref(QName(dollar))
+	case "", "xsd:string":
+		*v = Str(dollar)
+	default:
+		// Unknown type: preserve the literal as a string so round-trips
+		// do not lose data.
+		*v = Str(dollar)
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+// Package provclient is the Go client for the yProv service API.
+package provclient
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"repro/internal/prov"
+	"repro/internal/provstore"
+)
+
+// Client talks to a provservice endpoint.
+type Client struct {
+	BaseURL string
+	Token   string
+	HTTP    *http.Client
+}
+
+// New builds a client for the base URL (e.g. "http://localhost:3000").
+func New(baseURL string) *Client {
+	return &Client{
+		BaseURL: baseURL,
+		HTTP:    &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+func (c *Client) do(method, path string, body []byte) ([]byte, int, error) {
+	var rdr io.Reader
+	if body != nil {
+		rdr = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, rdr)
+	if err != nil {
+		return nil, 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, resp.StatusCode, err
+	}
+	return payload, resp.StatusCode, nil
+}
+
+// apiError extracts the error envelope from a non-2xx response.
+func apiError(payload []byte, status int) error {
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(payload, &eb); err == nil && eb.Error != "" {
+		return fmt.Errorf("provclient: HTTP %d: %s", status, eb.Error)
+	}
+	return fmt.Errorf("provclient: HTTP %d", status)
+}
+
+// Health checks the service.
+func (c *Client) Health() error {
+	payload, status, err := c.do(http.MethodGet, "/api/v0/health", nil)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return apiError(payload, status)
+	}
+	return nil
+}
+
+// Upload stores a document under id.
+func (c *Client) Upload(id string, doc *prov.Document) error {
+	body, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	payload, status, err := c.do(http.MethodPut, "/api/v0/documents/"+url.PathEscape(id), body)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusCreated {
+		return apiError(payload, status)
+	}
+	return nil
+}
+
+// UploadRaw stores raw PROV-JSON bytes under id.
+func (c *Client) UploadRaw(id string, provJSON []byte) error {
+	payload, status, err := c.do(http.MethodPut, "/api/v0/documents/"+url.PathEscape(id), provJSON)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusCreated {
+		return apiError(payload, status)
+	}
+	return nil
+}
+
+// List returns all stored document ids.
+func (c *Client) List() ([]string, error) {
+	payload, status, err := c.do(http.MethodGet, "/api/v0/documents", nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, apiError(payload, status)
+	}
+	var out struct {
+		Documents []string `json:"documents"`
+	}
+	if err := json.Unmarshal(payload, &out); err != nil {
+		return nil, err
+	}
+	return out.Documents, nil
+}
+
+// Get fetches a document.
+func (c *Client) Get(id string) (*prov.Document, error) {
+	payload, status, err := c.do(http.MethodGet, "/api/v0/documents/"+url.PathEscape(id), nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, apiError(payload, status)
+	}
+	return prov.ParseJSON(payload)
+}
+
+// Delete removes a document.
+func (c *Client) Delete(id string) error {
+	payload, status, err := c.do(http.MethodDelete, "/api/v0/documents/"+url.PathEscape(id), nil)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return apiError(payload, status)
+	}
+	return nil
+}
+
+// Lineage queries ancestors/descendants of a node.
+func (c *Client) Lineage(id string, node prov.QName, dir provstore.LineageDirection, depth int) ([]prov.QName, error) {
+	q := url.Values{}
+	q.Set("node", string(node))
+	q.Set("direction", string(dir))
+	if depth > 0 {
+		q.Set("depth", strconv.Itoa(depth))
+	}
+	payload, status, err := c.do(http.MethodGet,
+		"/api/v0/documents/"+url.PathEscape(id)+"/lineage?"+q.Encode(), nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, apiError(payload, status)
+	}
+	var out struct {
+		Nodes []prov.QName `json:"nodes"`
+	}
+	if err := json.Unmarshal(payload, &out); err != nil {
+		return nil, err
+	}
+	return out.Nodes, nil
+}
+
+// Subgraph fetches the neighborhood of a node as a document.
+func (c *Client) Subgraph(id string, node prov.QName, hops int) (*prov.Document, error) {
+	q := url.Values{}
+	q.Set("node", string(node))
+	q.Set("hops", strconv.Itoa(hops))
+	payload, status, err := c.do(http.MethodGet,
+		"/api/v0/documents/"+url.PathEscape(id)+"/subgraph?"+q.Encode(), nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, apiError(payload, status)
+	}
+	return prov.ParseJSON(payload)
+}
+
+// CrossLineage queries lineage across every stored document.
+func (c *Client) CrossLineage(node prov.QName, dir provstore.LineageDirection, depth int) ([]provstore.CrossNode, error) {
+	q := url.Values{}
+	q.Set("node", string(node))
+	q.Set("direction", string(dir))
+	if depth > 0 {
+		q.Set("depth", strconv.Itoa(depth))
+	}
+	payload, status, err := c.do(http.MethodGet, "/api/v0/lineage?"+q.Encode(), nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, apiError(payload, status)
+	}
+	var out struct {
+		Nodes []provstore.CrossNode `json:"nodes"`
+	}
+	if err := json.Unmarshal(payload, &out); err != nil {
+		return nil, err
+	}
+	return out.Nodes, nil
+}
+
+// SearchByType finds elements by prov:type across all documents.
+func (c *Client) SearchByType(typeName string) ([]provstore.SearchResult, error) {
+	q := url.Values{}
+	q.Set("type", typeName)
+	payload, status, err := c.do(http.MethodGet, "/api/v0/search?"+q.Encode(), nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, apiError(payload, status)
+	}
+	var out struct {
+		Results []provstore.SearchResult `json:"results"`
+	}
+	if err := json.Unmarshal(payload, &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+// Stats fetches store statistics.
+func (c *Client) Stats() (provstore.Stats, error) {
+	payload, status, err := c.do(http.MethodGet, "/api/v0/stats", nil)
+	if err != nil {
+		return provstore.Stats{}, err
+	}
+	if status != http.StatusOK {
+		return provstore.Stats{}, apiError(payload, status)
+	}
+	var out provstore.Stats
+	if err := json.Unmarshal(payload, &out); err != nil {
+		return provstore.Stats{}, err
+	}
+	return out, nil
+}

@@ -1,0 +1,138 @@
+package provclient
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/prov"
+	"repro/internal/provservice"
+	"repro/internal/provstore"
+)
+
+// misbehaving server: wrong status codes and non-JSON bodies.
+func badServer(t *testing.T, status int, body string) *Client {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(status)
+		_, _ = w.Write([]byte(body))
+	}))
+	t.Cleanup(srv.Close)
+	return New(srv.URL)
+}
+
+func TestClientSurfacesAPIErrors(t *testing.T) {
+	c := badServer(t, http.StatusTeapot, `{"error": "I'm a teapot"}`)
+	if err := c.Health(); err == nil || !contains(err.Error(), "teapot") {
+		t.Errorf("health err = %v", err)
+	}
+	if _, err := c.List(); err == nil {
+		t.Error("list should fail")
+	}
+	if _, err := c.Get("x"); err == nil {
+		t.Error("get should fail")
+	}
+	if err := c.Delete("x"); err == nil {
+		t.Error("delete should fail")
+	}
+	if _, err := c.Lineage("x", "ex:n", provstore.Ancestors, 1); err == nil {
+		t.Error("lineage should fail")
+	}
+	if _, err := c.Stats(); err == nil {
+		t.Error("stats should fail")
+	}
+	if err := c.Upload("x", prov.NewDocument()); err == nil {
+		t.Error("upload should fail")
+	}
+}
+
+func TestClientNonJSONErrorBody(t *testing.T) {
+	c := badServer(t, http.StatusInternalServerError, "<html>boom</html>")
+	err := c.Health()
+	if err == nil || !contains(err.Error(), "500") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestClientGarbageSuccessBody(t *testing.T) {
+	c := badServer(t, http.StatusOK, "not json at all")
+	if _, err := c.List(); err == nil {
+		t.Error("garbage list body must fail to decode")
+	}
+	if _, err := c.Get("x"); err == nil {
+		t.Error("garbage document must fail to parse")
+	}
+}
+
+func TestClientConnectionRefused(t *testing.T) {
+	c := New("http://127.0.0.1:1") // nothing listens there
+	if err := c.Health(); err == nil {
+		t.Error("unreachable server must error")
+	}
+}
+
+// TestClientHappyPaths exercises every client call against a real
+// service instance.
+func TestClientHappyPaths(t *testing.T) {
+	srv := httptest.NewServer(provservice.New(provstore.New()))
+	defer srv.Close()
+	c := New(srv.URL)
+
+	if err := c.Health(); err != nil {
+		t.Fatal(err)
+	}
+	doc := prov.NewDocument()
+	doc.AddEntity("ex:data", prov.Attrs{"prov:type": prov.Str("provml:Dataset")})
+	doc.AddEntity("ex:model", nil)
+	doc.AddActivity("ex:run", nil)
+	doc.Used("ex:run", "ex:data", time.Time{})
+	doc.WasGeneratedBy("ex:model", "ex:run", time.Time{})
+
+	if err := c.Upload("d1", doc); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := c.List()
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("list = %v %v", ids, err)
+	}
+	back, err := c.Get("d1")
+	if err != nil || !back.Equal(doc) {
+		t.Fatalf("get: %v", err)
+	}
+	anc, err := c.Lineage("d1", "ex:model", provstore.Ancestors, 0)
+	if err != nil || len(anc) != 2 {
+		t.Fatalf("lineage = %v %v", anc, err)
+	}
+	sub, err := c.Subgraph("d1", "ex:run", 1)
+	if err != nil || sub.Stats().Entities != 2 {
+		t.Fatalf("subgraph: %v %v", sub, err)
+	}
+	hits, err := c.SearchByType("provml:Dataset")
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("search = %v %v", hits, err)
+	}
+	cross, err := c.CrossLineage("ex:data", provstore.Descendants, 0)
+	if err != nil || len(cross) != 2 {
+		t.Fatalf("cross lineage = %v %v", cross, err)
+	}
+	st, err := c.Stats()
+	if err != nil || st.Documents != 1 {
+		t.Fatalf("stats = %+v %v", st, err)
+	}
+	if err := c.Delete("d1"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.List(); len(got) != 0 {
+		t.Errorf("list after delete = %v", got)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,84 @@
+package provgraph
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/prov"
+)
+
+func sample() *prov.Document {
+	d := prov.NewDocument()
+	d.AddEntity("ex:data", prov.Attrs{"prov:type": prov.Str("provml:Dataset")})
+	d.AddEntity("ex:model", prov.Attrs{"prov:type": prov.Str("provml:Model")})
+	d.AddActivity("ex:run", prov.Attrs{"prov:type": prov.Str("provml:RunExecution")})
+	d.AddAgent("ex:alice", nil)
+	d.Used("ex:run", "ex:data", time.Time{})
+	d.WasGeneratedBy("ex:model", "ex:run", time.Time{})
+	d.WasAssociatedWith("ex:run", "ex:alice")
+	return d
+}
+
+func TestDOT(t *testing.T) {
+	out := DOT(sample())
+	for _, want := range []string{
+		"digraph provenance",
+		`"ex:data" [shape=ellipse`,
+		`"ex:run" [shape=box`,
+		`"ex:alice" [shape=house`,
+		`"ex:run" -> "ex:data" [label="used"`,
+		`"ex:model" -> "ex:run" [label="wasGeneratedBy"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestDOTDeterministic(t *testing.T) {
+	if DOT(sample()) != DOT(sample()) {
+		t.Error("DOT output must be deterministic")
+	}
+}
+
+func TestASCII(t *testing.T) {
+	out := ASCII(sample(), "ex:model", 0)
+	if !strings.Contains(out, "ex:model (entity)") {
+		t.Errorf("missing root: %s", out)
+	}
+	if !strings.Contains(out, "wasGeneratedBy]→ ex:run") {
+		t.Errorf("missing generation edge: %s", out)
+	}
+	if !strings.Contains(out, "used]→ ex:data") {
+		t.Errorf("missing used edge: %s", out)
+	}
+}
+
+func TestASCIICycleSafe(t *testing.T) {
+	d := prov.NewDocument()
+	d.AddEntity("ex:a", nil)
+	d.AddEntity("ex:b", nil)
+	d.WasDerivedFrom("ex:a", "ex:b")
+	d.WasDerivedFrom("ex:b", "ex:a")
+	out := ASCII(d, "ex:a", 0)
+	if !strings.Contains(out, "...") {
+		t.Errorf("cycle marker missing:\n%s", out)
+	}
+}
+
+func TestASCIIDepthLimit(t *testing.T) {
+	out := ASCII(sample(), "ex:model", 1)
+	if strings.Contains(out, "ex:data") {
+		t.Errorf("depth 1 should not reach ex:data:\n%s", out)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := Summary(sample())
+	for _, want := range []string{"entities=2", "activities=1", "agents=1", "used=1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q: %s", want, s)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package provservice
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/prov"
+	"repro/internal/provstore"
+)
+
+func TestCrossLineageEndpoint(t *testing.T) {
+	_, c := newTestServer(t)
+	// Two documents sharing the dataset entity.
+	for i, run := range []string{"a", "b"} {
+		d := prov.NewDocument()
+		d.AddEntity("ex:dataset", nil)
+		act := prov.NewQName("ex", "run_"+run)
+		d.AddActivity(act, nil)
+		model := prov.NewQName("ex", "model_"+run)
+		d.AddEntity(model, nil)
+		d.Used(act, "ex:dataset", time.Unix(int64(i), 0))
+		d.WasGeneratedBy(model, act, time.Unix(int64(i+10), 0))
+		if err := c.Upload("doc_"+run, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nodes, err := c.CrossLineage("ex:dataset", provstore.Descendants, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 4 { // run_a, run_b, model_a, model_b
+		t.Fatalf("nodes = %v", nodes)
+	}
+	for _, n := range nodes {
+		if len(n.Docs) == 0 {
+			t.Errorf("node %s has no doc attribution", n.Node)
+		}
+	}
+	if _, err := c.CrossLineage("ex:ghost", provstore.Ancestors, 0); err == nil {
+		t.Error("unknown node must 404")
+	}
+}

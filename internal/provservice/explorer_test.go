@@ -1,0 +1,70 @@
+package provservice
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/provstore"
+)
+
+func TestExplorerIndex(t *testing.T) {
+	store := provstore.New()
+	if err := store.Put("doc-a", testDoc()); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(store))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/explorer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(string(body), "doc-a") {
+		t.Errorf("index missing document link:\n%s", body)
+	}
+}
+
+func TestExplorerDocument(t *testing.T) {
+	store := provstore.New()
+	if err := store.Put("doc-a", testDoc()); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(store))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/explorer/doc-a?node=ex:model&depth=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{"entities=2", "ex:model", "digraph provenance"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("explorer page missing %q", want)
+		}
+	}
+}
+
+func TestExplorerMissingDoc(t *testing.T) {
+	srv := httptest.NewServer(New(provstore.New()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/explorer/ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,310 @@
+// Package provservice exposes the provstore over the yProv RESTful API:
+//
+//	GET    /api/v0/documents                 list document ids
+//	PUT    /api/v0/documents/{id}            upload a PROV-JSON document
+//	GET    /api/v0/documents/{id}            fetch a document
+//	DELETE /api/v0/documents/{id}            delete a document
+//	GET    /api/v0/documents/{id}/lineage    ?node=ex:x&direction=ancestors&depth=3
+//	GET    /api/v0/documents/{id}/subgraph   ?node=ex:x&hops=2
+//	GET    /api/v0/search                    ?type=provml:Model | ?key=provml:name&value=x
+//	GET    /api/v0/stats                     store statistics
+//
+// All responses are JSON. When a bearer token is configured, mutating
+// requests must carry "Authorization: Bearer <token>".
+package provservice
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/prov"
+	"repro/internal/provstore"
+)
+
+// Service is the HTTP front-end over a document store.
+type Service struct {
+	store *provstore.Store
+	token string
+	mux   *http.ServeMux
+	// MaxBodyBytes bounds uploaded document size (default 64 MiB).
+	MaxBodyBytes int64
+}
+
+// Option configures the service.
+type Option func(*Service)
+
+// WithToken requires the bearer token on mutating requests.
+func WithToken(token string) Option {
+	return func(s *Service) { s.token = token }
+}
+
+// New builds a service over the given store.
+func New(store *provstore.Store, opts ...Option) *Service {
+	s := &Service{store: store, MaxBodyBytes: 64 << 20}
+	for _, o := range opts {
+		o(s)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/v0/documents", s.handleDocuments)
+	mux.HandleFunc("/api/v0/documents/", s.handleDocument)
+	mux.HandleFunc("/api/v0/search", s.handleSearch)
+	mux.HandleFunc("/api/v0/lineage", s.handleCrossLineage)
+	mux.HandleFunc("/api/v0/stats", s.handleStats)
+	mux.HandleFunc("/api/v0/health", s.handleHealth)
+	mux.HandleFunc("/explorer", s.handleExplorerIndex)
+	mux.HandleFunc("/explorer/", s.handleExplorerDoc)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// authorized checks the bearer token for mutating requests.
+func (s *Service) authorized(r *http.Request) bool {
+	if s.token == "" {
+		return true
+	}
+	h := r.Header.Get("Authorization")
+	return strings.TrimPrefix(h, "Bearer ") == s.token
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Service) handleDocuments(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "use GET to list, PUT /api/v0/documents/{id} to upload")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"documents": s.store.List()})
+}
+
+// splitDocPath parses /api/v0/documents/{id}[/{verb}] .
+func splitDocPath(path string) (id, verb string) {
+	rest := strings.TrimPrefix(path, "/api/v0/documents/")
+	parts := strings.SplitN(rest, "/", 2)
+	id = parts[0]
+	if len(parts) == 2 {
+		verb = parts[1]
+	}
+	return id, verb
+}
+
+func (s *Service) handleDocument(w http.ResponseWriter, r *http.Request) {
+	id, verb := splitDocPath(r.URL.Path)
+	if id == "" {
+		writeErr(w, http.StatusBadRequest, "missing document id")
+		return
+	}
+	switch verb {
+	case "":
+		s.handleDocumentCRUD(w, r, id)
+	case "lineage":
+		s.handleLineage(w, r, id)
+	case "subgraph":
+		s.handleSubgraph(w, r, id)
+	default:
+		writeErr(w, http.StatusNotFound, "unknown endpoint %q", verb)
+	}
+}
+
+func (s *Service) handleDocumentCRUD(w http.ResponseWriter, r *http.Request, id string) {
+	switch r.Method {
+	case http.MethodGet:
+		doc, ok := s.store.Get(id)
+		if !ok {
+			writeErr(w, http.StatusNotFound, "document %q does not exist", id)
+			return
+		}
+		payload, err := doc.MarshalIndent()
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "marshal: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(payload)
+	case http.MethodPut, http.MethodPost:
+		if !s.authorized(r) {
+			writeErr(w, http.StatusUnauthorized, "missing or bad bearer token")
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, s.MaxBodyBytes+1))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "read body: %v", err)
+			return
+		}
+		if int64(len(body)) > s.MaxBodyBytes {
+			writeErr(w, http.StatusRequestEntityTooLarge, "document exceeds %d bytes", s.MaxBodyBytes)
+			return
+		}
+		doc, err := prov.ParseJSON(body)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid PROV-JSON: %v", err)
+			return
+		}
+		if err := s.store.Put(id, doc); err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]interface{}{"id": id, "stats": doc.Stats()})
+	case http.MethodDelete:
+		if !s.authorized(r) {
+			writeErr(w, http.StatusUnauthorized, "missing or bad bearer token")
+			return
+		}
+		if err := s.store.Delete(id); err != nil {
+			writeErr(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "unsupported method %s", r.Method)
+	}
+}
+
+func (s *Service) handleLineage(w http.ResponseWriter, r *http.Request, id string) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "lineage is GET-only")
+		return
+	}
+	node := r.URL.Query().Get("node")
+	if node == "" {
+		writeErr(w, http.StatusBadRequest, "missing ?node=")
+		return
+	}
+	dir := provstore.LineageDirection(r.URL.Query().Get("direction"))
+	if dir == "" {
+		dir = provstore.Ancestors
+	}
+	depth := 0
+	if ds := r.URL.Query().Get("depth"); ds != "" {
+		var err error
+		depth, err = strconv.Atoi(ds)
+		if err != nil || depth < 0 {
+			writeErr(w, http.StatusBadRequest, "bad depth %q", ds)
+			return
+		}
+	}
+	nodes, err := s.store.Lineage(id, prov.QName(node), dir, depth)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"document": id, "node": node, "direction": dir, "depth": depth, "nodes": nodes,
+	})
+}
+
+func (s *Service) handleSubgraph(w http.ResponseWriter, r *http.Request, id string) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "subgraph is GET-only")
+		return
+	}
+	node := r.URL.Query().Get("node")
+	if node == "" {
+		writeErr(w, http.StatusBadRequest, "missing ?node=")
+		return
+	}
+	hops := 1
+	if hs := r.URL.Query().Get("hops"); hs != "" {
+		var err error
+		hops, err = strconv.Atoi(hs)
+		if err != nil || hops < 0 {
+			writeErr(w, http.StatusBadRequest, "bad hops %q", hs)
+			return
+		}
+	}
+	sub, err := s.store.Subgraph(id, prov.QName(node), hops)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	payload, err := sub.MarshalIndent()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "marshal: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(payload)
+}
+
+func (s *Service) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "search is GET-only")
+		return
+	}
+	q := r.URL.Query()
+	var hits []provstore.SearchResult
+	switch {
+	case q.Get("type") != "":
+		hits = s.store.FindByType(q.Get("type"))
+	case q.Get("key") != "" && q.Get("value") != "":
+		hits = s.store.FindByAttr(q.Get("key"), q.Get("value"))
+	default:
+		writeErr(w, http.StatusBadRequest, "need ?type= or ?key=&value=")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"results": hits})
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.Stats())
+}
+
+// handleCrossLineage is the store-wide lineage endpoint:
+// GET /api/v0/lineage?node=ex:x&direction=descendants&depth=3
+func (s *Service) handleCrossLineage(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "lineage is GET-only")
+		return
+	}
+	node := r.URL.Query().Get("node")
+	if node == "" {
+		writeErr(w, http.StatusBadRequest, "missing ?node=")
+		return
+	}
+	dir := provstore.LineageDirection(r.URL.Query().Get("direction"))
+	if dir == "" {
+		dir = provstore.Ancestors
+	}
+	depth := 0
+	if ds := r.URL.Query().Get("depth"); ds != "" {
+		var err error
+		depth, err = strconv.Atoi(ds)
+		if err != nil || depth < 0 {
+			writeErr(w, http.StatusBadRequest, "bad depth %q", ds)
+			return
+		}
+	}
+	nodes, err := s.store.CrossDocLineage(prov.QName(node), dir, depth)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"node": node, "direction": dir, "depth": depth, "nodes": nodes,
+	})
+}

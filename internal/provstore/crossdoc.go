@@ -1,0 +1,145 @@
+package provstore
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/prov"
+)
+
+// Cross-document lineage: documents uploaded separately often share
+// qualified names (the experiment entity across its runs, a dataset
+// used by many pipelines, a run document paired from a workflow). The
+// union traversal below follows relation edges across *all* stored
+// documents, keyed by qualified name — the store-level counterpart of
+// the paper's multi-level provenance exploration.
+
+// CrossNode is one node of a cross-document traversal result.
+type CrossNode struct {
+	Node prov.QName
+	// Docs lists every document mentioning the node, sorted.
+	Docs []string
+}
+
+// CrossDocLineage returns all nodes reachable from start across every
+// stored document, following edges toward origins (Ancestors) or away
+// from them (Descendants), within depth hops (<= 0 unbounded).
+func (s *Store) CrossDocLineage(start prov.QName, dir LineageDirection, depth int) ([]CrossNode, error) {
+	if dir != Ancestors && dir != Descendants {
+		return nil, fmt.Errorf("provstore: bad lineage direction %q", dir)
+	}
+	s.mu.RLock()
+	// Union adjacency over qualified names + node->docs index.
+	adj := map[prov.QName][]prov.QName{}
+	docsOf := map[prov.QName]map[string]bool{}
+	seenStart := false
+	for id, doc := range s.docs {
+		record := func(q prov.QName) {
+			if docsOf[q] == nil {
+				docsOf[q] = map[string]bool{}
+			}
+			docsOf[q][id] = true
+			if q == start {
+				seenStart = true
+			}
+		}
+		for _, q := range doc.EntityIDs() {
+			record(q)
+		}
+		for _, q := range doc.ActivityIDs() {
+			record(q)
+		}
+		for _, q := range doc.AgentIDs() {
+			record(q)
+		}
+		for _, r := range doc.Relations {
+			from, to := r.Subject, r.Object
+			if dir == Descendants {
+				from, to = to, from
+			}
+			adj[from] = append(adj[from], to)
+		}
+	}
+	s.mu.RUnlock()
+
+	if !seenStart {
+		return nil, fmt.Errorf("provstore: node %s not found in any document", start)
+	}
+
+	type qe struct {
+		q prov.QName
+		d int
+	}
+	visited := map[prov.QName]bool{start: true}
+	queue := []qe{{start, 0}}
+	var reach []prov.QName
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if depth > 0 && cur.d >= depth {
+			continue
+		}
+		next := append([]prov.QName(nil), adj[cur.q]...)
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		for _, n := range next {
+			if visited[n] {
+				continue
+			}
+			visited[n] = true
+			reach = append(reach, n)
+			queue = append(queue, qe{n, cur.d + 1})
+		}
+	}
+	sort.Slice(reach, func(i, j int) bool { return reach[i] < reach[j] })
+
+	out := make([]CrossNode, 0, len(reach))
+	for _, q := range reach {
+		var docs []string
+		for d := range docsOf[q] {
+			docs = append(docs, d)
+		}
+		sort.Strings(docs)
+		out = append(out, CrossNode{Node: q, Docs: docs})
+	}
+	return out, nil
+}
+
+// SharedNodes lists qualified names that appear in more than one
+// document — the junction points cross-document traversal pivots on.
+func (s *Store) SharedNodes() []CrossNode {
+	s.mu.RLock()
+	docsOf := map[prov.QName]map[string]bool{}
+	for id, doc := range s.docs {
+		add := func(q prov.QName) {
+			if docsOf[q] == nil {
+				docsOf[q] = map[string]bool{}
+			}
+			docsOf[q][id] = true
+		}
+		for _, q := range doc.EntityIDs() {
+			add(q)
+		}
+		for _, q := range doc.ActivityIDs() {
+			add(q)
+		}
+		for _, q := range doc.AgentIDs() {
+			add(q)
+		}
+	}
+	s.mu.RUnlock()
+
+	var out []CrossNode
+	for q, docs := range docsOf {
+		if len(docs) < 2 {
+			continue
+		}
+		var ids []string
+		for d := range docs {
+			ids = append(ids, d)
+		}
+		sort.Strings(ids)
+		out = append(out, CrossNode{Node: q, Docs: ids})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}

@@ -1,0 +1,100 @@
+package provstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/prov"
+)
+
+// Persistence: the real yProv service sits on a durable Neo4j instance;
+// this store persists by writing each document as PROV-JSON under a
+// data directory and rebuilding the graph projection on load.
+
+// SaveTo writes every stored document as <id>.json under dir.
+func (s *Store) SaveTo(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("provstore: save: %w", err)
+	}
+	for _, id := range s.List() {
+		doc, ok := s.Get(id)
+		if !ok {
+			continue
+		}
+		payload, err := doc.MarshalIndent()
+		if err != nil {
+			return fmt.Errorf("provstore: save %q: %w", id, err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, encodeID(id)+".json"), payload, 0o644); err != nil {
+			return fmt.Errorf("provstore: save %q: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// LoadFrom reads every *.json document under dir into the store,
+// replacing documents with the same id. Returns the loaded ids.
+func (s *Store) LoadFrom(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("provstore: load: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return ids, fmt.Errorf("provstore: load %q: %w", e.Name(), err)
+		}
+		doc, err := prov.ParseJSON(raw)
+		if err != nil {
+			return ids, fmt.Errorf("provstore: load %q: %w", e.Name(), err)
+		}
+		id := decodeID(strings.TrimSuffix(e.Name(), ".json"))
+		if err := s.Put(id, doc); err != nil {
+			return ids, fmt.Errorf("provstore: load %q: %w", e.Name(), err)
+		}
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// encodeID makes a document id filesystem-safe ('%' escapes).
+func encodeID(id string) string {
+	var sb strings.Builder
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-', r == '.':
+			sb.WriteRune(r)
+		default:
+			fmt.Fprintf(&sb, "%%%04X", r)
+		}
+	}
+	return sb.String()
+}
+
+func decodeID(name string) string {
+	var sb strings.Builder
+	for i := 0; i < len(name); {
+		if name[i] == '%' && i+5 <= len(name) {
+			var r rune
+			if _, err := fmt.Sscanf(name[i+1:i+5], "%04X", &r); err == nil {
+				sb.WriteRune(r)
+				i += 5
+				continue
+			}
+		}
+		sb.WriteByte(name[i])
+		i++
+	}
+	return sb.String()
+}

@@ -1,0 +1,70 @@
+package provstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := New()
+	if err := s.Put("run one", trainingDoc()); err != nil { // id with a space
+		t.Fatal(err)
+	}
+	if err := s.Put("run-two", trainingDoc()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveTo(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := New()
+	ids, err := fresh.LoadFrom(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("loaded ids = %v", ids)
+	}
+	got, ok := fresh.Get("run one")
+	if !ok {
+		t.Fatal("escaped id lost on load")
+	}
+	orig, _ := s.Get("run one")
+	if !got.Equal(orig) {
+		t.Error("document changed through persistence")
+	}
+	// Graph projection rebuilt: lineage works after load.
+	anc, err := fresh.Lineage("run-two", "ex:model", Ancestors, 0)
+	if err != nil || len(anc) == 0 {
+		t.Fatalf("lineage after load: %v %v", anc, err)
+	}
+}
+
+func TestLoadFromMissingDir(t *testing.T) {
+	s := New()
+	ids, err := s.LoadFrom(filepath.Join(t.TempDir(), "nope"))
+	if err != nil || ids != nil {
+		t.Fatalf("missing dir should be a clean no-op: %v %v", ids, err)
+	}
+}
+
+func TestLoadSkipsGarbageGracefully(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.json"), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := New()
+	if _, err := s.LoadFrom(dir); err == nil {
+		t.Fatal("corrupt document must surface an error")
+	}
+}
+
+func TestEncodeDecodeID(t *testing.T) {
+	for _, id := range []string{"plain", "has space", "x/y:z", "ünïcode", "trailing%"} {
+		if got := decodeID(encodeID(id)); got != id {
+			t.Errorf("id %q round-tripped to %q (encoded %q)", id, got, encodeID(id))
+		}
+	}
+}

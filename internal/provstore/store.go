@@ -1,0 +1,326 @@
+// Package provstore persists PROV documents into the graphdb property
+// graph, mirroring the yProv service architecture (web front-end, graph
+// database back-end). Each document's elements become labeled nodes and
+// its relations become typed relationships, enabling multi-level lineage
+// queries across uploaded documents.
+package provstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/graphdb"
+	"repro/internal/prov"
+)
+
+// Store is a document store over a property graph.
+type Store struct {
+	mu    sync.RWMutex
+	g     *graphdb.Graph
+	docs  map[string]*prov.Document
+	roots map[string]map[prov.QName]graphdb.NodeID // docID -> element -> node
+}
+
+// New returns an empty store.
+func New() *Store {
+	g := graphdb.New()
+	// Indexes that every lineage/search query relies on.
+	for _, label := range []string{"Entity", "Activity", "Agent"} {
+		g.CreateIndex(label, "qname")
+		g.CreateIndex(label, "doc")
+		g.CreateIndex(label, "prov:type")
+	}
+	return &Store{
+		g:     g,
+		docs:  make(map[string]*prov.Document),
+		roots: make(map[string]map[prov.QName]graphdb.NodeID),
+	}
+}
+
+// Graph exposes the underlying graph (read-only use expected).
+func (s *Store) Graph() *graphdb.Graph { return s.g }
+
+// relTypeFor maps PROV relation kinds to graph relationship types.
+func relTypeFor(kind prov.RelationKind) string {
+	return strings.ToUpper(string(kind))
+}
+
+// Put stores (or replaces) a document under id.
+func (s *Store) Put(id string, doc *prov.Document) error {
+	if id == "" {
+		return fmt.Errorf("provstore: empty document id")
+	}
+	if _, err := doc.Validate(); err != nil {
+		return fmt.Errorf("provstore: refusing invalid document: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.docs[id]; exists {
+		s.deleteLocked(id)
+	}
+	nodes := make(map[prov.QName]graphdb.NodeID)
+
+	addElement := func(label string, el *prov.Element, extra graphdb.Props) error {
+		props := graphdb.Props{"qname": string(el.ID), "doc": id}
+		for k, v := range el.Attrs {
+			props[attrPropKey(k)] = attrPropValue(v)
+		}
+		for k, v := range extra {
+			props[k] = v
+		}
+		nid, err := s.g.CreateNode([]string{label}, props)
+		if err != nil {
+			return err
+		}
+		nodes[el.ID] = nid
+		return nil
+	}
+
+	for _, qid := range doc.EntityIDs() {
+		if err := addElement("Entity", doc.Entities[qid], nil); err != nil {
+			return err
+		}
+	}
+	for _, qid := range doc.ActivityIDs() {
+		a := doc.Activities[qid]
+		extra := graphdb.Props{}
+		if !a.StartTime.IsZero() {
+			extra["startTime"] = a.StartTime.UnixNano()
+		}
+		if !a.EndTime.IsZero() {
+			extra["endTime"] = a.EndTime.UnixNano()
+		}
+		if err := addElement("Activity", &a.Element, extra); err != nil {
+			return err
+		}
+	}
+	for _, qid := range doc.AgentIDs() {
+		if err := addElement("Agent", doc.Agents[qid], nil); err != nil {
+			return err
+		}
+	}
+	for _, rel := range doc.Relations {
+		from, ok1 := nodes[rel.Subject]
+		to, ok2 := nodes[rel.Object]
+		if !ok1 || !ok2 {
+			return fmt.Errorf("provstore: relation %s references unknown nodes", rel.ID)
+		}
+		props := graphdb.Props{"doc": id}
+		if !rel.Time.IsZero() {
+			props["time"] = rel.Time.UnixNano()
+		}
+		if _, err := s.g.CreateRel(from, to, relTypeFor(rel.Kind), props); err != nil {
+			return err
+		}
+	}
+
+	s.docs[id] = doc.Clone()
+	s.roots[id] = nodes
+	return nil
+}
+
+// attrPropKey namespaces PROV attribute keys into graph property names.
+func attrPropKey(k string) string { return k }
+
+// attrPropValue flattens prov values into graph property scalars.
+func attrPropValue(v prov.Value) interface{} {
+	switch v.Kind() {
+	case prov.KindInt:
+		i, _ := v.AsInt()
+		return i
+	case prov.KindFloat:
+		f, _ := v.AsFloat()
+		return f
+	case prov.KindBool:
+		b, _ := v.AsBool()
+		return b
+	default:
+		return v.AsString()
+	}
+}
+
+// Get returns a copy of the stored document.
+func (s *Store) Get(id string) (*prov.Document, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.docs[id]
+	if !ok {
+		return nil, false
+	}
+	return d.Clone(), true
+}
+
+// List returns stored document ids in sorted order.
+func (s *Store) List() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.docs))
+	for id := range s.docs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Delete removes a document and its graph projection.
+func (s *Store) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.docs[id]; !ok {
+		return fmt.Errorf("provstore: document %q does not exist", id)
+	}
+	s.deleteLocked(id)
+	return nil
+}
+
+func (s *Store) deleteLocked(id string) {
+	for _, nid := range s.roots[id] {
+		_ = s.g.DeleteNode(nid) // cascades relationships
+	}
+	delete(s.roots, id)
+	delete(s.docs, id)
+}
+
+// Count returns the number of stored documents.
+func (s *Store) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.docs)
+}
+
+// nodeID resolves (doc, qname) to the graph node.
+func (s *Store) nodeID(doc string, q prov.QName) (graphdb.NodeID, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	nodes, ok := s.roots[doc]
+	if !ok {
+		return 0, false
+	}
+	nid, ok := nodes[q]
+	return nid, ok
+}
+
+// LineageDirection selects ancestors (toward origins) or descendants.
+type LineageDirection string
+
+// Directions accepted by Lineage.
+const (
+	Ancestors   LineageDirection = "ancestors"
+	Descendants LineageDirection = "descendants"
+)
+
+// Lineage returns the qualified names reachable from node in the given
+// direction within depth hops (depth <= 0 = unbounded), sorted.
+// PROV relation edges point from subject toward object — toward origins
+// — so ancestors follow outgoing edges.
+func (s *Store) Lineage(doc string, node prov.QName, dir LineageDirection, depth int) ([]prov.QName, error) {
+	nid, ok := s.nodeID(doc, node)
+	if !ok {
+		return nil, fmt.Errorf("provstore: node %s not found in document %q", node, doc)
+	}
+	gdir := graphdb.Outgoing
+	if dir == Descendants {
+		gdir = graphdb.Incoming
+	} else if dir != Ancestors {
+		return nil, fmt.Errorf("provstore: bad lineage direction %q", dir)
+	}
+	ids := s.g.Closure(nid, gdir, "", depth)
+	out := make([]prov.QName, 0, len(ids))
+	for _, id := range ids {
+		n, ok := s.g.GetNode(id)
+		if !ok {
+			continue
+		}
+		qn, _ := n.Props["qname"].(string)
+		out = append(out, prov.QName(qn))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Subgraph extracts the neighborhood of node within hops as a document.
+func (s *Store) Subgraph(doc string, node prov.QName, hops int) (*prov.Document, error) {
+	s.mu.RLock()
+	d, ok := s.docs[doc]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("provstore: document %q does not exist", doc)
+	}
+	if !d.HasNode(node) {
+		return nil, fmt.Errorf("provstore: node %s not found in document %q", node, doc)
+	}
+	return d.Neighborhood(node, hops), nil
+}
+
+// SearchResult is one match of a cross-document search.
+type SearchResult struct {
+	Doc   string
+	Node  prov.QName
+	Class string // Entity / Activity / Agent
+}
+
+// FindByType returns all elements whose prov:type attribute equals
+// typeName, across every stored document. This is the "knowledge base
+// of previous runs" query of the paper's §3.2/§3.4.
+func (s *Store) FindByType(typeName string) []SearchResult {
+	var out []SearchResult
+	for _, label := range []string{"Entity", "Activity", "Agent"} {
+		for _, nid := range s.g.FindNodes(label, "prov:type", typeName) {
+			n, ok := s.g.GetNode(nid)
+			if !ok {
+				continue
+			}
+			doc, _ := n.Props["doc"].(string)
+			qn, _ := n.Props["qname"].(string)
+			out = append(out, SearchResult{Doc: doc, Node: prov.QName(qn), Class: label})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Doc != out[j].Doc {
+			return out[i].Doc < out[j].Doc
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// FindByAttr returns elements with attribute key equal to value across
+// all documents. Key is the raw PROV attribute name (e.g. "provml:name").
+func (s *Store) FindByAttr(key string, value interface{}) []SearchResult {
+	var out []SearchResult
+	for _, label := range []string{"Entity", "Activity", "Agent"} {
+		for _, nid := range s.g.FindNodes(label, key, value) {
+			n, ok := s.g.GetNode(nid)
+			if !ok {
+				continue
+			}
+			doc, _ := n.Props["doc"].(string)
+			qn, _ := n.Props["qname"].(string)
+			out = append(out, SearchResult{Doc: doc, Node: prov.QName(qn), Class: label})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Doc != out[j].Doc {
+			return out[i].Doc < out[j].Doc
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// Stats summarizes the store.
+type Stats struct {
+	Documents int
+	Nodes     int
+	Rels      int
+}
+
+// Stats returns store-wide counts.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	docs := len(s.docs)
+	s.mu.RUnlock()
+	return Stats{Documents: docs, Nodes: s.g.NodeCount(), Rels: s.g.RelCount()}
+}

@@ -1,0 +1,265 @@
+// Package reproduce implements the paper's reproducibility goal:
+// "reproducing an experiment by simply sharing a provJSON file would
+// become trivial" (§4) and the conclusions' plan to "reconstruct use
+// cases using a single PROV-JSON file". A Plan is extracted from a
+// run's provenance document — the input parameters, input artifacts and
+// expected outputs — and, for runs produced by the scaling-study
+// harness, the training can be re-executed on the simulator and checked
+// against the recorded outcome.
+package reproduce
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/prov"
+	"repro/internal/trainsim"
+)
+
+// ArtifactRef is one artifact the plan depends on or promises.
+type ArtifactRef struct {
+	Name   string
+	Path   string
+	Kind   string
+	SHA256 string
+	Size   int64
+}
+
+// Plan is everything needed to re-run an experiment, extracted from a
+// single PROV-JSON document.
+type Plan struct {
+	RunID     string
+	RunName   string
+	Storage   string
+	Params    map[string]prov.Value // input parameters by name
+	OutParams map[string]prov.Value // recorded output parameters
+	Inputs    []ArtifactRef
+	Outputs   []ArtifactRef
+	Contexts  []string
+	// RecordedMetrics maps "CONTEXT/name" to the recorded last value.
+	RecordedMetrics map[string]float64
+}
+
+// Extract builds a Plan from a provenance document produced by the
+// core library.
+func Extract(doc *prov.Document) (*Plan, error) {
+	p := &Plan{
+		Params:          make(map[string]prov.Value),
+		OutParams:       make(map[string]prov.Value),
+		RecordedMetrics: make(map[string]float64),
+	}
+
+	// Locate the run activity.
+	for _, id := range doc.ActivityIDs() {
+		a := doc.Activities[id]
+		if t, ok := a.Attrs["prov:type"]; ok && t.AsString() == "provml:RunExecution" {
+			if p.RunID != "" {
+				return nil, fmt.Errorf("reproduce: document contains multiple run executions")
+			}
+			p.RunID = attrString(a.Attrs, "provml:run_id")
+			p.RunName = attrString(a.Attrs, "provml:name")
+			p.Storage = attrString(a.Attrs, "provml:storage")
+		}
+		if t, ok := a.Attrs["prov:type"]; ok && t.AsString() == "provml:Context" {
+			p.Contexts = append(p.Contexts, attrString(a.Attrs, "provml:context"))
+		}
+	}
+	if p.RunID == "" {
+		return nil, fmt.Errorf("reproduce: no provml:RunExecution activity in document")
+	}
+	sort.Strings(p.Contexts)
+
+	for _, id := range doc.EntityIDs() {
+		e := doc.Entities[id]
+		switch attrString(e.Attrs, "prov:type") {
+		case "provml:Parameter":
+			name := attrString(e.Attrs, "provml:name")
+			val, ok := e.Attrs["provml:value"]
+			if !ok {
+				continue
+			}
+			if attrString(e.Attrs, "provml:direction") == "input" {
+				p.Params[name] = val
+			} else {
+				p.OutParams[name] = val
+			}
+		case "provml:Artifact":
+			ref := ArtifactRef{
+				Name:   attrString(e.Attrs, "provml:name"),
+				Path:   attrString(e.Attrs, "provml:path"),
+				Kind:   attrString(e.Attrs, "provml:kind"),
+				SHA256: attrString(e.Attrs, "provml:sha256"),
+			}
+			if v, ok := e.Attrs["provml:size"]; ok {
+				ref.Size, _ = v.AsInt()
+			}
+			if attrString(e.Attrs, "provml:direction") == "input" {
+				p.Inputs = append(p.Inputs, ref)
+			} else {
+				p.Outputs = append(p.Outputs, ref)
+			}
+		case "provml:Metric":
+			key := attrString(e.Attrs, "provml:context") + "/" + attrString(e.Attrs, "provml:name")
+			if v, ok := e.Attrs["provml:last"]; ok {
+				f, _ := v.AsFloat()
+				p.RecordedMetrics[key] = f
+			}
+		}
+	}
+	sort.Slice(p.Inputs, func(i, j int) bool { return p.Inputs[i].Name < p.Inputs[j].Name })
+	sort.Slice(p.Outputs, func(i, j int) bool { return p.Outputs[i].Name < p.Outputs[j].Name })
+	return p, nil
+}
+
+func attrString(a prov.Attrs, key string) string {
+	if v, ok := a[key]; ok {
+		return v.AsString()
+	}
+	return ""
+}
+
+// paramFloat fetches a numeric input parameter.
+func (p *Plan) paramFloat(name string) (float64, bool) {
+	if v, ok := p.Params[name]; ok {
+		return v.AsFloat()
+	}
+	return 0, false
+}
+
+func (p *Plan) paramString(name string) (string, bool) {
+	v, ok := p.Params[name]
+	if !ok {
+		return "", false
+	}
+	return v.AsString(), true
+}
+
+// ToTrainSpec reconstructs a simulator spec from a plan produced by the
+// scaling-study harness (family / model_params / gpus / global_batch /
+// epochs / patches parameters).
+func (p *Plan) ToTrainSpec() (trainsim.TrainSpec, error) {
+	family, ok := p.paramString("family")
+	if !ok {
+		return trainsim.TrainSpec{}, fmt.Errorf("reproduce: plan has no 'family' parameter")
+	}
+	params, ok := p.paramFloat("model_params")
+	if !ok {
+		return trainsim.TrainSpec{}, fmt.Errorf("reproduce: plan has no 'model_params' parameter")
+	}
+	// Map the parameter count back onto a paper size label.
+	size := ""
+	for _, s := range trainsim.PaperSizes() {
+		m, err := trainsim.NewModel(trainsim.Family(family), s)
+		if err != nil {
+			return trainsim.TrainSpec{}, err
+		}
+		if float64(m.Params) == params {
+			size = s
+			break
+		}
+	}
+	if size == "" {
+		return trainsim.TrainSpec{}, fmt.Errorf("reproduce: unknown model size for %g parameters", params)
+	}
+	gpus, ok := p.paramFloat("gpus")
+	if !ok {
+		return trainsim.TrainSpec{}, fmt.Errorf("reproduce: plan has no 'gpus' parameter")
+	}
+	spec, err := trainsim.PaperSpec(trainsim.Family(family), size, int(gpus))
+	if err != nil {
+		return trainsim.TrainSpec{}, err
+	}
+	if b, ok := p.paramFloat("global_batch"); ok {
+		spec.GlobalBatch = int(b)
+	}
+	if e, ok := p.paramFloat("epochs"); ok {
+		spec.Epochs = int(e)
+	}
+	if n, ok := p.paramFloat("patches"); ok {
+		spec.Dataset.Patches = int(n)
+	}
+	return spec, nil
+}
+
+// Report is the outcome of re-executing a plan.
+type Report struct {
+	Plan           *Plan
+	RecordedLoss   float64
+	ReproducedLoss float64
+	RelError       float64
+	Elapsed        time.Duration
+	Match          bool
+}
+
+// Tolerance is the relative final-loss deviation accepted as a
+// successful reproduction.
+const Tolerance = 0.05
+
+// Rerun re-executes the plan on the simulator and compares the final
+// TRAINING loss against the recorded value.
+func Rerun(plan *Plan) (Report, error) {
+	rep := Report{Plan: plan}
+	recorded, ok := plan.RecordedMetrics["TRAINING/loss"]
+	if !ok {
+		return rep, fmt.Errorf("reproduce: document records no TRAINING/loss metric")
+	}
+	rep.RecordedLoss = recorded
+
+	spec, err := plan.ToTrainSpec()
+	if err != nil {
+		return rep, err
+	}
+	res, err := spec.Run()
+	if err != nil {
+		return rep, err
+	}
+	rep.ReproducedLoss = res.FinalLoss
+	rep.Elapsed = res.TotalTime
+	rep.RelError = math.Abs(res.FinalLoss-recorded) / math.Abs(recorded)
+	rep.Match = rep.RelError <= Tolerance
+	return rep, nil
+}
+
+// Describe renders a human-readable reproduction plan.
+func Describe(p *Plan) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "reproduction plan for run %s (%s)\n", p.RunID, p.RunName)
+	fmt.Fprintf(&sb, "  contexts: %s\n", strings.Join(p.Contexts, ", "))
+	fmt.Fprintf(&sb, "  input parameters (%d):\n", len(p.Params))
+	names := make([]string, 0, len(p.Params))
+	for n := range p.Params {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&sb, "    %-16s = %s\n", n, p.Params[n].AsString())
+	}
+	for _, in := range p.Inputs {
+		fmt.Fprintf(&sb, "  requires input %q (%s, %d bytes, sha256=%s)\n", in.Name, in.Path, in.Size, short(in.SHA256))
+	}
+	for _, out := range p.Outputs {
+		fmt.Fprintf(&sb, "  should produce %q (%s)\n", out.Name, out.Kind)
+	}
+	keys := make([]string, 0, len(p.RecordedMetrics))
+	for k := range p.RecordedMetrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "  recorded %s = %.6g\n", k, p.RecordedMetrics[k])
+	}
+	return sb.String()
+}
+
+func short(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	if h == "" {
+		return "-"
+	}
+	return h
+}

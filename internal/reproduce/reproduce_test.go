@@ -1,0 +1,143 @@
+package reproduce
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/prov"
+)
+
+// figure3Doc returns one instrumented scaling-study document.
+func figure3Doc(t *testing.T) (string, *prov.Document) {
+	t.Helper()
+	res, err := experiments.RunFigure3(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, payload := range res.ProvDocsJSON {
+		// Pick a completed MAE run deterministically.
+		if strings.Contains(id, "run1") && !strings.Contains(id, "run1"+"0") {
+			doc, err := prov.ParseJSON(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return id, doc
+		}
+	}
+	t.Fatal("no suitable document found")
+	return "", nil
+}
+
+func TestExtractPlan(t *testing.T) {
+	_, doc := figure3Doc(t)
+	plan, err := Extract(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.RunID == "" {
+		t.Fatal("run id missing")
+	}
+	for _, want := range []string{"family", "model_params", "gpus", "global_batch", "epochs", "patches"} {
+		if _, ok := plan.Params[want]; !ok {
+			t.Errorf("input parameter %q missing (have %v)", want, keys(plan.Params))
+		}
+	}
+	if _, ok := plan.RecordedMetrics["TRAINING/loss"]; !ok {
+		t.Errorf("recorded metrics = %v", plan.RecordedMetrics)
+	}
+	if len(plan.Contexts) == 0 {
+		t.Error("contexts missing")
+	}
+	desc := Describe(plan)
+	for _, want := range []string{"reproduction plan", "input parameters", "recorded TRAINING/loss"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("describe missing %q:\n%s", want, desc)
+		}
+	}
+}
+
+func TestRerunMatches(t *testing.T) {
+	_, doc := figure3Doc(t)
+	plan, err := Extract(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Rerun(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Match {
+		t.Errorf("reproduction mismatch: recorded %v, reproduced %v (rel %v)",
+			rep.RecordedLoss, rep.ReproducedLoss, rep.RelError)
+	}
+}
+
+func TestRerunAllFigure3Docs(t *testing.T) {
+	// Every one of the 40 instrumented runs must be reproducible from
+	// its PROV-JSON alone — the paper's single-file reproducibility aim.
+	res, err := experiments.RunFigure3(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for id, payload := range res.ProvDocsJSON {
+		doc, err := prov.ParseJSON(payload)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		plan, err := Extract(doc)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		rep, err := Rerun(plan)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !rep.Match {
+			t.Errorf("%s: rel error %v", id, rep.RelError)
+		}
+		checked++
+	}
+	if checked != 40 {
+		t.Errorf("checked %d docs, want 40", checked)
+	}
+}
+
+func TestExtractRejectsNonRunDoc(t *testing.T) {
+	d := prov.NewDocument()
+	d.AddEntity("ex:lonely", nil)
+	if _, err := Extract(d); err == nil {
+		t.Fatal("document without a run must fail")
+	}
+}
+
+func TestToTrainSpecErrors(t *testing.T) {
+	p := &Plan{Params: map[string]prov.Value{}, RecordedMetrics: map[string]float64{}}
+	if _, err := p.ToTrainSpec(); err == nil {
+		t.Error("missing family must fail")
+	}
+	p.Params["family"] = prov.Str("MaskedAutoencoder")
+	if _, err := p.ToTrainSpec(); err == nil {
+		t.Error("missing model_params must fail")
+	}
+	p.Params["model_params"] = prov.Int(12345)
+	if _, err := p.ToTrainSpec(); err == nil {
+		t.Error("unknown size must fail")
+	}
+}
+
+func TestRerunWithoutRecordedLoss(t *testing.T) {
+	p := &Plan{Params: map[string]prov.Value{}, RecordedMetrics: map[string]float64{}}
+	if _, err := Rerun(p); err == nil {
+		t.Fatal("missing recorded loss must fail")
+	}
+}
+
+func keys(m map[string]prov.Value) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+// Package rocrate packages an experiment's artifact directory as an
+// RO-Crate: a JSON-LD "ro-crate-metadata.json" describing the root
+// dataset and every file with checksums and sizes (Table 2's packaging
+// role, complementing W3C PROV's provenance role). The implementation
+// follows the RO-Crate 1.1 structure: an @graph holding the metadata
+// descriptor, the root Data Entity, and one entity per file.
+package rocrate
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// MetadataFilename is the well-known crate descriptor name.
+const MetadataFilename = "ro-crate-metadata.json"
+
+// Context is the JSON-LD context for RO-Crate 1.1.
+const Context = "https://w3id.org/ro/crate/1.1/context"
+
+// Entity is one node of the crate's @graph.
+type Entity map[string]interface{}
+
+// Crate is an in-memory RO-Crate.
+type Crate struct {
+	Name        string
+	Description string
+	License     string
+	CreatedAt   time.Time
+	// ProvDocument optionally links the crate to the PROV-JSON file that
+	// describes how its contents were produced.
+	ProvDocument string
+
+	files []fileEntry
+}
+
+type fileEntry struct {
+	id     string // crate-relative path
+	size   int64
+	sha256 string
+	kind   string
+}
+
+// New creates an empty crate.
+func New(name, description string) *Crate {
+	return &Crate{
+		Name:        name,
+		Description: description,
+		License:     "CC-BY-4.0",
+		CreatedAt:   time.Now().UTC(),
+	}
+}
+
+// AddFileData registers an in-memory file with the crate.
+func (c *Crate) AddFileData(relPath string, data []byte, kind string) {
+	sum := sha256.Sum256(data)
+	c.files = append(c.files, fileEntry{
+		id:     filepath.ToSlash(relPath),
+		size:   int64(len(data)),
+		sha256: hex.EncodeToString(sum[:]),
+		kind:   kind,
+	})
+}
+
+// AddFile registers a file on disk (path must be inside the crate root
+// when the crate is later written next to it).
+func (c *Crate) AddFile(root, relPath, kind string) error {
+	data, err := os.ReadFile(filepath.Join(root, relPath))
+	if err != nil {
+		return fmt.Errorf("rocrate: %w", err)
+	}
+	c.AddFileData(relPath, data, kind)
+	return nil
+}
+
+// Files returns the registered file ids in sorted order.
+func (c *Crate) Files() []string {
+	out := make([]string, 0, len(c.files))
+	for _, f := range c.files {
+		out = append(out, f.id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Metadata renders the ro-crate-metadata.json bytes.
+func (c *Crate) Metadata() ([]byte, error) {
+	graph := []Entity{
+		{
+			"@id":        MetadataFilename,
+			"@type":      "CreativeWork",
+			"conformsTo": map[string]string{"@id": "https://w3id.org/ro/crate/1.1"},
+			"about":      map[string]string{"@id": "./"},
+		},
+	}
+	hasPart := make([]map[string]string, 0, len(c.files))
+	sorted := append([]fileEntry(nil), c.files...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].id < sorted[j].id })
+	for _, f := range sorted {
+		hasPart = append(hasPart, map[string]string{"@id": f.id})
+	}
+	root := Entity{
+		"@id":           "./",
+		"@type":         "Dataset",
+		"name":          c.Name,
+		"description":   c.Description,
+		"license":       c.License,
+		"datePublished": c.CreatedAt.Format(time.RFC3339),
+		"hasPart":       hasPart,
+	}
+	if c.ProvDocument != "" {
+		root["prov:has_provenance"] = map[string]string{"@id": c.ProvDocument}
+	}
+	graph = append(graph, root)
+	for _, f := range sorted {
+		e := Entity{
+			"@id":            f.id,
+			"@type":          "File",
+			"contentSize":    f.size,
+			"sha256":         f.sha256,
+			"encodingFormat": formatFor(f.id),
+		}
+		if f.kind != "" {
+			e["additionalType"] = f.kind
+		}
+		graph = append(graph, e)
+	}
+	doc := map[string]interface{}{
+		"@context": Context,
+		"@graph":   graph,
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// formatFor guesses a MIME type from the file extension.
+func formatFor(id string) string {
+	switch strings.ToLower(filepath.Ext(id)) {
+	case ".json":
+		return "application/json"
+	case ".nc":
+		return "application/x-netcdf"
+	case ".provn":
+		return "text/provenance-notation"
+	case ".txt", ".log":
+		return "text/plain"
+	case ".bin":
+		return "application/octet-stream"
+	default:
+		return "application/octet-stream"
+	}
+}
+
+// WriteTo writes ro-crate-metadata.json into dir.
+func (c *Crate) WriteTo(dir string) (string, error) {
+	payload, err := c.Metadata()
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, MetadataFilename)
+	if err := os.WriteFile(path, payload, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// WrapDirectory builds a crate over every regular file under root
+// (excluding any existing metadata descriptor) and writes the
+// descriptor into root. Returns the crate for inspection.
+func WrapDirectory(root, name, description string) (*Crate, error) {
+	c := New(name, description)
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		if filepath.Base(rel) == MetadataFilename {
+			return nil
+		}
+		kind := "artifact"
+		if strings.HasSuffix(rel, "prov.json") {
+			kind = "provenance"
+			c.ProvDocument = filepath.ToSlash(rel)
+		}
+		return c.AddFile(root, rel, kind)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.WriteTo(root); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Validate parses metadata bytes and checks the required RO-Crate
+// structure: @context, the metadata descriptor, and a root dataset
+// whose hasPart entries all resolve to File entities in the graph.
+func Validate(metadata []byte) error {
+	var doc struct {
+		Context interface{} `json:"@context"`
+		Graph   []Entity    `json:"@graph"`
+	}
+	if err := json.Unmarshal(metadata, &doc); err != nil {
+		return fmt.Errorf("rocrate: invalid JSON-LD: %w", err)
+	}
+	if doc.Context == nil {
+		return fmt.Errorf("rocrate: missing @context")
+	}
+	byID := make(map[string]Entity, len(doc.Graph))
+	for _, e := range doc.Graph {
+		if id, ok := e["@id"].(string); ok {
+			byID[id] = e
+		}
+	}
+	if _, ok := byID[MetadataFilename]; !ok {
+		return fmt.Errorf("rocrate: missing metadata descriptor entity")
+	}
+	root, ok := byID["./"]
+	if !ok {
+		return fmt.Errorf("rocrate: missing root dataset entity")
+	}
+	parts, _ := root["hasPart"].([]interface{})
+	for _, p := range parts {
+		ref, _ := p.(map[string]interface{})
+		id, _ := ref["@id"].(string)
+		if _, ok := byID[id]; !ok {
+			return fmt.Errorf("rocrate: hasPart references missing entity %q", id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package rocrate
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMetadataStructure(t *testing.T) {
+	c := New("experiment-1", "scaling study artifacts")
+	c.AddFileData("prov.json", []byte(`{}`), "provenance")
+	c.AddFileData("models/vit.bin", []byte("weights"), "model")
+	payload, err := c.Metadata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(payload); err != nil {
+		t.Fatalf("self-produced crate invalid: %v", err)
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(payload, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["@context"] != Context {
+		t.Errorf("context = %v", doc["@context"])
+	}
+	graph := doc["@graph"].([]interface{})
+	if len(graph) != 4 { // descriptor + root + 2 files
+		t.Fatalf("graph len = %d", len(graph))
+	}
+}
+
+func TestChecksumsRecorded(t *testing.T) {
+	c := New("x", "")
+	c.AddFileData("a.txt", []byte("hello"), "")
+	payload, err := c.Metadata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(payload), "2cf24dba5fb0a30e26e83b2ac5b9e29e1b161e5c1fa7425e73043362938b9824") {
+		t.Error("sha256 of 'hello' missing from metadata")
+	}
+}
+
+func TestWrapDirectory(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, content := range map[string]string{
+		"prov.json":   `{"prefix": {}}`,
+		"sub/loss.nc": "CDF...",
+		"notes.txt":   "hi",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := WrapDirectory(dir, "run artifacts", "test crate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Files()) != 3 {
+		t.Fatalf("files = %v", c.Files())
+	}
+	if c.ProvDocument != "prov.json" {
+		t.Errorf("prov link = %q", c.ProvDocument)
+	}
+	payload, err := os.ReadFile(filepath.Join(dir, MetadataFilename))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(payload); err != nil {
+		t.Fatal(err)
+	}
+	// Wrapping again must not include the descriptor itself.
+	c2, err := WrapDirectory(dir, "again", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c2.Files()) != 3 {
+		t.Errorf("re-wrap picked up the descriptor: %v", c2.Files())
+	}
+}
+
+func TestValidateRejectsBroken(t *testing.T) {
+	if err := Validate([]byte("{")); err == nil {
+		t.Error("bad JSON must fail")
+	}
+	if err := Validate([]byte(`{"@graph": []}`)); err == nil {
+		t.Error("missing context must fail")
+	}
+	if err := Validate([]byte(`{"@context": "x", "@graph": []}`)); err == nil {
+		t.Error("missing descriptor must fail")
+	}
+	broken := `{"@context": "x", "@graph": [
+	  {"@id": "ro-crate-metadata.json", "@type": "CreativeWork"},
+	  {"@id": "./", "@type": "Dataset", "hasPart": [{"@id": "ghost.bin"}]}
+	]}`
+	if err := Validate([]byte(broken)); err == nil {
+		t.Error("dangling hasPart must fail")
+	}
+}
+
+func TestEncodingFormats(t *testing.T) {
+	cases := map[string]string{
+		"a.json":  "application/json",
+		"b.nc":    "application/x-netcdf",
+		"c.provn": "text/provenance-notation",
+		"d.log":   "text/plain",
+		"e.xyz":   "application/octet-stream",
+	}
+	for file, want := range cases {
+		if got := formatFor(file); got != want {
+			t.Errorf("formatFor(%s) = %q, want %q", file, got, want)
+		}
+	}
+}

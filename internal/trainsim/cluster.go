@@ -1,0 +1,78 @@
+package trainsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/telemetry"
+)
+
+// ClusterConfig describes the simulated DDP allocation.
+type ClusterConfig struct {
+	// GPUs is the number of data-parallel workers (MI250X GCDs).
+	GPUs int
+	// FlopsPerGPU is the *effective* sustained rate per GPU (peak x MFU).
+	FlopsPerGPU float64
+	// AllreduceBW is the effective per-link ring bandwidth in bytes/s.
+	AllreduceBW float64
+	// AllreduceLatency is the per-hop latency of one collective phase.
+	AllreduceLatency float64
+	// GPU is the power/memory spec used for energy accounting.
+	GPU telemetry.GPUSpec
+}
+
+// FrontierLike returns a cluster resembling a slice of OLCF Frontier:
+// MI250X GCDs at ~30% MFU of the ~190 TF/s bf16 peak. AllreduceBW is the
+// *effective* gradient-synchronization bandwidth — well below link rate
+// because it folds in bucketing, protocol overhead and imperfect
+// compute/communication overlap at DDP's bucket granularity.
+func FrontierLike(gpus int) ClusterConfig {
+	return ClusterConfig{
+		GPUs:             gpus,
+		FlopsPerGPU:      60e12,
+		AllreduceBW:      16e9,
+		AllreduceLatency: 50e-6,
+		GPU:              telemetry.MI250XGCD(),
+	}
+}
+
+// Validate checks the configuration.
+func (c ClusterConfig) Validate() error {
+	if c.GPUs <= 0 {
+		return fmt.Errorf("trainsim: cluster needs at least one GPU, got %d", c.GPUs)
+	}
+	if c.FlopsPerGPU <= 0 || c.AllreduceBW <= 0 {
+		return fmt.Errorf("trainsim: non-positive rates in cluster config")
+	}
+	return nil
+}
+
+// AllreduceSeconds models a ring allreduce of the given payload across
+// the cluster: 2(G-1)/G transfers of the payload over the ring plus a
+// latency term growing with the logarithm of the group size.
+func (c ClusterConfig) AllreduceSeconds(bytes float64) float64 {
+	if c.GPUs == 1 {
+		return 0
+	}
+	g := float64(c.GPUs)
+	transfer := 2 * (g - 1) / g * bytes / c.AllreduceBW
+	latency := 2 * c.AllreduceLatency * math.Ceil(math.Log2(g))
+	return transfer + latency
+}
+
+// ComputeSeconds returns the time the cluster needs for the given FLOPs
+// split evenly across workers.
+func (c ClusterConfig) ComputeSeconds(flops float64) float64 {
+	return flops / (float64(c.GPUs) * c.FlopsPerGPU)
+}
+
+// NaiveAllreduceSeconds models a flat (non-ring) allreduce where every
+// worker ships its full payload to a root and back: the ablation
+// baseline for the ring model.
+func (c ClusterConfig) NaiveAllreduceSeconds(bytes float64) float64 {
+	if c.GPUs == 1 {
+		return 0
+	}
+	g := float64(c.GPUs)
+	return 2*(g-1)*bytes/c.AllreduceBW + 2*c.AllreduceLatency
+}

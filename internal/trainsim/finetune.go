@@ -1,0 +1,125 @@
+package trainsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Fine-tuning stage (paper §5): "in the fine-tuning stage, all layers
+// except for the final prediction head are kept frozen, and the model
+// is trained using labeled data." Frozen layers skip the backward pass
+// and optimizer update, cutting compute to roughly forward-only for the
+// trunk, and gradient exchange shrinks to the head's parameters.
+
+// FineTuneSpec configures a fine-tuning run on a pretrained model.
+type FineTuneSpec struct {
+	Model   ModelConfig
+	Cluster ClusterConfig
+	// HeadParams is the trainable prediction head size.
+	HeadParams int64
+	// LabeledSamples is the labeled dataset size.
+	LabeledSamples int
+	Epochs         int
+	GlobalBatch    int
+	// PretrainLoss is the self-supervised loss the trunk reached; the
+	// fine-tuning error floor improves with better pretraining.
+	PretrainLoss float64
+	Seed         int64
+}
+
+// DefaultFineTune builds a spec for a pretrained model: a ~2M-param
+// head over 50k labeled samples.
+func DefaultFineTune(model ModelConfig, gpus int, pretrainLoss float64) FineTuneSpec {
+	return FineTuneSpec{
+		Model:          model,
+		Cluster:        FrontierLike(gpus),
+		HeadParams:     2_000_000,
+		LabeledSamples: 50_000,
+		Epochs:         5,
+		GlobalBatch:    256,
+		PretrainLoss:   pretrainLoss,
+		Seed:           1,
+	}
+}
+
+// Validate checks the spec.
+func (s FineTuneSpec) Validate() error {
+	if err := s.Cluster.Validate(); err != nil {
+		return err
+	}
+	if s.HeadParams <= 0 || s.LabeledSamples <= 0 || s.Epochs <= 0 || s.GlobalBatch <= 0 {
+		return fmt.Errorf("trainsim: invalid fine-tune spec %+v", s)
+	}
+	if s.PretrainLoss <= 0 {
+		return fmt.Errorf("trainsim: fine-tune needs the pretraining loss")
+	}
+	return nil
+}
+
+// FineTuneResult reports the fine-tuning outcome.
+type FineTuneResult struct {
+	Spec        FineTuneSpec
+	Accuracy    float64 // downstream task accuracy in [0,1]
+	Epochs      []EpochStats
+	TotalTime   time.Duration
+	TotalEnergy float64
+}
+
+// flopsPerSampleFineTune: full forward through the frozen trunk (2NT of
+// the usual 6NT) plus forward+backward on the head.
+func (s FineTuneSpec) flopsPerSampleFineTune() float64 {
+	trunkForward := 2 * float64(s.Model.Params) * float64(s.Model.TokensPerSample) * s.Model.ComputeFactor
+	head := 6 * float64(s.HeadParams) * float64(s.Model.TokensPerSample)
+	return trunkForward + head
+}
+
+// Run executes the fine-tuning simulation.
+func (s FineTuneSpec) Run() (FineTuneResult, error) {
+	if err := s.Validate(); err != nil {
+		return FineTuneResult{}, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	stepsPerEpoch := (s.LabeledSamples + s.GlobalBatch - 1) / s.GlobalBatch
+
+	compute := s.Cluster.ComputeSeconds(s.flopsPerSampleFineTune() * float64(s.GlobalBatch))
+	// Only head gradients cross the wire.
+	comm := s.Cluster.AllreduceSeconds(2 * float64(s.HeadParams))
+	stepTime := compute + comm
+	util := compute / stepTime
+	watts := s.Cluster.GPU.Watts(util)
+
+	res := FineTuneResult{Spec: s}
+	var elapsed time.Duration
+	var energy float64
+	for e := 0; e < s.Epochs; e++ {
+		epochTime := time.Duration(float64(stepsPerEpoch) * stepTime * float64(time.Second))
+		epochEnergy := watts * float64(s.Cluster.GPUs) * epochTime.Seconds()
+		elapsed += epochTime
+		energy += epochEnergy
+
+		// Accuracy saturates toward a ceiling set by pretraining quality:
+		// better (lower) pretraining loss -> higher ceiling.
+		ceiling := 0.95 - 0.06*s.PretrainLoss
+		if ceiling < 0.5 {
+			ceiling = 0.5
+		}
+		progress := 1 - math.Exp(-float64(e+1)/2)
+		acc := ceiling*progress + 0.002*rng.NormFloat64()
+		res.Epochs = append(res.Epochs, EpochStats{
+			Index:       e,
+			Steps:       stepsPerEpoch,
+			Loss:        1 - acc, // report task error as the loss column
+			Time:        epochTime,
+			EnergyJ:     epochEnergy,
+			SamplesSeen: (e + 1) * stepsPerEpoch * s.GlobalBatch,
+			GPUUtil:     util,
+			PowerWatts:  watts,
+		})
+		res.Accuracy = acc
+	}
+	res.TotalTime = elapsed
+	res.TotalEnergy = energy
+	return res, nil
+}

@@ -1,0 +1,99 @@
+package trainsim
+
+import "testing"
+
+func TestFineTuneBasics(t *testing.T) {
+	model := MustModel(SwinTransformerV2, "200M")
+	spec := DefaultFineTune(model, 16, 1.0)
+	res, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy <= 0.5 || res.Accuracy >= 1 {
+		t.Errorf("accuracy = %v", res.Accuracy)
+	}
+	if len(res.Epochs) != spec.Epochs {
+		t.Errorf("epochs = %d", len(res.Epochs))
+	}
+	if res.TotalEnergy <= 0 || res.TotalTime <= 0 {
+		t.Errorf("energy %v time %v", res.TotalEnergy, res.TotalTime)
+	}
+	// Accuracy improves over epochs.
+	if res.Epochs[0].Loss <= res.Epochs[len(res.Epochs)-1].Loss {
+		t.Error("task error should shrink across epochs")
+	}
+}
+
+func TestFineTuneCheaperThanPretraining(t *testing.T) {
+	model := MustModel(MaskedAutoencoder, "600M")
+	pre, err := PaperSpec(MaskedAutoencoder, "600M", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preRes, err := pre.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := DefaultFineTune(model, 32, preRes.FinalLoss)
+	ftRes, err := ft.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ftRes.TotalEnergy >= preRes.TotalEnergy/10 {
+		t.Errorf("fine-tuning energy %v should be far below pretraining %v",
+			ftRes.TotalEnergy, preRes.TotalEnergy)
+	}
+	if ftRes.TotalTime >= preRes.TotalTime {
+		t.Errorf("fine-tuning time %v should be below pretraining %v", ftRes.TotalTime, preRes.TotalTime)
+	}
+}
+
+func TestFineTuneBetterPretrainingHelps(t *testing.T) {
+	model := MustModel(MaskedAutoencoder, "200M")
+	good, err := DefaultFineTune(model, 16, 0.8).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := DefaultFineTune(model, 16, 2.5).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.Accuracy <= bad.Accuracy {
+		t.Errorf("better pretraining (acc %v) must beat worse (%v)", good.Accuracy, bad.Accuracy)
+	}
+}
+
+func TestFineTuneValidation(t *testing.T) {
+	model := MustModel(MaskedAutoencoder, "100M")
+	spec := DefaultFineTune(model, 8, 1.0)
+	bad := spec
+	bad.PretrainLoss = 0
+	if _, err := bad.Run(); err == nil {
+		t.Error("missing pretrain loss must fail")
+	}
+	bad = spec
+	bad.HeadParams = 0
+	if _, err := bad.Run(); err == nil {
+		t.Error("zero head must fail")
+	}
+	bad = spec
+	bad.Cluster.GPUs = 0
+	if _, err := bad.Run(); err == nil {
+		t.Error("zero GPUs must fail")
+	}
+}
+
+func TestFineTuneDeterministic(t *testing.T) {
+	model := MustModel(SwinTransformerV2, "100M")
+	a, err := DefaultFineTune(model, 8, 1.2).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DefaultFineTune(model, 8, 1.2).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Accuracy != b.Accuracy || a.TotalEnergy != b.TotalEnergy {
+		t.Error("fine-tune simulation must be deterministic")
+	}
+}

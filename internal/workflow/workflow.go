@@ -1,0 +1,429 @@
+// Package workflow is the yProv4WFs counterpart of the core library: a
+// DAG workflow engine whose executions produce workflow-level PROV
+// documents. Tasks run concurrently once their dependencies complete;
+// each task's activity links into the workflow activity, and tasks can
+// reference run-level documents (produced by core) for the multi-level
+// provenance pairing described in the paper's yProv ecosystem.
+package workflow
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/prov"
+)
+
+// Status of a task after Run.
+type Status string
+
+// Task states.
+const (
+	Pending   Status = "pending"
+	Succeeded Status = "succeeded"
+	Failed    Status = "failed"
+	Skipped   Status = "skipped" // a dependency failed
+)
+
+// TaskContext is handed to task functions for recording provenance.
+type TaskContext struct {
+	mu        sync.Mutex
+	inputs    []string
+	outputs   []string
+	params    map[string]string
+	runDocID  string
+	startedAt time.Time
+}
+
+// RecordInput notes a consumed artifact (name or URI).
+func (t *TaskContext) RecordInput(name string) {
+	t.mu.Lock()
+	t.inputs = append(t.inputs, name)
+	t.mu.Unlock()
+}
+
+// RecordOutput notes a produced artifact.
+func (t *TaskContext) RecordOutput(name string) {
+	t.mu.Lock()
+	t.outputs = append(t.outputs, name)
+	t.mu.Unlock()
+}
+
+// SetParam records a task parameter.
+func (t *TaskContext) SetParam(key, value string) {
+	t.mu.Lock()
+	if t.params == nil {
+		t.params = make(map[string]string)
+	}
+	t.params[key] = value
+	t.mu.Unlock()
+}
+
+// LinkRunDocument pairs this task with a run-level provenance document
+// id (e.g. one uploaded to the yProv service by core.Run.End).
+func (t *TaskContext) LinkRunDocument(docID string) {
+	t.mu.Lock()
+	t.runDocID = docID
+	t.mu.Unlock()
+}
+
+// snapshot copies the recorded state under the lock; needed because a
+// timed-out task's goroutine may still be mutating the context.
+func (t *TaskContext) snapshot() (inputs, outputs []string, params map[string]string, runDocID string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	inputs = append([]string(nil), t.inputs...)
+	outputs = append([]string(nil), t.outputs...)
+	if t.params != nil {
+		params = make(map[string]string, len(t.params))
+		for k, v := range t.params {
+			params[k] = v
+		}
+	}
+	return inputs, outputs, params, t.runDocID
+}
+
+// Func is a task body.
+type Func func(*TaskContext) error
+
+// Task is one node of the workflow DAG.
+type Task struct {
+	Name string
+	Deps []string
+	Fn   Func
+	// Retries re-runs a failing task up to this many extra times.
+	Retries int
+	// Timeout fails the task if one attempt runs longer (0 = unlimited).
+	// The task function keeps running in its goroutine (Go cannot kill
+	// it), but the workflow stops waiting and records the failure.
+	Timeout time.Duration
+}
+
+// TaskResult records one executed task.
+type TaskResult struct {
+	Name     string
+	Status   Status
+	Err      error
+	Started  time.Time
+	Finished time.Time
+	Attempts int
+	Inputs   []string
+	Outputs  []string
+	Params   map[string]string
+	RunDocID string
+}
+
+// Workflow is a named DAG of tasks.
+type Workflow struct {
+	Name string
+
+	mu    sync.Mutex
+	tasks map[string]*Task
+	order []string
+}
+
+// New creates an empty workflow.
+func New(name string) *Workflow {
+	return &Workflow{Name: name, tasks: make(map[string]*Task)}
+}
+
+// Add registers a task. Names must be unique.
+func (w *Workflow) Add(t Task) error {
+	if t.Name == "" {
+		return fmt.Errorf("workflow: task needs a name")
+	}
+	if t.Fn == nil {
+		return fmt.Errorf("workflow: task %q has no function", t.Name)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, dup := w.tasks[t.Name]; dup {
+		return fmt.Errorf("workflow: duplicate task %q", t.Name)
+	}
+	cp := t
+	cp.Deps = append([]string(nil), t.Deps...)
+	w.tasks[t.Name] = &cp
+	w.order = append(w.order, t.Name)
+	return nil
+}
+
+// MustAdd is Add that panics, for fluent workflow definitions.
+func (w *Workflow) MustAdd(t Task) *Workflow {
+	if err := w.Add(t); err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// validate checks dependency references and acyclicity, returning a
+// topological order.
+func (w *Workflow) validate() ([]string, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	indeg := make(map[string]int, len(w.tasks))
+	dependents := make(map[string][]string)
+	for name, t := range w.tasks {
+		if _, ok := indeg[name]; !ok {
+			indeg[name] = 0
+		}
+		for _, d := range t.Deps {
+			if _, ok := w.tasks[d]; !ok {
+				return nil, fmt.Errorf("workflow: task %q depends on unknown task %q", name, d)
+			}
+			indeg[name]++
+			dependents[d] = append(dependents[d], name)
+		}
+	}
+	// Kahn's algorithm with deterministic ordering.
+	var queue []string
+	for _, name := range w.order {
+		if indeg[name] == 0 {
+			queue = append(queue, name)
+		}
+	}
+	sort.Strings(queue)
+	var topo []string
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		topo = append(topo, n)
+		next := append([]string(nil), dependents[n]...)
+		sort.Strings(next)
+		for _, m := range next {
+			indeg[m]--
+			if indeg[m] == 0 {
+				queue = append(queue, m)
+			}
+		}
+	}
+	if len(topo) != len(w.tasks) {
+		return nil, fmt.Errorf("workflow: dependency cycle detected")
+	}
+	return topo, nil
+}
+
+// Result is a completed workflow execution.
+type Result struct {
+	Workflow string
+	Started  time.Time
+	Finished time.Time
+	Tasks    map[string]*TaskResult
+}
+
+// Succeeded reports whether every task succeeded.
+func (r *Result) Succeeded() bool {
+	for _, t := range r.Tasks {
+		if t.Status != Succeeded {
+			return false
+		}
+	}
+	return true
+}
+
+// TaskOrder returns task names sorted by start time then name.
+func (r *Result) TaskOrder() []string {
+	names := make([]string, 0, len(r.Tasks))
+	for n := range r.Tasks {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := r.Tasks[names[i]], r.Tasks[names[j]]
+		if !a.Started.Equal(b.Started) {
+			return a.Started.Before(b.Started)
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// Run executes the workflow with bounded parallelism (0 = unbounded).
+// Tasks whose dependencies fail are marked Skipped. The first task
+// error is returned, but every runnable task still executes.
+func (w *Workflow) Run(maxParallel int) (*Result, error) {
+	topo, err := w.validate()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Workflow: w.Name, Started: time.Now().UTC(), Tasks: make(map[string]*TaskResult)}
+	for _, name := range topo {
+		res.Tasks[name] = &TaskResult{Name: name, Status: Pending}
+	}
+
+	var sem chan struct{}
+	if maxParallel > 0 {
+		sem = make(chan struct{}, maxParallel)
+	}
+	done := make(map[string]chan struct{}, len(topo))
+	for _, name := range topo {
+		done[name] = make(chan struct{})
+	}
+
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	for _, name := range topo {
+		w.mu.Lock()
+		task := w.tasks[name]
+		w.mu.Unlock()
+		wg.Add(1)
+		go func(task *Task) {
+			defer wg.Done()
+			defer close(done[task.Name])
+			// Wait for dependencies.
+			for _, d := range task.Deps {
+				<-done[d]
+			}
+			mu.Lock()
+			skip := false
+			for _, d := range task.Deps {
+				if res.Tasks[d].Status != Succeeded {
+					skip = true
+					break
+				}
+			}
+			if skip {
+				res.Tasks[task.Name].Status = Skipped
+				mu.Unlock()
+				return
+			}
+			mu.Unlock()
+
+			if sem != nil {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+			}
+			started := time.Now().UTC()
+			var tc *TaskContext
+			var err error
+			attempts := 0
+			for attempt := 0; attempt <= task.Retries; attempt++ {
+				attempts++
+				tc, err = runAttempt(task)
+				if err == nil {
+					break
+				}
+			}
+			finished := time.Now().UTC()
+
+			inputs, outputs, params, runDocID := tc.snapshot()
+			mu.Lock()
+			tr := res.Tasks[task.Name]
+			tr.Started = started
+			tr.Finished = finished
+			tr.Attempts = attempts
+			tr.Inputs = inputs
+			tr.Outputs = outputs
+			tr.Params = params
+			tr.RunDocID = runDocID
+			if err != nil {
+				tr.Status = Failed
+				tr.Err = err
+				if firstErr == nil {
+					firstErr = fmt.Errorf("workflow: task %q: %w", task.Name, err)
+				}
+			} else {
+				tr.Status = Succeeded
+			}
+			mu.Unlock()
+		}(task)
+	}
+	wg.Wait()
+	res.Finished = time.Now().UTC()
+	return res, firstErr
+}
+
+// runAttempt executes one attempt of a task, honoring its timeout.
+func runAttempt(task *Task) (*TaskContext, error) {
+	tc := &TaskContext{startedAt: time.Now().UTC()}
+	if task.Timeout <= 0 {
+		return tc, task.Fn(tc)
+	}
+	done := make(chan error, 1)
+	go func() { done <- task.Fn(tc) }()
+	select {
+	case err := <-done:
+		return tc, err
+	case <-time.After(task.Timeout):
+		return tc, fmt.Errorf("timed out after %v", task.Timeout)
+	}
+}
+
+// BuildProv renders the execution as a workflow-level PROV document.
+func BuildProv(w *Workflow, res *Result) (*prov.Document, error) {
+	d := prov.NewDocument()
+	wfID := prov.NewQName("ex", "wf_"+sanitize(w.Name))
+	wfAct := d.AddActivity(wfID, prov.Attrs{
+		"prov:type":   prov.Str("yprov:Workflow"),
+		"yprov:name":  prov.Str(w.Name),
+		"yprov:tasks": prov.Int(int64(len(res.Tasks))),
+	})
+	wfAct.StartTime = res.Started
+	wfAct.EndTime = res.Finished
+	d.AddAgent("ex:yprov4wfs", prov.Attrs{"prov:type": prov.Str("prov:SoftwareAgent"), "yprov:name": prov.Str("yProv4WFs")})
+	d.WasAssociatedWith(wfID, "ex:yprov4wfs")
+
+	taskQ := func(name string) prov.QName { return prov.NewQName("ex", "task_"+sanitize(name)) }
+	for _, name := range res.TaskOrder() {
+		tr := res.Tasks[name]
+		attrs := prov.Attrs{
+			"prov:type":    prov.Str("yprov:Task"),
+			"yprov:status": prov.Str(string(tr.Status)),
+		}
+		for k, v := range tr.Params {
+			attrs["yprov:param_"+sanitize(k)] = prov.Str(v)
+		}
+		if tr.Err != nil {
+			attrs["yprov:error"] = prov.Str(tr.Err.Error())
+		}
+		a := d.AddActivity(taskQ(name), attrs)
+		a.StartTime = tr.Started
+		a.EndTime = tr.Finished
+		d.WasInformedBy(taskQ(name), wfID)
+
+		for _, in := range tr.Inputs {
+			e := prov.NewQName("ex", "artifact_"+sanitize(in))
+			d.AddEntity(e, prov.Attrs{"prov:type": prov.Str("yprov:Artifact"), "yprov:name": prov.Str(in)})
+			d.Used(taskQ(name), e, tr.Started)
+		}
+		for _, out := range tr.Outputs {
+			e := prov.NewQName("ex", "artifact_"+sanitize(out))
+			d.AddEntity(e, prov.Attrs{"prov:type": prov.Str("yprov:Artifact"), "yprov:name": prov.Str(out)})
+			d.WasGeneratedBy(e, taskQ(name), tr.Finished)
+		}
+		if tr.RunDocID != "" {
+			e := prov.NewQName("ex", "rundoc_"+sanitize(tr.RunDocID))
+			d.AddEntity(e, prov.Attrs{
+				"prov:type":      prov.Str("yprov:RunDocument"),
+				"yprov:document": prov.Str(tr.RunDocID),
+			})
+			d.WasGeneratedBy(e, taskQ(name), tr.Finished)
+		}
+	}
+	// Task dependency edges.
+	w.mu.Lock()
+	for name, t := range w.tasks {
+		for _, dep := range t.Deps {
+			d.WasInformedBy(taskQ(name), taskQ(dep))
+		}
+	}
+	w.mu.Unlock()
+
+	if _, err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,472 @@
+package zarr
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// DType identifies an element type, using NumPy-style codes.
+type DType string
+
+// Supported element types (little-endian).
+const (
+	Float64 DType = "<f8"
+	Float32 DType = "<f4"
+	Int64   DType = "<i8"
+	Int32   DType = "<i4"
+)
+
+// Size returns the element size in bytes.
+func (d DType) Size() int {
+	switch d {
+	case Float64, Int64:
+		return 8
+	case Float32, Int32:
+		return 4
+	}
+	return 0
+}
+
+// Valid reports whether d is a supported dtype.
+func (d DType) Valid() bool { return d.Size() != 0 }
+
+// Meta is the ".zarray" metadata document.
+type Meta struct {
+	ZarrFormat int     `json:"zarr_format"`
+	Shape      []int   `json:"shape"`
+	Chunks     []int   `json:"chunks"`
+	DType      DType   `json:"dtype"`
+	Compressor string  `json:"compressor"`
+	FillValue  float64 `json:"fill_value"`
+	Order      string  `json:"order"`
+}
+
+// Array is a chunked N-dimensional array bound to a store path.
+type Array struct {
+	store Store
+	path  string // key prefix, e.g. "metrics/loss"
+	meta  Meta
+	codec Codec
+}
+
+const (
+	metaKey  = ".zarray"
+	attrsKey = ".zattrs"
+)
+
+// Create initializes a new array at path within store. Shape and chunks
+// must have equal rank; every chunk extent must be positive.
+func Create(store Store, path string, shape, chunks []int, dtype DType, codec Codec) (*Array, error) {
+	if len(shape) == 0 || len(shape) != len(chunks) {
+		return nil, fmt.Errorf("zarr: shape %v and chunks %v must be same non-zero rank", shape, chunks)
+	}
+	for i := range shape {
+		if shape[i] < 0 || chunks[i] <= 0 {
+			return nil, fmt.Errorf("zarr: invalid shape %v / chunks %v", shape, chunks)
+		}
+	}
+	if !dtype.Valid() {
+		return nil, fmt.Errorf("zarr: unsupported dtype %q", dtype)
+	}
+	if codec == nil {
+		codec = GzipCodec{}
+	}
+	a := &Array{
+		store: store,
+		path:  strings.TrimSuffix(path, "/"),
+		meta: Meta{
+			ZarrFormat: 2,
+			Shape:      append([]int(nil), shape...),
+			Chunks:     append([]int(nil), chunks...),
+			DType:      dtype,
+			Compressor: codec.ID(),
+			Order:      "C",
+		},
+		codec: codec,
+	}
+	if err := a.writeMeta(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Open loads an existing array from store.
+func Open(store Store, path string) (*Array, error) {
+	path = strings.TrimSuffix(path, "/")
+	raw, err := store.Get(path + "/" + metaKey)
+	if err != nil {
+		return nil, fmt.Errorf("zarr: open %q: %w", path, err)
+	}
+	var meta Meta
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		return nil, fmt.Errorf("zarr: corrupt metadata at %q: %w", path, err)
+	}
+	if meta.ZarrFormat != 2 {
+		return nil, fmt.Errorf("zarr: unsupported format %d", meta.ZarrFormat)
+	}
+	if !meta.DType.Valid() {
+		return nil, fmt.Errorf("zarr: unsupported dtype %q", meta.DType)
+	}
+	codec, err := codecByID(meta.Compressor)
+	if err != nil {
+		return nil, err
+	}
+	return &Array{store: store, path: path, meta: meta, codec: codec}, nil
+}
+
+func (a *Array) writeMeta() error {
+	raw, err := json.Marshal(a.meta)
+	if err != nil {
+		return err
+	}
+	return a.store.Set(a.path+"/"+metaKey, raw)
+}
+
+// SetAttrs writes the array's user attributes (".zattrs" document).
+// Values must be JSON-encodable.
+func (a *Array) SetAttrs(attrs map[string]interface{}) error {
+	raw, err := json.Marshal(attrs)
+	if err != nil {
+		return fmt.Errorf("zarr: encoding attrs: %w", err)
+	}
+	return a.store.Set(a.path+"/"+attrsKey, raw)
+}
+
+// Attrs reads the array's user attributes; a missing ".zattrs" yields
+// an empty map.
+func (a *Array) Attrs() (map[string]interface{}, error) {
+	raw, err := a.store.Get(a.path + "/" + attrsKey)
+	if err != nil {
+		if IsNotExist(err) {
+			return map[string]interface{}{}, nil
+		}
+		return nil, err
+	}
+	var attrs map[string]interface{}
+	if err := json.Unmarshal(raw, &attrs); err != nil {
+		return nil, fmt.Errorf("zarr: corrupt .zattrs: %w", err)
+	}
+	return attrs, nil
+}
+
+// Meta returns a copy of the array metadata.
+func (a *Array) Meta() Meta {
+	m := a.meta
+	m.Shape = append([]int(nil), a.meta.Shape...)
+	m.Chunks = append([]int(nil), a.meta.Chunks...)
+	return m
+}
+
+// Shape returns the current array shape.
+func (a *Array) Shape() []int { return append([]int(nil), a.meta.Shape...) }
+
+// Len returns the total number of elements.
+func (a *Array) Len() int {
+	n := 1
+	for _, s := range a.meta.Shape {
+		n *= s
+	}
+	return n
+}
+
+// chunkKey renders the store key of the chunk with the given grid coords.
+func (a *Array) chunkKey(coords []int) string {
+	parts := make([]string, len(coords))
+	for i, c := range coords {
+		parts[i] = strconv.Itoa(c)
+	}
+	return a.path + "/" + strings.Join(parts, ".")
+}
+
+// gridDims returns the number of chunks along each dimension.
+func (a *Array) gridDims() []int {
+	g := make([]int, len(a.meta.Shape))
+	for i := range g {
+		g[i] = (a.meta.Shape[i] + a.meta.Chunks[i] - 1) / a.meta.Chunks[i]
+	}
+	return g
+}
+
+// chunkElems returns the number of elements in one (full) chunk.
+func (a *Array) chunkElems() int {
+	n := 1
+	for _, c := range a.meta.Chunks {
+		n *= c
+	}
+	return n
+}
+
+// WriteFloat64 writes the full array contents from a flat C-order slice.
+func (a *Array) WriteFloat64(data []float64) error {
+	if len(data) != a.Len() {
+		return fmt.Errorf("zarr: data length %d != array size %d", len(data), a.Len())
+	}
+	grid := a.gridDims()
+	coords := make([]int, len(grid))
+	for {
+		if err := a.writeChunk(coords, data); err != nil {
+			return err
+		}
+		if !incCoords(coords, grid) {
+			break
+		}
+	}
+	return nil
+}
+
+// ReadFloat64 reads the full array into a flat C-order slice.
+func (a *Array) ReadFloat64() ([]float64, error) {
+	out := make([]float64, a.Len())
+	for i := range out {
+		out[i] = a.meta.FillValue
+	}
+	grid := a.gridDims()
+	coords := make([]int, len(grid))
+	if a.Len() == 0 {
+		return out, nil
+	}
+	for {
+		if err := a.readChunk(coords, out); err != nil {
+			return nil, err
+		}
+		if !incCoords(coords, grid) {
+			break
+		}
+	}
+	return out, nil
+}
+
+// incCoords advances C-order grid coordinates; false when exhausted.
+func incCoords(coords, dims []int) bool {
+	for i := len(coords) - 1; i >= 0; i-- {
+		coords[i]++
+		if coords[i] < dims[i] {
+			return true
+		}
+		coords[i] = 0
+	}
+	return false
+}
+
+// chunkRegion computes, for a chunk at coords, the per-dim [start, extent).
+func (a *Array) chunkRegion(coords []int) (start, extent []int) {
+	start = make([]int, len(coords))
+	extent = make([]int, len(coords))
+	for i, c := range coords {
+		start[i] = c * a.meta.Chunks[i]
+		e := a.meta.Chunks[i]
+		if start[i]+e > a.meta.Shape[i] {
+			e = a.meta.Shape[i] - start[i]
+		}
+		extent[i] = e
+	}
+	return start, extent
+}
+
+// writeChunk encodes the sub-block of data at chunk coords and stores it.
+// Chunks are always stored at full chunk shape with fill-value padding so
+// that append/resize never rewrites interior chunks.
+func (a *Array) writeChunk(coords []int, data []float64) error {
+	start, extent := a.chunkRegion(coords)
+	buf := make([]float64, a.chunkElems())
+	for i := range buf {
+		buf[i] = a.meta.FillValue
+	}
+	copyRegion(buf, a.meta.Chunks, data, a.meta.Shape, start, extent, true)
+	payload, err := encodeElems(buf, a.meta.DType)
+	if err != nil {
+		return err
+	}
+	enc, err := a.codec.Encode(payload)
+	if err != nil {
+		return err
+	}
+	return a.store.Set(a.chunkKey(coords), enc)
+}
+
+// readChunk loads the chunk at coords into the destination array slice.
+func (a *Array) readChunk(coords []int, dst []float64) error {
+	raw, err := a.store.Get(a.chunkKey(coords))
+	if err != nil {
+		if IsNotExist(err) {
+			return nil // missing chunk = fill value
+		}
+		return err
+	}
+	payload, err := a.codec.Decode(raw)
+	if err != nil {
+		return fmt.Errorf("zarr: chunk %v: %w", coords, err)
+	}
+	buf, err := decodeElems(payload, a.meta.DType, a.chunkElems())
+	if err != nil {
+		return fmt.Errorf("zarr: chunk %v: %w", coords, err)
+	}
+	start, extent := a.chunkRegion(coords)
+	copyRegion(buf, a.meta.Chunks, dst, a.meta.Shape, start, extent, false)
+	return nil
+}
+
+// copyRegion copies a rectangular region between a chunk buffer (chunk
+// shape) and the full array buffer (array shape). When toChunk is true
+// data flows array -> chunk, else chunk -> array.
+func copyRegion(chunk []float64, chunkShape []int, array []float64, arrayShape []int, start, extent []int, toChunk bool) {
+	rank := len(arrayShape)
+	idx := make([]int, rank)
+	for {
+		// Compute flat offsets for current idx.
+		aOff, cOff := 0, 0
+		for d := 0; d < rank; d++ {
+			aOff = aOff*arrayShape[d] + start[d] + idx[d]
+			cOff = cOff*chunkShape[d] + idx[d]
+		}
+		// Copy the innermost run in one go.
+		run := extent[rank-1]
+		if toChunk {
+			copy(chunk[cOff:cOff+run], array[aOff:aOff+run])
+		} else {
+			copy(array[aOff:aOff+run], chunk[cOff:cOff+run])
+		}
+		// Advance all dims except the innermost (covered by the run).
+		d := rank - 2
+		for ; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < extent[d] {
+				break
+			}
+			idx[d] = 0
+		}
+		if d < 0 {
+			break
+		}
+	}
+}
+
+// encodeElems converts float64 elements to the on-disk little-endian form.
+func encodeElems(data []float64, dt DType) ([]byte, error) {
+	out := make([]byte, len(data)*dt.Size())
+	switch dt {
+	case Float64:
+		for i, v := range data {
+			binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+		}
+	case Float32:
+		for i, v := range data {
+			binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(float32(v)))
+		}
+	case Int64:
+		for i, v := range data {
+			binary.LittleEndian.PutUint64(out[i*8:], uint64(int64(v)))
+		}
+	case Int32:
+		for i, v := range data {
+			binary.LittleEndian.PutUint32(out[i*4:], uint32(int32(v)))
+		}
+	default:
+		return nil, fmt.Errorf("zarr: unsupported dtype %q", dt)
+	}
+	return out, nil
+}
+
+// decodeElems converts on-disk bytes back to float64 elements.
+func decodeElems(raw []byte, dt DType, want int) ([]float64, error) {
+	if len(raw) != want*dt.Size() {
+		return nil, fmt.Errorf("zarr: chunk payload %d bytes, want %d", len(raw), want*dt.Size())
+	}
+	out := make([]float64, want)
+	switch dt {
+	case Float64:
+		for i := range out {
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+		}
+	case Float32:
+		for i := range out {
+			out[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:])))
+		}
+	case Int64:
+		for i := range out {
+			out[i] = float64(int64(binary.LittleEndian.Uint64(raw[i*8:])))
+		}
+	case Int32:
+		for i := range out {
+			out[i] = float64(int32(binary.LittleEndian.Uint32(raw[i*4:])))
+		}
+	default:
+		return nil, fmt.Errorf("zarr: unsupported dtype %q", dt)
+	}
+	return out, nil
+}
+
+// Append extends a 1-D array with more values, rewriting only the tail
+// chunk. It is the hot path for incremental metric logging.
+func (a *Array) Append(values []float64) error {
+	if len(a.meta.Shape) != 1 {
+		return fmt.Errorf("zarr: Append requires a 1-D array, got rank %d", len(a.meta.Shape))
+	}
+	if len(values) == 0 {
+		return nil
+	}
+	oldLen := a.meta.Shape[0]
+	chunk := a.meta.Chunks[0]
+
+	// Load the partial tail chunk if the current end is mid-chunk.
+	tailChunk := oldLen / chunk
+	tailStart := tailChunk * chunk
+	var tail []float64
+	if oldLen > tailStart {
+		raw, err := a.store.Get(a.chunkKey([]int{tailChunk}))
+		if err == nil {
+			payload, err := a.codec.Decode(raw)
+			if err != nil {
+				return err
+			}
+			tail, err = decodeElems(payload, a.meta.DType, chunk)
+			if err != nil {
+				return err
+			}
+			tail = tail[:oldLen-tailStart]
+		} else if !IsNotExist(err) {
+			return err
+		}
+	}
+	if tail == nil {
+		tail = make([]float64, oldLen-tailStart)
+		for i := range tail {
+			tail[i] = a.meta.FillValue
+		}
+	}
+
+	combined := append(tail, values...)
+	newLen := oldLen + len(values)
+
+	// Write out full/partial chunks from tailChunk onward.
+	for ci := 0; ci*chunk < len(combined); ci++ {
+		lo := ci * chunk
+		hi := lo + chunk
+		buf := make([]float64, chunk)
+		for i := range buf {
+			buf[i] = a.meta.FillValue
+		}
+		if hi > len(combined) {
+			hi = len(combined)
+		}
+		copy(buf, combined[lo:hi])
+		payload, err := encodeElems(buf, a.meta.DType)
+		if err != nil {
+			return err
+		}
+		enc, err := a.codec.Encode(payload)
+		if err != nil {
+			return err
+		}
+		if err := a.store.Set(a.chunkKey([]int{tailChunk + ci}), enc); err != nil {
+			return err
+		}
+	}
+
+	a.meta.Shape[0] = newLen
+	return a.writeMeta()
+}

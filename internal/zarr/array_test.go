@@ -1,0 +1,372 @@
+package zarr
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestCreateOpenRoundTrip1D(t *testing.T) {
+	store := NewMemStore()
+	a, err := Create(store, "m/loss", []int{10}, []int{4}, Float64, GzipCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if err := a.WriteFloat64(in); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(store, "m/loss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := b.ReadFloat64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("out[%d] = %v, want %v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestRoundTrip2D(t *testing.T) {
+	store := NewMemStore()
+	a, err := Create(store, "grid", []int{5, 7}, []int{2, 3}, Float64, RawCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]float64, 35)
+	for i := range in {
+		in[i] = float64(i) * 1.5
+	}
+	if err := a.WriteFloat64(in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := a.ReadFloat64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("2D mismatch at %d: %v != %v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestRoundTrip3D(t *testing.T) {
+	store := NewMemStore()
+	shape := []int{3, 4, 5}
+	a, err := Create(store, "cube", shape, []int{2, 3, 2}, Float32, GzipCodec{Level: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]float64, 60)
+	for i := range in {
+		in[i] = float64(i) / 4 // exactly representable in float32
+	}
+	if err := a.WriteFloat64(in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := a.ReadFloat64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("3D mismatch at %d: %v != %v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestDTypes(t *testing.T) {
+	for _, dt := range []DType{Float64, Float32, Int64, Int32} {
+		store := NewMemStore()
+		a, err := Create(store, "x", []int{6}, []int{4}, dt, RawCodec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := []float64{1, 2, 3, -4, 5, 100}
+		if err := a.WriteFloat64(in); err != nil {
+			t.Fatal(err)
+		}
+		out, err := a.ReadFloat64()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range in {
+			if in[i] != out[i] {
+				t.Errorf("dtype %s: out[%d] = %v, want %v", dt, i, out[i], in[i])
+			}
+		}
+	}
+}
+
+func TestAppend(t *testing.T) {
+	store := NewMemStore()
+	a, err := Create(store, "series", []int{0}, []int{5}, Float64, GzipCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []float64
+	for round := 0; round < 13; round++ {
+		batch := make([]float64, round%4+1)
+		for i := range batch {
+			batch[i] = float64(round*10 + i)
+		}
+		want = append(want, batch...)
+		if err := a.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reopened, err := Open(store, "series")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := reopened.ReadFloat64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("append[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAppendRejectsND(t *testing.T) {
+	a, err := Create(NewMemStore(), "x", []int{2, 2}, []int{2, 2}, Float64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Append([]float64{1}); err == nil {
+		t.Fatal("Append on 2-D array must fail")
+	}
+}
+
+func TestAppendQuick(t *testing.T) {
+	// Property: any sequence of appends reads back as the concatenation.
+	f := func(batches [][]float64) bool {
+		store := NewMemStore()
+		a, err := Create(store, "q", []int{0}, []int{7}, Float64, GzipCodec{})
+		if err != nil {
+			return false
+		}
+		var want []float64
+		for _, b := range batches {
+			for i, v := range b {
+				if math.IsNaN(v) {
+					b[i] = 0
+				}
+			}
+			if len(b) > 100 {
+				b = b[:100]
+			}
+			want = append(want, b...)
+			if err := a.Append(b); err != nil {
+				return false
+			}
+		}
+		got, err := a.ReadFloat64()
+		if err != nil || len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirStore(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDirStore(filepath.Join(dir, "arrays"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Create(store, "metrics/loss", []int{100}, []int{32}, Float64, GzipCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]float64, 100)
+	rng := rand.New(rand.NewSource(7))
+	for i := range in {
+		in[i] = rng.NormFloat64()
+	}
+	if err := a.WriteFloat64(in); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(store, "metrics/loss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := b.ReadFloat64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("dirstore mismatch at %d", i)
+		}
+	}
+	keys, err := store.List("metrics/loss/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 5 { // .zarray + 4 chunks
+		t.Errorf("keys = %v, want 5 entries", keys)
+	}
+	n, err := store.TotalBytes()
+	if err != nil || n <= 0 {
+		t.Errorf("TotalBytes = %d, %v", n, err)
+	}
+}
+
+func TestCorruptChunkDetected(t *testing.T) {
+	store := NewMemStore()
+	a, err := Create(store, "x", []int{8}, []int{4}, Float64, GzipCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteFloat64([]float64{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Set("x/0", []byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ReadFloat64(); err == nil {
+		t.Fatal("corrupt chunk must surface an error")
+	}
+}
+
+func TestTruncatedRawChunkDetected(t *testing.T) {
+	store := NewMemStore()
+	a, err := Create(store, "x", []int{4}, []int{4}, Float64, RawCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteFloat64([]float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := store.Get("x/0")
+	if err := store.Set("x/0", raw[:len(raw)-3]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ReadFloat64(); err == nil {
+		t.Fatal("truncated chunk must surface an error")
+	}
+}
+
+func TestMissingChunkIsFill(t *testing.T) {
+	store := NewMemStore()
+	a, err := Create(store, "x", []int{8}, []int{4}, Float64, RawCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only write the second chunk by appending metadata tricks: write all
+	// then delete chunk 0.
+	if err := a.WriteFloat64([]float64{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Delete("x/0"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := a.ReadFloat64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if out[i] != 0 {
+			t.Errorf("missing chunk should read as fill value, got %v", out[i])
+		}
+	}
+	if out[5] != 6 {
+		t.Errorf("present chunk corrupted: %v", out[5])
+	}
+}
+
+func TestOpenMissingArray(t *testing.T) {
+	if _, err := Open(NewMemStore(), "nope"); err == nil {
+		t.Fatal("opening a missing array must fail")
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	store := NewMemStore()
+	if _, err := Create(store, "a", []int{4}, []int{4, 4}, Float64, nil); err == nil {
+		t.Error("rank mismatch must fail")
+	}
+	if _, err := Create(store, "b", []int{4}, []int{0}, Float64, nil); err == nil {
+		t.Error("zero chunk must fail")
+	}
+	if _, err := Create(store, "c", []int{4}, []int{2}, DType("<c16"), nil); err == nil {
+		t.Error("bad dtype must fail")
+	}
+}
+
+func TestGzipSmallerThanRawForSmoothData(t *testing.T) {
+	smooth := make([]float64, 4096)
+	for i := range smooth {
+		smooth[i] = math.Floor(float64(i) / 100)
+	}
+	rawStore, gzStore := NewMemStore(), NewMemStore()
+	ra, _ := Create(rawStore, "x", []int{4096}, []int{1024}, Float64, RawCodec{})
+	ga, _ := Create(gzStore, "x", []int{4096}, []int{1024}, Float64, GzipCodec{})
+	if err := ra.WriteFloat64(smooth); err != nil {
+		t.Fatal(err)
+	}
+	if err := ga.WriteFloat64(smooth); err != nil {
+		t.Fatal(err)
+	}
+	if gzStore.TotalBytes() >= rawStore.TotalBytes() {
+		t.Errorf("gzip (%d B) should beat raw (%d B) on smooth data",
+			gzStore.TotalBytes(), rawStore.TotalBytes())
+	}
+}
+
+func TestMemStoreIsolation(t *testing.T) {
+	s := NewMemStore()
+	v := []byte{1, 2, 3}
+	if err := s.Set("k", v); err != nil {
+		t.Fatal(err)
+	}
+	v[0] = 99
+	got, err := s.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Error("MemStore must copy values on Set")
+	}
+	got[1] = 99
+	got2, _ := s.Get("k")
+	if got2[1] != 2 {
+		t.Error("MemStore must copy values on Get")
+	}
+}
+
+func TestDirStoreMissingKey(t *testing.T) {
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Get("missing"); !IsNotExist(err) {
+		t.Errorf("want not-exist error, got %v", err)
+	}
+	if err := store.Delete("missing"); err != nil {
+		t.Errorf("deleting missing key should be nil, got %v", err)
+	}
+	_ = os.RemoveAll(store.Root())
+}

@@ -1,0 +1,68 @@
+package zarr
+
+import "testing"
+
+func TestAttrsRoundTrip(t *testing.T) {
+	store := NewMemStore()
+	a, err := Create(store, "x", []int{4}, []int{4}, Float64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetAttrs(map[string]interface{}{"metric": "loss", "points": 4}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(store, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs, err := b.Attrs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attrs["metric"] != "loss" {
+		t.Errorf("attrs = %v", attrs)
+	}
+	if attrs["points"].(float64) != 4 {
+		t.Errorf("points = %v", attrs["points"])
+	}
+}
+
+func TestAttrsMissingIsEmpty(t *testing.T) {
+	store := NewMemStore()
+	a, err := Create(store, "x", []int{1}, []int{1}, Float64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs, err := a.Attrs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attrs) != 0 {
+		t.Errorf("attrs = %v", attrs)
+	}
+}
+
+func TestAttrsCorrupt(t *testing.T) {
+	store := NewMemStore()
+	a, err := Create(store, "x", []int{1}, []int{1}, Float64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Set("x/.zattrs", []byte("{broken")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Attrs(); err == nil {
+		t.Fatal("corrupt attrs must error")
+	}
+}
+
+func TestAttrsUnencodable(t *testing.T) {
+	store := NewMemStore()
+	a, err := Create(store, "x", []int{1}, []int{1}, Float64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetAttrs(map[string]interface{}{"bad": make(chan int)}); err == nil {
+		t.Fatal("unencodable attrs must error")
+	}
+}

@@ -1,0 +1,92 @@
+package zarr
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// Codec compresses and decompresses chunk payloads.
+type Codec interface {
+	// ID is the codec identifier recorded in array metadata.
+	ID() string
+	// Encode compresses src.
+	Encode(src []byte) ([]byte, error)
+	// Decode decompresses src.
+	Decode(src []byte) ([]byte, error)
+}
+
+// RawCodec stores chunks uncompressed.
+type RawCodec struct{}
+
+// ID implements Codec.
+func (RawCodec) ID() string { return "raw" }
+
+// Encode implements Codec.
+func (RawCodec) Encode(src []byte) ([]byte, error) {
+	out := make([]byte, len(src))
+	copy(out, src)
+	return out, nil
+}
+
+// Decode implements Codec.
+func (RawCodec) Decode(src []byte) ([]byte, error) {
+	out := make([]byte, len(src))
+	copy(out, src)
+	return out, nil
+}
+
+// GzipCodec compresses chunks with gzip at the configured level.
+type GzipCodec struct {
+	Level int
+}
+
+// ID implements Codec.
+func (GzipCodec) ID() string { return "gzip" }
+
+// Encode implements Codec.
+func (c GzipCodec) Encode(src []byte) ([]byte, error) {
+	level := c.Level
+	if level == 0 {
+		level = gzip.DefaultCompression
+	}
+	var buf bytes.Buffer
+	w, err := gzip.NewWriterLevel(&buf, level)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(src); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode implements Codec.
+func (GzipCodec) Decode(src []byte) ([]byte, error) {
+	r, err := gzip.NewReader(bytes.NewReader(src))
+	if err != nil {
+		return nil, fmt.Errorf("zarr: corrupt gzip chunk: %w", err)
+	}
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("zarr: corrupt gzip chunk: %w", err)
+	}
+	return out, nil
+}
+
+// codecByID resolves the codec named in array metadata.
+func codecByID(id string) (Codec, error) {
+	switch id {
+	case "", "raw":
+		return RawCodec{}, nil
+	case "gzip":
+		return GzipCodec{}, nil
+	default:
+		return nil, fmt.Errorf("zarr: unknown codec %q", id)
+	}
+}
