@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test vet race bench bench-key bench-report ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark suite (tables, figures, ablations). One iteration per
+# benchmark keeps it tractable; raise -benchtime for stable numbers.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# The five hot-path benchmarks tracked in BENCH_PR1.json.
+bench-key:
+	$(GO) test -run '^$$' -bench 'BenchmarkLogMetric$$|BenchmarkZarrAppend$$|BenchmarkLineage$$|BenchmarkBuildProv$$' -benchtime 1s .
+
+# Regenerate the committed performance-trajectory report.
+bench-report:
+	$(GO) run ./cmd/benchreport -out BENCH_PR1.json
+
+ci: build vet test race

@@ -1,0 +1,210 @@
+// Command benchreport runs the five key hot-path benchmarks the PR-1
+// performance work targets — LogMetric, ZarrAppend, Lineage/graphdb,
+// Lineage/document-scan, BuildProv — and writes a JSON report comparing
+// them against the recorded seed baseline, seeding the repository's
+// performance trajectory.
+//
+// Usage:
+//
+//	go run ./cmd/benchreport [-out BENCH_PR1.json] [-benchtime 1s]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/prov"
+	"repro/internal/provstore"
+	"repro/internal/zarr"
+)
+
+// seedNsPerOp is the seed-tree baseline (commit 1350407 plus the missing
+// go.mod), measured with -benchtime 1s on the reference CI machine.
+var seedNsPerOp = map[string]float64{
+	"LogMetric":             679.6,
+	"BuildProv":             42613,
+	"Lineage/graphdb":       672681,
+	"Lineage/document-scan": 331921,
+	"ZarrAppend":            351434,
+}
+
+type row struct {
+	Name      string  `json:"name"`
+	SeedNsOp  float64 `json:"seed_ns_op"`
+	NsOp      float64 `json:"ns_op"`
+	Speedup   float64 `json:"speedup"`
+	Allocs    int64   `json:"allocs_per_op"`
+	BytesIter int64   `json:"bytes_per_op"`
+}
+
+type report struct {
+	Generated string `json:"generated"`
+	GoVersion string `json:"go_version"`
+	Benchtime string `json:"benchtime"`
+	Unit      string `json:"unit"`
+	Rows      []row  `json:"benchmarks"`
+}
+
+func benchRun() *core.Run {
+	exp := core.NewExperiment("bench")
+	return exp.StartRun("r",
+		core.WithClock(core.NewSimClock(time.Unix(0, 0), time.Microsecond)),
+		core.WithStorage(core.StorageInline))
+}
+
+func lineageFixture(depth int) (*provstore.Store, *prov.Document) {
+	d := prov.NewDocument()
+	prev := prov.QName("")
+	for i := 0; i < depth; i++ {
+		e := prov.NewQName("ex", fmt.Sprintf("e%d", i))
+		a := prov.NewQName("ex", fmt.Sprintf("a%d", i))
+		d.AddEntity(e, nil)
+		d.AddActivity(a, nil)
+		if prev != "" {
+			d.Used(a, prev, time.Time{})
+		}
+		d.WasGeneratedBy(e, a, time.Time{})
+		prev = e
+	}
+	s := provstore.New()
+	if err := s.Put("chain", d); err != nil {
+		panic(err)
+	}
+	return s, d
+}
+
+func main() {
+	testing.Init() // register test.* flags so benchtime is settable
+	out := flag.String("out", "BENCH_PR1.json", "output path for the JSON report")
+	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark target run time")
+	flag.Parse()
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+
+	// The lineage fixture is built inside the benchmark bodies (before the
+	// timer reset) so its multi-megabyte graph is not live heap inflating
+	// GC scans of the unrelated benchmarks.
+	leaf := prov.NewQName("ex", "e399")
+
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"LogMetric", func(b *testing.B) {
+			run := benchRun()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := run.LogMetric("loss", metrics.Training, int64(i), float64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"BuildProv", func(b *testing.B) {
+			run := benchRun()
+			for i := 0; i < 1000; i++ {
+				_ = run.LogMetric("loss", metrics.Training, int64(i), float64(i))
+			}
+			for i := 0; i < 20; i++ {
+				_ = run.LogParam(fmt.Sprintf("p%d", i), i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := run.BuildProv(nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"Lineage/graphdb", func(b *testing.B) {
+			store, _ := lineageFixture(400)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nodes, err := store.Lineage("chain", leaf, provstore.Ancestors, 0)
+				if err != nil || len(nodes) == 0 {
+					b.Fatalf("%v %v", len(nodes), err)
+				}
+			}
+		}},
+		{"Lineage/document-scan", func(b *testing.B) {
+			_, doc := lineageFixture(400)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := doc.Ancestors(leaf); len(got) == 0 {
+					b.Fatal("no ancestors")
+				}
+			}
+		}},
+		{"ZarrAppend", func(b *testing.B) {
+			st := zarr.NewMemStore()
+			arr, err := zarr.Create(st, "loss", []int{0}, []int{4096}, zarr.Float64, zarr.GzipCodec{Level: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := []float64{0}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf[0] = float64(i)
+				if err := arr.Append(buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+
+	rep := report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Benchtime: benchtime.String(),
+		Unit:      "ns/op",
+	}
+	const rounds = 3 // median-of-3 damps heap-carryover noise between benches
+	for _, bench := range benches {
+		fmt.Fprintf(os.Stderr, "running %-24s", bench.name)
+		results := make([]testing.BenchmarkResult, 0, rounds)
+		for i := 0; i < rounds; i++ {
+			runtime.GC()
+			results = append(results, testing.Benchmark(bench.fn))
+		}
+		// Report the whole median round so time and allocation columns
+		// describe the same run.
+		sort.Slice(results, func(i, j int) bool {
+			return float64(results[i].T.Nanoseconds())/float64(results[i].N) <
+				float64(results[j].T.Nanoseconds())/float64(results[j].N)
+		})
+		res := results[rounds/2]
+		ns := float64(res.T.Nanoseconds()) / float64(res.N)
+		r := row{
+			Name:      bench.name,
+			SeedNsOp:  seedNsPerOp[bench.name],
+			NsOp:      ns,
+			Allocs:    res.AllocsPerOp(),
+			BytesIter: res.AllocedBytesPerOp(),
+		}
+		if ns > 0 {
+			r.Speedup = r.SeedNsOp / ns
+		}
+		fmt.Fprintf(os.Stderr, " %12.1f ns/op  (seed %12.1f, %6.1fx)\n", ns, r.SeedNsOp, r.Speedup)
+		rep.Rows = append(rep.Rows, r)
+	}
+
+	payload, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	payload = append(payload, '\n')
+	if err := os.WriteFile(*out, payload, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

@@ -183,7 +183,7 @@ type Run struct {
 	storage MetricStorage
 	started time.Time
 
-	mu         sync.Mutex
+	mu         sync.RWMutex
 	params     []param
 	artifacts  []Artifact
 	collectors []Collector
@@ -308,19 +308,31 @@ func (r *Run) LogParam(name string, value interface{}, opts ...LogOption) error 
 }
 
 // LogMetric appends one observation of a time-varying quantity in the
-// given context at the given step.
+// given context at the given step. It is the logging hot path: the
+// common case (context already registered) only read-locks the run, so
+// data-parallel workers logging concurrently contend solely on the
+// metric collection's lock stripe for their own series.
 func (r *Run) LogMetric(name string, ctx metrics.Context, step int64, value float64) error {
-	r.mu.Lock()
-	if r.ended {
-		r.mu.Unlock()
-		return errEnded(r.ID)
-	}
-	r.contexts[ctx] = true
+	r.mu.RLock()
+	ended := r.ended
+	known := r.contexts[ctx]
 	epoch := 0
 	if cur := r.curEpoch[ctx]; cur != nil {
 		epoch = cur.Index
 	}
-	r.mu.Unlock()
+	r.mu.RUnlock()
+	if ended {
+		return errEnded(r.ID)
+	}
+	if !known {
+		r.mu.Lock()
+		if r.ended {
+			r.mu.Unlock()
+			return errEnded(r.ID)
+		}
+		r.contexts[ctx] = true
+		r.mu.Unlock()
+	}
 
 	r.metrics.Log(name, ctx, metrics.Point{
 		Step:  step,

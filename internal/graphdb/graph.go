@@ -4,10 +4,24 @@
 // indexes accelerate lookup, and traversal primitives (neighbors, BFS
 // closure, shortest path) support multi-level lineage exploration. A
 // small pattern-query language is provided in query.go.
+//
+// # Ordering semantics
+//
+// All APIs are deterministic. The exported snapshot accessors sort their
+// results: Neighbors by (Node, Rel), Rels/AllRels/AllNodes by id,
+// Closure/NodesByLabel/FindNodes by node id. Internal traversal
+// (Closure, ShortestPath, query hops) expands neighbors in adjacency
+// insertion order — outgoing before incoming, relationship types in
+// first-use order, edges in creation order within a type — so
+// tie-breaking (e.g. which of two equal-length shortest paths is
+// returned) is stable across runs but follows insertion order, not node
+// id order.
 package graphdb
 
 import (
 	"fmt"
+	"math"
+	"slices"
 	"sort"
 	"sync"
 )
@@ -82,16 +96,108 @@ const (
 	Both
 )
 
+// halfEdge is one end of a relationship as seen from a node's adjacency.
+type halfEdge struct {
+	rel   RelID
+	other NodeID
+}
+
+// bucketSet holds one direction of a node's adjacency, split into
+// per-relationship-type buckets kept in insertion order. The type-filtered
+// traversal that dominates lineage queries selects one bucket directly
+// instead of filtering a flat relationship list.
+type bucketSet struct {
+	types   []string // relationship types in first-use order
+	buckets map[string][]halfEdge
+}
+
+func (b *bucketSet) add(relType string, e halfEdge) {
+	if b.buckets == nil {
+		b.buckets = make(map[string][]halfEdge, 2)
+	}
+	lst, ok := b.buckets[relType]
+	if !ok {
+		b.types = append(b.types, relType)
+	}
+	b.buckets[relType] = append(lst, e)
+}
+
+func (b *bucketSet) remove(relType string, rel RelID) {
+	lst := b.buckets[relType]
+	for i, e := range lst {
+		if e.rel == rel {
+			b.buckets[relType] = append(lst[:i], lst[i+1:]...)
+			return
+		}
+	}
+}
+
+// forEach visits the bucket edges in deterministic order; fn returning
+// false stops the iteration, and forEach reports whether it ran to
+// completion.
+func (b *bucketSet) forEach(relType string, fn func(other NodeID, rel RelID) bool) bool {
+	if relType != "" {
+		for _, e := range b.buckets[relType] {
+			if !fn(e.other, e.rel) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, t := range b.types {
+		for _, e := range b.buckets[t] {
+			if !fn(e.other, e.rel) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// nodeAdj is a node's full adjacency.
+type nodeAdj struct {
+	out bucketSet
+	in  bucketSet
+}
+
+// propKey is an allocation-free comparable key for an indexable property
+// value: one struct instead of a formatted string.
+type propKey struct {
+	kind byte   // 's' string, 'i' int64, 'f' float64, 'b' bool, 0 invalid
+	str  string // set for 's'
+	bits uint64 // int64 / float64 / bool payload
+}
+
+// makePropKey renders an indexable property value as a comparable key.
+func makePropKey(v interface{}) propKey {
+	switch x := v.(type) {
+	case string:
+		return propKey{kind: 's', str: x}
+	case int64:
+		return propKey{kind: 'i', bits: uint64(x)}
+	case int:
+		return propKey{kind: 'i', bits: uint64(int64(x))}
+	case float64:
+		return propKey{kind: 'f', bits: math.Float64bits(x)}
+	case bool:
+		var b uint64
+		if x {
+			b = 1
+		}
+		return propKey{kind: 'b', bits: b}
+	}
+	return propKey{str: fmt.Sprint(v)}
+}
+
 // Graph is the engine. All methods are safe for concurrent use.
 type Graph struct {
 	mu      sync.RWMutex
 	nodes   map[NodeID]*Node
 	rels    map[RelID]*Rel
-	out     map[NodeID][]RelID
-	in      map[NodeID][]RelID
+	adj     map[NodeID]*nodeAdj
 	byLabel map[string]map[NodeID]struct{}
 	// propIndex[label][prop][valueKey] -> node set
-	propIndex map[string]map[string]map[string]map[NodeID]struct{}
+	propIndex map[string]map[string]map[propKey]map[NodeID]struct{}
 	nextNode  NodeID
 	nextRel   RelID
 }
@@ -101,28 +207,10 @@ func New() *Graph {
 	return &Graph{
 		nodes:     make(map[NodeID]*Node),
 		rels:      make(map[RelID]*Rel),
-		out:       make(map[NodeID][]RelID),
-		in:        make(map[NodeID][]RelID),
+		adj:       make(map[NodeID]*nodeAdj),
 		byLabel:   make(map[string]map[NodeID]struct{}),
-		propIndex: make(map[string]map[string]map[string]map[NodeID]struct{}),
+		propIndex: make(map[string]map[string]map[propKey]map[NodeID]struct{}),
 	}
-}
-
-// valueKey renders an indexable property value as a map key.
-func valueKey(v interface{}) string {
-	switch x := v.(type) {
-	case string:
-		return "s:" + x
-	case int64:
-		return fmt.Sprintf("i:%d", x)
-	case int:
-		return fmt.Sprintf("i:%d", x)
-	case float64:
-		return fmt.Sprintf("f:%g", x)
-	case bool:
-		return fmt.Sprintf("b:%t", x)
-	}
-	return fmt.Sprintf("?:%v", v)
 }
 
 // CreateNode inserts a node and returns its id.
@@ -155,7 +243,7 @@ func (g *Graph) indexNodeLocked(label string, n *Node) {
 	}
 	for prop, values := range idx {
 		if v, ok := n.Props[prop]; ok {
-			key := valueKey(v)
+			key := makePropKey(v)
 			if values[key] == nil {
 				values[key] = make(map[NodeID]struct{})
 			}
@@ -173,8 +261,7 @@ func (g *Graph) unindexNodeLocked(n *Node) {
 		}
 		for prop, values := range idx {
 			if v, ok := n.Props[prop]; ok {
-				key := valueKey(v)
-				if set, ok := values[key]; ok {
+				if set, ok := values[makePropKey(v)]; ok {
 					delete(set, n.ID)
 				}
 			}
@@ -191,6 +278,22 @@ func (g *Graph) GetNode(id NodeID) (Node, bool) {
 		return Node{}, false
 	}
 	return Node{ID: n.ID, Labels: append([]string(nil), n.Labels...), Props: n.Props.Clone()}, true
+}
+
+// StringProps resolves the string-valued property at key for each id in
+// a single pass, without cloning nodes. Missing nodes or non-string
+// values yield "".
+func (g *Graph) StringProps(ids []NodeID, key string) []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		if n := g.nodes[id]; n != nil {
+			s, _ := n.Props[key].(string)
+			out[i] = s
+		}
+	}
+	return out
 }
 
 // SetProps merges the given properties into the node.
@@ -223,16 +326,26 @@ func (g *Graph) DeleteNode(id NodeID) error {
 	if !ok {
 		return fmt.Errorf("graphdb: node %d does not exist", id)
 	}
-	for _, rid := range append(append([]RelID(nil), g.out[id]...), g.in[id]...) {
-		g.deleteRelLocked(rid)
+	if ad := g.adj[id]; ad != nil {
+		var doomed []RelID
+		ad.out.forEach("", func(_ NodeID, rel RelID) bool {
+			doomed = append(doomed, rel)
+			return true
+		})
+		ad.in.forEach("", func(_ NodeID, rel RelID) bool {
+			doomed = append(doomed, rel)
+			return true
+		})
+		for _, rid := range doomed {
+			g.deleteRelLocked(rid)
+		}
 	}
 	g.unindexNodeLocked(n)
 	for _, l := range n.Labels {
 		delete(g.byLabel[l], id)
 	}
 	delete(g.nodes, id)
-	delete(g.out, id)
-	delete(g.in, id)
+	delete(g.adj, id)
 	return nil
 }
 
@@ -253,9 +366,18 @@ func (g *Graph) CreateRel(from, to NodeID, relType string, props Props) (RelID, 
 	g.nextRel++
 	id := g.nextRel
 	g.rels[id] = &Rel{ID: id, Type: relType, From: from, To: to, Props: props}
-	g.out[from] = append(g.out[from], id)
-	g.in[to] = append(g.in[to], id)
+	g.adjFor(from).out.add(relType, halfEdge{rel: id, other: to})
+	g.adjFor(to).in.add(relType, halfEdge{rel: id, other: from})
 	return id, nil
+}
+
+func (g *Graph) adjFor(id NodeID) *nodeAdj {
+	ad := g.adj[id]
+	if ad == nil {
+		ad = &nodeAdj{}
+		g.adj[id] = ad
+	}
+	return ad
 }
 
 // GetRel returns a copy of the relationship.
@@ -285,18 +407,13 @@ func (g *Graph) deleteRelLocked(id RelID) {
 	if !ok {
 		return
 	}
-	g.out[r.From] = removeRelID(g.out[r.From], id)
-	g.in[r.To] = removeRelID(g.in[r.To], id)
-	delete(g.rels, id)
-}
-
-func removeRelID(list []RelID, id RelID) []RelID {
-	for i, x := range list {
-		if x == id {
-			return append(list[:i], list[i+1:]...)
-		}
+	if ad := g.adj[r.From]; ad != nil {
+		ad.out.remove(r.Type, id)
 	}
-	return list
+	if ad := g.adj[r.To]; ad != nil {
+		ad.in.remove(r.Type, id)
+	}
+	delete(g.rels, id)
 }
 
 // NodeCount returns the number of nodes.
@@ -325,7 +442,7 @@ func sortedNodeIDs(set map[NodeID]struct{}) []NodeID {
 	for id := range set {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -334,14 +451,14 @@ func (g *Graph) CreateIndex(label, prop string) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.propIndex[label] == nil {
-		g.propIndex[label] = make(map[string]map[string]map[NodeID]struct{})
+		g.propIndex[label] = make(map[string]map[propKey]map[NodeID]struct{})
 	}
-	values := make(map[string]map[NodeID]struct{})
+	values := make(map[propKey]map[NodeID]struct{})
 	g.propIndex[label][prop] = values
 	for id := range g.byLabel[label] {
 		n := g.nodes[id]
 		if v, ok := n.Props[prop]; ok {
-			key := valueKey(v)
+			key := makePropKey(v)
 			if values[key] == nil {
 				values[key] = make(map[NodeID]struct{})
 			}
@@ -368,20 +485,21 @@ func (g *Graph) FindNodes(label, prop string, value interface{}) []NodeID {
 	if iv, ok := value.(int); ok {
 		value = int64(iv)
 	}
+	want := makePropKey(value)
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	if idx, ok := g.propIndex[label]; ok {
 		if values, ok := idx[prop]; ok {
-			return sortedNodeIDs(values[valueKey(value)])
+			return sortedNodeIDs(values[want])
 		}
 	}
 	var out []NodeID
 	for id := range g.byLabel[label] {
-		if v, ok := g.nodes[id].Props[prop]; ok && valueKey(v) == valueKey(value) {
+		if v, ok := g.nodes[id].Props[prop]; ok && makePropKey(v) == want {
 			out = append(out, id)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -392,30 +510,15 @@ type Neighbor struct {
 }
 
 // Neighbors returns adjacent nodes in the given direction, optionally
-// filtered by relationship type ("" matches all), sorted by node id.
+// filtered by relationship type ("" matches all), sorted by (Node, Rel).
 func (g *Graph) Neighbors(id NodeID, dir Direction, relType string) []Neighbor {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	var out []Neighbor
-	appendFrom := func(list []RelID, pickTo bool) {
-		for _, rid := range list {
-			r := g.rels[rid]
-			if relType != "" && r.Type != relType {
-				continue
-			}
-			other := r.From
-			if pickTo {
-				other = r.To
-			}
-			out = append(out, Neighbor{Node: other, Rel: rid})
-		}
-	}
-	if dir == Outgoing || dir == Both {
-		appendFrom(g.out[id], true)
-	}
-	if dir == Incoming || dir == Both {
-		appendFrom(g.in[id], false)
-	}
+	g.forEachNeighborLocked(id, dir, relType, func(other NodeID, rel RelID) bool {
+		out = append(out, Neighbor{Node: other, Rel: rel})
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Node != out[j].Node {
 			return out[i].Node < out[j].Node
@@ -425,109 +528,152 @@ func (g *Graph) Neighbors(id NodeID, dir Direction, relType string) []Neighbor {
 	return out
 }
 
+// forEachNeighborLocked streams the adjacency of id without allocating:
+// outgoing edges first, then incoming, each in bucket insertion order.
+// fn returning false stops the walk.
+func (g *Graph) forEachNeighborLocked(id NodeID, dir Direction, relType string, fn func(other NodeID, rel RelID) bool) {
+	ad := g.adj[id]
+	if ad == nil {
+		return
+	}
+	if dir == Outgoing || dir == Both {
+		if !ad.out.forEach(relType, fn) {
+			return
+		}
+	}
+	if dir == Incoming || dir == Both {
+		ad.in.forEach(relType, fn)
+	}
+}
+
+// traversalScratch is reusable BFS state: a head-indexed FIFO queue and a
+// generation-stamped visited array indexed by NodeID, so traversals make
+// zero per-hop allocations and never clear state between runs.
+type traversalScratch struct {
+	visited []uint32
+	prev    []NodeID // only meaningful where visited == gen
+	gen     uint32
+	queue   []NodeID
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return &traversalScratch{} }}
+
+// getScratch leases scratch state able to index node ids up to maxID.
+func getScratch(maxID NodeID) *traversalScratch {
+	sc := scratchPool.Get().(*traversalScratch)
+	if len(sc.visited) <= int(maxID) {
+		sc.visited = make([]uint32, maxID+1)
+		sc.prev = make([]NodeID, maxID+1)
+		sc.gen = 0
+	}
+	sc.gen++
+	if sc.gen == 0 { // generation counter wrapped: stamps are stale
+		clear(sc.visited)
+		sc.gen = 1
+	}
+	sc.queue = sc.queue[:0]
+	return sc
+}
+
 // Closure returns every node reachable from start within maxDepth hops
-// (maxDepth <= 0 means unlimited), excluding start, sorted.
+// (maxDepth <= 0 means unlimited), excluding start, sorted by node id.
 func (g *Graph) Closure(start NodeID, dir Direction, relType string, maxDepth int) []NodeID {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	type qe struct {
-		id    NodeID
-		depth int
+	if _, ok := g.nodes[start]; !ok {
+		return nil
 	}
-	visited := map[NodeID]bool{start: true}
-	queue := []qe{{start, 0}}
+	sc := getScratch(g.nextNode)
+	defer scratchPool.Put(sc)
+	sc.visited[start] = sc.gen
+	sc.queue = append(sc.queue, start)
 	var out []NodeID
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		if maxDepth > 0 && cur.depth >= maxDepth {
-			continue
+	head, depth, levelEnd := 0, 0, 1
+	for head < len(sc.queue) {
+		if head == levelEnd {
+			depth++
+			levelEnd = len(sc.queue)
 		}
-		for _, nb := range g.neighborsLocked(cur.id, dir, relType) {
-			if visited[nb.Node] {
-				continue
-			}
-			visited[nb.Node] = true
-			out = append(out, nb.Node)
-			queue = append(queue, qe{nb.Node, cur.depth + 1})
+		if maxDepth > 0 && depth >= maxDepth {
+			break
 		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-// neighborsLocked is Neighbors without locking, for internal traversals.
-func (g *Graph) neighborsLocked(id NodeID, dir Direction, relType string) []Neighbor {
-	var out []Neighbor
-	appendFrom := func(list []RelID, pickTo bool) {
-		for _, rid := range list {
-			r := g.rels[rid]
-			if relType != "" && r.Type != relType {
-				continue
+		cur := sc.queue[head]
+		head++
+		g.forEachNeighborLocked(cur, dir, relType, func(other NodeID, _ RelID) bool {
+			if sc.visited[other] == sc.gen {
+				return true
 			}
-			other := r.From
-			if pickTo {
-				other = r.To
-			}
-			out = append(out, Neighbor{Node: other, Rel: rid})
-		}
+			sc.visited[other] = sc.gen
+			out = append(out, other)
+			sc.queue = append(sc.queue, other)
+			return true
+		})
 	}
-	if dir == Outgoing || dir == Both {
-		appendFrom(g.out[id], true)
-	}
-	if dir == Incoming || dir == Both {
-		appendFrom(g.in[id], false)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	slices.Sort(out)
 	return out
 }
 
 // ShortestPath returns node ids from -> ... -> to (inclusive), or nil.
+// Among equal-length paths the one discovered first in adjacency
+// insertion order wins.
 func (g *Graph) ShortestPath(from, to NodeID, dir Direction, relType string) []NodeID {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
 	if from == to {
 		return []NodeID{from}
 	}
-	prev := map[NodeID]NodeID{}
-	visited := map[NodeID]bool{from: true}
-	queue := []NodeID{from}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for _, nb := range g.neighborsLocked(cur, dir, relType) {
-			if visited[nb.Node] {
-				continue
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if _, ok := g.nodes[from]; !ok {
+		return nil
+	}
+	sc := getScratch(g.nextNode)
+	defer scratchPool.Put(sc)
+	sc.visited[from] = sc.gen
+	sc.queue = append(sc.queue, from)
+	found := false
+	for head := 0; head < len(sc.queue) && !found; head++ {
+		cur := sc.queue[head]
+		g.forEachNeighborLocked(cur, dir, relType, func(other NodeID, _ RelID) bool {
+			if sc.visited[other] == sc.gen {
+				return true
 			}
-			visited[nb.Node] = true
-			prev[nb.Node] = cur
-			if nb.Node == to {
-				var path []NodeID
-				for n := to; ; n = prev[n] {
-					path = append([]NodeID{n}, path...)
-					if n == from {
-						return path
-					}
-				}
+			sc.visited[other] = sc.gen
+			sc.prev[other] = cur
+			if other == to {
+				found = true
+				return false
 			}
-			queue = append(queue, nb.Node)
+			sc.queue = append(sc.queue, other)
+			return true
+		})
+	}
+	if !found {
+		return nil
+	}
+	var path []NodeID
+	for n := to; ; n = sc.prev[n] {
+		path = append(path, n)
+		if n == from {
+			break
 		}
 	}
-	return nil
+	slices.Reverse(path)
+	return path
 }
 
-// Rels returns copies of all relationships touching the node.
+// Rels returns copies of all relationships touching the node, sorted by
+// relationship id.
 func (g *Graph) Rels(id NodeID) []Rel {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	var out []Rel
-	for _, rid := range g.out[id] {
+	appendRel := func(_ NodeID, rid RelID) bool {
 		r := g.rels[rid]
 		out = append(out, Rel{ID: r.ID, Type: r.Type, From: r.From, To: r.To, Props: r.Props.Clone()})
+		return true
 	}
-	for _, rid := range g.in[id] {
-		r := g.rels[rid]
-		out = append(out, Rel{ID: r.ID, Type: r.Type, From: r.From, To: r.To, Props: r.Props.Clone()})
+	if ad := g.adj[id]; ad != nil {
+		ad.out.forEach("", appendRel)
+		ad.in.forEach("", appendRel)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -563,12 +709,11 @@ func (g *Graph) Clear() {
 	defer g.mu.Unlock()
 	g.nodes = make(map[NodeID]*Node)
 	g.rels = make(map[RelID]*Rel)
-	g.out = make(map[NodeID][]RelID)
-	g.in = make(map[NodeID][]RelID)
+	g.adj = make(map[NodeID]*nodeAdj)
 	g.byLabel = make(map[string]map[NodeID]struct{})
 	for label := range g.propIndex {
 		for prop := range g.propIndex[label] {
-			g.propIndex[label][prop] = make(map[string]map[NodeID]struct{})
+			g.propIndex[label][prop] = make(map[propKey]map[NodeID]struct{})
 		}
 	}
 }

@@ -280,10 +280,11 @@ func (g *Graph) candidates(np nodePattern) []NodeID {
 	}
 	// Unlabeled: scan everything (optionally filtering on the property).
 	var out []NodeID
+	want := makePropKey(np.propVal)
 	for _, n := range g.AllNodes() {
 		if np.hasProp {
 			v, ok := n.Props[np.propKey]
-			if !ok || valueKey(v) != valueKey(np.propVal) {
+			if !ok || makePropKey(v) != want {
 				continue
 			}
 		}
@@ -303,7 +304,7 @@ func (g *Graph) nodeMatches(id NodeID, np nodePattern) bool {
 	}
 	if np.hasProp {
 		v, ok := n.Props[np.propKey]
-		if !ok || valueKey(v) != valueKey(np.propVal) {
+		if !ok || makePropKey(v) != makePropKey(np.propVal) {
 			return false
 		}
 	}
@@ -322,10 +323,12 @@ func (g *Graph) hopTargets(id NodeID, rp relPattern) []NodeID {
 		dir = Both
 		minHops = -minHops
 	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	// Bound unbounded patterns by the graph size: any simple path has at
 	// most NodeCount hops, and level-set expansion below converges once
 	// the frontier repeats, so this cap is safe.
-	if n := g.NodeCount(); maxHops > n {
+	if n := len(g.nodes); maxHops > n {
 		maxHops = n
 	}
 	// Level-set expansion: frontier[d] is the set of nodes reachable in
@@ -336,9 +339,10 @@ func (g *Graph) hopTargets(id NodeID, rp relPattern) []NodeID {
 	for depth := 1; depth <= maxHops; depth++ {
 		next := map[NodeID]struct{}{}
 		for cur := range frontier {
-			for _, nb := range g.Neighbors(cur, dir, rp.relType) {
-				next[nb.Node] = struct{}{}
-			}
+			g.forEachNeighborLocked(cur, dir, rp.relType, func(other NodeID, _ RelID) bool {
+				next[other] = struct{}{}
+				return true
+			})
 		}
 		if depth >= minHops {
 			added := false

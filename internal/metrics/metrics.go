@@ -123,35 +123,71 @@ type Key struct {
 
 func (k Key) String() string { return string(k.Context) + "/" + k.Name }
 
-// Collection is a thread-safe set of series for one run.
-type Collection struct {
+// numShards stripes the collection's lock so data-parallel workers
+// logging different metrics do not serialize on one mutex. Must be a
+// power of two.
+const numShards = 16
+
+type shard struct {
 	mu     sync.RWMutex
 	series map[Key]*Series
 }
 
+// Collection is a thread-safe set of series for one run. Series are
+// spread over lock-striped shards keyed by a hash of (name, context):
+// concurrent Log calls for different series proceed in parallel and only
+// same-series appends contend.
+type Collection struct {
+	shards [numShards]shard
+}
+
 // NewCollection returns an empty collection.
 func NewCollection() *Collection {
-	return &Collection{series: make(map[Key]*Series)}
+	c := &Collection{}
+	for i := range c.shards {
+		c.shards[i].series = make(map[Key]*Series)
+	}
+	return c
+}
+
+// shardFor picks the shard owning key k (FNV-1a over context and name).
+func (c *Collection) shardFor(k Key) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(k.Context); i++ {
+		h = (h ^ uint64(k.Context[i])) * prime64
+	}
+	h = (h ^ '/') * prime64
+	for i := 0; i < len(k.Name); i++ {
+		h = (h ^ uint64(k.Name[i])) * prime64
+	}
+	return &c.shards[h&(numShards-1)]
 }
 
 // Log appends one observation, creating the series on first use.
 func (c *Collection) Log(name string, ctx Context, p Point) {
 	k := Key{Name: name, Context: ctx}
-	c.mu.Lock()
-	s, ok := c.series[k]
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	s, ok := sh.series[k]
 	if !ok {
 		s = &Series{Name: name, Context: ctx}
-		c.series[k] = s
+		sh.series[k] = s
 	}
 	s.Append(p)
-	c.mu.Unlock()
+	sh.mu.Unlock()
 }
 
 // Get returns a copy of the series for the key.
 func (c *Collection) Get(name string, ctx Context) (Series, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	s, ok := c.series[Key{Name: name, Context: ctx}]
+	k := Key{Name: name, Context: ctx}
+	sh := c.shardFor(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	s, ok := sh.series[k]
 	if !ok {
 		return Series{}, false
 	}
@@ -161,11 +197,14 @@ func (c *Collection) Get(name string, ctx Context) (Series, bool) {
 
 // Keys lists all series keys in sorted order.
 func (c *Collection) Keys() []Key {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	keys := make([]Key, 0, len(c.series))
-	for k := range c.series {
-		keys = append(keys, k)
+	var keys []Key
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for k := range sh.series {
+			keys = append(keys, k)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
 	return keys
@@ -173,21 +212,40 @@ func (c *Collection) Keys() []Key {
 
 // TotalPoints counts points across all series.
 func (c *Collection) TotalPoints() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	n := 0
-	for _, s := range c.series {
-		n += len(s.Points)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.series {
+			n += len(s.Points)
+		}
+		sh.mu.RUnlock()
 	}
 	return n
 }
 
+// Snapshot returns deep copies of every series in key order, taking each
+// shard lock exactly once (no per-series relocking).
+func (c *Collection) Snapshot() []Series {
+	var out []Series
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.series {
+			out = append(out, Series{Name: s.Name, Context: s.Context, Points: append([]Point(nil), s.Points...)})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return Key{out[i].Name, out[i].Context}.String() < Key{out[j].Name, out[j].Context}.String()
+	})
+	return out
+}
+
 // Each invokes fn with a snapshot of every series, in key order.
 func (c *Collection) Each(fn func(Series)) {
-	for _, k := range c.Keys() {
-		if s, ok := c.Get(k.Name, k.Context); ok {
-			fn(s)
-		}
+	for _, s := range c.Snapshot() {
+		fn(s)
 	}
 }
 

@@ -54,14 +54,14 @@ func (s *InlineJSONSink) LastPayload() []byte { return s.lastPayload }
 
 // Flush implements Sink.
 func (s *InlineJSONSink) Flush(c *Collection) (map[Key]string, error) {
-	keys := c.Keys()
-	if len(keys) == 0 {
+	snap := c.Snapshot()
+	if len(snap) == 0 {
 		return nil, ErrEmptyCollection
 	}
-	doc := make([]jsonSeries, 0, len(keys))
-	refs := make(map[Key]string, len(keys))
-	for _, k := range keys {
-		series, _ := c.Get(k.Name, k.Context)
+	doc := make([]jsonSeries, 0, len(snap))
+	refs := make(map[Key]string, len(snap))
+	for _, series := range snap {
+		k := Key{Name: series.Name, Context: series.Context}
 		js := jsonSeries{Name: series.Name, Context: string(series.Context)}
 		js.Points = make([]jsonPoint, len(series.Points))
 		for i, p := range series.Points {
@@ -103,8 +103,8 @@ func (s *ZarrSink) Name() string { return "zarr" }
 
 // Flush implements Sink.
 func (s *ZarrSink) Flush(c *Collection) (map[Key]string, error) {
-	keys := c.Keys()
-	if len(keys) == 0 {
+	snap := c.Snapshot()
+	if len(snap) == 0 {
 		return nil, ErrEmptyCollection
 	}
 	if s.Store == nil {
@@ -114,9 +114,9 @@ func (s *ZarrSink) Flush(c *Collection) (map[Key]string, error) {
 	if chunk <= 0 {
 		chunk = 4096
 	}
-	refs := make(map[Key]string, len(keys))
-	for _, k := range keys {
-		series, _ := c.Get(k.Name, k.Context)
+	refs := make(map[Key]string, len(snap))
+	for _, series := range snap {
+		k := Key{Name: series.Name, Context: series.Context}
 		base := sanitize(string(k.Context)) + "/" + sanitize(k.Name)
 		n := len(series.Points)
 		cols := map[string]struct {
@@ -135,11 +135,16 @@ func (s *ZarrSink) Flush(c *Collection) (map[Key]string, error) {
 			cols["tstamp"].data[i] = float64(p.Time.UnixNano()) / 1e9
 		}
 		for col, spec := range cols {
-			arr, err := zarr.Create(s.Store, base+"/"+col, []int{n}, []int{chunk}, spec.dtype, zarr.GzipCodec{})
+			// Stream through the buffered append path and seal with Flush —
+			// the layout is byte-identical to an eager full write.
+			arr, err := zarr.Create(s.Store, base+"/"+col, []int{0}, []int{chunk}, spec.dtype, zarr.GzipCodec{})
 			if err != nil {
 				return nil, fmt.Errorf("metrics: zarr sink %s/%s: %w", base, col, err)
 			}
-			if err := arr.WriteFloat64(spec.data); err != nil {
+			if err := arr.Append(spec.data); err != nil {
+				return nil, fmt.Errorf("metrics: zarr sink %s/%s: %w", base, col, err)
+			}
+			if err := arr.Flush(); err != nil {
 				return nil, fmt.Errorf("metrics: zarr sink %s/%s: %w", base, col, err)
 			}
 			if col == "value" {
@@ -218,15 +223,15 @@ func (s *NetCDFSink) LastPayload() []byte { return s.lastPayload }
 
 // Flush implements Sink.
 func (s *NetCDFSink) Flush(c *Collection) (map[Key]string, error) {
-	keys := c.Keys()
-	if len(keys) == 0 {
+	snap := c.Snapshot()
+	if len(snap) == 0 {
 		return nil, ErrEmptyCollection
 	}
 	f := &netcdf.File{}
 	f.Attrs = append(f.Attrs, netcdf.StrAttr("title", "yProv4ML offloaded metrics"))
-	refs := make(map[Key]string, len(keys))
-	for i, k := range keys {
-		series, _ := c.Get(k.Name, k.Context)
+	refs := make(map[Key]string, len(snap))
+	for i, series := range snap {
+		k := Key{Name: series.Name, Context: series.Context}
 		n := len(series.Points)
 		if n == 0 {
 			continue

@@ -21,20 +21,77 @@ func (d *Document) Edges() []Edge {
 	return out
 }
 
-// adjacency builds forward (subject->object) or reverse adjacency lists.
-func (d *Document) adjacency(reverse bool) map[QName][]QName {
-	adj := make(map[QName][]QName)
-	for _, r := range d.Relations {
-		from, to := r.Subject, r.Object
-		if reverse {
-			from, to = to, from
+// docAdj is a compact per-query adjacency index: every node occurring in
+// a relation gets a dense int32 id, and both orientations are stored as
+// compressed sparse rows. Traversals then run over int32 slices with a
+// flat visited array instead of QName-keyed maps — the same shape as the
+// graphdb engine's traversal core, applied to one document.
+type docAdj struct {
+	ids   map[QName]int32
+	names []QName
+	fwd   csrRows
+	rev   csrRows
+}
+
+type csrRows struct {
+	rowStart []int32
+	targets  []int32
+}
+
+func (c *csrRows) row(id int32) []int32 {
+	return c.targets[c.rowStart[id]:c.rowStart[id+1]]
+}
+
+// buildAdj indexes the document's relations in both orientations.
+// Neighbor rows are sorted by qualified name, preserving the traversal
+// order of the map-based implementation this replaces.
+func (d *Document) buildAdj() *docAdj {
+	a := &docAdj{ids: make(map[QName]int32, 2*len(d.Relations))}
+	idOf := func(q QName) int32 {
+		id, ok := a.ids[q]
+		if !ok {
+			id = int32(len(a.names))
+			a.ids[q] = id
+			a.names = append(a.names, q)
 		}
-		adj[from] = append(adj[from], to)
+		return id
 	}
-	for _, list := range adj {
-		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+	type edge struct{ from, to int32 }
+	edges := make([]edge, len(d.Relations))
+	for i, r := range d.Relations {
+		edges[i] = edge{idOf(r.Subject), idOf(r.Object)}
 	}
-	return adj
+	n := len(a.names)
+	build := func(reverse bool) csrRows {
+		rows := csrRows{rowStart: make([]int32, n+1), targets: make([]int32, len(edges))}
+		for _, e := range edges {
+			from := e.from
+			if reverse {
+				from = e.to
+			}
+			rows.rowStart[from+1]++
+		}
+		for i := 0; i < n; i++ {
+			rows.rowStart[i+1] += rows.rowStart[i]
+		}
+		fill := make([]int32, n)
+		for _, e := range edges {
+			from, to := e.from, e.to
+			if reverse {
+				from, to = to, from
+			}
+			rows.targets[rows.rowStart[from]+fill[from]] = to
+			fill[from]++
+		}
+		for i := 0; i < n; i++ {
+			row := rows.targets[rows.rowStart[i]:rows.rowStart[i+1]]
+			sort.Slice(row, func(x, y int) bool { return a.names[row[x]] < a.names[row[y]] })
+		}
+		return rows
+	}
+	a.fwd = build(false)
+	a.rev = build(true)
+	return a
 }
 
 // Ancestors returns every node reachable from start by following relation
@@ -51,19 +108,27 @@ func (d *Document) Descendants(start QName) []QName {
 }
 
 func (d *Document) closure(start QName, reverse bool) []QName {
-	adj := d.adjacency(reverse)
-	visited := map[QName]bool{start: true}
-	queue := []QName{start}
+	a := d.buildAdj()
+	s, ok := a.ids[start]
+	if !ok {
+		return nil
+	}
+	rows := &a.fwd
+	if reverse {
+		rows = &a.rev
+	}
+	visited := make([]bool, len(a.names))
+	visited[s] = true
+	queue := make([]int32, 1, len(a.names))
+	queue[0] = s
 	var out []QName
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for _, next := range adj[cur] {
+	for head := 0; head < len(queue); head++ {
+		for _, next := range rows.row(queue[head]) {
 			if visited[next] {
 				continue
 			}
 			visited[next] = true
-			out = append(out, next)
+			out = append(out, a.names[next])
 			queue = append(queue, next)
 		}
 	}
@@ -77,27 +142,38 @@ func (d *Document) Path(from, to QName) []QName {
 	if from == to {
 		return []QName{from}
 	}
-	adj := d.adjacency(false)
-	prev := map[QName]QName{}
-	visited := map[QName]bool{from: true}
-	queue := []QName{from}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for _, next := range adj[cur] {
+	a := d.buildAdj()
+	s, ok := a.ids[from]
+	t, ok2 := a.ids[to]
+	if !ok || !ok2 {
+		return nil
+	}
+	visited := make([]bool, len(a.names))
+	prev := make([]int32, len(a.names))
+	visited[s] = true
+	queue := make([]int32, 1, len(a.names))
+	queue[0] = s
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		for _, next := range a.fwd.row(cur) {
 			if visited[next] {
 				continue
 			}
 			visited[next] = true
 			prev[next] = cur
-			if next == to {
-				var path []QName
-				for n := to; ; n = prev[n] {
-					path = append([]QName{n}, path...)
-					if n == from {
-						return path
+			if next == t {
+				var rev []int32
+				for n := t; ; n = prev[n] {
+					rev = append(rev, n)
+					if n == s {
+						break
 					}
 				}
+				path := make([]QName, len(rev))
+				for i, n := range rev {
+					path[len(rev)-1-i] = a.names[n]
+				}
+				return path
 			}
 			queue = append(queue, next)
 		}
@@ -141,29 +217,31 @@ func (d *Document) Subgraph(nodes []QName) *Document {
 // Neighborhood returns the sub-document within the given number of hops
 // of start, ignoring edge direction.
 func (d *Document) Neighborhood(start QName, hops int) *Document {
-	fwd := d.adjacency(false)
-	rev := d.adjacency(true)
-	dist := map[QName]int{start: 0}
-	queue := []QName{start}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		if dist[cur] >= hops {
-			continue
-		}
-		for _, adj := range [2]map[QName][]QName{fwd, rev} {
-			for _, next := range adj[cur] {
-				if _, ok := dist[next]; ok {
-					continue
+	nodes := []QName{start}
+	a := d.buildAdj()
+	if s, ok := a.ids[start]; ok {
+		dist := make([]int, len(a.names))
+		visited := make([]bool, len(a.names))
+		visited[s] = true
+		queue := make([]int32, 1, len(a.names))
+		queue[0] = s
+		for head := 0; head < len(queue); head++ {
+			cur := queue[head]
+			if dist[cur] >= hops {
+				continue
+			}
+			for _, rows := range [2]*csrRows{&a.fwd, &a.rev} {
+				for _, next := range rows.row(cur) {
+					if visited[next] {
+						continue
+					}
+					visited[next] = true
+					dist[next] = dist[cur] + 1
+					nodes = append(nodes, a.names[next])
+					queue = append(queue, next)
 				}
-				dist[next] = dist[cur] + 1
-				queue = append(queue, next)
 			}
 		}
-	}
-	nodes := make([]QName, 0, len(dist))
-	for n := range dist {
-		nodes = append(nodes, n)
 	}
 	return d.Subgraph(nodes)
 }

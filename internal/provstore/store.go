@@ -227,31 +227,44 @@ func (s *Store) Lineage(doc string, node prov.QName, dir LineageDirection, depth
 		return nil, fmt.Errorf("provstore: bad lineage direction %q", dir)
 	}
 	ids := s.g.Closure(nid, gdir, "", depth)
+	// Batch-resolve qualified names: one lock acquisition, no node clones.
+	// Nodes deleted by a concurrent Put/Delete resolve to "" and are
+	// skipped, as the old per-node lookup did.
 	out := make([]prov.QName, 0, len(ids))
-	for _, id := range ids {
-		n, ok := s.g.GetNode(id)
-		if !ok {
-			continue
+	for _, qn := range s.g.StringProps(ids, "qname") {
+		if qn != "" {
+			out = append(out, prov.QName(qn))
 		}
-		qn, _ := n.Props["qname"].(string)
-		out = append(out, prov.QName(qn))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out, nil
 }
 
 // Subgraph extracts the neighborhood of node within hops as a document.
+// The node set is discovered with an undirected graph traversal (the
+// document's relations never leave its own graph projection), then the
+// stored document is induced onto it.
 func (s *Store) Subgraph(doc string, node prov.QName, hops int) (*prov.Document, error) {
 	s.mu.RLock()
 	d, ok := s.docs[doc]
+	nid, found := s.roots[doc][node]
 	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("provstore: document %q does not exist", doc)
 	}
-	if !d.HasNode(node) {
+	if !found {
 		return nil, fmt.Errorf("provstore: node %s not found in document %q", node, doc)
 	}
-	return d.Neighborhood(node, hops), nil
+	nodes := []prov.QName{node}
+	if hops > 0 {
+		ids := s.g.Closure(nid, graphdb.Both, "", hops)
+		for _, qn := range s.g.StringProps(ids, "qname") {
+			if qn != "" { // node deleted by a concurrent writer
+				nodes = append(nodes, prov.QName(qn))
+			}
+		}
+	}
+	return d.Subgraph(nodes), nil
 }
 
 // SearchResult is one match of a cross-document search.
@@ -267,14 +280,14 @@ type SearchResult struct {
 func (s *Store) FindByType(typeName string) []SearchResult {
 	var out []SearchResult
 	for _, label := range []string{"Entity", "Activity", "Agent"} {
-		for _, nid := range s.g.FindNodes(label, "prov:type", typeName) {
-			n, ok := s.g.GetNode(nid)
-			if !ok {
+		ids := s.g.FindNodes(label, "prov:type", typeName)
+		docs := s.g.StringProps(ids, "doc")
+		qns := s.g.StringProps(ids, "qname")
+		for i := range ids {
+			if qns[i] == "" { // node deleted by a concurrent writer
 				continue
 			}
-			doc, _ := n.Props["doc"].(string)
-			qn, _ := n.Props["qname"].(string)
-			out = append(out, SearchResult{Doc: doc, Node: prov.QName(qn), Class: label})
+			out = append(out, SearchResult{Doc: docs[i], Node: prov.QName(qns[i]), Class: label})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -291,14 +304,14 @@ func (s *Store) FindByType(typeName string) []SearchResult {
 func (s *Store) FindByAttr(key string, value interface{}) []SearchResult {
 	var out []SearchResult
 	for _, label := range []string{"Entity", "Activity", "Agent"} {
-		for _, nid := range s.g.FindNodes(label, key, value) {
-			n, ok := s.g.GetNode(nid)
-			if !ok {
+		ids := s.g.FindNodes(label, key, value)
+		docs := s.g.StringProps(ids, "doc")
+		qns := s.g.StringProps(ids, "qname")
+		for i := range ids {
+			if qns[i] == "" { // node deleted by a concurrent writer
 				continue
 			}
-			doc, _ := n.Props["doc"].(string)
-			qn, _ := n.Props["qname"].(string)
-			out = append(out, SearchResult{Doc: doc, Node: prov.QName(qn), Class: label})
+			out = append(out, SearchResult{Doc: docs[i], Node: prov.QName(qns[i]), Class: label})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

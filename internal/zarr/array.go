@@ -7,6 +7,7 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // DType identifies an element type, using NumPy-style codes.
@@ -46,11 +47,24 @@ type Meta struct {
 }
 
 // Array is a chunked N-dimensional array bound to a store path.
+//
+// One-dimensional arrays support buffered appends: Append stages values
+// for the open (unsealed) tail chunk in memory and only compresses and
+// stores a chunk once it fills. Read paths and metadata accessors see
+// through the buffer, but the backing store lags the in-memory state
+// until Flush (or Sync) is called — callers that reopen the array from
+// the store, or that hand the store to another reader, must Flush first.
 type Array struct {
 	store Store
 	path  string // key prefix, e.g. "metrics/loss"
-	meta  Meta
 	codec Codec
+
+	mu        sync.Mutex
+	meta      Meta
+	tail      []float64 // staged elements of the open tail chunk (1-D only)
+	tailStart int       // flat index where tail begins; multiple of the chunk size
+	tailDirty bool      // tail holds values the store has not seen
+	metaDirty bool      // in-memory shape not yet persisted to the store
 }
 
 const (
@@ -123,7 +137,11 @@ func (a *Array) writeMeta() error {
 	if err != nil {
 		return err
 	}
-	return a.store.Set(a.path+"/"+metaKey, raw)
+	if err := a.store.Set(a.path+"/"+metaKey, raw); err != nil {
+		return err
+	}
+	a.metaDirty = false
+	return nil
 }
 
 // SetAttrs writes the array's user attributes (".zattrs" document).
@@ -153,8 +171,11 @@ func (a *Array) Attrs() (map[string]interface{}, error) {
 	return attrs, nil
 }
 
-// Meta returns a copy of the array metadata.
+// Meta returns a copy of the array metadata, including any appended but
+// not yet flushed extent.
 func (a *Array) Meta() Meta {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	m := a.meta
 	m.Shape = append([]int(nil), a.meta.Shape...)
 	m.Chunks = append([]int(nil), a.meta.Chunks...)
@@ -162,10 +183,20 @@ func (a *Array) Meta() Meta {
 }
 
 // Shape returns the current array shape.
-func (a *Array) Shape() []int { return append([]int(nil), a.meta.Shape...) }
+func (a *Array) Shape() []int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]int(nil), a.meta.Shape...)
+}
 
 // Len returns the total number of elements.
 func (a *Array) Len() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lenLocked()
+}
+
+func (a *Array) lenLocked() int {
 	n := 1
 	for _, s := range a.meta.Shape {
 		n *= s
@@ -200,11 +231,18 @@ func (a *Array) chunkElems() int {
 	return n
 }
 
-// WriteFloat64 writes the full array contents from a flat C-order slice.
+// WriteFloat64 writes the full array contents from a flat C-order slice,
+// replacing any buffered tail data.
 func (a *Array) WriteFloat64(data []float64) error {
-	if len(data) != a.Len() {
-		return fmt.Errorf("zarr: data length %d != array size %d", len(data), a.Len())
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(data) != a.lenLocked() {
+		return fmt.Errorf("zarr: data length %d != array size %d", len(data), a.lenLocked())
 	}
+	// The incoming data supersedes anything staged for the tail chunk.
+	a.tail = nil
+	a.tailStart = 0
+	a.tailDirty = false
 	grid := a.gridDims()
 	coords := make([]int, len(grid))
 	for {
@@ -215,20 +253,26 @@ func (a *Array) WriteFloat64(data []float64) error {
 			break
 		}
 	}
+	if a.metaDirty {
+		return a.writeMeta()
+	}
 	return nil
 }
 
-// ReadFloat64 reads the full array into a flat C-order slice.
+// ReadFloat64 reads the full array into a flat C-order slice. Buffered
+// appends are visible even before Flush.
 func (a *Array) ReadFloat64() ([]float64, error) {
-	out := make([]float64, a.Len())
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]float64, a.lenLocked())
 	for i := range out {
 		out[i] = a.meta.FillValue
 	}
-	grid := a.gridDims()
-	coords := make([]int, len(grid))
-	if a.Len() == 0 {
+	if len(out) == 0 {
 		return out, nil
 	}
+	grid := a.gridDims()
+	coords := make([]int, len(grid))
 	for {
 		if err := a.readChunk(coords, out); err != nil {
 			return nil, err
@@ -237,6 +281,9 @@ func (a *Array) ReadFloat64() ([]float64, error) {
 			break
 		}
 	}
+	// The open tail chunk lives in memory; overlay it over whatever the
+	// store holds (a stale flushed copy, or nothing).
+	copy(out[a.tailStart:a.tailStart+len(a.tail)], a.tail)
 	return out, nil
 }
 
@@ -400,73 +447,134 @@ func decodeElems(raw []byte, dt DType, want int) ([]float64, error) {
 	return out, nil
 }
 
-// Append extends a 1-D array with more values, rewriting only the tail
-// chunk. It is the hot path for incremental metric logging.
+// Append extends a 1-D array with more values. It is the hot path for
+// incremental metric logging: values are staged in the in-memory tail
+// buffer and a chunk is compressed and stored only once it fills, making
+// each call amortized O(1). Call Flush to persist the open tail chunk
+// and metadata before the store is read by anyone else.
 func (a *Array) Append(values []float64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if len(a.meta.Shape) != 1 {
 		return fmt.Errorf("zarr: Append requires a 1-D array, got rank %d", len(a.meta.Shape))
 	}
 	if len(values) == 0 {
 		return nil
 	}
-	oldLen := a.meta.Shape[0]
-	chunk := a.meta.Chunks[0]
-
-	// Load the partial tail chunk if the current end is mid-chunk.
-	tailChunk := oldLen / chunk
-	tailStart := tailChunk * chunk
-	var tail []float64
-	if oldLen > tailStart {
-		raw, err := a.store.Get(a.chunkKey([]int{tailChunk}))
-		if err == nil {
-			payload, err := a.codec.Decode(raw)
-			if err != nil {
-				return err
-			}
-			tail, err = decodeElems(payload, a.meta.DType, chunk)
-			if err != nil {
-				return err
-			}
-			tail = tail[:oldLen-tailStart]
-		} else if !IsNotExist(err) {
+	if a.tail == nil {
+		if err := a.activateTailLocked(); err != nil {
 			return err
 		}
 	}
-	if tail == nil {
-		tail = make([]float64, oldLen-tailStart)
-		for i := range tail {
-			tail[i] = a.meta.FillValue
+	chunk := a.meta.Chunks[0]
+	for len(values) > 0 {
+		n := chunk - len(a.tail)
+		if n > len(values) {
+			n = len(values)
+		}
+		a.tail = append(a.tail, values[:n]...)
+		values = values[n:]
+		a.meta.Shape[0] += n
+		a.metaDirty = true
+		a.tailDirty = true
+		if len(a.tail) == chunk {
+			if err := a.sealTailLocked(); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
+}
 
-	combined := append(tail, values...)
-	newLen := oldLen + len(values)
+// activateTailLocked loads any existing partial tail chunk from the
+// store into the staging buffer, switching the array to buffered mode.
+func (a *Array) activateTailLocked() error {
+	chunk := a.meta.Chunks[0]
+	tailChunk := a.meta.Shape[0] / chunk
+	tailStart := tailChunk * chunk
+	a.tailStart = tailStart
+	a.tail = make([]float64, 0, chunk)
+	if rem := a.meta.Shape[0] - tailStart; rem > 0 {
+		raw, err := a.store.Get(a.chunkKey([]int{tailChunk}))
+		if err != nil {
+			if !IsNotExist(err) {
+				return err
+			}
+			// Missing chunk reads as fill values.
+			a.tail = a.tail[:rem]
+			for i := range a.tail {
+				a.tail[i] = a.meta.FillValue
+			}
+			return nil
+		}
+		payload, err := a.codec.Decode(raw)
+		if err != nil {
+			return err
+		}
+		full, err := decodeElems(payload, a.meta.DType, chunk)
+		if err != nil {
+			return err
+		}
+		a.tail = append(a.tail, full[:rem]...)
+	}
+	return nil
+}
 
-	// Write out full/partial chunks from tailChunk onward.
-	for ci := 0; ci*chunk < len(combined); ci++ {
-		lo := ci * chunk
-		hi := lo + chunk
-		buf := make([]float64, chunk)
-		for i := range buf {
+// sealTailLocked compresses and stores the (full) tail chunk and opens
+// the next one.
+func (a *Array) sealTailLocked() error {
+	if err := a.storeTailLocked(); err != nil {
+		return err
+	}
+	a.tailStart += a.meta.Chunks[0]
+	a.tail = a.tail[:0]
+	return nil
+}
+
+// storeTailLocked writes the current tail buffer as a full-shape chunk,
+// padding a partial tail with fill values — byte-identical to the layout
+// an unbuffered write produces.
+func (a *Array) storeTailLocked() error {
+	chunk := a.meta.Chunks[0]
+	buf := a.tail
+	if len(buf) < chunk {
+		buf = make([]float64, chunk)
+		copy(buf, a.tail)
+		for i := len(a.tail); i < chunk; i++ {
 			buf[i] = a.meta.FillValue
 		}
-		if hi > len(combined) {
-			hi = len(combined)
-		}
-		copy(buf, combined[lo:hi])
-		payload, err := encodeElems(buf, a.meta.DType)
-		if err != nil {
-			return err
-		}
-		enc, err := a.codec.Encode(payload)
-		if err != nil {
-			return err
-		}
-		if err := a.store.Set(a.chunkKey([]int{tailChunk + ci}), enc); err != nil {
+	}
+	payload, err := encodeElems(buf, a.meta.DType)
+	if err != nil {
+		return err
+	}
+	enc, err := a.codec.Encode(payload)
+	if err != nil {
+		return err
+	}
+	if err := a.store.Set(a.chunkKey([]int{a.tailStart / chunk}), enc); err != nil {
+		return err
+	}
+	a.tailDirty = false
+	return nil
+}
+
+// Flush persists the open tail chunk (if any) and any pending metadata
+// update to the store. It is cheap when nothing is pending. After Flush
+// the store holds a complete, self-describing array readable by Open.
+func (a *Array) Flush() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.tailDirty && len(a.tail) > 0 {
+		if err := a.storeTailLocked(); err != nil {
 			return err
 		}
 	}
-
-	a.meta.Shape[0] = newLen
-	return a.writeMeta()
+	if a.metaDirty {
+		return a.writeMeta()
+	}
+	return nil
 }
+
+// Sync is an alias for Flush.
+func (a *Array) Sync() error { return a.Flush() }

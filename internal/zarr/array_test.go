@@ -123,6 +123,11 @@ func TestAppend(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Appends are write-behind; persist the open tail chunk and metadata
+	// before handing the store to a fresh reader.
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	reopened, err := Open(store, "series")
 	if err != nil {
 		t.Fatal(err)

@@ -5,6 +5,7 @@ import (
 	"compress/gzip"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Codec compresses and decompresses chunk payloads.
@@ -45,23 +46,46 @@ type GzipCodec struct {
 // ID implements Codec.
 func (GzipCodec) ID() string { return "gzip" }
 
+// gzipWriterPools recycles gzip writers per compression level; allocating
+// a fresh deflate state per chunk dominates small-chunk encode cost.
+var gzipWriterPools sync.Map // int -> *sync.Pool
+
+func gzipWriterPool(level int) *sync.Pool {
+	if p, ok := gzipWriterPools.Load(level); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := gzipWriterPools.LoadOrStore(level, &sync.Pool{
+		New: func() interface{} {
+			w, err := gzip.NewWriterLevel(io.Discard, level)
+			if err != nil {
+				panic(err) // level validated before pool use
+			}
+			return w
+		},
+	})
+	return p.(*sync.Pool)
+}
+
 // Encode implements Codec.
 func (c GzipCodec) Encode(src []byte) ([]byte, error) {
 	level := c.Level
 	if level == 0 {
 		level = gzip.DefaultCompression
 	}
-	var buf bytes.Buffer
-	w, err := gzip.NewWriterLevel(&buf, level)
-	if err != nil {
-		return nil, err
+	if level < gzip.HuffmanOnly || level > gzip.BestCompression {
+		return nil, fmt.Errorf("zarr: invalid gzip level %d", level)
 	}
+	pool := gzipWriterPool(level)
+	w := pool.Get().(*gzip.Writer)
+	var buf bytes.Buffer
+	w.Reset(&buf)
 	if _, err := w.Write(src); err != nil {
 		return nil, err
 	}
 	if err := w.Close(); err != nil {
 		return nil, err
 	}
+	pool.Put(w)
 	return buf.Bytes(), nil
 }
 
