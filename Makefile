@@ -16,17 +16,19 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# Full benchmark suite (tables, figures, ablations). One iteration per
-# benchmark keeps it tractable; raise -benchtime for stable numbers.
+# Full benchmark suite (tables, figures, ablations, durability). One
+# iteration per benchmark keeps it tractable; raise -benchtime for
+# stable numbers.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# The five hot-path benchmarks tracked in BENCH_PR1.json.
+# The tracked hot-path benchmarks (BENCH_PR1/PR2 rows): logging,
+# lineage, Zarr offload, and the WAL durability paths.
 bench-key:
-	$(GO) test -run '^$$' -bench 'BenchmarkLogMetric$$|BenchmarkZarrAppend$$|BenchmarkLineage$$|BenchmarkBuildProv$$' -benchtime 1s .
+	$(GO) test -run '^$$' -bench 'BenchmarkLogMetric$$|BenchmarkZarrAppend$$|BenchmarkLineage$$|BenchmarkBuildProv$$|BenchmarkWALAppend$$|BenchmarkRecovery$$' -benchtime 1s .
 
 # Regenerate the committed performance-trajectory report.
 bench-report:
-	$(GO) run ./cmd/benchreport -out BENCH_PR1.json
+	$(GO) run ./cmd/benchreport -out BENCH_PR2.json
 
 ci: build vet test race

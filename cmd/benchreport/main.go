@@ -1,12 +1,13 @@
-// Command benchreport runs the five key hot-path benchmarks the PR-1
-// performance work targets — LogMetric, ZarrAppend, Lineage/graphdb,
-// Lineage/document-scan, BuildProv — and writes a JSON report comparing
-// them against the recorded seed baseline, seeding the repository's
-// performance trajectory.
+// Command benchreport runs the tracked hot-path benchmarks — the five
+// PR-1 targets (LogMetric, ZarrAppend, Lineage/graphdb,
+// Lineage/document-scan, BuildProv) plus the PR-2 durability paths
+// (WALAppend/nosync, WALAppend/fsync, Recovery) — and writes a JSON
+// report comparing them against the recorded seed baseline, extending
+// the repository's performance trajectory.
 //
 // Usage:
 //
-//	go run ./cmd/benchreport [-out BENCH_PR1.json] [-benchtime 1s]
+//	go run ./cmd/benchreport [-out BENCH_PR2.json] [-benchtime 1s]
 package main
 
 import (
@@ -23,11 +24,14 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/prov"
 	"repro/internal/provstore"
+	"repro/internal/wal"
 	"repro/internal/zarr"
 )
 
 // seedNsPerOp is the seed-tree baseline (commit 1350407 plus the missing
 // go.mod), measured with -benchtime 1s on the reference CI machine.
+// Benchmarks absent from the map (the PR-2 durability paths — the seed
+// had no WAL at all) report a zero seed and no speedup.
 var seedNsPerOp = map[string]float64{
 	"LogMetric":             679.6,
 	"BuildProv":             42613,
@@ -81,9 +85,21 @@ func lineageFixture(depth int) (*provstore.Store, *prov.Document) {
 	return s, d
 }
 
+// tempDir is b.TempDir for bare testing.Benchmark harnesses (which run
+// outside a test binary); cleanup is routed through b.Cleanup the same
+// way.
+func tempDir(b *testing.B) string {
+	dir, err := os.MkdirTemp("", "benchreport-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = os.RemoveAll(dir) })
+	return dir
+}
+
 func main() {
 	testing.Init() // register test.* flags so benchtime is settable
-	out := flag.String("out", "BENCH_PR1.json", "output path for the JSON report")
+	out := flag.String("out", "BENCH_PR2.json", "output path for the JSON report")
 	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark target run time")
 	flag.Parse()
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
@@ -156,6 +172,70 @@ func main() {
 				if err := arr.Append(buf); err != nil {
 					b.Fatal(err)
 				}
+			}
+		}},
+		{"WALAppend/nosync", func(b *testing.B) {
+			l, _, err := wal.Open(tempDir(b), wal.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			payload := make([]byte, 256)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Append(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"WALAppend/fsync", func(b *testing.B) {
+			l, _, err := wal.Open(tempDir(b), wal.Options{Fsync: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			payload := make([]byte, 256)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Append(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"Recovery", func(b *testing.B) {
+			dir := tempDir(b)
+			s, err := provstore.Open(dir, provstore.Durability{SnapshotEvery: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			doc := prov.NewDocument()
+			for i := 0; i < 20; i++ {
+				e := prov.NewQName("ex", fmt.Sprintf("e%d", i))
+				a := prov.NewQName("ex", fmt.Sprintf("a%d", i))
+				doc.AddEntity(e, nil)
+				doc.AddActivity(a, nil)
+				doc.WasGeneratedBy(e, a, time.Time{})
+			}
+			for i := 0; i < 100; i++ {
+				if err := s.Put(fmt.Sprintf("doc-%03d", i), doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := s.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := provstore.Open(dir, provstore.Durability{SnapshotEvery: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s.Count() != 100 {
+					b.Fatalf("recovered %d docs", s.Count())
+				}
+				b.StopTimer()
+				s.Close()
+				b.StartTimer()
 			}
 		}},
 	}

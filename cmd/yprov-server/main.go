@@ -1,15 +1,34 @@
 // Command yprov-server runs the yProv provenance service: a RESTful
-// JSON API over an embedded property-graph document store.
+// JSON API over an embedded property-graph document store, durably
+// backed by a segmented write-ahead log.
 //
 // Usage:
 //
 //	yprov-server [-addr :3000] [-token SECRET]
+//	             [-data-dir DIR] [-fsync] [-snapshot-every N]
+//	             [-export-dir DIR]
+//
+// With -data-dir, every accepted mutation is journaled before it is
+// acknowledged and the store recovers snapshot + journal tail on boot —
+// including after kill -9 (a torn final record is truncated, not
+// fatal). A data directory holding only legacy *.json exports (the old
+// persistence format) is imported into the journal on first boot.
+// SIGINT/SIGTERM trigger a graceful shutdown: stop accepting requests,
+// drain in-flight ones, flush the journal, optionally export PROV-JSON
+// to -export-dir, and exit.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/provservice"
 	"repro/internal/provstore"
@@ -18,38 +37,143 @@ import (
 func main() {
 	addr := flag.String("addr", ":3000", "listen address")
 	token := flag.String("token", "", "bearer token required for mutating requests (empty = open)")
-	data := flag.String("data", "", "data directory for durable document storage (empty = in-memory only)")
+	dataDir := flag.String("data-dir", "", "write-ahead-logged data directory (empty = in-memory only)")
+	fsync := flag.Bool("fsync", true, "fsync the journal before acknowledging mutations (power-loss durability)")
+	snapshotEvery := flag.Int("snapshot-every", 256, "mutations between snapshot+compaction cycles (<0 disables)")
+	exportDir := flag.String("export-dir", "", "also export documents as PROV-JSON files here on graceful shutdown")
 	flag.Parse()
 
-	store := provstore.New()
-	if *data != "" {
-		ids, err := store.LoadFrom(*data)
-		if err != nil {
-			log.Fatalf("loading %s: %v", *data, err)
-		}
-		log.Printf("loaded %d document(s) from %s", len(ids), *data)
+	if *exportDir != "" && *dataDir != "" && samePath(*exportDir, *dataDir) {
+		// Exports into the journal directory would be re-imported as
+		// legacy documents on the next boot (and renamed away).
+		log.Fatalf("-export-dir must differ from -data-dir (%s)", *dataDir)
 	}
+
+	var store *provstore.Store
+	if *dataDir != "" {
+		var err error
+		store, err = provstore.Open(*dataDir, provstore.Durability{
+			Fsync:         *fsync,
+			SnapshotEvery: *snapshotEvery,
+		})
+		if err != nil {
+			log.Fatalf("opening data dir %s: %v", *dataDir, err)
+		}
+		log.Printf("recovered %d document(s) from %s", store.Count(), *dataDir)
+		if store.SuspectBitRot() {
+			log.Printf("WARNING: recovery truncated the journal tail ahead of intact record frames in %s — "+
+				"if this boot does not follow a crash/power loss, suspect disk corruption and verify the document set", *dataDir)
+		}
+		// Gate on un-imported *.json files, not on store emptiness: a
+		// previously failed partial import must resume, and imported
+		// files (renamed *.json.imported) must never re-import.
+		if n, err := importLegacyJSON(store, *dataDir); err != nil {
+			log.Fatalf("importing legacy documents from %s: %v", *dataDir, err)
+		} else if n > 0 {
+			log.Printf("imported %d legacy PROV-JSON document(s) into the journal", n)
+		}
+	} else {
+		store = provstore.New()
+	}
+
 	var opts []provservice.Option
 	if *token != "" {
 		opts = append(opts, provservice.WithToken(*token))
 	}
 	svc := provservice.New(store, opts...)
+	srv := &http.Server{Addr: *addr, Handler: svc}
 
-	handler := http.Handler(svc)
-	if *data != "" {
-		// Persist after every mutating request.
-		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			svc.ServeHTTP(w, r)
-			if r.Method == http.MethodPut || r.Method == http.MethodPost || r.Method == http.MethodDelete {
-				if err := store.SaveTo(*data); err != nil {
-					log.Printf("persisting to %s: %v", *data, err)
-				}
-			}
-		})
-	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
-	log.Printf("yprov-server listening on %s (auth: %v, data: %q)", *addr, *token != "", *data)
-	if err := http.ListenAndServe(*addr, handler); err != nil {
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("yprov-server listening on %s (auth: %v, data: %q, fsync: %v)",
+			*addr, *token != "", *dataDir, *fsync)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		// Listener died on its own; still flush what we have.
+		_ = svc.Close()
 		log.Fatal(err)
+	case <-ctx.Done():
 	}
+	stop() // a second signal kills immediately
+
+	log.Printf("shutting down: draining requests and flushing journal")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if *exportDir != "" {
+		if err := store.SaveTo(*exportDir); err != nil {
+			log.Printf("exporting to %s: %v", *exportDir, err)
+		} else {
+			log.Printf("exported %d document(s) to %s", store.Count(), *exportDir)
+		}
+	}
+	if err := svc.Close(); err != nil {
+		log.Fatalf("closing store: %v", err)
+	}
+	log.Printf("clean shutdown")
+}
+
+// samePath reports whether two paths name the same directory, seeing
+// through relative/absolute aliases and symlinks (best-effort: paths
+// that do not resolve fall back to lexical comparison).
+func samePath(a, b string) bool {
+	ra, errA := filepath.EvalSymlinks(a)
+	rb, errB := filepath.EvalSymlinks(b)
+	if errA == nil && errB == nil {
+		if ia, err := os.Stat(ra); err == nil {
+			if ib, err := os.Stat(rb); err == nil {
+				return os.SameFile(ia, ib)
+			}
+		}
+		a, b = ra, rb
+	}
+	aa, errA := filepath.Abs(a)
+	ab, errB := filepath.Abs(b)
+	if errA == nil && errB == nil {
+		return aa == ab
+	}
+	return filepath.Clean(a) == filepath.Clean(b)
+}
+
+// importLegacyJSON migrates a pre-WAL data directory (one PROV-JSON
+// file per document, the SaveTo format) into the journaled store.
+func importLegacyJSON(store *provstore.Store, dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	hasJSON := false
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			hasJSON = true
+			break
+		}
+	}
+	if !hasJSON {
+		return 0, nil
+	}
+	ids, err := store.LoadFrom(dir)
+	if err != nil {
+		return len(ids), err
+	}
+	// The documents are journaled now; move the originals aside so the
+	// import does not repeat on every boot.
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		old := filepath.Join(dir, e.Name())
+		if err := os.Rename(old, old+".imported"); err != nil {
+			return len(ids), err
+		}
+	}
+	return len(ids), nil
 }

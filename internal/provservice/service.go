@@ -15,11 +15,15 @@ package provservice
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/prov"
 	"repro/internal/provstore"
@@ -32,6 +36,14 @@ type Service struct {
 	mux   *http.ServeMux
 	// MaxBodyBytes bounds uploaded document size (default 64 MiB).
 	MaxBodyBytes int64
+
+	// Graceful shutdown: Close refuses new requests, drains in-flight
+	// ones, then flushes and closes the store. In-flight requests hold
+	// drain.RLock; Close takes the write lock to wait them out.
+	closing   atomic.Bool
+	drain     sync.RWMutex
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // Option configures the service.
@@ -63,7 +75,55 @@ func New(store *provstore.Store, opts ...Option) *Service {
 
 // ServeHTTP implements http.Handler.
 func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "service is shutting down")
+		return
+	}
+	s.drain.RLock()
+	defer s.drain.RUnlock()
+	// Re-check under the lock: Close may have drained between the fast
+	// check and RLock, and must never observe the store in use after
+	// its write lock.
+	if s.closing.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "service is shutting down")
+		return
+	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// drainTimeout bounds how long Close waits for in-flight handlers. A
+// handler stuck on a slow client (the HTTP server's own shutdown
+// deadline has usually expired by then) must not hold the journal
+// flush hostage forever; stragglers see the closed store and get 500s.
+const drainTimeout = 10 * time.Second
+
+// Close drains in-flight requests (new ones get 503), then flushes and
+// closes the underlying store so every acknowledged mutation is durable
+// before the process exits. Idempotent — and every caller, including
+// concurrent ones, blocks until the close has actually completed and
+// gets its real result (a caller must never proceed to process exit
+// while the flush is still running).
+func (s *Service) Close() error {
+	s.closeOnce.Do(func() {
+		s.closing.Store(true)
+		deadline := time.Now().Add(drainTimeout)
+		for {
+			if s.drain.TryLock() {
+				// Drained: no handler is mid-use. Release immediately so
+				// requests that passed the fast closing check but have
+				// not RLocked yet reach their own re-check (and 503)
+				// instead of blocking on a held write lock.
+				s.drain.Unlock()
+				break
+			}
+			if time.Now().After(deadline) {
+				break // proceed without the stragglers; they get 500s
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		s.closeErr = s.store.Close()
+	})
+	return s.closeErr
 }
 
 // errorBody is the JSON error envelope.
@@ -166,6 +226,12 @@ func (s *Service) handleDocumentCRUD(w http.ResponseWriter, r *http.Request, id 
 			return
 		}
 		if err := s.store.Put(id, doc); err != nil {
+			if errors.Is(err, provstore.ErrJournal) {
+				// Durability outage, not a bad document: a 4xx would
+				// tell clients to stop retrying a server-side failure.
+				writeErr(w, http.StatusServiceUnavailable, "%v", err)
+				return
+			}
 			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
 			return
 		}
@@ -176,6 +242,10 @@ func (s *Service) handleDocumentCRUD(w http.ResponseWriter, r *http.Request, id 
 			return
 		}
 		if err := s.store.Delete(id); err != nil {
+			if errors.Is(err, provstore.ErrJournal) {
+				writeErr(w, http.StatusServiceUnavailable, "%v", err)
+				return
+			}
 			writeErr(w, http.StatusNotFound, "%v", err)
 			return
 		}

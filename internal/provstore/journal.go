@@ -1,0 +1,255 @@
+package provstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/prov"
+	"repro/internal/wal"
+)
+
+// ErrJournal wraps every journal (write-ahead log) failure surfaced by
+// Put/Delete, so callers — the HTTP service in particular — can tell a
+// server-side durability outage apart from a bad request.
+var ErrJournal = errors.New("provstore: journal failure")
+
+// Durability: the store journals every Put/Delete to a write-ahead log
+// before acknowledging it, periodically snapshots the full document set,
+// and compacts the log down to snapshot + tail. Open replays whatever a
+// previous process left behind — including a torn final record from a
+// crash mid-write, which is truncated, not fatal.
+
+// Durability configures the journaled store returned by Open.
+type Durability struct {
+	// Fsync makes every acknowledged mutation survive power loss, at
+	// the cost of one (group-committed) fsync per batch. Off, the OS
+	// page cache bounds the loss window to a kernel crash.
+	Fsync bool
+	// SnapshotEvery is the number of mutations between automatic
+	// snapshot+compaction cycles (default 256; negative disables).
+	SnapshotEvery int
+	// SegmentBytes overrides the WAL segment rotation threshold.
+	SegmentBytes int64
+}
+
+const defaultSnapshotEvery = 256
+
+// journalOp is one logged mutation.
+type journalOp struct {
+	Op  string          `json:"op"` // "put" | "delete"
+	ID  string          `json:"id"`
+	Doc json.RawMessage `json:"doc,omitempty"` // PROV-JSON for puts
+}
+
+// storeSnapshot is the full-state snapshot payload.
+type storeSnapshot struct {
+	Docs map[string]json.RawMessage `json:"docs"`
+}
+
+// DurabilityStats extends the raw WAL counters with store-level
+// checkpoint state for the /stats endpoint.
+type DurabilityStats struct {
+	wal.Stats
+	SnapshotEvery  int    `json:"snapshot_every"`
+	SnapshotErrors uint64 `json:"snapshot_errors"`
+	// LastSnapshotError is the most recent checkpoint failure (empty =
+	// none): background checkpoints only count failures, so this is
+	// where the reason surfaces for operators.
+	LastSnapshotError string `json:"last_snapshot_error,omitempty"`
+	// SuspectBitRot: recovery truncated the journal tail ahead of
+	// intact record frames — possibly bit rot over acknowledged data
+	// rather than an interrupted batch write (see
+	// wal.RecoveredState.SuspectBitRot).
+	SuspectBitRot bool `json:"suspect_bit_rot,omitempty"`
+}
+
+// Open builds a store whose state is durably backed by a write-ahead
+// log under dir. It recovers the latest snapshot plus every journaled
+// mutation after it, then resumes journaling. The returned store must
+// be Closed to flush the final batch.
+func Open(dir string, d Durability) (*Store, error) {
+	if d.SnapshotEvery == 0 {
+		d.SnapshotEvery = defaultSnapshotEvery
+	}
+	l, rec, err := wal.Open(dir, wal.Options{Fsync: d.Fsync, SegmentBytes: d.SegmentBytes})
+	if err != nil {
+		return nil, err
+	}
+	s := New()
+	if err := s.restore(rec); err != nil {
+		_ = l.Close()
+		return nil, err
+	}
+	s.wal = l
+	s.snapshotEvery = d.SnapshotEvery
+	s.lastApplied = rec.LastSeq()
+	s.suspectBitRot = rec.SuspectBitRot
+	return s, nil
+}
+
+// SuspectBitRot reports whether recovery truncated the journal tail
+// ahead of intact record frames (see wal.RecoveredState.SuspectBitRot).
+// Callers running a server should log this loudly at boot.
+func (s *Store) SuspectBitRot() bool { return s.suspectBitRot }
+
+// restore replays a recovered snapshot and journal tail into the
+// (not-yet-journaling) store.
+func (s *Store) restore(rec *wal.RecoveredState) error {
+	if rec.SnapshotPayload != nil {
+		var snap storeSnapshot
+		if err := json.Unmarshal(rec.SnapshotPayload, &snap); err != nil {
+			return fmt.Errorf("provstore: recover snapshot: %w", err)
+		}
+		for id, raw := range snap.Docs {
+			doc, err := prov.ParseJSON(raw)
+			if err != nil {
+				return fmt.Errorf("provstore: recover snapshot doc %q: %w", id, err)
+			}
+			s.mu.Lock()
+			err = s.putLocked(id, doc)
+			s.mu.Unlock()
+			if err != nil {
+				return fmt.Errorf("provstore: recover snapshot doc %q: %w", id, err)
+			}
+		}
+	}
+	for _, r := range rec.Records {
+		var op journalOp
+		if err := json.Unmarshal(r.Payload, &op); err != nil {
+			return fmt.Errorf("provstore: recover journal seq %d: %w", r.Seq, err)
+		}
+		switch op.Op {
+		case "put":
+			doc, err := prov.ParseJSON(op.Doc)
+			if err != nil {
+				return fmt.Errorf("provstore: recover journal seq %d (%q): %w", r.Seq, op.ID, err)
+			}
+			s.mu.Lock()
+			err = s.putLocked(op.ID, doc)
+			s.mu.Unlock()
+			if err != nil {
+				return fmt.Errorf("provstore: recover journal seq %d (%q): %w", r.Seq, op.ID, err)
+			}
+		case "delete":
+			s.mu.Lock()
+			if _, ok := s.docs[op.ID]; ok {
+				s.deleteLocked(op.ID)
+			}
+			s.mu.Unlock()
+		default:
+			return fmt.Errorf("provstore: recover journal seq %d: unknown op %q", r.Seq, op.Op)
+		}
+	}
+	return nil
+}
+
+// encodePutOp frames a put for the journal.
+func encodePutOp(id string, doc *prov.Document) ([]byte, error) {
+	raw, err := doc.MarshalJSON()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(journalOp{Op: "put", ID: id, Doc: raw})
+}
+
+// encodeDeleteOp frames a delete for the journal.
+func encodeDeleteOp(id string) ([]byte, error) {
+	return json.Marshal(journalOp{Op: "delete", ID: id})
+}
+
+// maybeSnapshot triggers a checkpoint every SnapshotEvery mutations,
+// on a background goroutine so the unlucky SnapshotEvery-th writer does
+// not absorb the full-store marshal + snapshot fsync latency. Errors
+// are counted (surfaced via Stats), not returned: the mutation itself
+// is already durable in the log, so a failed snapshot only delays
+// compaction. If a checkpoint is still running, the trigger is skipped
+// — the cadence counter will fire again.
+func (s *Store) maybeSnapshot() {
+	if s.snapshotEvery <= 0 {
+		return
+	}
+	if atomic.AddUint64(&s.mutations, 1)%uint64(s.snapshotEvery) != 0 {
+		return
+	}
+	if !s.snapMu.TryLock() {
+		return // checkpoint already in flight
+	}
+	go func() {
+		defer s.snapMu.Unlock()
+		if err := s.checkpointLocked(); err != nil {
+			atomic.AddUint64(&s.snapErrs, 1)
+			s.lastSnapErr.Store(err.Error())
+		}
+	}()
+}
+
+// Checkpoint snapshots the full document set at the current journal
+// position and compacts segments (and snapshots) the new snapshot
+// supersedes. Safe to call concurrently with mutations: the snapshot
+// captures a consistent sequence-stamped view, and records staged after
+// it simply replay on top at recovery.
+func (s *Store) Checkpoint() error {
+	if s.wal == nil {
+		return nil
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	return s.checkpointLocked()
+}
+
+// checkpointLocked does the snapshot+compact cycle. snapMu must be held.
+func (s *Store) checkpointLocked() error {
+	s.mu.RLock()
+	seq := s.lastApplied
+	docs := make(map[string]*prov.Document, len(s.docs))
+	for id, d := range s.docs {
+		docs[id] = d // stored documents are immutable: safe to marshal unlocked
+	}
+	s.mu.RUnlock()
+
+	snap := storeSnapshot{Docs: make(map[string]json.RawMessage, len(docs))}
+	for id, d := range docs {
+		raw, err := d.MarshalJSON()
+		if err != nil {
+			return fmt.Errorf("provstore: checkpoint %q: %w", id, err)
+		}
+		snap.Docs[id] = raw
+	}
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("provstore: checkpoint: %w", err)
+	}
+	if err := s.wal.WriteSnapshot(seq, payload); err != nil {
+		return fmt.Errorf("provstore: checkpoint: %w", err)
+	}
+	if _, err := s.wal.Compact(); err != nil {
+		return fmt.Errorf("provstore: checkpoint compact: %w", err)
+	}
+	return nil
+}
+
+// Sync forces any pending journal records to disk. A no-op for
+// in-memory stores.
+func (s *Store) Sync() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Sync()
+}
+
+// Close flushes and closes the journal, waiting out any checkpoint
+// still running in the background. Further mutations fail; reads keep
+// working. A no-op for in-memory stores, and idempotent.
+func (s *Store) Close() error {
+	if s.wal == nil {
+		return nil
+	}
+	s.snapMu.Lock() // drain an in-flight background checkpoint
+	defer s.snapMu.Unlock()
+	if err := s.wal.Close(); err != nil && err != wal.ErrClosed {
+		return err
+	}
+	return nil
+}

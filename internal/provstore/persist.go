@@ -8,13 +8,18 @@ import (
 	"strings"
 
 	"repro/internal/prov"
+	"repro/internal/wal"
 )
 
-// Persistence: the real yProv service sits on a durable Neo4j instance;
-// this store persists by writing each document as PROV-JSON under a
-// data directory and rebuilding the graph projection on load.
+// Persistence: the real yProv service sits on a durable Neo4j instance.
+// The journaled store (see journal.go) is the crash-safe engine; SaveTo
+// and LoadFrom remain as the plain PROV-JSON export/import path — one
+// readable file per document, usable for backups, interchange, and
+// migrating a pre-WAL data directory.
 
-// SaveTo writes every stored document as <id>.json under dir.
+// SaveTo writes every stored document as <id>.json under dir. Each file
+// lands atomically (temp file + rename), so a crash mid-export leaves
+// old or new complete documents, never partial JSON.
 func (s *Store) SaveTo(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("provstore: save: %w", err)
@@ -28,7 +33,7 @@ func (s *Store) SaveTo(dir string) error {
 		if err != nil {
 			return fmt.Errorf("provstore: save %q: %w", id, err)
 		}
-		if err := os.WriteFile(filepath.Join(dir, encodeID(id)+".json"), payload, 0o644); err != nil {
+		if err := wal.WriteFileAtomic(filepath.Join(dir, encodeID(id)+".json"), payload); err != nil {
 			return fmt.Errorf("provstore: save %q: %w", id, err)
 		}
 	}

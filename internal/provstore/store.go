@@ -10,17 +10,32 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graphdb"
 	"repro/internal/prov"
+	"repro/internal/wal"
 )
 
-// Store is a document store over a property graph.
+// Store is a document store over a property graph. Stores built with
+// New are purely in-memory; stores built with Open additionally journal
+// every mutation to a write-ahead log (see journal.go) and recover
+// their state on construction.
 type Store struct {
 	mu    sync.RWMutex
 	g     *graphdb.Graph
 	docs  map[string]*prov.Document
 	roots map[string]map[prov.QName]graphdb.NodeID // docID -> element -> node
+
+	// Durability (nil/zero for in-memory stores).
+	wal           *wal.Log
+	lastApplied   uint64 // guarded by mu: journal seq of the latest applied mutation
+	snapshotEvery int
+	mutations     uint64       // atomic: mutation count driving snapshot cadence
+	snapErrs      uint64       // atomic: failed background checkpoints
+	lastSnapErr   atomic.Value // string: most recent checkpoint failure
+	suspectBitRot bool         // recovery truncated ahead of intact frames
+	snapMu        sync.Mutex
 }
 
 // New returns an empty store.
@@ -47,7 +62,10 @@ func relTypeFor(kind prov.RelationKind) string {
 	return strings.ToUpper(string(kind))
 }
 
-// Put stores (or replaces) a document under id.
+// Put stores (or replaces) a document under id. On journaled stores
+// the mutation is staged to the write-ahead log in apply order and Put
+// returns only once its log batch is durable (group-committed with any
+// concurrent writers).
 func (s *Store) Put(id string, doc *prov.Document) error {
 	if id == "" {
 		return fmt.Errorf("provstore: empty document id")
@@ -55,12 +73,75 @@ func (s *Store) Put(id string, doc *prov.Document) error {
 	if _, err := doc.Validate(); err != nil {
 		return fmt.Errorf("provstore: refusing invalid document: %w", err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, exists := s.docs[id]; exists {
-		s.deleteLocked(id)
+	var op []byte
+	if s.wal != nil {
+		var err error
+		if op, err = encodePutOp(id, doc); err != nil {
+			return fmt.Errorf("provstore: journal encode %q: %w", id, err)
+		}
 	}
+	s.mu.Lock()
+	prev := s.docs[id] // stored clone, for rollback if staging fails
+	err := s.putLocked(id, doc)
+	ticket, staged, err := s.stageLocked(op, err, func() {
+		s.deleteLocked(id)
+		if prev != nil {
+			_ = s.putLocked(id, prev) // re-projecting a previously valid doc cannot fail
+		}
+	})
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.commitStaged(ticket, staged)
+}
+
+// stageLocked journals an already-applied mutation while mu is still
+// held, so log order always matches apply order. applyErr short-circuits
+// staging when the in-memory apply failed. If staging itself fails (log
+// closed, fail-stop latch, record cap), rollback restores the
+// pre-mutation state — otherwise the un-journaled mutation would stay
+// readable and a later checkpoint would make it durable even though the
+// caller was told it failed.
+func (s *Store) stageLocked(op []byte, applyErr error, rollback func()) (wal.Ticket, bool, error) {
+	if applyErr != nil || s.wal == nil {
+		return wal.Ticket{}, false, applyErr
+	}
+	t, err := s.wal.Stage(op)
+	if err != nil {
+		rollback()
+		return wal.Ticket{}, false, fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	s.lastApplied = t.Seq()
+	return t, true, nil
+}
+
+// commitStaged waits for durability outside the store lock and drives
+// the snapshot cadence.
+func (s *Store) commitStaged(t wal.Ticket, staged bool) error {
+	if !staged {
+		return nil
+	}
+	if err := t.Commit(); err != nil {
+		return fmt.Errorf("%w: commit: %v", ErrJournal, err)
+	}
+	s.maybeSnapshot()
+	return nil
+}
+
+// putLocked applies a validated document to the in-memory state,
+// all-or-nothing: the new graph projection is built first and torn back
+// down on any error, and the old document is replaced only on success.
+// s.mu must be held.
+func (s *Store) putLocked(id string, doc *prov.Document) (err error) {
 	nodes := make(map[prov.QName]graphdb.NodeID)
+	defer func() {
+		if err != nil {
+			for _, nid := range nodes {
+				_ = s.g.DeleteNode(nid) // cascades relationships
+			}
+		}
+	}()
 
 	addElement := func(label string, el *prov.Element, extra graphdb.Props) error {
 		props := graphdb.Props{"qname": string(el.ID), "doc": id}
@@ -116,6 +197,9 @@ func (s *Store) Put(id string, doc *prov.Document) error {
 		}
 	}
 
+	if _, exists := s.docs[id]; exists {
+		s.deleteLocked(id)
+	}
 	s.docs[id] = doc.Clone()
 	s.roots[id] = nodes
 	return nil
@@ -164,15 +248,32 @@ func (s *Store) List() []string {
 	return out
 }
 
-// Delete removes a document and its graph projection.
+// Delete removes a document and its graph projection, journaling the
+// removal on durable stores.
 func (s *Store) Delete(id string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.docs[id]; !ok {
-		return fmt.Errorf("provstore: document %q does not exist", id)
+	var op []byte
+	if s.wal != nil {
+		var err error
+		if op, err = encodeDeleteOp(id); err != nil {
+			return fmt.Errorf("provstore: journal encode %q: %w", id, err)
+		}
 	}
-	s.deleteLocked(id)
-	return nil
+	s.mu.Lock()
+	prev := s.docs[id] // for rollback if staging fails
+	var err error
+	if prev == nil {
+		err = fmt.Errorf("provstore: document %q does not exist", id)
+	} else {
+		s.deleteLocked(id)
+	}
+	ticket, staged, err := s.stageLocked(op, err, func() {
+		_ = s.putLocked(id, prev) // restore the removed projection
+	})
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.commitStaged(ticket, staged)
 }
 
 func (s *Store) deleteLocked(id string) {
@@ -323,17 +424,30 @@ func (s *Store) FindByAttr(key string, value interface{}) []SearchResult {
 	return out
 }
 
-// Stats summarizes the store.
+// Stats summarizes the store. Durability is nil for in-memory stores.
 type Stats struct {
-	Documents int
-	Nodes     int
-	Rels      int
+	Documents  int
+	Nodes      int
+	Rels       int
+	Durability *DurabilityStats `json:"durability,omitempty"`
 }
 
-// Stats returns store-wide counts.
+// Stats returns store-wide counts (plus journal state when durable).
 func (s *Store) Stats() Stats {
 	s.mu.RLock()
 	docs := len(s.docs)
 	s.mu.RUnlock()
-	return Stats{Documents: docs, Nodes: s.g.NodeCount(), Rels: s.g.RelCount()}
+	st := Stats{Documents: docs, Nodes: s.g.NodeCount(), Rels: s.g.RelCount()}
+	if s.wal != nil {
+		st.Durability = &DurabilityStats{
+			Stats:          s.wal.Stats(),
+			SnapshotEvery:  s.snapshotEvery,
+			SnapshotErrors: atomic.LoadUint64(&s.snapErrs),
+			SuspectBitRot:  s.suspectBitRot,
+		}
+		if msg, ok := s.lastSnapErr.Load().(string); ok {
+			st.Durability.LastSnapshotError = msg
+		}
+	}
+	return st
 }

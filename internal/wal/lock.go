@@ -1,0 +1,33 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory flock on dir/LOCK so two
+// processes can never append into the same journal (interleaved
+// sequence numbers would read as corruption on the next recovery).
+// The kernel releases the lock when the holding process dies — kill -9
+// included — so there is no stale-lock recovery to do.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: lock %s: %w", dir, err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("wal: %s is locked by another process: %w", dir, err)
+	}
+	return f, nil
+}
+
+// unlockDir releases the directory lock.
+func unlockDir(f *os.File) {
+	if f != nil {
+		_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		_ = f.Close()
+	}
+}

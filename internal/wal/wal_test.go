@@ -1,0 +1,357 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string, opts Options) (*Log, *RecoveredState) {
+	t.Helper()
+	l, rec, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, rec
+}
+
+func TestAppendReopenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, rec := mustOpen(t, dir, Options{Fsync: true})
+	if rec.SnapshotSeq != 0 || len(rec.Records) != 0 {
+		t.Fatalf("fresh dir recovered %+v", rec)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		seq, err := l.Append([]byte(fmt.Sprintf("rec-%03d", i)))
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("seq = %d, want %d", seq, i+1)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	l2, rec2 := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	if len(rec2.Records) != n {
+		t.Fatalf("recovered %d records, want %d", len(rec2.Records), n)
+	}
+	for i, r := range rec2.Records {
+		if r.Seq != uint64(i+1) || string(r.Payload) != fmt.Sprintf("rec-%03d", i) {
+			t.Fatalf("record %d = {%d %q}", i, r.Seq, r.Payload)
+		}
+	}
+	// Appends continue the sequence.
+	seq, err := l2.Append([]byte("after"))
+	if err != nil || seq != n+1 {
+		t.Fatalf("append after reopen: seq=%d err=%v", seq, err)
+	}
+}
+
+func TestEmptyPayloadAndLargeRecord(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	big := bytes.Repeat([]byte{0xAB}, 1<<20)
+	if _, err := l.Append(nil); err != nil {
+		t.Fatalf("empty append: %v", err)
+	}
+	if _, err := l.Append(big); err != nil {
+		t.Fatalf("big append: %v", err)
+	}
+	l.Close()
+	_, rec := mustOpen(t, dir, Options{})
+	if len(rec.Records) != 2 || len(rec.Records[0].Payload) != 0 || !bytes.Equal(rec.Records[1].Payload, big) {
+		t.Fatalf("recovered %d records", len(rec.Records))
+	}
+}
+
+func TestRotationProducesOrderedSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{SegmentBytes: 256})
+	for i := 0; i < 40; i++ {
+		if _, err := l.Append(bytes.Repeat([]byte{byte(i)}, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("expected rotation, got %d segments", st.Segments)
+	}
+	l.Close()
+
+	// Rotation invariant: each non-final segment's records end exactly
+	// at the next segment's name minus one.
+	segs, _, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := uint64(0)
+	total := 0
+	for i, sg := range segs {
+		res, err := scanSegment(sg.path)
+		if err != nil || res.torn {
+			t.Fatalf("segment %s: torn=%v err=%v", sg.path, res.torn, err)
+		}
+		if len(res.records) > 0 {
+			if res.records[0].Seq < sg.firstSeq {
+				t.Fatalf("segment %s holds seq %d below its name", sg.path, res.records[0].Seq)
+			}
+			prev = res.records[len(res.records)-1].Seq
+		}
+		if i+1 < len(segs) && prev != segs[i+1].firstSeq-1 {
+			t.Fatalf("segment %s ends at %d, next starts at %d", sg.path, prev, segs[i+1].firstSeq)
+		}
+		total += len(res.records)
+	}
+	if total != 40 {
+		t.Fatalf("recovered %d records across segments, want 40", total)
+	}
+}
+
+func TestSnapshotAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{SegmentBytes: 256})
+	for i := 0; i < 30; i++ {
+		if _, err := l.Append(bytes.Repeat([]byte{1}, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.WriteSnapshot(30, []byte("state@30")); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if _, err := l.Compact(); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	st := l.Stats()
+	if st.Segments != 1 {
+		t.Fatalf("post-compaction segments = %d, want 1 (active only)", st.Segments)
+	}
+	// Tail records after the snapshot survive recovery on top of it.
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte("tail")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	_, rec := mustOpen(t, dir, Options{})
+	if rec.SnapshotSeq != 30 || string(rec.SnapshotPayload) != "state@30" {
+		t.Fatalf("snapshot = %d %q", rec.SnapshotSeq, rec.SnapshotPayload)
+	}
+	if len(rec.Records) != 5 || rec.Records[0].Seq != 31 {
+		t.Fatalf("tail = %d records starting at %d", len(rec.Records), rec.Records[0].Seq)
+	}
+}
+
+func TestCompactionBoundsDiskAcrossCycles(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{SegmentBytes: 512})
+	seq := uint64(0)
+	var maxFiles, maxBytes int64
+	for cycle := 0; cycle < 4; cycle++ {
+		for i := 0; i < 50; i++ {
+			s, err := l.Append(bytes.Repeat([]byte{2}, 64))
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq = s
+		}
+		if err := l.WriteSnapshot(seq, []byte("snap")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		files, bytes := dirUsage(t, dir)
+		if files > maxFiles {
+			maxFiles = files
+		}
+		if bytes > maxBytes {
+			maxBytes = bytes
+		}
+	}
+	defer l.Close()
+	// After each snapshot+compact: one snapshot, the fresh active
+	// segment, possibly one superseded snapshot pending next compact.
+	if maxFiles > 3 {
+		t.Fatalf("disk not bounded: %d files after compaction", maxFiles)
+	}
+	if maxBytes > 4096 {
+		t.Fatalf("disk not bounded: %d bytes after compaction", maxBytes)
+	}
+}
+
+func dirUsage(t *testing.T, dir string) (files, bytes int64) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		files++
+		bytes += info.Size()
+	}
+	return files, bytes
+}
+
+func TestCorruptSnapshotFallsBackToReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.WriteSnapshot(10, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Flip a payload byte in the snapshot: CRC must reject it and
+	// recovery must fall back to replaying the (uncompacted) segments.
+	snap := filepath.Join(dir, snapshotName(10))
+	raw, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(snap, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec := mustOpen(t, dir, Options{})
+	if rec.SnapshotSeq != 0 {
+		t.Fatalf("corrupt snapshot accepted (seq %d)", rec.SnapshotSeq)
+	}
+	if len(rec.Records) != 10 {
+		t.Fatalf("fallback replay recovered %d records, want 10", len(rec.Records))
+	}
+}
+
+func TestConcurrentAppendsGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Fsync: true})
+	const writers, per = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := l.Append([]byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Appends != writers*per {
+		t.Fatalf("appends = %d", st.Appends)
+	}
+	if st.Commits > st.Appends {
+		t.Fatalf("commits (%d) exceed appends (%d)", st.Commits, st.Appends)
+	}
+	l.Close()
+
+	_, rec := mustOpen(t, dir, Options{})
+	if len(rec.Records) != writers*per {
+		t.Fatalf("recovered %d, want %d", len(rec.Records), writers*per)
+	}
+	for i, r := range rec.Records {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("sequence gap at %d: %d", i, r.Seq)
+		}
+	}
+}
+
+func TestStageCommitOrderingSurvivesInterleaving(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	// Stage several records before committing any: commit of the last
+	// ticket must flush all of them (leader steals the whole buffer).
+	var tickets []Ticket
+	for i := 0; i < 5; i++ {
+		tk, err := l.Stage([]byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	if err := tickets[4].Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range tickets {
+		if err := tk.Commit(); err != nil { // already durable: instant
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	_, rec := mustOpen(t, dir, Options{})
+	if len(rec.Records) != 5 {
+		t.Fatalf("recovered %d, want 5", len(rec.Records))
+	}
+}
+
+func TestClosedLogRefusesWrites(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	l.Close()
+	if _, err := l.Append([]byte("x")); err != ErrClosed {
+		t.Fatalf("append on closed log: %v", err)
+	}
+	if err := l.Close(); err != ErrClosed {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+// TestSecondOpenIsLockedOut: two live logs on one directory would
+// interleave sequence numbers; the flock must refuse the second opener
+// until the first closes.
+func TestSecondOpenIsLockedOut(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	if _, _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("second Open on a live directory succeeded")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	l2.Close()
+}
+
+// TestOversizedPayloadRefused: a payload the reader would reject as
+// corruption must never be acknowledged in the first place.
+func TestOversizedPayloadRefused(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	defer l.Close()
+	huge := make([]byte, maxRecordBytes+1) // 1 GiB + 1; freed right after
+	if _, err := l.Append(huge); err == nil {
+		t.Fatal("oversized payload was acknowledged")
+	}
+	if _, err := l.Append([]byte("still works")); err != nil {
+		t.Fatalf("log unusable after refusing oversized payload: %v", err)
+	}
+}
