@@ -22,13 +22,16 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# The tracked hot-path benchmarks (BENCH_PR1/PR2 rows): logging,
-# lineage, Zarr offload, and the WAL durability paths.
+# The tracked hot-path benchmarks (BENCH_PR1/PR2/PR3 rows): logging,
+# lineage, Zarr offload, the WAL durability paths, and the sharded
+# engine's concurrency pairs (single-lock vs sharded).
 bench-key:
-	$(GO) test -run '^$$' -bench 'BenchmarkLogMetric$$|BenchmarkZarrAppend$$|BenchmarkLineage$$|BenchmarkBuildProv$$|BenchmarkWALAppend$$|BenchmarkRecovery$$' -benchtime 1s .
+	$(GO) test -run '^$$' -bench 'BenchmarkLogMetric$$|BenchmarkZarrAppend$$|BenchmarkLineage$$|BenchmarkBuildProv$$|BenchmarkWALAppend$$|BenchmarkRecovery$$|BenchmarkShardedPutParallel$$|BenchmarkMixedReadWrite$$' -benchtime 1s .
 
 # Regenerate the committed performance-trajectory report.
 bench-report:
-	$(GO) run ./cmd/benchreport -out BENCH_PR2.json
+	$(GO) run ./cmd/benchreport -out BENCH_PR3.json
 
+# Full gate: build, static checks, unit tests, and the race-detector
+# pass over every package.
 ci: build vet test race

@@ -14,6 +14,8 @@
 //	BenchmarkTelemetry/*       — collector sampling-period ablation
 //	BenchmarkWALAppend/*       — journaled mutation durability hot path
 //	BenchmarkRecovery          — provstore crash-recovery (snapshot + replay)
+//	BenchmarkShardedPutParallel — concurrent uploads, single lock vs shards
+//	BenchmarkMixedReadWrite    — 8-goroutine mixed workload, single lock vs shards
 package repro
 
 import (
@@ -26,6 +28,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/prov"
 	"repro/internal/provstore"
+	"repro/internal/shardbench"
 	"repro/internal/telemetry"
 	"repro/internal/trainsim"
 	"repro/internal/wal"
@@ -393,6 +396,39 @@ func BenchmarkRecovery(b *testing.B) {
 		b.StopTimer()
 		s.Close()
 		b.StartTimer()
+	}
+}
+
+// shardConfigs pits the PR-2 single-lock layout (NewSharded(1)) against
+// the sharded engine with one shard per benchmark goroutine. The
+// benchmark bodies live in internal/shardbench, shared with
+// cmd/benchreport so the tracked BENCH_PR3.json rows measure exactly
+// this workload.
+var shardConfigs = []struct {
+	name   string
+	shards int
+}{
+	{"single-lock", 1},
+	{"sharded", shardbench.Goroutines},
+}
+
+// BenchmarkShardedPutParallel uploads distinct documents from 8
+// concurrent goroutines: with per-shard locks, writers on different
+// documents build their graph projections without serializing on one
+// global mutex.
+func BenchmarkShardedPutParallel(b *testing.B) {
+	for _, cfg := range shardConfigs {
+		b.Run(cfg.name, shardbench.PutParallel(cfg.shards))
+	}
+}
+
+// BenchmarkMixedReadWrite runs the contention scenario that motivated
+// sharding: 8 goroutines, 1 upload per 8 operations, the rest lineage
+// queries — on a single-lock store every upload stalls every reader;
+// sharded, only readers of the same shard wait.
+func BenchmarkMixedReadWrite(b *testing.B) {
+	for _, cfg := range shardConfigs {
+		b.Run(cfg.name, shardbench.MixedReadWrite(cfg.shards))
 	}
 }
 

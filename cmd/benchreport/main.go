@@ -1,13 +1,17 @@
 // Command benchreport runs the tracked hot-path benchmarks — the five
 // PR-1 targets (LogMetric, ZarrAppend, Lineage/graphdb,
-// Lineage/document-scan, BuildProv) plus the PR-2 durability paths
-// (WALAppend/nosync, WALAppend/fsync, Recovery) — and writes a JSON
-// report comparing them against the recorded seed baseline, extending
-// the repository's performance trajectory.
+// Lineage/document-scan, BuildProv), the PR-2 durability paths
+// (WALAppend/nosync, WALAppend/fsync, Recovery), and the PR-3
+// concurrency pairs (ShardedPutParallel, MixedReadWrite, each single-
+// lock vs sharded) — and writes a JSON report comparing them against
+// their baselines, extending the repository's performance trajectory.
+// For the PR-3 pairs the baseline is the single-lock row measured in
+// the same run, so the reported speedup is the sharding scaling factor
+// on the current machine.
 //
 // Usage:
 //
-//	go run ./cmd/benchreport [-out BENCH_PR2.json] [-benchtime 1s]
+//	go run ./cmd/benchreport [-out BENCH_PR3.json] [-benchtime 1s]
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/prov"
 	"repro/internal/provstore"
+	"repro/internal/shardbench"
 	"repro/internal/wal"
 	"repro/internal/zarr"
 )
@@ -40,6 +45,15 @@ var seedNsPerOp = map[string]float64{
 	"ZarrAppend":            351434,
 }
 
+// baselineFor maps a benchmark to the same-run row that serves as its
+// baseline: the sharded-engine rows are compared against the single-
+// lock layout measured on the same machine moments earlier, so Speedup
+// reports the sharding win rather than drift against a stale constant.
+var baselineFor = map[string]string{
+	"ShardedPutParallel/sharded": "ShardedPutParallel/single-lock",
+	"MixedReadWrite/sharded":     "MixedReadWrite/single-lock",
+}
+
 type row struct {
 	Name      string  `json:"name"`
 	SeedNsOp  float64 `json:"seed_ns_op"`
@@ -50,11 +64,12 @@ type row struct {
 }
 
 type report struct {
-	Generated string `json:"generated"`
-	GoVersion string `json:"go_version"`
-	Benchtime string `json:"benchtime"`
-	Unit      string `json:"unit"`
-	Rows      []row  `json:"benchmarks"`
+	Generated  string `json:"generated"`
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Benchtime  string `json:"benchtime"`
+	Unit       string `json:"unit"`
+	Rows       []row  `json:"benchmarks"`
 }
 
 func benchRun() *core.Run {
@@ -99,7 +114,7 @@ func tempDir(b *testing.B) string {
 
 func main() {
 	testing.Init() // register test.* flags so benchtime is settable
-	out := flag.String("out", "BENCH_PR2.json", "output path for the JSON report")
+	out := flag.String("out", "BENCH_PR3.json", "output path for the JSON report")
 	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark target run time")
 	flag.Parse()
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
@@ -202,6 +217,10 @@ func main() {
 				}
 			}
 		}},
+		{"ShardedPutParallel/single-lock", shardbench.PutParallel(1)},
+		{"ShardedPutParallel/sharded", shardbench.PutParallel(shardbench.Goroutines)},
+		{"MixedReadWrite/single-lock", shardbench.MixedReadWrite(1)},
+		{"MixedReadWrite/sharded", shardbench.MixedReadWrite(shardbench.Goroutines)},
 		{"Recovery", func(b *testing.B) {
 			dir := tempDir(b)
 			s, err := provstore.Open(dir, provstore.Durability{SnapshotEvery: -1})
@@ -241,12 +260,14 @@ func main() {
 	}
 
 	rep := report{
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		Benchtime: benchtime.String(),
-		Unit:      "ns/op",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Benchtime:  benchtime.String(),
+		Unit:       "ns/op",
 	}
-	const rounds = 3 // median-of-3 damps heap-carryover noise between benches
+	measured := map[string]float64{} // name -> median ns/op, for same-run baselines
+	const rounds = 3                 // median-of-3 damps heap-carryover noise between benches
 	for _, bench := range benches {
 		fmt.Fprintf(os.Stderr, "running %-24s", bench.name)
 		results := make([]testing.BenchmarkResult, 0, rounds)
@@ -262,9 +283,14 @@ func main() {
 		})
 		res := results[rounds/2]
 		ns := float64(res.T.Nanoseconds()) / float64(res.N)
+		measured[bench.name] = ns
+		seed := seedNsPerOp[bench.name]
+		if base, ok := baselineFor[bench.name]; ok {
+			seed = measured[base] // single-lock row from this same run
+		}
 		r := row{
 			Name:      bench.name,
-			SeedNsOp:  seedNsPerOp[bench.name],
+			SeedNsOp:  seed,
 			NsOp:      ns,
 			Allocs:    res.AllocsPerOp(),
 			BytesIter: res.AllocedBytesPerOp(),

@@ -5,8 +5,16 @@
 // Usage:
 //
 //	yprov-server [-addr :3000] [-token SECRET]
+//	             [-shards N] [-rate-limit RPS] [-rate-burst N]
+//	             [-log-requests]
 //	             [-data-dir DIR] [-fsync] [-snapshot-every N]
 //	             [-export-dir DIR]
+//
+// The store is sharded: documents spread over -shards independent
+// graph+lock slices (default GOMAXPROCS, rounded to a power of two) so
+// concurrent uploads and queries on different documents never contend.
+// A data directory written under any -shards value opens under any
+// other — shard placement is re-derived from document ids on recovery.
 //
 // With -data-dir, every accepted mutation is journaled before it is
 // acknowledged and the store recovers snapshot + journal tail on boot —
@@ -37,6 +45,10 @@ import (
 func main() {
 	addr := flag.String("addr", ":3000", "listen address")
 	token := flag.String("token", "", "bearer token required for mutating requests (empty = open)")
+	shards := flag.Int("shards", 0, "store shard count, rounded up to a power of two, max 256 (0 = GOMAXPROCS)")
+	rateLimit := flag.Float64("rate-limit", 0, "per-client requests/second budget (0 = unlimited)")
+	rateBurst := flag.Int("rate-burst", 0, "per-client burst on top of -rate-limit (0 = 2x rate)")
+	logRequests := flag.Bool("log-requests", false, "log one line per HTTP request")
 	dataDir := flag.String("data-dir", "", "write-ahead-logged data directory (empty = in-memory only)")
 	fsync := flag.Bool("fsync", true, "fsync the journal before acknowledging mutations (power-loss durability)")
 	snapshotEvery := flag.Int("snapshot-every", 256, "mutations between snapshot+compaction cycles (<0 disables)")
@@ -55,6 +67,7 @@ func main() {
 		store, err = provstore.Open(*dataDir, provstore.Durability{
 			Fsync:         *fsync,
 			SnapshotEvery: *snapshotEvery,
+			Shards:        *shards,
 		})
 		if err != nil {
 			log.Fatalf("opening data dir %s: %v", *dataDir, err)
@@ -73,12 +86,18 @@ func main() {
 			log.Printf("imported %d legacy PROV-JSON document(s) into the journal", n)
 		}
 	} else {
-		store = provstore.New()
+		store = provstore.NewSharded(*shards)
 	}
 
 	var opts []provservice.Option
 	if *token != "" {
 		opts = append(opts, provservice.WithToken(*token))
+	}
+	if *rateLimit > 0 {
+		opts = append(opts, provservice.WithRateLimit(*rateLimit, *rateBurst))
+	}
+	if *logRequests {
+		opts = append(opts, provservice.WithLogger(log.Default()))
 	}
 	svc := provservice.New(store, opts...)
 	srv := &http.Server{Addr: *addr, Handler: svc}
@@ -88,8 +107,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("yprov-server listening on %s (auth: %v, data: %q, fsync: %v)",
-			*addr, *token != "", *dataDir, *fsync)
+		log.Printf("yprov-server listening on %s (auth: %v, data: %q, fsync: %v, shards: %d, rate-limit: %g/s)",
+			*addr, *token != "", *dataDir, *fsync, store.ShardCount(), *rateLimit)
 		errc <- srv.ListenAndServe()
 	}()
 

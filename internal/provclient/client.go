@@ -4,8 +4,10 @@ package provclient
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -22,12 +24,70 @@ type Client struct {
 	HTTP    *http.Client
 }
 
+// sharedTransport is one connection pool for every client in the
+// process: clients are cheap to construct per call site, but TCP
+// connections (and their keep-alives) should be pooled and bounded
+// rather than re-dialed through http.DefaultTransport's defaults.
+var sharedTransport = &http.Transport{
+	Proxy: http.ProxyFromEnvironment,
+	DialContext: (&net.Dialer{
+		Timeout:   5 * time.Second,
+		KeepAlive: 30 * time.Second,
+	}).DialContext,
+	MaxIdleConns:          100,
+	MaxIdleConnsPerHost:   16,
+	IdleConnTimeout:       90 * time.Second,
+	TLSHandshakeTimeout:   5 * time.Second,
+	ExpectContinueTimeout: time.Second,
+}
+
 // New builds a client for the base URL (e.g. "http://localhost:3000").
+// All clients share one pooled transport with sane timeouts; replace
+// c.HTTP to opt out.
 func New(baseURL string) *Client {
 	return &Client{
 		BaseURL: baseURL,
-		HTTP:    &http.Client{Timeout: 30 * time.Second},
+		HTTP: &http.Client{
+			Timeout:   30 * time.Second,
+			Transport: sharedTransport,
+		},
 	}
+}
+
+// ErrRetryable matches (via errors.Is) API errors that signal a
+// transient server-side condition — the service draining for shutdown
+// or a durability outage (HTTP 503), or per-client rate limiting (HTTP
+// 429). Callers should back off and retry; every other API error is a
+// permanent verdict on the request.
+var ErrRetryable = errors.New("provclient: retryable server condition")
+
+// APIError is a non-2xx response decoded from the service's error
+// envelope.
+type APIError struct {
+	Status  int    // HTTP status code
+	Message string // server-provided error message, may be empty
+}
+
+func (e *APIError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("provclient: HTTP %d: %s", e.Status, e.Message)
+	}
+	return fmt.Sprintf("provclient: HTTP %d", e.Status)
+}
+
+// Retryable reports whether the error is transient (see ErrRetryable).
+func (e *APIError) Retryable() bool {
+	return e.Status == http.StatusServiceUnavailable || e.Status == http.StatusTooManyRequests
+}
+
+// Is makes errors.Is(err, ErrRetryable) true for transient statuses.
+func (e *APIError) Is(target error) bool {
+	return target == ErrRetryable && e.Retryable()
+}
+
+// IsRetryable reports whether err is an APIError worth retrying.
+func IsRetryable(err error) bool {
+	return errors.Is(err, ErrRetryable)
 }
 
 func (c *Client) do(method, path string, body []byte) ([]byte, int, error) {
@@ -62,10 +122,8 @@ func apiError(payload []byte, status int) error {
 	var eb struct {
 		Error string `json:"error"`
 	}
-	if err := json.Unmarshal(payload, &eb); err == nil && eb.Error != "" {
-		return fmt.Errorf("provclient: HTTP %d: %s", status, eb.Error)
-	}
-	return fmt.Errorf("provclient: HTTP %d", status)
+	_ = json.Unmarshal(payload, &eb)
+	return &APIError{Status: status, Message: eb.Error}
 }
 
 // Health checks the service.

@@ -1,6 +1,7 @@
 package provclient
 
 import (
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -125,6 +126,43 @@ func TestClientHappyPaths(t *testing.T) {
 	}
 	if got, _ := c.List(); len(got) != 0 {
 		t.Errorf("list after delete = %v", got)
+	}
+}
+
+// TestRetryableErrors: 503 (journal outage / draining) and 429 (rate
+// limited) surface as typed retryable errors; permanent verdicts do not.
+func TestRetryableErrors(t *testing.T) {
+	cases := []struct {
+		status    int
+		retryable bool
+	}{
+		{http.StatusServiceUnavailable, true},
+		{http.StatusTooManyRequests, true},
+		{http.StatusNotFound, false},
+		{http.StatusUnprocessableEntity, false},
+		{http.StatusUnauthorized, false},
+	}
+	for _, tc := range cases {
+		c := badServer(t, tc.status, `{"error": "synthetic"}`)
+		err := c.Upload("x", prov.NewDocument())
+		if err == nil {
+			t.Fatalf("status %d: expected error", tc.status)
+		}
+		if got := IsRetryable(err); got != tc.retryable {
+			t.Errorf("status %d: IsRetryable = %v, want %v (%v)", tc.status, got, tc.retryable, err)
+		}
+		if got := errors.Is(err, ErrRetryable); got != tc.retryable {
+			t.Errorf("status %d: errors.Is(ErrRetryable) = %v, want %v", tc.status, got, tc.retryable)
+		}
+		var ae *APIError
+		if !errors.As(err, &ae) || ae.Status != tc.status || ae.Message != "synthetic" {
+			t.Errorf("status %d: APIError not surfaced: %v", tc.status, err)
+		}
+	}
+	// Transport-level failures are not APIErrors and not retryable-typed.
+	c := New("http://127.0.0.1:1")
+	if err := c.Health(); err == nil || IsRetryable(err) {
+		t.Errorf("connection error must not be typed retryable: %v", err)
 	}
 }
 

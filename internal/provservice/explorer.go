@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"html"
 	"net/http"
+	"net/url"
 	"strings"
 
 	"repro/internal/prov"
@@ -22,7 +23,7 @@ func (s *Service) handleExplorerIndex(w http.ResponseWriter, r *http.Request) {
 	sb.WriteString("<!DOCTYPE html><html><head><title>yProv Explorer</title></head><body>")
 	sb.WriteString("<h1>yProv Explorer</h1><ul>")
 	for _, id := range s.store.List() {
-		fmt.Fprintf(&sb, `<li><a href="/explorer/%s">%s</a></li>`, html.EscapeString(id), html.EscapeString(id))
+		fmt.Fprintf(&sb, `<li><a href="/explorer/%s">%s</a></li>`, html.EscapeString(url.PathEscape(id)), html.EscapeString(id))
 	}
 	sb.WriteString("</ul></body></html>")
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
@@ -30,7 +31,10 @@ func (s *Service) handleExplorerIndex(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleExplorerDoc(w http.ResponseWriter, r *http.Request) {
-	id := strings.TrimPrefix(r.URL.Path, "/explorer/")
+	id := strings.TrimPrefix(r.URL.EscapedPath(), "/explorer/")
+	if u, err := url.PathUnescape(id); err == nil {
+		id = u
+	}
 	if id == "" {
 		s.handleExplorerIndex(w, r)
 		return

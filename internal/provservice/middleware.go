@@ -1,0 +1,390 @@
+package provservice
+
+import (
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// The service's HTTP pipeline is a stack of composable middleware
+// wrapped around thin handlers (see service.go):
+//
+//	logging -> metrics -> rate limit -> auth -> body limit -> mux
+//
+// Each layer does one thing and knows nothing about the others; the
+// handlers at the bottom only ever talk to the StoreAPI interface.
+
+// middleware wraps an http.Handler with one cross-cutting concern.
+type middleware func(http.Handler) http.Handler
+
+// chain composes middleware around h. The first element is outermost:
+// chain(h, a, b) serves a(b(h)).
+func chain(h http.Handler, mws ...middleware) http.Handler {
+	for i := len(mws) - 1; i >= 0; i-- {
+		h = mws[i](h)
+	}
+	return h
+}
+
+// statusWriter records the status code and byte count a handler wrote,
+// for the logging and metrics layers.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// withLogging emits one line per request: method, path, status, bytes,
+// duration, client.
+func (s *Service) withLogging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.logger == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		s.logger.Printf("%s %s -> %d (%dB, %s, client %s)",
+			r.Method, r.URL.Path, sw.status, sw.bytes,
+			time.Since(start).Round(time.Microsecond), clientKey(r))
+	})
+}
+
+// withMetrics tracks in-flight requests and per-route latency.
+func (s *Service) withMetrics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m := s.metrics
+		m.inflight.Add(1)
+		defer m.inflight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		// Classify from the escaped path, like the router does: a %2F
+		// inside a document id must not read as a path separator here.
+		m.observe(routeClass(r.URL.EscapedPath()), sw.status, time.Since(start))
+	})
+}
+
+// withRateLimit refuses requests from clients that exceed the
+// configured per-client request rate (429 + Retry-After). Health checks
+// are exempt so load balancers cannot starve themselves.
+func (s *Service) withRateLimit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.limiter != nil && r.URL.Path != "/api/v0/health" {
+			if !s.limiter.allow(clientKey(r), time.Now()) {
+				w.Header().Set("Retry-After", "1")
+				writeErr(w, http.StatusTooManyRequests, "rate limit exceeded")
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withAuth enforces the bearer token on mutating methods. Read paths
+// stay open, matching the yProv service's open-exploration model.
+func (s *Service) withAuth(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPut, http.MethodPost, http.MethodDelete, http.MethodPatch:
+			if !s.authorized(r) {
+				writeErr(w, http.StatusUnauthorized, "missing or bad bearer token")
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withBodyLimit caps request body size. MaxBodyBytes is read per
+// request without synchronization: set it after New but before the
+// service starts serving, never while requests are in flight.
+// MaxBodyBytes <= 0 rejects every non-empty body (matching the old
+// inline check) rather than disabling the limit.
+func (s *Service) withBodyLimit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			limit := s.MaxBodyBytes
+			if limit < 0 {
+				limit = 0
+			}
+			r.Body = http.MaxBytesReader(w, r.Body, limit)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// clientKey identifies the remote client for rate limiting and logs:
+// the connection's source host (ports vary per connection).
+func clientKey(r *http.Request) string {
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// routeClass buckets request paths into a bounded set of route names so
+// latency series cannot grow one-per-document-id.
+func routeClass(path string) string {
+	switch {
+	case strings.HasPrefix(path, "/api/v0/documents/"):
+		rest := path[len("/api/v0/documents/"):]
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			switch rest[i+1:] {
+			case "lineage":
+				return "documents/lineage"
+			case "subgraph":
+				return "documents/subgraph"
+			}
+			return "documents/other"
+		}
+		return "documents/id"
+	case path == "/api/v0/documents":
+		return "documents"
+	case path == "/api/v0/search":
+		return "search"
+	case path == "/api/v0/lineage":
+		return "cross-lineage"
+	case path == "/api/v0/stats":
+		return "stats"
+	case path == "/api/v0/metrics":
+		return "metrics"
+	case path == "/api/v0/health":
+		return "health"
+	case strings.HasPrefix(path, "/explorer"):
+		return "explorer"
+	default:
+		return "other"
+	}
+}
+
+// --- token-bucket rate limiter ----------------------------------------
+
+// bucket is one client's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// clientLimiter is a per-client token-bucket rate limiter: each client
+// accrues rps tokens per second up to burst, and every request spends
+// one. The bucket map is hard-capped at maxClients: when an insert
+// would cross the cap, idle-refilled buckets are dropped first, then —
+// if an address flood leaves nothing idle — arbitrary buckets are
+// evicted down to evictTarget. Evicting a live bucket only resets that
+// client to a full burst, so the trade is a bounded rate-limit leak for
+// bounded memory and bounded prune cost.
+type clientLimiter struct {
+	mu      sync.Mutex
+	rps     float64
+	burst   float64
+	buckets map[string]*bucket
+}
+
+// maxClients is the hard cap on tracked clients; evictTarget is the
+// post-prune size, so each O(maxClients) prune pays for at least
+// maxClients/4 subsequent O(1) inserts.
+const (
+	maxClients  = 8192
+	evictTarget = maxClients * 3 / 4
+)
+
+func newClientLimiter(rps float64, burst int) *clientLimiter {
+	if burst <= 0 {
+		burst = int(2*rps + 0.5)
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &clientLimiter{
+		rps:     rps,
+		burst:   float64(burst),
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// allow reports whether the client may proceed at time now.
+func (l *clientLimiter) allow(key string, now time.Time) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[key]
+	if !ok {
+		if len(l.buckets) >= maxClients {
+			l.pruneLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rps
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// pruneLocked shrinks the bucket map below evictTarget: first buckets
+// idle long enough to have refilled to full (semantically free to
+// drop), then arbitrary ones if an address flood keeps everything warm.
+func (l *clientLimiter) pruneLocked(now time.Time) {
+	idle := time.Duration(l.burst/l.rps*float64(time.Second)) + time.Second
+	for k, b := range l.buckets {
+		if now.Sub(b.last) > idle {
+			delete(l.buckets, k)
+		}
+	}
+	for k := range l.buckets {
+		if len(l.buckets) <= evictTarget {
+			break
+		}
+		delete(l.buckets, k)
+	}
+}
+
+// --- HTTP metrics ------------------------------------------------------
+
+// httpMetrics aggregates request telemetry for the /api/v0/metrics
+// endpoint: an in-flight gauge, cumulative status-class counters, and
+// per-route latency series kept in a metrics.Collection. The collection
+// is rotated once ~maxLatencyPoints have been logged so a long-lived
+// server's memory stays bounded; the cumulative counters never reset.
+//
+// Locking: points is the rotation cadence counter (atomic, no locks on
+// the common path); mu is an RWMutex where observers hold the read side
+// only while logging into col — so a rotation (write side) can never
+// swap the collection out from under an in-flight Log, and no latency
+// point is ever written into an unreachable collection.
+type httpMetrics struct {
+	inflight atomic.Int64
+	total    atomic.Uint64
+	status2x atomic.Uint64
+	status4x atomic.Uint64
+	status5x atomic.Uint64
+	statusOt atomic.Uint64 // 1xx/3xx (redirects, continues)
+
+	points atomic.Int64 // logged since the last rotation
+	mu     sync.RWMutex
+	col    *metrics.Collection
+}
+
+// httpContext is the metrics.Context under which request latencies are
+// logged.
+const httpContext metrics.Context = "HTTP"
+
+// maxLatencyPoints caps the retained latency window (~16 doubles per
+// point; 64k points ≈ 4 MiB worst case across all routes).
+const maxLatencyPoints = 65536
+
+func newHTTPMetrics() *httpMetrics {
+	return &httpMetrics{col: metrics.NewCollection()}
+}
+
+// observe records one completed request.
+func (m *httpMetrics) observe(route string, status int, d time.Duration) {
+	n := m.total.Add(1)
+	switch {
+	case status >= 500:
+		m.status5x.Add(1)
+	case status >= 400:
+		m.status4x.Add(1)
+	case status >= 200 && status < 300:
+		m.status2x.Add(1)
+	default:
+		m.statusOt.Add(1) // 1xx/3xx
+	}
+	if m.points.Add(1) > maxLatencyPoints {
+		m.mu.Lock()
+		if m.points.Load() > maxLatencyPoints { // racing rotators: first one wins
+			m.col = metrics.NewCollection()
+			m.points.Store(0)
+		}
+		m.mu.Unlock()
+	}
+	m.mu.RLock()
+	m.col.Log(route, httpContext, metrics.Point{
+		Step:  int64(n),
+		Value: float64(d) / float64(time.Millisecond),
+	})
+	m.mu.RUnlock()
+}
+
+// routeStats is the latency summary for one route class (milliseconds),
+// over the current retention window.
+type routeStats struct {
+	Count  int     `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	MinMs  float64 `json:"min_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	LastMs float64 `json:"last_ms"`
+}
+
+// metricsReport is the /api/v0/metrics response body.
+type metricsReport struct {
+	InFlight      int64                 `json:"in_flight"`
+	TotalRequests uint64                `json:"total_requests"`
+	Status2xx     uint64                `json:"status_2xx"`
+	Status4xx     uint64                `json:"status_4xx"`
+	Status5xx     uint64                `json:"status_5xx"`
+	StatusOther   uint64                `json:"status_other"` // 1xx/3xx
+	Routes        map[string]routeStats `json:"routes"`
+}
+
+// report snapshots the aggregated telemetry.
+func (m *httpMetrics) report() metricsReport {
+	m.mu.RLock()
+	col := m.col
+	m.mu.RUnlock()
+	rep := metricsReport{
+		InFlight:      m.inflight.Load(),
+		TotalRequests: m.total.Load(),
+		Status2xx:     m.status2x.Load(),
+		Status4xx:     m.status4x.Load(),
+		Status5xx:     m.status5x.Load(),
+		StatusOther:   m.statusOt.Load(),
+		Routes:        map[string]routeStats{},
+	}
+	for _, s := range col.Snapshot() {
+		st := s.Stats()
+		rep.Routes[s.Name] = routeStats{
+			Count:  st.Count,
+			MeanMs: st.Mean,
+			MinMs:  st.Min,
+			MaxMs:  st.Max,
+			LastMs: st.Last,
+		}
+	}
+	return rep
+}

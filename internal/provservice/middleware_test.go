@@ -1,0 +1,238 @@
+package provservice
+
+import (
+	"bytes"
+	"encoding/json"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/provclient"
+	"repro/internal/provstore"
+)
+
+// TestEscapedDocumentIDs: ids containing '/', spaces, and '%' survive
+// the round trip through the URL path — splitDocPath must decode the
+// escaped path instead of splitting the decoded one.
+func TestEscapedDocumentIDs(t *testing.T) {
+	_, c := newTestServer(t)
+	ids := []string{"runs/2026/exp-1", "my doc", "50%done", "a/b/c d"}
+	for _, id := range ids {
+		if err := c.Upload(id, testDoc()); err != nil {
+			t.Fatalf("upload %q: %v", id, err)
+		}
+	}
+	got, err := c.List()
+	if err != nil || len(got) != len(ids) {
+		t.Fatalf("list = %v, %v", got, err)
+	}
+	for _, id := range ids {
+		back, err := c.Get(id)
+		if err != nil {
+			t.Fatalf("get %q: %v", id, err)
+		}
+		if !back.Equal(testDoc()) {
+			t.Errorf("document %q changed through the service", id)
+		}
+		anc, err := c.Lineage(id, "ex:model", provstore.Ancestors, 0)
+		if err != nil || len(anc) != 2 {
+			t.Errorf("lineage on %q = %v, %v", id, anc, err)
+		}
+	}
+	if err := c.Delete(ids[0]); err != nil {
+		t.Fatalf("delete %q: %v", ids[0], err)
+	}
+	if _, err := c.Get(ids[0]); err == nil {
+		t.Errorf("get %q after delete must 404", ids[0])
+	}
+}
+
+// TestRateLimitEnforced: a client over its token-bucket budget gets 429
+// with Retry-After; the error is typed retryable on the client side;
+// health stays exempt.
+func TestRateLimitEnforced(t *testing.T) {
+	srv, c := newTestServer(t, WithRateLimit(1, 3))
+	// Burst of 3 passes, the 4th must trip the limiter (refill at 1/s is
+	// negligible within this loop).
+	var limited error
+	for i := 0; i < 10; i++ {
+		if _, err := c.List(); err != nil {
+			limited = err
+			break
+		}
+	}
+	if limited == nil {
+		t.Fatal("rate limiter never tripped")
+	}
+	if !strings.Contains(limited.Error(), "429") {
+		t.Fatalf("expected 429, got %v", limited)
+	}
+	if !provclient.IsRetryable(limited) {
+		t.Fatalf("429 must be retryable, got %v", limited)
+	}
+	// Health checks bypass the limiter even while the client is blocked.
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(srv.URL + "/api/v0/health")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("health under rate limit: %d", resp.StatusCode)
+		}
+	}
+}
+
+// TestRateLimitRefills: after waiting, the bucket accrues tokens again.
+func TestRateLimitRefills(t *testing.T) {
+	l := newClientLimiter(100, 2)
+	now := time.Unix(0, 0)
+	if !l.allow("c", now) || !l.allow("c", now) {
+		t.Fatal("burst of 2 must pass")
+	}
+	if l.allow("c", now) {
+		t.Fatal("third immediate request must be limited")
+	}
+	if !l.allow("c", now.Add(50*time.Millisecond)) { // 100 rps -> 5 tokens
+		t.Fatal("bucket did not refill")
+	}
+	// An unknown client starts with a full bucket.
+	if !l.allow("other", now) {
+		t.Fatal("fresh client must pass")
+	}
+}
+
+// TestMetricsEndpoint: request telemetry shows up on /api/v0/metrics
+// with bounded route classes.
+func TestMetricsEndpoint(t *testing.T) {
+	srv, c := newTestServer(t)
+	if err := c.Upload("m1", testDoc()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("m1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Lineage("m1", "ex:model", provstore.Ancestors, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("nope"); err == nil {
+		t.Fatal("expected 404")
+	}
+
+	resp, err := http.Get(srv.URL + "/api/v0/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rep metricsReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalRequests < 4 {
+		t.Fatalf("total = %d, want >= 4", rep.TotalRequests)
+	}
+	if rep.Status4xx < 1 {
+		t.Fatalf("missing 4xx count: %+v", rep)
+	}
+	if rep.Status2xx < 3 {
+		t.Fatalf("missing 2xx counts: %+v", rep)
+	}
+	if _, ok := rep.Routes["documents/id"]; !ok {
+		t.Fatalf("no documents/id route stats: %v", rep.Routes)
+	}
+	if st, ok := rep.Routes["documents/lineage"]; !ok || st.Count < 1 {
+		t.Fatalf("no lineage route stats: %v", rep.Routes)
+	}
+}
+
+// TestRequestLogging: the logging middleware emits method, path, and
+// status per request.
+func TestRequestLogging(t *testing.T) {
+	var buf bytes.Buffer
+	logger := log.New(&buf, "", 0)
+	svc := New(provstore.New(), WithLogger(logger))
+	srv := httptest.NewServer(svc)
+	t.Cleanup(srv.Close)
+
+	resp, err := http.Get(srv.URL + "/api/v0/documents")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	line := buf.String()
+	if !strings.Contains(line, "GET /api/v0/documents -> 200") {
+		t.Fatalf("log line = %q", line)
+	}
+}
+
+// TestRouteClass keeps the latency series space bounded: every path
+// maps into the fixed route taxonomy, never into per-id names.
+func TestRouteClass(t *testing.T) {
+	cases := map[string]string{
+		"/api/v0/documents":              "documents",
+		"/api/v0/documents/abc":          "documents/id",
+		"/api/v0/documents/abc%2Fdef":    "documents/id",
+		"/api/v0/documents/abc/lineage":  "documents/lineage",
+		"/api/v0/documents/abc/subgraph": "documents/subgraph",
+		"/api/v0/documents/abc/whatever": "documents/other",
+		"/api/v0/search":                 "search",
+		"/api/v0/lineage":                "cross-lineage",
+		"/api/v0/stats":                  "stats",
+		"/api/v0/metrics":                "metrics",
+		"/api/v0/health":                 "health",
+		"/explorer":                      "explorer",
+		"/explorer/some-doc":             "explorer",
+		"/favicon.ico":                   "other",
+	}
+	for path, want := range cases {
+		if got := routeClass(path); got != want {
+			t.Errorf("routeClass(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+// TestAuthMiddlewareCoversAllMutations: with a token configured, every
+// mutating method on every path is refused without it — the check lives
+// in one middleware now, not per handler.
+func TestAuthMiddlewareCoversAllMutations(t *testing.T) {
+	srv, _ := newTestServer(t, WithToken("sekrit"))
+	for _, m := range []string{http.MethodPut, http.MethodPost, http.MethodDelete} {
+		req, err := http.NewRequest(m, srv.URL+"/api/v0/documents/x", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Errorf("%s without token = %d, want 401", m, resp.StatusCode)
+		}
+	}
+}
+
+// TestBodyLimit413: an oversized upload gets the precise 413 status
+// from the body-limit middleware.
+func TestBodyLimit413(t *testing.T) {
+	svc := New(provstore.New())
+	svc.MaxBodyBytes = 64
+	srv := httptest.NewServer(svc)
+	t.Cleanup(srv.Close)
+	body := strings.NewReader(`{"entity": {"ex:` + strings.Repeat("e", 200) + `": {}}}`)
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/api/v0/documents/big", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized upload = %d, want 413", resp.StatusCode)
+	}
+}

@@ -8,9 +8,16 @@
 //	GET    /api/v0/documents/{id}/subgraph   ?node=ex:x&hops=2
 //	GET    /api/v0/search                    ?type=provml:Model | ?key=provml:name&value=x
 //	GET    /api/v0/stats                     store statistics
+//	GET    /api/v0/metrics                   HTTP telemetry (in-flight, latency)
 //
-// All responses are JSON. When a bearer token is configured, mutating
-// requests must carry "Authorization: Bearer <token>".
+// Document ids in paths are URL-escaped; ids containing '/' or spaces
+// must be percent-encoded (%2F, %20) as provclient does.
+//
+// All responses are JSON. The service is a layered stack: request
+// logging, telemetry, per-client rate limiting, bearer-token auth, and
+// body-size limits are middleware (see middleware.go) wrapped around
+// thin handlers that talk to the store only through the StoreAPI
+// interface.
 package provservice
 
 import (
@@ -18,7 +25,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -29,11 +38,33 @@ import (
 	"repro/internal/provstore"
 )
 
+// StoreAPI is everything the HTTP layer needs from a document store.
+// *provstore.Store implements it; tests and alternative back-ends can
+// substitute their own.
+type StoreAPI interface {
+	Put(id string, doc *prov.Document) error
+	Get(id string) (*prov.Document, bool)
+	Delete(id string) error
+	List() []string
+	Lineage(doc string, node prov.QName, dir provstore.LineageDirection, depth int) ([]prov.QName, error)
+	Subgraph(doc string, node prov.QName, hops int) (*prov.Document, error)
+	FindByType(typeName string) []provstore.SearchResult
+	FindByAttr(key string, value interface{}) []provstore.SearchResult
+	CrossDocLineage(start prov.QName, dir provstore.LineageDirection, depth int) ([]provstore.CrossNode, error)
+	Stats() provstore.Stats
+	Close() error
+}
+
+var _ StoreAPI = (*provstore.Store)(nil)
+
 // Service is the HTTP front-end over a document store.
 type Service struct {
-	store *provstore.Store
-	token string
-	mux   *http.ServeMux
+	store   StoreAPI
+	token   string
+	logger  *log.Logger
+	limiter *clientLimiter
+	metrics *httpMetrics
+	handler http.Handler
 	// MaxBodyBytes bounds uploaded document size (default 64 MiB).
 	MaxBodyBytes int64
 
@@ -54,9 +85,25 @@ func WithToken(token string) Option {
 	return func(s *Service) { s.token = token }
 }
 
+// WithRateLimit enforces a per-client request budget of rps requests
+// per second with the given burst (burst <= 0 derives 2*rps). Clients
+// over budget get 429 with Retry-After. Health checks are exempt.
+func WithRateLimit(rps float64, burst int) Option {
+	return func(s *Service) {
+		if rps > 0 {
+			s.limiter = newClientLimiter(rps, burst)
+		}
+	}
+}
+
+// WithLogger emits one log line per request through l.
+func WithLogger(l *log.Logger) Option {
+	return func(s *Service) { s.logger = l }
+}
+
 // New builds a service over the given store.
-func New(store *provstore.Store, opts ...Option) *Service {
-	s := &Service{store: store, MaxBodyBytes: 64 << 20}
+func New(store StoreAPI, opts ...Option) *Service {
+	s := &Service{store: store, MaxBodyBytes: 64 << 20, metrics: newHTTPMetrics()}
 	for _, o := range opts {
 		o(s)
 	}
@@ -66,10 +113,17 @@ func New(store *provstore.Store, opts ...Option) *Service {
 	mux.HandleFunc("/api/v0/search", s.handleSearch)
 	mux.HandleFunc("/api/v0/lineage", s.handleCrossLineage)
 	mux.HandleFunc("/api/v0/stats", s.handleStats)
+	mux.HandleFunc("/api/v0/metrics", s.handleMetrics)
 	mux.HandleFunc("/api/v0/health", s.handleHealth)
 	mux.HandleFunc("/explorer", s.handleExplorerIndex)
 	mux.HandleFunc("/explorer/", s.handleExplorerDoc)
-	s.mux = mux
+	s.handler = chain(mux,
+		s.withLogging,
+		s.withMetrics,
+		s.withRateLimit,
+		s.withAuth,
+		s.withBodyLimit,
+	)
 	return s
 }
 
@@ -88,7 +142,7 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusServiceUnavailable, "service is shutting down")
 		return
 	}
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 // drainTimeout bounds how long Close waits for in-flight handlers. A
@@ -141,7 +195,7 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...interfac
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
-// authorized checks the bearer token for mutating requests.
+// authorized checks the bearer token (used by the auth middleware).
 func (s *Service) authorized(r *http.Request) bool {
 	if s.token == "" {
 		return true
@@ -154,6 +208,14 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "metrics is GET-only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.metrics.report())
+}
+
 func (s *Service) handleDocuments(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeErr(w, http.StatusMethodNotAllowed, "use GET to list, PUT /api/v0/documents/{id} to upload")
@@ -162,11 +224,17 @@ func (s *Service) handleDocuments(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]interface{}{"documents": s.store.List()})
 }
 
-// splitDocPath parses /api/v0/documents/{id}[/{verb}] .
-func splitDocPath(path string) (id, verb string) {
-	rest := strings.TrimPrefix(path, "/api/v0/documents/")
+// splitDocPath parses /api/v0/documents/{id}[/{verb}] from the
+// *escaped* request path and URL-decodes the id, so ids containing
+// '/' (sent as %2F), spaces, or other reserved characters route to the
+// right document instead of a 404. Undecodable ids are kept verbatim.
+func splitDocPath(escapedPath string) (id, verb string) {
+	rest := strings.TrimPrefix(escapedPath, "/api/v0/documents/")
 	parts := strings.SplitN(rest, "/", 2)
 	id = parts[0]
+	if u, err := url.PathUnescape(id); err == nil {
+		id = u
+	}
 	if len(parts) == 2 {
 		verb = parts[1]
 	}
@@ -174,7 +242,7 @@ func splitDocPath(path string) (id, verb string) {
 }
 
 func (s *Service) handleDocument(w http.ResponseWriter, r *http.Request) {
-	id, verb := splitDocPath(r.URL.Path)
+	id, verb := splitDocPath(r.URL.EscapedPath())
 	if id == "" {
 		writeErr(w, http.StatusBadRequest, "missing document id")
 		return
@@ -207,17 +275,14 @@ func (s *Service) handleDocumentCRUD(w http.ResponseWriter, r *http.Request, id 
 		w.Header().Set("Content-Type", "application/json")
 		_, _ = w.Write(payload)
 	case http.MethodPut, http.MethodPost:
-		if !s.authorized(r) {
-			writeErr(w, http.StatusUnauthorized, "missing or bad bearer token")
-			return
-		}
-		body, err := io.ReadAll(io.LimitReader(r.Body, s.MaxBodyBytes+1))
+		body, err := io.ReadAll(r.Body)
 		if err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				writeErr(w, http.StatusRequestEntityTooLarge, "document exceeds %d bytes", mbe.Limit)
+				return
+			}
 			writeErr(w, http.StatusBadRequest, "read body: %v", err)
-			return
-		}
-		if int64(len(body)) > s.MaxBodyBytes {
-			writeErr(w, http.StatusRequestEntityTooLarge, "document exceeds %d bytes", s.MaxBodyBytes)
 			return
 		}
 		doc, err := prov.ParseJSON(body)
@@ -237,10 +302,6 @@ func (s *Service) handleDocumentCRUD(w http.ResponseWriter, r *http.Request, id 
 		}
 		writeJSON(w, http.StatusCreated, map[string]interface{}{"id": id, "stats": doc.Stats()})
 	case http.MethodDelete:
-		if !s.authorized(r) {
-			writeErr(w, http.StatusUnauthorized, "missing or bad bearer token")
-			return
-		}
 		if err := s.store.Delete(id); err != nil {
 			if errors.Is(err, provstore.ErrJournal) {
 				writeErr(w, http.StatusServiceUnavailable, "%v", err)

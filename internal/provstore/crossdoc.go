@@ -12,7 +12,11 @@ import (
 // used by many pipelines, a run document paired from a workflow). The
 // union traversal below follows relation edges across *all* stored
 // documents, keyed by qualified name — the store-level counterpart of
-// the paper's multi-level provenance exploration.
+// the paper's multi-level provenance exploration. On the sharded
+// engine the document set is gathered by a fan-out over every shard
+// (brief read lock each, see snapshotDocs); the union/merge itself
+// runs lock-free on the immutable documents, and every output is
+// sorted, so results are deterministic for any shard count.
 
 // CrossNode is one node of a cross-document traversal result.
 type CrossNode struct {
@@ -28,12 +32,11 @@ func (s *Store) CrossDocLineage(start prov.QName, dir LineageDirection, depth in
 	if dir != Ancestors && dir != Descendants {
 		return nil, fmt.Errorf("provstore: bad lineage direction %q", dir)
 	}
-	s.mu.RLock()
 	// Union adjacency over qualified names + node->docs index.
 	adj := map[prov.QName][]prov.QName{}
 	docsOf := map[prov.QName]map[string]bool{}
 	seenStart := false
-	for id, doc := range s.docs {
+	for id, doc := range s.snapshotDocs() {
 		record := func(q prov.QName) {
 			if docsOf[q] == nil {
 				docsOf[q] = map[string]bool{}
@@ -60,7 +63,6 @@ func (s *Store) CrossDocLineage(start prov.QName, dir LineageDirection, depth in
 			adj[from] = append(adj[from], to)
 		}
 	}
-	s.mu.RUnlock()
 
 	if !seenStart {
 		return nil, fmt.Errorf("provstore: node %s not found in any document", start)
@@ -107,9 +109,8 @@ func (s *Store) CrossDocLineage(start prov.QName, dir LineageDirection, depth in
 // SharedNodes lists qualified names that appear in more than one
 // document — the junction points cross-document traversal pivots on.
 func (s *Store) SharedNodes() []CrossNode {
-	s.mu.RLock()
 	docsOf := map[prov.QName]map[string]bool{}
-	for id, doc := range s.docs {
+	for id, doc := range s.snapshotDocs() {
 		add := func(q prov.QName) {
 			if docsOf[q] == nil {
 				docsOf[q] = map[string]bool{}
@@ -126,7 +127,6 @@ func (s *Store) SharedNodes() []CrossNode {
 			add(q)
 		}
 	}
-	s.mu.RUnlock()
 
 	var out []CrossNode
 	for q, docs := range docsOf {

@@ -1,0 +1,134 @@
+package provstore
+
+import (
+	"runtime"
+	"sort"
+
+	"repro/internal/prov"
+)
+
+// Shard routing. A document lives on exactly one shard, chosen by a
+// stable FNV-1a hash of its id masked down to the (power-of-two) shard
+// count. The assignment is recomputed from the id wherever it is
+// needed — including journal recovery — so a data directory written
+// under one -shards value opens correctly under any other: the hash is
+// the source of truth, the shard id recorded per journal record is a
+// write-time hint for observability and debugging.
+
+// maxShards bounds the shard count; beyond this, fan-out bookkeeping
+// costs more than the contention it removes.
+const maxShards = 256
+
+// defaultShardCount picks GOMAXPROCS rounded up to a power of two.
+func defaultShardCount() int {
+	return roundPow2(runtime.GOMAXPROCS(0))
+}
+
+// roundPow2 rounds n up to the next power of two in [1, maxShards].
+func roundPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	p := 1
+	for p < n && p < maxShards {
+		p <<= 1
+	}
+	return p
+}
+
+// shardHash is FNV-1a over the document id.
+func shardHash(id string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint32(id[i])) * prime32
+	}
+	return h
+}
+
+// shardIndex maps a document id to its shard slot.
+func (s *Store) shardIndex(id string) uint32 {
+	return shardHash(id) & s.mask
+}
+
+// shardFor returns the shard owning id.
+func (s *Store) shardFor(id string) *shard {
+	return s.shards[s.shardIndex(id)]
+}
+
+// ShardCount reports how many shards the store was built with.
+func (s *Store) ShardCount() int { return len(s.shards) }
+
+// List returns stored document ids in sorted order, fanning out over
+// every shard. The merged sort makes the result deterministic
+// regardless of shard count or layout.
+func (s *Store) List() []string {
+	var out []string
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for id := range sh.docs {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count returns the number of stored documents across all shards.
+func (s *Store) Count() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.docs)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// searchShards runs one index lookup per (shard, label) and merges the
+// matches. Results are sorted by (Doc, Node) so the output is identical
+// for any shard count.
+func (s *Store) searchShards(key string, value interface{}) []SearchResult {
+	var out []SearchResult
+	for _, sh := range s.shards {
+		for _, label := range []string{"Entity", "Activity", "Agent"} {
+			ids := sh.g.FindNodes(label, key, value)
+			docs := sh.g.StringProps(ids, "doc")
+			qns := sh.g.StringProps(ids, "qname")
+			for i := range ids {
+				if qns[i] == "" { // node deleted by a concurrent writer
+					continue
+				}
+				out = append(out, SearchResult{Doc: docs[i], Node: prov.QName(qns[i]), Class: label})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Doc != out[j].Doc {
+			return out[i].Doc < out[j].Doc
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// snapshotDocs collects (id -> document) pointers from every shard.
+// Stored documents are immutable, so the pointers are safe to read
+// after the shard locks are released. Each shard is locked briefly in
+// turn; the view is per-shard consistent, which is the unit cross-doc
+// queries reason about.
+func (s *Store) snapshotDocs() map[string]*prov.Document {
+	out := make(map[string]*prov.Document)
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for id, d := range sh.docs {
+			out[id] = d
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}

@@ -15,11 +15,19 @@ import (
 // server-side durability outage apart from a bad request.
 var ErrJournal = errors.New("provstore: journal failure")
 
-// Durability: the store journals every Put/Delete to a write-ahead log
-// before acknowledging it, periodically snapshots the full document set,
-// and compacts the log down to snapshot + tail. Open replays whatever a
-// previous process left behind — including a torn final record from a
-// crash mid-write, which is truncated, not fatal.
+// Durability: the store journals every Put/Delete to a single
+// write-ahead log before acknowledging it (one log, global sequencing,
+// regardless of shard count), periodically snapshots the full document
+// set, and compacts the log down to snapshot + tail. Open replays
+// whatever a previous process left behind — including a torn final
+// record from a crash mid-write, which is truncated, not fatal.
+//
+// Shard compatibility: each journaled record carries the shard index it
+// was applied to at write time, but recovery always re-derives the
+// owning shard from the document id hash. A data directory written by
+// an earlier single-lock revision (records without a shard field) or
+// under a different -shards value therefore replays correctly into any
+// shard layout — no migration step is needed.
 
 // Durability configures the journaled store returned by Open.
 type Durability struct {
@@ -32,20 +40,31 @@ type Durability struct {
 	SnapshotEvery int
 	// SegmentBytes overrides the WAL segment rotation threshold.
 	SegmentBytes int64
+	// Shards is the shard count for the recovered store (rounded up to
+	// a power of two, capped at 256; <= 0 selects the GOMAXPROCS
+	// default). Any value opens any data directory: shard assignment is
+	// re-derived from document ids at recovery.
+	Shards int
 }
 
 const defaultSnapshotEvery = 256
 
 // journalOp is one logged mutation.
 type journalOp struct {
-	Op  string          `json:"op"` // "put" | "delete"
-	ID  string          `json:"id"`
-	Doc json.RawMessage `json:"doc,omitempty"` // PROV-JSON for puts
+	Op string `json:"op"` // "put" | "delete"
+	ID string `json:"id"`
+	// Shard is the shard index the mutation was applied to at write
+	// time — a debugging/observability hint, not routing truth (see the
+	// shard-compatibility note above). Absent in pre-sharding journals.
+	Shard uint32          `json:"shard,omitempty"`
+	Doc   json.RawMessage `json:"doc,omitempty"` // PROV-JSON for puts
 }
 
-// storeSnapshot is the full-state snapshot payload.
+// storeSnapshot is the full-state snapshot payload. Shards records the
+// writer's shard count (informational; restore re-derives placement).
 type storeSnapshot struct {
-	Docs map[string]json.RawMessage `json:"docs"`
+	Docs   map[string]json.RawMessage `json:"docs"`
+	Shards int                        `json:"shards,omitempty"`
 }
 
 // DurabilityStats extends the raw WAL counters with store-level
@@ -77,14 +96,14 @@ func Open(dir string, d Durability) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := New()
+	s := NewSharded(d.Shards)
 	if err := s.restore(rec); err != nil {
 		_ = l.Close()
 		return nil, err
 	}
 	s.wal = l
 	s.snapshotEvery = d.SnapshotEvery
-	s.lastApplied = rec.LastSeq()
+	s.lastApplied.Store(rec.LastSeq())
 	s.suspectBitRot = rec.SuspectBitRot
 	return s, nil
 }
@@ -95,7 +114,11 @@ func Open(dir string, d Durability) (*Store, error) {
 func (s *Store) SuspectBitRot() bool { return s.suspectBitRot }
 
 // restore replays a recovered snapshot and journal tail into the
-// (not-yet-journaling) store.
+// (not-yet-journaling, not-yet-published) store. Runs single-threaded
+// before the store is visible to any other goroutine, so shard locks
+// are not taken. Every document routes to its hash-derived shard — the
+// recorded shard hints are ignored, which is what makes old journals
+// and different shard counts interchangeable.
 func (s *Store) restore(rec *wal.RecoveredState) error {
 	if rec.SnapshotPayload != nil {
 		var snap storeSnapshot
@@ -107,10 +130,7 @@ func (s *Store) restore(rec *wal.RecoveredState) error {
 			if err != nil {
 				return fmt.Errorf("provstore: recover snapshot doc %q: %w", id, err)
 			}
-			s.mu.Lock()
-			err = s.putLocked(id, doc)
-			s.mu.Unlock()
-			if err != nil {
+			if err := s.shardFor(id).putLocked(id, doc); err != nil {
 				return fmt.Errorf("provstore: recover snapshot doc %q: %w", id, err)
 			}
 		}
@@ -120,24 +140,20 @@ func (s *Store) restore(rec *wal.RecoveredState) error {
 		if err := json.Unmarshal(r.Payload, &op); err != nil {
 			return fmt.Errorf("provstore: recover journal seq %d: %w", r.Seq, err)
 		}
+		sh := s.shardFor(op.ID)
 		switch op.Op {
 		case "put":
 			doc, err := prov.ParseJSON(op.Doc)
 			if err != nil {
 				return fmt.Errorf("provstore: recover journal seq %d (%q): %w", r.Seq, op.ID, err)
 			}
-			s.mu.Lock()
-			err = s.putLocked(op.ID, doc)
-			s.mu.Unlock()
-			if err != nil {
+			if err := sh.putLocked(op.ID, doc); err != nil {
 				return fmt.Errorf("provstore: recover journal seq %d (%q): %w", r.Seq, op.ID, err)
 			}
 		case "delete":
-			s.mu.Lock()
-			if _, ok := s.docs[op.ID]; ok {
-				s.deleteLocked(op.ID)
+			if _, ok := sh.docs[op.ID]; ok {
+				sh.deleteLocked(op.ID)
 			}
-			s.mu.Unlock()
 		default:
 			return fmt.Errorf("provstore: recover journal seq %d: unknown op %q", r.Seq, op.Op)
 		}
@@ -146,17 +162,17 @@ func (s *Store) restore(rec *wal.RecoveredState) error {
 }
 
 // encodePutOp frames a put for the journal.
-func encodePutOp(id string, doc *prov.Document) ([]byte, error) {
+func encodePutOp(id string, doc *prov.Document, shard uint32) ([]byte, error) {
 	raw, err := doc.MarshalJSON()
 	if err != nil {
 		return nil, err
 	}
-	return json.Marshal(journalOp{Op: "put", ID: id, Doc: raw})
+	return json.Marshal(journalOp{Op: "put", ID: id, Shard: shard, Doc: raw})
 }
 
 // encodeDeleteOp frames a delete for the journal.
-func encodeDeleteOp(id string) ([]byte, error) {
-	return json.Marshal(journalOp{Op: "delete", ID: id})
+func encodeDeleteOp(id string, shard uint32) ([]byte, error) {
+	return json.Marshal(journalOp{Op: "delete", ID: id, Shard: shard})
 }
 
 // maybeSnapshot triggers a checkpoint every SnapshotEvery mutations,
@@ -199,17 +215,27 @@ func (s *Store) Checkpoint() error {
 	return s.checkpointLocked()
 }
 
-// checkpointLocked does the snapshot+compact cycle. snapMu must be held.
+// checkpointLocked does the snapshot+compact cycle. snapMu must be
+// held. Every shard is read-locked simultaneously (in index order)
+// while the document set is captured: staging happens under shard write
+// locks, so the quiesced view contains exactly the mutations up to the
+// lastApplied high-water mark — nothing in flight, nothing missing.
 func (s *Store) checkpointLocked() error {
-	s.mu.RLock()
-	seq := s.lastApplied
-	docs := make(map[string]*prov.Document, len(s.docs))
-	for id, d := range s.docs {
-		docs[id] = d // stored documents are immutable: safe to marshal unlocked
+	for _, sh := range s.shards {
+		sh.mu.RLock()
 	}
-	s.mu.RUnlock()
+	seq := s.lastApplied.Load()
+	docs := make(map[string]*prov.Document)
+	for _, sh := range s.shards {
+		for id, d := range sh.docs {
+			docs[id] = d // stored documents are immutable: safe to marshal unlocked
+		}
+	}
+	for _, sh := range s.shards {
+		sh.mu.RUnlock()
+	}
 
-	snap := storeSnapshot{Docs: make(map[string]json.RawMessage, len(docs))}
+	snap := storeSnapshot{Docs: make(map[string]json.RawMessage, len(docs)), Shards: len(s.shards)}
 	for id, d := range docs {
 		raw, err := d.MarshalJSON()
 		if err != nil {

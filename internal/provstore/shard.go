@@ -1,0 +1,149 @@
+package provstore
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/graphdb"
+	"repro/internal/prov"
+)
+
+// shard is one independent slice of the store: its own property graph,
+// document map, and lock. Documents are assigned to shards by a stable
+// hash of their id (see shardIndex), so operations on documents that
+// land on different shards never contend — the divide-and-conquer that
+// lets uploads and lineage queries scale across cores.
+type shard struct {
+	mu    sync.RWMutex
+	g     *graphdb.Graph
+	docs  map[string]*prov.Document
+	roots map[string]map[prov.QName]graphdb.NodeID // docID -> element -> node
+}
+
+// newShard builds an empty shard with the indexes every lineage/search
+// query relies on.
+func newShard() *shard {
+	g := graphdb.New()
+	for _, label := range []string{"Entity", "Activity", "Agent"} {
+		g.CreateIndex(label, "qname")
+		g.CreateIndex(label, "doc")
+		g.CreateIndex(label, "prov:type")
+	}
+	return &shard{
+		g:     g,
+		docs:  make(map[string]*prov.Document),
+		roots: make(map[string]map[prov.QName]graphdb.NodeID),
+	}
+}
+
+// relTypeFor maps PROV relation kinds to graph relationship types.
+func relTypeFor(kind prov.RelationKind) string {
+	return strings.ToUpper(string(kind))
+}
+
+// putLocked applies a validated document to the shard's in-memory
+// state, all-or-nothing: the new graph projection is built first and
+// torn back down on any error, and the old document is replaced only on
+// success. sh.mu must be held exclusively.
+func (sh *shard) putLocked(id string, doc *prov.Document) (err error) {
+	nodes := make(map[prov.QName]graphdb.NodeID)
+	defer func() {
+		if err != nil {
+			for _, nid := range nodes {
+				_ = sh.g.DeleteNode(nid) // cascades relationships
+			}
+		}
+	}()
+
+	addElement := func(label string, el *prov.Element, extra graphdb.Props) error {
+		props := graphdb.Props{"qname": string(el.ID), "doc": id}
+		for k, v := range el.Attrs {
+			props[attrPropKey(k)] = attrPropValue(v)
+		}
+		for k, v := range extra {
+			props[k] = v
+		}
+		nid, err := sh.g.CreateNode([]string{label}, props)
+		if err != nil {
+			return err
+		}
+		nodes[el.ID] = nid
+		return nil
+	}
+
+	for _, qid := range doc.EntityIDs() {
+		if err := addElement("Entity", doc.Entities[qid], nil); err != nil {
+			return err
+		}
+	}
+	for _, qid := range doc.ActivityIDs() {
+		a := doc.Activities[qid]
+		extra := graphdb.Props{}
+		if !a.StartTime.IsZero() {
+			extra["startTime"] = a.StartTime.UnixNano()
+		}
+		if !a.EndTime.IsZero() {
+			extra["endTime"] = a.EndTime.UnixNano()
+		}
+		if err := addElement("Activity", &a.Element, extra); err != nil {
+			return err
+		}
+	}
+	for _, qid := range doc.AgentIDs() {
+		if err := addElement("Agent", doc.Agents[qid], nil); err != nil {
+			return err
+		}
+	}
+	for _, rel := range doc.Relations {
+		from, ok1 := nodes[rel.Subject]
+		to, ok2 := nodes[rel.Object]
+		if !ok1 || !ok2 {
+			return fmt.Errorf("provstore: relation %s references unknown nodes", rel.ID)
+		}
+		props := graphdb.Props{"doc": id}
+		if !rel.Time.IsZero() {
+			props["time"] = rel.Time.UnixNano()
+		}
+		if _, err := sh.g.CreateRel(from, to, relTypeFor(rel.Kind), props); err != nil {
+			return err
+		}
+	}
+
+	if _, exists := sh.docs[id]; exists {
+		sh.deleteLocked(id)
+	}
+	sh.docs[id] = doc.Clone()
+	sh.roots[id] = nodes
+	return nil
+}
+
+// deleteLocked removes a document's projection. sh.mu must be held
+// exclusively.
+func (sh *shard) deleteLocked(id string) {
+	for _, nid := range sh.roots[id] {
+		_ = sh.g.DeleteNode(nid) // cascades relationships
+	}
+	delete(sh.roots, id)
+	delete(sh.docs, id)
+}
+
+// attrPropKey namespaces PROV attribute keys into graph property names.
+func attrPropKey(k string) string { return k }
+
+// attrPropValue flattens prov values into graph property scalars.
+func attrPropValue(v prov.Value) interface{} {
+	switch v.Kind() {
+	case prov.KindInt:
+		i, _ := v.AsInt()
+		return i
+	case prov.KindFloat:
+		f, _ := v.AsFloat()
+		return f
+	case prov.KindBool:
+		b, _ := v.AsBool()
+		return b
+	default:
+		return v.AsString()
+	}
+}

@@ -1,14 +1,18 @@
-// Package provstore persists PROV documents into the graphdb property
-// graph, mirroring the yProv service architecture (web front-end, graph
-// database back-end). Each document's elements become labeled nodes and
-// its relations become typed relationships, enabling multi-level lineage
-// queries across uploaded documents.
+// Package provstore persists PROV documents into a sharded property-
+// graph engine, mirroring the yProv service architecture (web front-end,
+// graph database back-end). The store is split into N power-of-two
+// shards keyed by a hash of the document id; each shard owns its own
+// graphdb.Graph, document map, and lock, so uploads and lineage queries
+// on different documents never contend. Cross-document operations fan
+// out over the shards and merge with deterministic ordering. Each
+// document's elements become labeled nodes and its relations become
+// typed relationships, enabling multi-level lineage queries across
+// uploaded documents.
 package provstore
 
 import (
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -17,19 +21,18 @@ import (
 	"repro/internal/wal"
 )
 
-// Store is a document store over a property graph. Stores built with
-// New are purely in-memory; stores built with Open additionally journal
-// every mutation to a write-ahead log (see journal.go) and recover
+// Store is a document store over sharded property graphs. Stores built
+// with New/NewSharded are purely in-memory; stores built with Open
+// additionally journal every mutation to a single write-ahead log (see
+// journal.go) — global sequencing, per-shard application — and recover
 // their state on construction.
 type Store struct {
-	mu    sync.RWMutex
-	g     *graphdb.Graph
-	docs  map[string]*prov.Document
-	roots map[string]map[prov.QName]graphdb.NodeID // docID -> element -> node
+	shards []*shard
+	mask   uint32 // len(shards)-1; shard counts are powers of two
 
 	// Durability (nil/zero for in-memory stores).
 	wal           *wal.Log
-	lastApplied   uint64 // guarded by mu: journal seq of the latest applied mutation
+	lastApplied   atomic.Uint64 // journal seq high-water mark across shards
 	snapshotEvery int
 	mutations     uint64       // atomic: mutation count driving snapshot cadence
 	snapErrs      uint64       // atomic: failed background checkpoints
@@ -38,34 +41,33 @@ type Store struct {
 	snapMu        sync.Mutex
 }
 
-// New returns an empty store.
+// New returns an empty store with the default shard count (GOMAXPROCS
+// rounded up to a power of two).
 func New() *Store {
-	g := graphdb.New()
-	// Indexes that every lineage/search query relies on.
-	for _, label := range []string{"Entity", "Activity", "Agent"} {
-		g.CreateIndex(label, "qname")
-		g.CreateIndex(label, "doc")
-		g.CreateIndex(label, "prov:type")
-	}
-	return &Store{
-		g:     g,
-		docs:  make(map[string]*prov.Document),
-		roots: make(map[string]map[prov.QName]graphdb.NodeID),
-	}
+	return NewSharded(0)
 }
 
-// Graph exposes the underlying graph (read-only use expected).
-func (s *Store) Graph() *graphdb.Graph { return s.g }
-
-// relTypeFor maps PROV relation kinds to graph relationship types.
-func relTypeFor(kind prov.RelationKind) string {
-	return strings.ToUpper(string(kind))
+// NewSharded returns an empty store with n shards. n is rounded up to
+// a power of two and capped at 256 (see maxShards); n <= 0 selects the
+// default (GOMAXPROCS). NewSharded(1) is the single-lock layout of
+// earlier revisions.
+func NewSharded(n int) *Store {
+	if n <= 0 {
+		n = defaultShardCount()
+	}
+	n = roundPow2(n)
+	s := &Store{shards: make([]*shard, n), mask: uint32(n - 1)}
+	for i := range s.shards {
+		s.shards[i] = newShard()
+	}
+	return s
 }
 
 // Put stores (or replaces) a document under id. On journaled stores
-// the mutation is staged to the write-ahead log in apply order and Put
+// the mutation is staged to the write-ahead log in apply order (per
+// document — staging happens under the owning shard's lock) and Put
 // returns only once its log batch is durable (group-committed with any
-// concurrent writers).
+// concurrent writers, including writers on other shards).
 func (s *Store) Put(id string, doc *prov.Document) error {
 	if id == "" {
 		return fmt.Errorf("provstore: empty document id")
@@ -76,33 +78,35 @@ func (s *Store) Put(id string, doc *prov.Document) error {
 	var op []byte
 	if s.wal != nil {
 		var err error
-		if op, err = encodePutOp(id, doc); err != nil {
+		if op, err = encodePutOp(id, doc, s.shardIndex(id)); err != nil {
 			return fmt.Errorf("provstore: journal encode %q: %w", id, err)
 		}
 	}
-	s.mu.Lock()
-	prev := s.docs[id] // stored clone, for rollback if staging fails
-	err := s.putLocked(id, doc)
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	prev := sh.docs[id] // stored clone, for rollback if staging fails
+	err := sh.putLocked(id, doc)
 	ticket, staged, err := s.stageLocked(op, err, func() {
-		s.deleteLocked(id)
+		sh.deleteLocked(id)
 		if prev != nil {
-			_ = s.putLocked(id, prev) // re-projecting a previously valid doc cannot fail
+			_ = sh.putLocked(id, prev) // re-projecting a previously valid doc cannot fail
 		}
 	})
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	if err != nil {
 		return err
 	}
 	return s.commitStaged(ticket, staged)
 }
 
-// stageLocked journals an already-applied mutation while mu is still
-// held, so log order always matches apply order. applyErr short-circuits
-// staging when the in-memory apply failed. If staging itself fails (log
-// closed, fail-stop latch, record cap), rollback restores the
-// pre-mutation state — otherwise the un-journaled mutation would stay
-// readable and a later checkpoint would make it durable even though the
-// caller was told it failed.
+// stageLocked journals an already-applied mutation while the owning
+// shard's lock is still held, so log order always matches apply order
+// for any given document. applyErr short-circuits staging when the
+// in-memory apply failed. If staging itself fails (log closed,
+// fail-stop latch, record cap), rollback restores the pre-mutation
+// state — otherwise the un-journaled mutation would stay readable and a
+// later checkpoint would make it durable even though the caller was
+// told it failed.
 func (s *Store) stageLocked(op []byte, applyErr error, rollback func()) (wal.Ticket, bool, error) {
 	if applyErr != nil || s.wal == nil {
 		return wal.Ticket{}, false, applyErr
@@ -112,11 +116,22 @@ func (s *Store) stageLocked(op []byte, applyErr error, rollback func()) (wal.Tic
 		rollback()
 		return wal.Ticket{}, false, fmt.Errorf("%w: %v", ErrJournal, err)
 	}
-	s.lastApplied = t.Seq()
+	s.noteApplied(t.Seq())
 	return t, true, nil
 }
 
-// commitStaged waits for durability outside the store lock and drives
+// noteApplied raises the applied-sequence high-water mark. Stagings on
+// different shards race here, so the maximum is taken with a CAS loop.
+func (s *Store) noteApplied(seq uint64) {
+	for {
+		cur := s.lastApplied.Load()
+		if seq <= cur || s.lastApplied.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// commitStaged waits for durability outside the shard lock and drives
 // the snapshot cadence.
 func (s *Store) commitStaged(t wal.Ticket, staged bool) error {
 	if !staged {
@@ -129,123 +144,16 @@ func (s *Store) commitStaged(t wal.Ticket, staged bool) error {
 	return nil
 }
 
-// putLocked applies a validated document to the in-memory state,
-// all-or-nothing: the new graph projection is built first and torn back
-// down on any error, and the old document is replaced only on success.
-// s.mu must be held.
-func (s *Store) putLocked(id string, doc *prov.Document) (err error) {
-	nodes := make(map[prov.QName]graphdb.NodeID)
-	defer func() {
-		if err != nil {
-			for _, nid := range nodes {
-				_ = s.g.DeleteNode(nid) // cascades relationships
-			}
-		}
-	}()
-
-	addElement := func(label string, el *prov.Element, extra graphdb.Props) error {
-		props := graphdb.Props{"qname": string(el.ID), "doc": id}
-		for k, v := range el.Attrs {
-			props[attrPropKey(k)] = attrPropValue(v)
-		}
-		for k, v := range extra {
-			props[k] = v
-		}
-		nid, err := s.g.CreateNode([]string{label}, props)
-		if err != nil {
-			return err
-		}
-		nodes[el.ID] = nid
-		return nil
-	}
-
-	for _, qid := range doc.EntityIDs() {
-		if err := addElement("Entity", doc.Entities[qid], nil); err != nil {
-			return err
-		}
-	}
-	for _, qid := range doc.ActivityIDs() {
-		a := doc.Activities[qid]
-		extra := graphdb.Props{}
-		if !a.StartTime.IsZero() {
-			extra["startTime"] = a.StartTime.UnixNano()
-		}
-		if !a.EndTime.IsZero() {
-			extra["endTime"] = a.EndTime.UnixNano()
-		}
-		if err := addElement("Activity", &a.Element, extra); err != nil {
-			return err
-		}
-	}
-	for _, qid := range doc.AgentIDs() {
-		if err := addElement("Agent", doc.Agents[qid], nil); err != nil {
-			return err
-		}
-	}
-	for _, rel := range doc.Relations {
-		from, ok1 := nodes[rel.Subject]
-		to, ok2 := nodes[rel.Object]
-		if !ok1 || !ok2 {
-			return fmt.Errorf("provstore: relation %s references unknown nodes", rel.ID)
-		}
-		props := graphdb.Props{"doc": id}
-		if !rel.Time.IsZero() {
-			props["time"] = rel.Time.UnixNano()
-		}
-		if _, err := s.g.CreateRel(from, to, relTypeFor(rel.Kind), props); err != nil {
-			return err
-		}
-	}
-
-	if _, exists := s.docs[id]; exists {
-		s.deleteLocked(id)
-	}
-	s.docs[id] = doc.Clone()
-	s.roots[id] = nodes
-	return nil
-}
-
-// attrPropKey namespaces PROV attribute keys into graph property names.
-func attrPropKey(k string) string { return k }
-
-// attrPropValue flattens prov values into graph property scalars.
-func attrPropValue(v prov.Value) interface{} {
-	switch v.Kind() {
-	case prov.KindInt:
-		i, _ := v.AsInt()
-		return i
-	case prov.KindFloat:
-		f, _ := v.AsFloat()
-		return f
-	case prov.KindBool:
-		b, _ := v.AsBool()
-		return b
-	default:
-		return v.AsString()
-	}
-}
-
 // Get returns a copy of the stored document.
 func (s *Store) Get(id string) (*prov.Document, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	d, ok := s.docs[id]
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	d, ok := sh.docs[id]
 	if !ok {
 		return nil, false
 	}
 	return d.Clone(), true
-}
-
-// List returns stored document ids in sorted order.
-func (s *Store) List() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.docs))
-	for id := range s.docs {
-		out = append(out, id)
-	}
-	sort.Strings(out)
-	return out
 }
 
 // Delete removes a document and its graph projection, journaling the
@@ -254,53 +162,40 @@ func (s *Store) Delete(id string) error {
 	var op []byte
 	if s.wal != nil {
 		var err error
-		if op, err = encodeDeleteOp(id); err != nil {
+		if op, err = encodeDeleteOp(id, s.shardIndex(id)); err != nil {
 			return fmt.Errorf("provstore: journal encode %q: %w", id, err)
 		}
 	}
-	s.mu.Lock()
-	prev := s.docs[id] // for rollback if staging fails
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	prev := sh.docs[id] // for rollback if staging fails
 	var err error
 	if prev == nil {
 		err = fmt.Errorf("provstore: document %q does not exist", id)
 	} else {
-		s.deleteLocked(id)
+		sh.deleteLocked(id)
 	}
 	ticket, staged, err := s.stageLocked(op, err, func() {
-		_ = s.putLocked(id, prev) // restore the removed projection
+		_ = sh.putLocked(id, prev) // restore the removed projection
 	})
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	if err != nil {
 		return err
 	}
 	return s.commitStaged(ticket, staged)
 }
 
-func (s *Store) deleteLocked(id string) {
-	for _, nid := range s.roots[id] {
-		_ = s.g.DeleteNode(nid) // cascades relationships
-	}
-	delete(s.roots, id)
-	delete(s.docs, id)
-}
-
-// Count returns the number of stored documents.
-func (s *Store) Count() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.docs)
-}
-
-// nodeID resolves (doc, qname) to the graph node.
-func (s *Store) nodeID(doc string, q prov.QName) (graphdb.NodeID, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	nodes, ok := s.roots[doc]
+// nodeID resolves (doc, qname) to the graph node on the owning shard.
+func (s *Store) nodeID(doc string, q prov.QName) (*shard, graphdb.NodeID, bool) {
+	sh := s.shardFor(doc)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	nodes, ok := sh.roots[doc]
 	if !ok {
-		return 0, false
+		return sh, 0, false
 	}
 	nid, ok := nodes[q]
-	return nid, ok
+	return sh, nid, ok
 }
 
 // LineageDirection selects ancestors (toward origins) or descendants.
@@ -315,9 +210,11 @@ const (
 // Lineage returns the qualified names reachable from node in the given
 // direction within depth hops (depth <= 0 = unbounded), sorted.
 // PROV relation edges point from subject toward object — toward origins
-// — so ancestors follow outgoing edges.
+// — so ancestors follow outgoing edges. The traversal runs entirely on
+// the shard owning the document; queries on other shards proceed in
+// parallel.
 func (s *Store) Lineage(doc string, node prov.QName, dir LineageDirection, depth int) ([]prov.QName, error) {
-	nid, ok := s.nodeID(doc, node)
+	sh, nid, ok := s.nodeID(doc, node)
 	if !ok {
 		return nil, fmt.Errorf("provstore: node %s not found in document %q", node, doc)
 	}
@@ -327,12 +224,12 @@ func (s *Store) Lineage(doc string, node prov.QName, dir LineageDirection, depth
 	} else if dir != Ancestors {
 		return nil, fmt.Errorf("provstore: bad lineage direction %q", dir)
 	}
-	ids := s.g.Closure(nid, gdir, "", depth)
+	ids := sh.g.Closure(nid, gdir, "", depth)
 	// Batch-resolve qualified names: one lock acquisition, no node clones.
 	// Nodes deleted by a concurrent Put/Delete resolve to "" and are
 	// skipped, as the old per-node lookup did.
 	out := make([]prov.QName, 0, len(ids))
-	for _, qn := range s.g.StringProps(ids, "qname") {
+	for _, qn := range sh.g.StringProps(ids, "qname") {
 		if qn != "" {
 			out = append(out, prov.QName(qn))
 		}
@@ -343,13 +240,15 @@ func (s *Store) Lineage(doc string, node prov.QName, dir LineageDirection, depth
 
 // Subgraph extracts the neighborhood of node within hops as a document.
 // The node set is discovered with an undirected graph traversal (the
-// document's relations never leave its own graph projection), then the
-// stored document is induced onto it.
+// document's relations never leave its own graph projection, which
+// lives wholly on one shard), then the stored document is induced onto
+// it.
 func (s *Store) Subgraph(doc string, node prov.QName, hops int) (*prov.Document, error) {
-	s.mu.RLock()
-	d, ok := s.docs[doc]
-	nid, found := s.roots[doc][node]
-	s.mu.RUnlock()
+	sh := s.shardFor(doc)
+	sh.mu.RLock()
+	d, ok := sh.docs[doc]
+	nid, found := sh.roots[doc][node]
+	sh.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("provstore: document %q does not exist", doc)
 	}
@@ -358,8 +257,8 @@ func (s *Store) Subgraph(doc string, node prov.QName, hops int) (*prov.Document,
 	}
 	nodes := []prov.QName{node}
 	if hops > 0 {
-		ids := s.g.Closure(nid, graphdb.Both, "", hops)
-		for _, qn := range s.g.StringProps(ids, "qname") {
+		ids := sh.g.Closure(nid, graphdb.Both, "", hops)
+		for _, qn := range sh.g.StringProps(ids, "qname") {
 			if qn != "" { // node deleted by a concurrent writer
 				nodes = append(nodes, prov.QName(qn))
 			}
@@ -377,51 +276,16 @@ type SearchResult struct {
 
 // FindByType returns all elements whose prov:type attribute equals
 // typeName, across every stored document. This is the "knowledge base
-// of previous runs" query of the paper's §3.2/§3.4.
+// of previous runs" query of the paper's §3.2/§3.4, fanned out over
+// every shard and merged in (Doc, Node) order.
 func (s *Store) FindByType(typeName string) []SearchResult {
-	var out []SearchResult
-	for _, label := range []string{"Entity", "Activity", "Agent"} {
-		ids := s.g.FindNodes(label, "prov:type", typeName)
-		docs := s.g.StringProps(ids, "doc")
-		qns := s.g.StringProps(ids, "qname")
-		for i := range ids {
-			if qns[i] == "" { // node deleted by a concurrent writer
-				continue
-			}
-			out = append(out, SearchResult{Doc: docs[i], Node: prov.QName(qns[i]), Class: label})
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Doc != out[j].Doc {
-			return out[i].Doc < out[j].Doc
-		}
-		return out[i].Node < out[j].Node
-	})
-	return out
+	return s.searchShards("prov:type", typeName)
 }
 
 // FindByAttr returns elements with attribute key equal to value across
 // all documents. Key is the raw PROV attribute name (e.g. "provml:name").
 func (s *Store) FindByAttr(key string, value interface{}) []SearchResult {
-	var out []SearchResult
-	for _, label := range []string{"Entity", "Activity", "Agent"} {
-		ids := s.g.FindNodes(label, key, value)
-		docs := s.g.StringProps(ids, "doc")
-		qns := s.g.StringProps(ids, "qname")
-		for i := range ids {
-			if qns[i] == "" { // node deleted by a concurrent writer
-				continue
-			}
-			out = append(out, SearchResult{Doc: docs[i], Node: prov.QName(qns[i]), Class: label})
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Doc != out[j].Doc {
-			return out[i].Doc < out[j].Doc
-		}
-		return out[i].Node < out[j].Node
-	})
-	return out
+	return s.searchShards(key, value)
 }
 
 // Stats summarizes the store. Durability is nil for in-memory stores.
@@ -429,15 +293,21 @@ type Stats struct {
 	Documents  int
 	Nodes      int
 	Rels       int
+	Shards     int
 	Durability *DurabilityStats `json:"durability,omitempty"`
 }
 
-// Stats returns store-wide counts (plus journal state when durable).
+// Stats returns store-wide counts (plus journal state when durable),
+// summed across shards.
 func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	docs := len(s.docs)
-	s.mu.RUnlock()
-	st := Stats{Documents: docs, Nodes: s.g.NodeCount(), Rels: s.g.RelCount()}
+	st := Stats{Shards: len(s.shards)}
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		st.Documents += len(sh.docs)
+		sh.mu.RUnlock()
+		st.Nodes += sh.g.NodeCount()
+		st.Rels += sh.g.RelCount()
+	}
 	if s.wal != nil {
 		st.Durability = &DurabilityStats{
 			Stats:          s.wal.Stats(),

@@ -1,0 +1,109 @@
+// Package shardbench holds the sharded-engine benchmark bodies shared
+// by the root benchmark suite (BenchmarkShardedPutParallel,
+// BenchmarkMixedReadWrite) and cmd/benchreport, so `make bench-key`
+// and the tracked BENCH_PR3.json rows always measure the exact same
+// workload instead of drifting copies.
+package shardbench
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/prov"
+	"repro/internal/provstore"
+)
+
+// Goroutines is the concurrency level of the sharding benchmarks (the
+// ISSUE-3 acceptance point: throughput at 8 goroutines).
+const Goroutines = 8
+
+// ChainDoc builds a small linear used/wasGeneratedBy lineage chain.
+func ChainDoc(depth int) *prov.Document {
+	d := prov.NewDocument()
+	prev := prov.QName("")
+	for i := 0; i < depth; i++ {
+		e := prov.NewQName("ex", fmt.Sprintf("e%d", i))
+		a := prov.NewQName("ex", fmt.Sprintf("a%d", i))
+		d.AddEntity(e, nil)
+		d.AddActivity(a, nil)
+		if prev != "" {
+			d.Used(a, prev, time.Time{})
+		}
+		d.WasGeneratedBy(e, a, time.Time{})
+		prev = e
+	}
+	return d
+}
+
+// PutParallel uploads distinct documents from Goroutines concurrent
+// goroutines: with per-shard locks, writers on different documents
+// build their graph projections without serializing on one global
+// mutex. shards=1 is the single-lock baseline.
+func PutParallel(shards int) func(b *testing.B) {
+	return func(b *testing.B) {
+		s := provstore.NewSharded(shards)
+		per := b.N/Goroutines + 1
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for g := 0; g < Goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				doc := ChainDoc(12)
+				for i := 0; i < per; i++ {
+					if err := s.Put(fmt.Sprintf("w%d-%d", g, i%512), doc); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+}
+
+// MixedReadWrite is the contention scenario that motivated sharding:
+// Goroutines goroutines, one upload per 8 operations, the rest lineage
+// queries — on a single-lock store every upload stalls every reader;
+// sharded, only readers of the same shard wait.
+func MixedReadWrite(shards int) func(b *testing.B) {
+	return func(b *testing.B) {
+		s := provstore.NewSharded(shards)
+		const preload = 64
+		seed := ChainDoc(12)
+		for i := 0; i < preload; i++ {
+			if err := s.Put(fmt.Sprintf("seed-%03d", i), seed); err != nil {
+				b.Fatal(err)
+			}
+		}
+		leaf := prov.NewQName("ex", "e11")
+		per := b.N/Goroutines + 1
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for g := 0; g < Goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				doc := ChainDoc(12)
+				for i := 0; i < per; i++ {
+					if i%8 == 0 {
+						if err := s.Put(fmt.Sprintf("w%d-%d", g, i%256), doc); err != nil {
+							b.Error(err)
+							return
+						}
+						continue
+					}
+					id := fmt.Sprintf("seed-%03d", (g*31+i)%preload)
+					nodes, err := s.Lineage(id, leaf, provstore.Ancestors, 0)
+					if err != nil || len(nodes) == 0 {
+						b.Errorf("lineage %s: %v %v", id, nodes, err)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+}
