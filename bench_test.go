@@ -16,6 +16,7 @@
 //	BenchmarkRecovery          — provstore crash-recovery (snapshot + replay)
 //	BenchmarkShardedPutParallel — concurrent uploads, single lock vs shards
 //	BenchmarkMixedReadWrite    — 8-goroutine mixed workload, single lock vs shards
+//	BenchmarkBatchPut/*        — bulk ingestion, sequential Puts vs one group-committed batch
 package repro
 
 import (
@@ -429,6 +430,18 @@ func BenchmarkShardedPutParallel(b *testing.B) {
 func BenchmarkMixedReadWrite(b *testing.B) {
 	for _, cfg := range shardConfigs {
 		b.Run(cfg.name, shardbench.MixedReadWrite(cfg.shards))
+	}
+}
+
+// BenchmarkBatchPut measures bulk ingestion on a journaled fsync store:
+// size sequential Put calls (one fsync each) against one atomic
+// PutBatch of the same documents (one group-committed fsync total).
+// size=100 is the tracked acceptance row: >= 10x throughput and exactly
+// 1 fsync per batch (reported as the fsyncs/batch metric).
+func BenchmarkBatchPut(b *testing.B) {
+	for _, size := range []int{10, 100} {
+		b.Run(fmt.Sprintf("sequential/size=%d", size), shardbench.BatchPutSequential(size))
+		b.Run(fmt.Sprintf("size=%d", size), shardbench.BatchPutBatch(size))
 	}
 }
 

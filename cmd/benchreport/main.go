@@ -1,17 +1,18 @@
 // Command benchreport runs the tracked hot-path benchmarks — the five
 // PR-1 targets (LogMetric, ZarrAppend, Lineage/graphdb,
 // Lineage/document-scan, BuildProv), the PR-2 durability paths
-// (WALAppend/nosync, WALAppend/fsync, Recovery), and the PR-3
-// concurrency pairs (ShardedPutParallel, MixedReadWrite, each single-
-// lock vs sharded) — and writes a JSON report comparing them against
-// their baselines, extending the repository's performance trajectory.
-// For the PR-3 pairs the baseline is the single-lock row measured in
-// the same run, so the reported speedup is the sharding scaling factor
-// on the current machine.
+// (WALAppend/nosync, WALAppend/fsync, Recovery), the PR-3 concurrency
+// pairs (ShardedPutParallel, MixedReadWrite, each single-lock vs
+// sharded), and the PR-4 bulk-ingestion pair (BatchPut, sequential Puts
+// vs one group-committed batch) — and writes a JSON report comparing
+// them against their baselines, extending the repository's performance
+// trajectory. For the paired rows the baseline is measured in the same
+// run, so the reported speedup is the scaling factor on the current
+// machine.
 //
 // Usage:
 //
-//	go run ./cmd/benchreport [-out BENCH_PR3.json] [-benchtime 1s]
+//	go run ./cmd/benchreport [-out BENCH_PR4.json] [-benchtime 1s]
 package main
 
 import (
@@ -52,6 +53,7 @@ var seedNsPerOp = map[string]float64{
 var baselineFor = map[string]string{
 	"ShardedPutParallel/sharded": "ShardedPutParallel/single-lock",
 	"MixedReadWrite/sharded":     "MixedReadWrite/single-lock",
+	"BatchPut/size=100":          "BatchPut/sequential-100",
 }
 
 type row struct {
@@ -61,6 +63,9 @@ type row struct {
 	Speedup   float64 `json:"speedup"`
 	Allocs    int64   `json:"allocs_per_op"`
 	BytesIter int64   `json:"bytes_per_op"`
+	// Metrics carries b.ReportMetric extras (e.g. the BatchPut row's
+	// fsyncs/batch invariant).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 type report struct {
@@ -100,21 +105,9 @@ func lineageFixture(depth int) (*provstore.Store, *prov.Document) {
 	return s, d
 }
 
-// tempDir is b.TempDir for bare testing.Benchmark harnesses (which run
-// outside a test binary); cleanup is routed through b.Cleanup the same
-// way.
-func tempDir(b *testing.B) string {
-	dir, err := os.MkdirTemp("", "benchreport-*")
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.Cleanup(func() { _ = os.RemoveAll(dir) })
-	return dir
-}
-
 func main() {
 	testing.Init() // register test.* flags so benchtime is settable
-	out := flag.String("out", "BENCH_PR3.json", "output path for the JSON report")
+	out := flag.String("out", "BENCH_PR4.json", "output path for the JSON report")
 	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark target run time")
 	flag.Parse()
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
@@ -190,7 +183,7 @@ func main() {
 			}
 		}},
 		{"WALAppend/nosync", func(b *testing.B) {
-			l, _, err := wal.Open(tempDir(b), wal.Options{})
+			l, _, err := wal.Open(shardbench.TempDir(b), wal.Options{})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -204,7 +197,7 @@ func main() {
 			}
 		}},
 		{"WALAppend/fsync", func(b *testing.B) {
-			l, _, err := wal.Open(tempDir(b), wal.Options{Fsync: true})
+			l, _, err := wal.Open(shardbench.TempDir(b), wal.Options{Fsync: true})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -217,12 +210,14 @@ func main() {
 				}
 			}
 		}},
+		{"BatchPut/sequential-100", shardbench.BatchPutSequential(100)},
+		{"BatchPut/size=100", shardbench.BatchPutBatch(100)},
 		{"ShardedPutParallel/single-lock", shardbench.PutParallel(1)},
 		{"ShardedPutParallel/sharded", shardbench.PutParallel(shardbench.Goroutines)},
 		{"MixedReadWrite/single-lock", shardbench.MixedReadWrite(1)},
 		{"MixedReadWrite/sharded", shardbench.MixedReadWrite(shardbench.Goroutines)},
 		{"Recovery", func(b *testing.B) {
-			dir := tempDir(b)
+			dir := shardbench.TempDir(b)
 			s, err := provstore.Open(dir, provstore.Durability{SnapshotEvery: -1})
 			if err != nil {
 				b.Fatal(err)
@@ -294,6 +289,12 @@ func main() {
 			NsOp:      ns,
 			Allocs:    res.AllocsPerOp(),
 			BytesIter: res.AllocedBytesPerOp(),
+		}
+		if len(res.Extra) > 0 {
+			r.Metrics = map[string]float64{}
+			for k, v := range res.Extra {
+				r.Metrics[k] = v
+			}
 		}
 		if ns > 0 {
 			r.Speedup = r.SeedNsOp / ns

@@ -1,0 +1,88 @@
+// Command yprov-loadgen replays provenance-workload scenarios against a
+// live yprov-server and reports throughput and latency percentiles.
+//
+// Usage:
+//
+//	yprov-loadgen -url http://localhost:3000 [-scenario mixed]
+//	              [-concurrency 8] [-duration 10s] [-rate 0]
+//	              [-batch 25] [-preload 64] [-depth 12]
+//	              [-token SECRET] [-seed 0] [-json] [-smoke]
+//
+// Scenarios:
+//
+//	ingest   — 100% batch uploads (throughput ceiling of the write path)
+//	lineage  — 100% lineage queries over preloaded documents
+//	mixed    — 1 upload per 8 ops, rest lineage (the sharding scenario)
+//	hotspot  — 90% of traffic on the hottest 10% of documents
+//
+// -smoke shrinks the run to a bounded sub-second workload; the same
+// mode is exercised as an integration test in internal/loadgen.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	url := flag.String("url", "http://localhost:3000", "base URL of the yprov-server to load")
+	scenario := flag.String("scenario", "mixed", "workload mix: ingest | lineage | mixed | hotspot")
+	concurrency := flag.Int("concurrency", 8, "concurrent workers")
+	duration := flag.Duration("duration", 10*time.Second, "run length")
+	rate := flag.Float64("rate", 0, "target total ops/second (0 = unthrottled)")
+	batch := flag.Int("batch", 25, "documents per upload op (1 = single PUTs)")
+	preload := flag.Int("preload", 64, "documents seeded before the clock starts")
+	depth := flag.Int("depth", 12, "lineage chain depth of generated documents")
+	token := flag.String("token", "", "bearer token for mutating requests")
+	seed := flag.Int64("seed", 0, "RNG seed for the op mix (0 = time-based)")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	smoke := flag.Bool("smoke", false, "bounded sub-second smoke run (overrides sizing flags)")
+	flag.Parse()
+
+	valid := false
+	for _, sc := range loadgen.Scenarios() {
+		if loadgen.Scenario(*scenario) == sc {
+			valid = true
+		}
+	}
+	if !valid {
+		fmt.Fprintf(os.Stderr, "yprov-loadgen: unknown scenario %q (want one of %v)\n", *scenario, loadgen.Scenarios())
+		os.Exit(2)
+	}
+
+	rep, err := loadgen.Run(loadgen.Config{
+		BaseURL:     *url,
+		Token:       *token,
+		Scenario:    loadgen.Scenario(*scenario),
+		Concurrency: *concurrency,
+		Duration:    *duration,
+		Rate:        *rate,
+		BatchSize:   *batch,
+		Preload:     *preload,
+		ChainDepth:  *depth,
+		Seed:        *seed,
+		Smoke:       *smoke,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "yprov-loadgen:", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		payload, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "yprov-loadgen:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(payload))
+	} else {
+		fmt.Print(rep.String())
+	}
+	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+}

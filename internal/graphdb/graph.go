@@ -215,7 +215,18 @@ func New() *Graph {
 
 // CreateNode inserts a node and returns its id.
 func (g *Graph) CreateNode(labels []string, props Props) (NodeID, error) {
-	props = props.Clone()
+	return g.CreateNodeOwned(append([]string(nil), labels...), props.Clone())
+}
+
+// CreateNodeOwned is CreateNode minus the defensive copies: the caller
+// hands over ownership of labels and props, which must not be read or
+// written afterwards. This is the bulk-projection hot path — provstore
+// builds a fresh props map per element, and cloning it again doubled
+// the map work of every ingested node.
+func (g *Graph) CreateNodeOwned(labels []string, props Props) (NodeID, error) {
+	if props == nil {
+		props = Props{}
+	}
 	if err := validateProps(props); err != nil {
 		return 0, err
 	}
@@ -223,7 +234,7 @@ func (g *Graph) CreateNode(labels []string, props Props) (NodeID, error) {
 	defer g.mu.Unlock()
 	g.nextNode++
 	id := g.nextNode
-	n := &Node{ID: id, Labels: append([]string(nil), labels...), Props: props}
+	n := &Node{ID: id, Labels: labels, Props: props}
 	g.nodes[id] = n
 	for _, l := range n.Labels {
 		if g.byLabel[l] == nil {
@@ -351,7 +362,15 @@ func (g *Graph) DeleteNode(id NodeID) error {
 
 // CreateRel inserts a relationship between existing nodes.
 func (g *Graph) CreateRel(from, to NodeID, relType string, props Props) (RelID, error) {
-	props = props.Clone()
+	return g.CreateRelOwned(from, to, relType, props.Clone())
+}
+
+// CreateRelOwned is CreateRel minus the defensive props copy; see
+// CreateNodeOwned for the ownership contract.
+func (g *Graph) CreateRelOwned(from, to NodeID, relType string, props Props) (RelID, error) {
+	if props == nil {
+		props = Props{}
+	}
 	if err := validateProps(props); err != nil {
 		return 0, err
 	}

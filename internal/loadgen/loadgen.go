@@ -1,0 +1,394 @@
+// Package loadgen replays configurable provenance-workload scenarios
+// against a live yProv service and reports throughput plus latency
+// percentiles. It is the measurement harness for the ROADMAP's
+// "million-user" ingestion north star: the scenario mixes exercise the
+// batch ingestion path, the sharded lineage read path, and the
+// contended hot-document case, using the same document bodies as the
+// tracked sharding benchmarks (internal/shardbench), so load-generator
+// numbers and benchmark numbers describe the same workload.
+//
+// cmd/yprov-loadgen is the CLI wrapper; tests drive Run directly in
+// Smoke mode against an httptest server.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/prov"
+	"repro/internal/provclient"
+	"repro/internal/shardbench"
+)
+
+// Scenario selects an operation mix.
+type Scenario string
+
+// The built-in scenario mixes.
+const (
+	// IngestHeavy is 100% batch uploads of fresh documents.
+	IngestHeavy Scenario = "ingest"
+	// LineageHeavy is 100% lineage queries over preloaded documents.
+	LineageHeavy Scenario = "lineage"
+	// Mixed is 1 batch upload per 8 operations, the rest lineage reads —
+	// the contention shape that motivated the sharded engine.
+	Mixed Scenario = "mixed"
+	// HotDoc skews 90% of operations onto the hottest 10% of documents,
+	// writers re-uploading them while readers traverse them.
+	HotDoc Scenario = "hotspot"
+)
+
+// Scenarios lists every built-in scenario.
+func Scenarios() []Scenario { return []Scenario{IngestHeavy, LineageHeavy, Mixed, HotDoc} }
+
+// Config parameterizes one load-generation run. Zero values select
+// defaults.
+type Config struct {
+	BaseURL string
+	Token   string
+	// Scenario is the operation mix (default Mixed).
+	Scenario Scenario
+	// Concurrency is the worker count (default 8, shardbench.Goroutines).
+	Concurrency int
+	// Duration bounds the run wall-clock (default 10s).
+	Duration time.Duration
+	// Rate is the target total operations/second across all workers
+	// (0 = unthrottled).
+	Rate float64
+	// BatchSize is the documents per upload operation (default 25; 1
+	// degrades to single PUTs for comparison runs).
+	BatchSize int
+	// Preload seeds this many documents before the clock starts, giving
+	// read scenarios something to traverse (default 64).
+	Preload int
+	// ChainDepth is the lineage depth of generated documents
+	// (default 12, matching the sharding benchmarks).
+	ChainDepth int
+	// Seed fixes the operation-mix RNG (0 = time-seeded).
+	Seed int64
+	// Smoke shrinks everything to a bounded sub-second run (2 workers,
+	// <= 25 ops each) for CI integration tests.
+	Smoke bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scenario == "" {
+		c.Scenario = Mixed
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = shardbench.Goroutines
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 25
+	}
+	if c.Preload <= 0 {
+		c.Preload = 64
+	}
+	if c.ChainDepth <= 0 {
+		c.ChainDepth = 12
+	}
+	if c.Seed == 0 {
+		c.Seed = time.Now().UnixNano()
+	}
+	if c.Smoke {
+		c.Concurrency = 2
+		c.Duration = 500 * time.Millisecond
+		c.BatchSize = 5
+		c.Preload = 8
+	}
+	return c
+}
+
+// smokeOpsPerWorker bounds a Smoke run so CI never depends on timing.
+const smokeOpsPerWorker = 25
+
+// LatencySummary is the merged per-operation latency distribution.
+type LatencySummary struct {
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+// OpStats counts one operation kind.
+type OpStats struct {
+	Count  int `json:"count"`
+	Errors int `json:"errors"`
+}
+
+// Report is the outcome of one run.
+type Report struct {
+	Scenario     Scenario           `json:"scenario"`
+	Concurrency  int                `json:"concurrency"`
+	BatchSize    int                `json:"batch_size"`
+	Duration     time.Duration      `json:"-"`
+	DurationSecs float64            `json:"duration_secs"`
+	Ops          int                `json:"ops"`
+	Errors       int                `json:"errors"`
+	DocsIngested int                `json:"docs_ingested"`
+	OpsPerSec    float64            `json:"ops_per_sec"`
+	DocsPerSec   float64            `json:"docs_per_sec"`
+	Latency      LatencySummary     `json:"latency"`
+	PerOp        map[string]OpStats `json:"per_op"`
+	FirstError   string             `json:"first_error,omitempty"`
+}
+
+// workerResult is one worker's tallies, merged after the run.
+type workerResult struct {
+	ops, errs, docs int
+	perOp           map[string]OpStats
+	latencies       []time.Duration
+	firstErr        string
+}
+
+// Run executes the configured scenario and reports. It fails fast when
+// the service is unreachable or the preload cannot be stored; errors
+// during the timed run are counted, not fatal.
+func Run(cfg Config) (Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BaseURL == "" {
+		return Report{}, fmt.Errorf("loadgen: BaseURL is required")
+	}
+	client := func() *provclient.Client {
+		c := provclient.New(cfg.BaseURL)
+		c.Token = cfg.Token
+		return c
+	}
+	if err := client().Health(); err != nil {
+		return Report{}, fmt.Errorf("loadgen: service unreachable: %w", err)
+	}
+
+	doc := shardbench.ChainDoc(cfg.ChainDepth)
+	leaf := prov.NewQName("ex", fmt.Sprintf("e%d", cfg.ChainDepth-1))
+	seedIDs := make([]string, cfg.Preload)
+	for i := range seedIDs {
+		seedIDs[i] = fmt.Sprintf("seed-%04d", i)
+	}
+	// Chunk the preload well below the server's per-batch caps
+	// (MaxBatchDocs, MaxBodyBytes) so large -preload values work.
+	const preloadChunk = 1000
+	for lo := 0; lo < len(seedIDs); lo += preloadChunk {
+		hi := min(lo+preloadChunk, len(seedIDs))
+		chunk := make(map[string]*prov.Document, hi-lo)
+		for _, id := range seedIDs[lo:hi] {
+			chunk[id] = doc
+		}
+		if err := client().UploadBatch(chunk); err != nil {
+			return Report{}, fmt.Errorf("loadgen: preload: %w", err)
+		}
+	}
+	hot := seedIDs[:max(1, len(seedIDs)/10)] // the hotspot working set
+
+	// Per-worker pacing: each worker spaces operation starts by
+	// concurrency/rate so the fleet sums to cfg.Rate.
+	var pace time.Duration
+	if cfg.Rate > 0 {
+		pace = time.Duration(float64(cfg.Concurrency) / cfg.Rate * float64(time.Second))
+	}
+
+	results := make([]workerResult, cfg.Concurrency)
+	deadline := time.Now().Add(cfg.Duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < cfg.Concurrency; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g] = runWorker(workerConfig{
+				cfg: cfg, client: client(), doc: doc, leaf: leaf,
+				seedIDs: seedIDs, hot: hot, pace: pace,
+				rng: rand.New(rand.NewSource(cfg.Seed + int64(g))),
+				id:  g, deadline: deadline,
+			})
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := Report{
+		Scenario: cfg.Scenario, Concurrency: cfg.Concurrency, BatchSize: cfg.BatchSize,
+		Duration: elapsed, DurationSecs: elapsed.Seconds(),
+		PerOp: map[string]OpStats{},
+	}
+	var all []time.Duration
+	for _, r := range results {
+		rep.Ops += r.ops
+		rep.Errors += r.errs
+		rep.DocsIngested += r.docs
+		if rep.FirstError == "" {
+			rep.FirstError = r.firstErr
+		}
+		for k, v := range r.perOp {
+			agg := rep.PerOp[k]
+			agg.Count += v.Count
+			agg.Errors += v.Errors
+			rep.PerOp[k] = agg
+		}
+		all = append(all, r.latencies...)
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.OpsPerSec = float64(rep.Ops) / secs
+		rep.DocsPerSec = float64(rep.DocsIngested) / secs
+	}
+	rep.Latency = summarize(all)
+	return rep, nil
+}
+
+// workerConfig is everything one worker goroutine needs.
+type workerConfig struct {
+	cfg      Config
+	client   *provclient.Client
+	doc      *prov.Document
+	leaf     prov.QName
+	seedIDs  []string
+	hot      []string
+	pace     time.Duration
+	rng      *rand.Rand
+	id       int
+	deadline time.Time
+}
+
+// runWorker loops operations for one goroutine until the deadline (or
+// the Smoke op budget) and tallies outcomes.
+func runWorker(w workerConfig) workerResult {
+	res := workerResult{perOp: map[string]OpStats{}}
+	next := time.Now()
+	for n := 0; ; n++ {
+		if time.Now().After(w.deadline) {
+			break
+		}
+		if w.cfg.Smoke && n >= smokeOpsPerWorker {
+			break
+		}
+		if w.pace > 0 {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			next = next.Add(w.pace)
+		}
+		kind, docs := w.pickOp(n)
+		opStart := time.Now()
+		err := w.execOp(kind, n)
+		res.latencies = append(res.latencies, time.Since(opStart))
+		st := res.perOp[kind]
+		st.Count++
+		res.ops++
+		if err != nil {
+			st.Errors++
+			res.errs++
+			if res.firstErr == "" {
+				res.firstErr = err.Error()
+			}
+		} else {
+			res.docs += docs
+		}
+		res.perOp[kind] = st
+	}
+	return res
+}
+
+// pickOp chooses the n-th operation kind for this worker per the
+// scenario mix, returning the documents it will ingest on success.
+func (w *workerConfig) pickOp(n int) (string, int) {
+	switch w.cfg.Scenario {
+	case IngestHeavy:
+		return "upload", w.cfg.BatchSize
+	case LineageHeavy:
+		return "lineage", 0
+	case HotDoc:
+		if n%8 == 0 {
+			return "upload-hot", 1
+		}
+		return "lineage", 0
+	default: // Mixed
+		if n%8 == 0 {
+			return "upload", w.cfg.BatchSize
+		}
+		return "lineage", 0
+	}
+}
+
+// execOp performs one operation.
+func (w *workerConfig) execOp(kind string, n int) error {
+	switch kind {
+	case "upload":
+		batch := make(map[string]*prov.Document, w.cfg.BatchSize)
+		for i := 0; i < w.cfg.BatchSize; i++ {
+			batch[fmt.Sprintf("w%d-n%d-i%d", w.id, n, i)] = w.doc
+		}
+		if w.cfg.BatchSize == 1 { // comparison mode: the single-PUT path
+			for id, d := range batch {
+				return w.client.Upload(id, d)
+			}
+		}
+		return w.client.UploadBatch(batch)
+	case "upload-hot":
+		return w.client.Upload(w.hot[w.rng.Intn(len(w.hot))], w.doc)
+	case "lineage":
+		id := w.seedIDs[w.rng.Intn(len(w.seedIDs))]
+		if w.cfg.Scenario == HotDoc && w.rng.Float64() < 0.9 {
+			id = w.hot[w.rng.Intn(len(w.hot))]
+		}
+		nodes, err := w.client.Lineage(id, w.leaf, "ancestors", 0)
+		if err != nil {
+			return err
+		}
+		if len(nodes) == 0 {
+			return fmt.Errorf("loadgen: empty lineage for %s", id)
+		}
+		return nil
+	default:
+		return fmt.Errorf("loadgen: unknown op %q", kind)
+	}
+}
+
+// summarize sorts the merged latencies and extracts percentiles.
+func summarize(lat []time.Duration) LatencySummary {
+	if len(lat) == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	return LatencySummary{
+		P50Ms: ms(pct(0.50)),
+		P90Ms: ms(pct(0.90)),
+		P99Ms: ms(pct(0.99)),
+		MaxMs: ms(lat[len(lat)-1]),
+	}
+}
+
+// String renders the report for terminals.
+func (r Report) String() string {
+	s := fmt.Sprintf("scenario=%s workers=%d batch=%d elapsed=%.2fs\n",
+		r.Scenario, r.Concurrency, r.BatchSize, r.DurationSecs)
+	s += fmt.Sprintf("ops=%d (%.1f ops/s)  docs=%d (%.1f docs/s)  errors=%d\n",
+		r.Ops, r.OpsPerSec, r.DocsIngested, r.DocsPerSec, r.Errors)
+	s += fmt.Sprintf("latency p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms\n",
+		r.Latency.P50Ms, r.Latency.P90Ms, r.Latency.P99Ms, r.Latency.MaxMs)
+	for _, k := range sortedOpKinds(r.PerOp) {
+		v := r.PerOp[k]
+		s += fmt.Sprintf("  %-12s %6d ops  %d errors\n", k, v.Count, v.Errors)
+	}
+	if r.FirstError != "" {
+		s += "first error: " + r.FirstError + "\n"
+	}
+	return s
+}
+
+func sortedOpKinds(m map[string]OpStats) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

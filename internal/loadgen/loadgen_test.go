@@ -1,0 +1,88 @@
+package loadgen
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/provservice"
+	"repro/internal/provstore"
+)
+
+// TestSmokeAllScenarios is the CI wiring for `yprov-loadgen -smoke`:
+// every scenario runs its bounded smoke workload against a real
+// service and must complete without a single failed operation.
+func TestSmokeAllScenarios(t *testing.T) {
+	for _, sc := range Scenarios() {
+		t.Run(string(sc), func(t *testing.T) {
+			store := provstore.New()
+			srv := httptest.NewServer(provservice.New(store))
+			defer srv.Close()
+			rep, err := Run(Config{BaseURL: srv.URL, Scenario: sc, Seed: 42, Smoke: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Errors != 0 {
+				t.Fatalf("smoke run had %d errors (first: %s)", rep.Errors, rep.FirstError)
+			}
+			if rep.Ops == 0 {
+				t.Fatal("smoke run performed no operations")
+			}
+			if rep.Latency.P50Ms <= 0 || rep.Latency.P99Ms < rep.Latency.P50Ms || rep.Latency.MaxMs < rep.Latency.P99Ms {
+				t.Fatalf("implausible latency summary: %+v", rep.Latency)
+			}
+			switch sc {
+			case IngestHeavy, Mixed, HotDoc:
+				if rep.DocsIngested == 0 {
+					t.Fatal("write scenario ingested no documents")
+				}
+			case LineageHeavy:
+				if rep.DocsIngested != 0 {
+					t.Fatalf("read scenario reported %d ingested docs", rep.DocsIngested)
+				}
+			}
+			// Preload plus any fresh uploads must be visible server-side.
+			if store.Count() < 8 {
+				t.Fatalf("store holds %d docs after smoke run", store.Count())
+			}
+			if !strings.Contains(rep.String(), "latency p50=") {
+				t.Fatalf("report rendering broken:\n%s", rep)
+			}
+		})
+	}
+}
+
+// TestRunFailsFastWhenUnreachable: a dead endpoint is a setup error,
+// not a stream of counted op failures.
+func TestRunFailsFastWhenUnreachable(t *testing.T) {
+	_, err := Run(Config{BaseURL: "http://127.0.0.1:1", Scenario: Mixed, Smoke: true})
+	if err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("err = %v, want unreachable", err)
+	}
+}
+
+// TestRateThrottling: a paced smoke run must not exceed its op budget
+// wildly — pacing spaces operation starts at concurrency/rate.
+func TestRateThrottling(t *testing.T) {
+	store := provstore.New()
+	srv := httptest.NewServer(provservice.New(store))
+	defer srv.Close()
+	start := time.Now()
+	rep, err := Run(Config{
+		BaseURL: srv.URL, Scenario: LineageHeavy, Seed: 1,
+		Concurrency: 2, Duration: 300 * time.Millisecond, Rate: 40, Preload: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	// 40 ops/s for ~0.3s is ~12 ops; allow generous slack for the first
+	// unpaced op per worker and scheduler jitter.
+	if rep.Ops > 30 {
+		t.Fatalf("rate limiter ineffective: %d ops in %v", rep.Ops, elapsed)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("throttled run had errors: %s", rep.FirstError)
+	}
+}

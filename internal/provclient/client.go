@@ -66,6 +66,10 @@ var ErrRetryable = errors.New("provclient: retryable server condition")
 type APIError struct {
 	Status  int    // HTTP status code
 	Message string // server-provided error message, may be empty
+	// RetryAfter is the server's Retry-After hint (zero when absent).
+	// Retry loops should wait at least this long before the next
+	// attempt; BatchWriter does.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -90,14 +94,14 @@ func IsRetryable(err error) bool {
 	return errors.Is(err, ErrRetryable)
 }
 
-func (c *Client) do(method, path string, body []byte) ([]byte, int, error) {
+func (c *Client) do(method, path string, body []byte) ([]byte, int, http.Header, error) {
 	var rdr io.Reader
 	if body != nil {
 		rdr = bytes.NewReader(body)
 	}
 	req, err := http.NewRequest(method, c.BaseURL+path, rdr)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -107,33 +111,53 @@ func (c *Client) do(method, path string, body []byte) ([]byte, int, error) {
 	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	defer resp.Body.Close()
 	payload, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, resp.StatusCode, err
+		return nil, resp.StatusCode, resp.Header, err
 	}
-	return payload, resp.StatusCode, nil
+	return payload, resp.StatusCode, resp.Header, nil
 }
 
-// apiError extracts the error envelope from a non-2xx response.
-func apiError(payload []byte, status int) error {
+// apiError extracts the error envelope (and the Retry-After hint) from
+// a non-2xx response.
+func apiError(payload []byte, status int, hdr http.Header) error {
 	var eb struct {
 		Error string `json:"error"`
 	}
 	_ = json.Unmarshal(payload, &eb)
-	return &APIError{Status: status, Message: eb.Error}
+	e := &APIError{Status: status, Message: eb.Error, RetryAfter: parseRetryAfter(hdr)}
+	return e
+}
+
+// parseRetryAfter reads a Retry-After header in its delta-seconds form
+// (the only form the service emits). Malformed or absent values map to
+// zero.
+func parseRetryAfter(hdr http.Header) time.Duration {
+	if hdr == nil {
+		return 0
+	}
+	v := hdr.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // Health checks the service.
 func (c *Client) Health() error {
-	payload, status, err := c.do(http.MethodGet, "/api/v0/health", nil)
+	payload, status, hdr, err := c.do(http.MethodGet, "/api/v0/health", nil)
 	if err != nil {
 		return err
 	}
 	if status != http.StatusOK {
-		return apiError(payload, status)
+		return apiError(payload, status, hdr)
 	}
 	return nil
 }
@@ -144,36 +168,36 @@ func (c *Client) Upload(id string, doc *prov.Document) error {
 	if err != nil {
 		return err
 	}
-	payload, status, err := c.do(http.MethodPut, "/api/v0/documents/"+url.PathEscape(id), body)
+	payload, status, hdr, err := c.do(http.MethodPut, "/api/v0/documents/"+url.PathEscape(id), body)
 	if err != nil {
 		return err
 	}
 	if status != http.StatusCreated {
-		return apiError(payload, status)
+		return apiError(payload, status, hdr)
 	}
 	return nil
 }
 
 // UploadRaw stores raw PROV-JSON bytes under id.
 func (c *Client) UploadRaw(id string, provJSON []byte) error {
-	payload, status, err := c.do(http.MethodPut, "/api/v0/documents/"+url.PathEscape(id), provJSON)
+	payload, status, hdr, err := c.do(http.MethodPut, "/api/v0/documents/"+url.PathEscape(id), provJSON)
 	if err != nil {
 		return err
 	}
 	if status != http.StatusCreated {
-		return apiError(payload, status)
+		return apiError(payload, status, hdr)
 	}
 	return nil
 }
 
 // List returns all stored document ids.
 func (c *Client) List() ([]string, error) {
-	payload, status, err := c.do(http.MethodGet, "/api/v0/documents", nil)
+	payload, status, hdr, err := c.do(http.MethodGet, "/api/v0/documents", nil)
 	if err != nil {
 		return nil, err
 	}
 	if status != http.StatusOK {
-		return nil, apiError(payload, status)
+		return nil, apiError(payload, status, hdr)
 	}
 	var out struct {
 		Documents []string `json:"documents"`
@@ -186,24 +210,24 @@ func (c *Client) List() ([]string, error) {
 
 // Get fetches a document.
 func (c *Client) Get(id string) (*prov.Document, error) {
-	payload, status, err := c.do(http.MethodGet, "/api/v0/documents/"+url.PathEscape(id), nil)
+	payload, status, hdr, err := c.do(http.MethodGet, "/api/v0/documents/"+url.PathEscape(id), nil)
 	if err != nil {
 		return nil, err
 	}
 	if status != http.StatusOK {
-		return nil, apiError(payload, status)
+		return nil, apiError(payload, status, hdr)
 	}
 	return prov.ParseJSON(payload)
 }
 
 // Delete removes a document.
 func (c *Client) Delete(id string) error {
-	payload, status, err := c.do(http.MethodDelete, "/api/v0/documents/"+url.PathEscape(id), nil)
+	payload, status, hdr, err := c.do(http.MethodDelete, "/api/v0/documents/"+url.PathEscape(id), nil)
 	if err != nil {
 		return err
 	}
 	if status != http.StatusOK {
-		return apiError(payload, status)
+		return apiError(payload, status, hdr)
 	}
 	return nil
 }
@@ -216,13 +240,13 @@ func (c *Client) Lineage(id string, node prov.QName, dir provstore.LineageDirect
 	if depth > 0 {
 		q.Set("depth", strconv.Itoa(depth))
 	}
-	payload, status, err := c.do(http.MethodGet,
+	payload, status, hdr, err := c.do(http.MethodGet,
 		"/api/v0/documents/"+url.PathEscape(id)+"/lineage?"+q.Encode(), nil)
 	if err != nil {
 		return nil, err
 	}
 	if status != http.StatusOK {
-		return nil, apiError(payload, status)
+		return nil, apiError(payload, status, hdr)
 	}
 	var out struct {
 		Nodes []prov.QName `json:"nodes"`
@@ -238,13 +262,13 @@ func (c *Client) Subgraph(id string, node prov.QName, hops int) (*prov.Document,
 	q := url.Values{}
 	q.Set("node", string(node))
 	q.Set("hops", strconv.Itoa(hops))
-	payload, status, err := c.do(http.MethodGet,
+	payload, status, hdr, err := c.do(http.MethodGet,
 		"/api/v0/documents/"+url.PathEscape(id)+"/subgraph?"+q.Encode(), nil)
 	if err != nil {
 		return nil, err
 	}
 	if status != http.StatusOK {
-		return nil, apiError(payload, status)
+		return nil, apiError(payload, status, hdr)
 	}
 	return prov.ParseJSON(payload)
 }
@@ -257,12 +281,12 @@ func (c *Client) CrossLineage(node prov.QName, dir provstore.LineageDirection, d
 	if depth > 0 {
 		q.Set("depth", strconv.Itoa(depth))
 	}
-	payload, status, err := c.do(http.MethodGet, "/api/v0/lineage?"+q.Encode(), nil)
+	payload, status, hdr, err := c.do(http.MethodGet, "/api/v0/lineage?"+q.Encode(), nil)
 	if err != nil {
 		return nil, err
 	}
 	if status != http.StatusOK {
-		return nil, apiError(payload, status)
+		return nil, apiError(payload, status, hdr)
 	}
 	var out struct {
 		Nodes []provstore.CrossNode `json:"nodes"`
@@ -277,12 +301,12 @@ func (c *Client) CrossLineage(node prov.QName, dir provstore.LineageDirection, d
 func (c *Client) SearchByType(typeName string) ([]provstore.SearchResult, error) {
 	q := url.Values{}
 	q.Set("type", typeName)
-	payload, status, err := c.do(http.MethodGet, "/api/v0/search?"+q.Encode(), nil)
+	payload, status, hdr, err := c.do(http.MethodGet, "/api/v0/search?"+q.Encode(), nil)
 	if err != nil {
 		return nil, err
 	}
 	if status != http.StatusOK {
-		return nil, apiError(payload, status)
+		return nil, apiError(payload, status, hdr)
 	}
 	var out struct {
 		Results []provstore.SearchResult `json:"results"`
@@ -295,12 +319,12 @@ func (c *Client) SearchByType(typeName string) ([]provstore.SearchResult, error)
 
 // Stats fetches store statistics.
 func (c *Client) Stats() (provstore.Stats, error) {
-	payload, status, err := c.do(http.MethodGet, "/api/v0/stats", nil)
+	payload, status, hdr, err := c.do(http.MethodGet, "/api/v0/stats", nil)
 	if err != nil {
 		return provstore.Stats{}, err
 	}
 	if status != http.StatusOK {
-		return provstore.Stats{}, apiError(payload, status)
+		return provstore.Stats{}, apiError(payload, status, hdr)
 	}
 	var out provstore.Stats
 	if err := json.Unmarshal(payload, &out); err != nil {

@@ -1,0 +1,206 @@
+package provservice
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/prov"
+	"repro/internal/provstore"
+)
+
+// POST /api/v0/documents:batch — bulk ingestion.
+//
+// The request body is newline-delimited JSON (NDJSON): one
+// {"id": "...", "doc": {PROV-JSON}} object per line, blank lines
+// ignored. Lines are decoded incrementally off the wire — the body is
+// never buffered whole — subject to a per-line cap (MaxLineBytes) on
+// top of the middleware's total body cap (MaxBodyBytes).
+//
+// The batch is atomic: every line must parse and every document must be
+// valid, or the whole request is rejected with one error entry per
+// failing line and nothing is stored. Accepted batches commit through
+// provstore.PutBatch — one WAL record, one group-commit fsync — so a
+// crash can never surface part of a batch.
+
+// batchLineError reports one rejected NDJSON line (1-based).
+type batchLineError struct {
+	Line  int    `json:"line"`
+	ID    string `json:"id,omitempty"`
+	Error string `json:"error"`
+}
+
+// batchLine is the decoded form of one NDJSON request line.
+type batchLine struct {
+	ID  string          `json:"id"`
+	Doc json.RawMessage `json:"doc"`
+}
+
+// maxBatchLineErrors bounds the per-line diagnostics kept (and
+// marshaled back) for one rejected batch: the batch is already doomed
+// after the first error, so once this many have accumulated the rest of
+// the stream is not worth parsing — and an attacker-sized body of tiny
+// invalid lines must not amplify into gigabytes of error entries.
+const maxBatchLineErrors = 100
+
+// writeBatchRejected emits the all-or-nothing refusal with per-line
+// diagnostics.
+func writeBatchRejected(w http.ResponseWriter, status int, lineErrs []batchLineError) {
+	writeJSON(w, status, map[string]interface{}{
+		"error":       fmt.Sprintf("batch rejected: %d invalid line(s), nothing stored", len(lineErrs)),
+		"line_errors": lineErrs,
+	})
+}
+
+func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "batch ingestion is POST-only")
+		return
+	}
+	docs := make(map[string]provstore.BatchItem)
+	var lineErrs []batchLineError
+	ids := make([]string, 0, 16) // request order, for the response
+	br := bufio.NewReader(r.Body)
+	lineNo := 0
+	for {
+		lineNo++
+		line, truncated, err := readLimitedLine(br, s.maxLineBytes())
+		if err != nil && err != io.EOF {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				writeErr(w, http.StatusRequestEntityTooLarge, "batch body exceeds %d bytes", mbe.Limit)
+				return
+			}
+			writeErr(w, http.StatusBadRequest, "read body: %v", err)
+			return
+		}
+		done := err == io.EOF
+		line = bytes.TrimSpace(line) // blank (or whitespace-only) lines are ignored
+		switch {
+		case truncated:
+			lineErrs = append(lineErrs, batchLineError{Line: lineNo,
+				Error: fmt.Sprintf("line exceeds %d bytes", s.maxLineBytes())})
+		case len(line) > 0:
+			var bl batchLine
+			if jerr := json.Unmarshal(line, &bl); jerr != nil {
+				lineErrs = append(lineErrs, batchLineError{Line: lineNo, Error: "invalid JSON: " + jerr.Error()})
+				break
+			}
+			if bl.ID == "" {
+				lineErrs = append(lineErrs, batchLineError{Line: lineNo, Error: "missing document id"})
+				break
+			}
+			if len(bl.Doc) == 0 {
+				lineErrs = append(lineErrs, batchLineError{Line: lineNo, ID: bl.ID, Error: "missing doc"})
+				break
+			}
+			if _, dup := docs[bl.ID]; dup {
+				lineErrs = append(lineErrs, batchLineError{Line: lineNo, ID: bl.ID,
+					Error: fmt.Sprintf("duplicate id %q in batch", bl.ID)})
+				break
+			}
+			doc, perr := prov.ParseJSON(bl.Doc)
+			if perr != nil {
+				lineErrs = append(lineErrs, batchLineError{Line: lineNo, ID: bl.ID, Error: "invalid PROV-JSON: " + perr.Error()})
+				break
+			}
+			// Validate here, not just in PutBatch, so a structurally
+			// broken document is pinned to its line in the response.
+			if _, verr := doc.Validate(); verr != nil {
+				lineErrs = append(lineErrs, batchLineError{Line: lineNo, ID: bl.ID, Error: "invalid PROV-JSON: " + verr.Error()})
+				break
+			}
+			// Hand the wire bytes through so the store journals them
+			// verbatim instead of re-marshaling the whole batch.
+			docs[bl.ID] = provstore.BatchItem{Doc: doc, Raw: bl.Doc}
+			ids = append(ids, bl.ID)
+			if max := s.maxBatchDocs(); len(docs) > max {
+				writeErr(w, http.StatusRequestEntityTooLarge, "batch exceeds %d documents", max)
+				return
+			}
+		}
+		if len(lineErrs) >= maxBatchLineErrors {
+			lineErrs = append(lineErrs, batchLineError{Line: lineNo + 1,
+				Error: fmt.Sprintf("aborting after %d invalid lines", maxBatchLineErrors)})
+			break
+		}
+		if done {
+			break
+		}
+	}
+	if len(lineErrs) > 0 {
+		writeBatchRejected(w, http.StatusUnprocessableEntity, lineErrs)
+		return
+	}
+	if len(docs) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty batch: no documents in request body")
+		return
+	}
+	if err := s.store.PutBatchRaw(docs); err != nil {
+		if errors.Is(err, provstore.ErrJournal) {
+			writeErr(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]interface{}{"created": len(ids), "ids": ids})
+}
+
+// readLimitedLine reads one line (without its trailing newline) from
+// br, capped at max content bytes — the line terminator ("\n" or
+// "\r\n") does not count against the cap. An over-long line is consumed
+// to its newline and reported truncated so parsing can continue on the
+// next line with a per-line error instead of failing the whole stream.
+// Returns io.EOF (possibly alongside a final unterminated line) at end
+// of body.
+func readLimitedLine(br *bufio.Reader, max int) (line []byte, truncated bool, err error) {
+	finish := func(line []byte) ([]byte, bool) {
+		line = trimEOL(line)
+		if len(line) > max {
+			return nil, true
+		}
+		return line, false
+	}
+	for {
+		chunk, rerr := br.ReadSlice('\n')
+		if !truncated {
+			line = append(line, chunk...)
+			if len(line) > max+2 { // room for a trailing \r\n within the cap
+				line = nil
+				truncated = true
+			}
+		}
+		switch rerr {
+		case nil: // hit the newline
+			if !truncated {
+				line, truncated = finish(line)
+			}
+			return line, truncated, nil
+		case bufio.ErrBufferFull: // line continues past the reader buffer
+			continue
+		case io.EOF:
+			if !truncated {
+				line, truncated = finish(line)
+			}
+			return line, truncated, io.EOF
+		default:
+			return nil, truncated, rerr
+		}
+	}
+}
+
+// trimEOL strips one trailing "\n" or "\r\n".
+func trimEOL(line []byte) []byte {
+	if n := len(line); n > 0 && line[n-1] == '\n' {
+		line = line[:n-1]
+		if n := len(line); n > 0 && line[n-1] == '\r' {
+			line = line[:n-1]
+		}
+	}
+	return line
+}

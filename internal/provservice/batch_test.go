@@ -1,0 +1,257 @@
+package provservice
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/prov"
+	"repro/internal/provclient"
+	"repro/internal/provstore"
+)
+
+// newBatchServer spins up a service over a fresh store with test
+// overrides applied before it serves.
+func newBatchServer(t *testing.T, cfg func(*Service), opts ...Option) (*httptest.Server, *provstore.Store) {
+	t.Helper()
+	store := provstore.New()
+	svc := New(store, opts...)
+	if cfg != nil {
+		cfg(svc)
+	}
+	srv := httptest.NewServer(svc)
+	t.Cleanup(srv.Close)
+	return srv, store
+}
+
+func docLine(t *testing.T, id string) string {
+	t.Helper()
+	raw, err := testDoc().MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	line, err := provclient.EncodeBatchLine(id, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(line)
+}
+
+func postBatch(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/api/v0/documents:batch", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, payload
+}
+
+func TestBatchEndpointStoresAtomically(t *testing.T) {
+	srv, store := newBatchServer(t, nil)
+	body := docLine(t, "b-0") + "\n\n  \n" + docLine(t, "b-1") + "\r\n" + docLine(t, "b-2") // blank + CRLF framing
+	status, payload := postBatch(t, srv.URL, body)
+	if status != http.StatusCreated {
+		t.Fatalf("status = %d, body %s", status, payload)
+	}
+	var out struct {
+		Created int      `json:"created"`
+		IDs     []string `json:"ids"`
+	}
+	if err := json.Unmarshal(payload, &out); err != nil || out.Created != 3 || len(out.IDs) != 3 {
+		t.Fatalf("response %s (err %v)", payload, err)
+	}
+	if store.Count() != 3 {
+		t.Fatalf("store has %d docs, want 3", store.Count())
+	}
+}
+
+// TestBatchNDJSONParsing is the table-driven parsing satellite: blank
+// lines, oversized lines, duplicate ids, malformed JSON, missing
+// fields — every rejection is all-or-nothing with per-line errors.
+func TestBatchNDJSONParsing(t *testing.T) {
+	valid := docLine(t, "ok")
+	cases := []struct {
+		name      string
+		body      string
+		status    int
+		errLines  []int  // expected "line" values in line_errors
+		errSubstr string // expected fragment of the first line error
+	}{
+		{"only blank lines is an empty batch", "\n\n   \n", http.StatusBadRequest, nil, ""},
+		{"empty body", "", http.StatusBadRequest, nil, ""},
+		{"no trailing newline accepted", valid, http.StatusCreated, nil, ""},
+		{"bad json", valid + "\n{not json}\n", http.StatusUnprocessableEntity, []int{2}, "invalid JSON"},
+		{"missing id", `{"doc":{}}` + "\n", http.StatusUnprocessableEntity, []int{1}, "missing document id"},
+		{"missing doc", `{"id":"x"}` + "\n", http.StatusUnprocessableEntity, []int{1}, "missing doc"},
+		{"duplicate ids in one batch", valid + "\n" + valid + "\n", http.StatusUnprocessableEntity, []int{2}, "duplicate id"},
+		{"invalid prov document", `{"id":"x","doc":{"wasGeneratedBy":{"g":{"prov:entity":"ex:ghost","prov:activity":"ex:run"}}}}` + "\n",
+			http.StatusUnprocessableEntity, []int{1}, "invalid PROV-JSON"},
+		{"multiple bad lines all reported", "{bad}\n" + valid + "\n{worse}\n", http.StatusUnprocessableEntity, []int{1, 3}, "invalid JSON"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv, store := newBatchServer(t, nil)
+			status, payload := postBatch(t, srv.URL, tc.body)
+			if status != tc.status {
+				t.Fatalf("status = %d, want %d (body %s)", status, tc.status, payload)
+			}
+			if status != http.StatusCreated && store.Count() != 0 {
+				t.Fatalf("rejected batch stored %d docs", store.Count())
+			}
+			if len(tc.errLines) == 0 {
+				return
+			}
+			var rej struct {
+				Lines []struct {
+					Line  int    `json:"line"`
+					Error string `json:"error"`
+				} `json:"line_errors"`
+			}
+			if err := json.Unmarshal(payload, &rej); err != nil {
+				t.Fatalf("unmarshal %s: %v", payload, err)
+			}
+			var got []int
+			for _, l := range rej.Lines {
+				got = append(got, l.Line)
+			}
+			if fmt.Sprint(got) != fmt.Sprint(tc.errLines) {
+				t.Fatalf("error lines %v, want %v (body %s)", got, tc.errLines, payload)
+			}
+			if !strings.Contains(rej.Lines[0].Error, tc.errSubstr) {
+				t.Fatalf("first line error %q does not contain %q", rej.Lines[0].Error, tc.errSubstr)
+			}
+		})
+	}
+}
+
+func TestBatchOversizedLine(t *testing.T) {
+	cap := len(docLine(t, "small")) + 64 // valid lines fit, the padded one does not
+	srv, store := newBatchServer(t, func(s *Service) { s.MaxLineBytes = cap })
+	big := `{"id":"big","doc":{"entity":{"ex:e":{"a":"` + strings.Repeat("x", 4*cap) + `"}}}}`
+	status, payload := postBatch(t, srv.URL, docLine(t, "small")+"\n"+big+"\n"+docLine(t, "after")+"\n")
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, body %s", status, payload)
+	}
+	// The oversized line is reported with its line number, and parsing
+	// resumed cleanly on the line after it.
+	if !strings.Contains(string(payload), `"line":2`) || !strings.Contains(string(payload), fmt.Sprintf("exceeds %d bytes", cap)) {
+		t.Fatalf("body %s", payload)
+	}
+	if strings.Contains(string(payload), `"line":3`) {
+		t.Fatalf("valid line after the oversized one was rejected: %s", payload)
+	}
+	if store.Count() != 0 {
+		t.Fatal("rejected batch stored documents")
+	}
+}
+
+// TestBatchLineErrorsCapped: a stream of invalid lines cannot amplify
+// into unbounded error entries — parsing aborts after the cap.
+func TestBatchLineErrorsCapped(t *testing.T) {
+	srv, store := newBatchServer(t, nil)
+	status, payload := postBatch(t, srv.URL, strings.Repeat("{bad}\n", 5000))
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d", status)
+	}
+	var rej struct {
+		Lines []batchLineError `json:"line_errors"`
+	}
+	if err := json.Unmarshal(payload, &rej); err != nil {
+		t.Fatal(err)
+	}
+	if len(rej.Lines) != maxBatchLineErrors+1 { // cap + the abort marker
+		t.Fatalf("kept %d line errors, want %d", len(rej.Lines), maxBatchLineErrors+1)
+	}
+	if !strings.Contains(rej.Lines[maxBatchLineErrors].Error, "aborting after") {
+		t.Fatalf("missing abort marker: %+v", rej.Lines[maxBatchLineErrors])
+	}
+	if store.Count() != 0 {
+		t.Fatal("rejected batch stored documents")
+	}
+}
+
+// TestReadLimitedLineBoundary: the per-line cap counts content bytes
+// only — a line of exactly max bytes passes, with or without CRLF, and
+// max+1 is truncated.
+func TestReadLimitedLineBoundary(t *testing.T) {
+	const max = 8
+	for _, tc := range []struct {
+		name      string
+		body      string
+		want      string
+		truncated bool
+	}{
+		{"exactly max with LF", "12345678\nrest", "12345678", false},
+		{"exactly max with CRLF", "12345678\r\nrest", "12345678", false},
+		{"exactly max at EOF", "12345678", "12345678", false},
+		{"max+1", "123456789\nrest", "", true},
+		{"max+1 at EOF", "123456789", "", true},
+		{"under max", "123\n", "123", false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			br := bufio.NewReaderSize(strings.NewReader(tc.body), 16)
+			line, truncated, err := readLimitedLine(br, max)
+			if err != nil && err != io.EOF {
+				t.Fatal(err)
+			}
+			if string(line) != tc.want || truncated != tc.truncated {
+				t.Fatalf("readLimitedLine(%q) = (%q, %v), want (%q, %v)",
+					tc.body, line, truncated, tc.want, tc.truncated)
+			}
+		})
+	}
+}
+
+func TestBatchLimitsAndMiddleware(t *testing.T) {
+	// Total body cap -> 413 through the shared body-limit middleware.
+	srv, _ := newBatchServer(t, func(s *Service) { s.MaxBodyBytes = 128 })
+	status, _ := postBatch(t, srv.URL, docLine(t, "a")+"\n"+docLine(t, "b")+"\n")
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("body-cap status = %d, want 413", status)
+	}
+	// Document-count cap.
+	srv2, store2 := newBatchServer(t, func(s *Service) { s.MaxBatchDocs = 2 })
+	status, _ = postBatch(t, srv2.URL, docLine(t, "a")+"\n"+docLine(t, "b")+"\n"+docLine(t, "c")+"\n")
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("doc-cap status = %d, want 413", status)
+	}
+	if store2.Count() != 0 {
+		t.Fatal("over-cap batch stored documents")
+	}
+	// Method guard.
+	resp, err := http.Get(srv2.URL + "/api/v0/documents:batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET = %d, want 405", resp.StatusCode)
+	}
+	// Bearer auth applies to the batch POST like any mutating method.
+	srv3, store3 := newBatchServer(t, nil, WithToken("sekrit"))
+	status, _ = postBatch(t, srv3.URL, docLine(t, "a")+"\n")
+	if status != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated batch = %d, want 401", status)
+	}
+	if store3.Count() != 0 {
+		t.Fatal("unauthenticated batch stored documents")
+	}
+	c := provclient.New(srv3.URL)
+	c.Token = "sekrit"
+	if err := c.UploadBatch(map[string]*prov.Document{"a": testDoc()}); err != nil {
+		t.Fatalf("authenticated UploadBatch: %v", err)
+	}
+	if store3.Count() != 1 {
+		t.Fatal("authenticated batch not stored")
+	}
+}

@@ -169,6 +169,8 @@ func routeClass(path string) string {
 		return "documents/id"
 	case path == "/api/v0/documents":
 		return "documents"
+	case path == "/api/v0/documents:batch":
+		return "documents/batch"
 	case path == "/api/v0/search":
 		return "search"
 	case path == "/api/v0/lineage":

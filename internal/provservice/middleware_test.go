@@ -173,6 +173,7 @@ func TestRequestLogging(t *testing.T) {
 func TestRouteClass(t *testing.T) {
 	cases := map[string]string{
 		"/api/v0/documents":              "documents",
+		"/api/v0/documents:batch":        "documents/batch",
 		"/api/v0/documents/abc":          "documents/id",
 		"/api/v0/documents/abc%2Fdef":    "documents/id",
 		"/api/v0/documents/abc/lineage":  "documents/lineage",

@@ -1,0 +1,66 @@
+package provservice
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestSplitDocPath locks in the routing contract for escaped document
+// ids: one level of percent-decoding, undecodable ids kept verbatim,
+// and everything after the first unescaped '/' treated as the verb.
+func TestSplitDocPath(t *testing.T) {
+	cases := []struct {
+		name     string
+		path     string
+		id, verb string
+	}{
+		{"plain", "/api/v0/documents/abc", "abc", ""},
+		{"trailing slash is an empty verb", "/api/v0/documents/abc/", "abc", ""},
+		{"verb", "/api/v0/documents/abc/lineage", "abc", "lineage"},
+		{"verb with trailing slash stays distinct", "/api/v0/documents/abc/lineage/", "abc", "lineage/"},
+		{"empty id", "/api/v0/documents/", "", ""},
+		{"empty id with verb", "/api/v0/documents//lineage", "", "lineage"},
+		{"escaped slash decodes into the id", "/api/v0/documents/a%2Fb", "a/b", ""},
+		{"escaped slash with verb", "/api/v0/documents/a%2Fb/subgraph", "a/b", "subgraph"},
+		{"double-escaped decodes exactly once", "/api/v0/documents/a%252Fb", "a%2Fb", ""},
+		{"escaped space", "/api/v0/documents/run%20one", "run one", ""},
+		{"undecodable escape kept verbatim", "/api/v0/documents/a%ZZb", "a%ZZb", ""},
+		{"unknown verb passes through", "/api/v0/documents/abc/compact", "abc", "compact"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			id, verb := splitDocPath(tc.path)
+			if id != tc.id || verb != tc.verb {
+				t.Errorf("splitDocPath(%q) = (%q, %q), want (%q, %q)", tc.path, id, verb, tc.id, tc.verb)
+			}
+		})
+	}
+}
+
+// TestDocPathRoutingHTTP drives the edge cases end-to-end: unknown
+// verbs 404, empty ids 400, escaped ids round-trip.
+func TestDocPathRoutingHTTP(t *testing.T) {
+	srv, client := newTestServer(t)
+	if err := client.Upload("a/b", testDoc()); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		path   string
+		status int
+	}{
+		{"/api/v0/documents/a%2Fb", http.StatusOK},
+		{"/api/v0/documents/a%252Fb", http.StatusNotFound}, // decodes to "a%2Fb", a different id
+		{"/api/v0/documents/", http.StatusBadRequest},
+		{"/api/v0/documents/a%2Fb/compact", http.StatusNotFound}, // unknown verb
+		{"/api/v0/documents/a%2Fb/lineage/", http.StatusNotFound},
+	} {
+		resp, err := http.Get(srv.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("GET %s = %d, want %d", tc.path, resp.StatusCode, tc.status)
+		}
+	}
+}

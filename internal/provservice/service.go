@@ -1,6 +1,7 @@
 // Package provservice exposes the provstore over the yProv RESTful API:
 //
 //	GET    /api/v0/documents                 list document ids
+//	POST   /api/v0/documents:batch           bulk upload (NDJSON, atomic; see batch.go)
 //	PUT    /api/v0/documents/{id}            upload a PROV-JSON document
 //	GET    /api/v0/documents/{id}            fetch a document
 //	DELETE /api/v0/documents/{id}            delete a document
@@ -43,6 +44,7 @@ import (
 // substitute their own.
 type StoreAPI interface {
 	Put(id string, doc *prov.Document) error
+	PutBatchRaw(items map[string]provstore.BatchItem) error
 	Get(id string) (*prov.Document, bool)
 	Delete(id string) error
 	List() []string
@@ -65,8 +67,15 @@ type Service struct {
 	limiter *clientLimiter
 	metrics *httpMetrics
 	handler http.Handler
-	// MaxBodyBytes bounds uploaded document size (default 64 MiB).
+	// MaxBodyBytes bounds uploaded document size (default 64 MiB). For
+	// batch requests this caps the whole NDJSON stream.
 	MaxBodyBytes int64
+	// MaxLineBytes bounds one NDJSON line in batch uploads (default
+	// 8 MiB). Like MaxBodyBytes, set before serving.
+	MaxLineBytes int
+	// MaxBatchDocs bounds the number of documents one batch request may
+	// carry (default 10000).
+	MaxBatchDocs int
 
 	// Graceful shutdown: Close refuses new requests, drains in-flight
 	// ones, then flushes and closes the store. In-flight requests hold
@@ -109,6 +118,7 @@ func New(store StoreAPI, opts ...Option) *Service {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/v0/documents", s.handleDocuments)
+	mux.HandleFunc("/api/v0/documents:batch", s.handleBatch)
 	mux.HandleFunc("/api/v0/documents/", s.handleDocument)
 	mux.HandleFunc("/api/v0/search", s.handleSearch)
 	mux.HandleFunc("/api/v0/lineage", s.handleCrossLineage)
@@ -178,6 +188,22 @@ func (s *Service) Close() error {
 		s.closeErr = s.store.Close()
 	})
 	return s.closeErr
+}
+
+// maxLineBytes resolves the per-line batch cap.
+func (s *Service) maxLineBytes() int {
+	if s.MaxLineBytes > 0 {
+		return s.MaxLineBytes
+	}
+	return 8 << 20
+}
+
+// maxBatchDocs resolves the per-batch document-count cap.
+func (s *Service) maxBatchDocs() int {
+	if s.MaxBatchDocs > 0 {
+		return s.MaxBatchDocs
+	}
+	return 10000
 }
 
 // errorBody is the JSON error envelope.

@@ -1,0 +1,303 @@
+package provstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/prov"
+	"repro/internal/wal"
+)
+
+// Bulk ingestion. PutBatch and DeleteBatch apply N documents as one
+// atomic unit: every document is validated up front, all owning shards
+// are locked together, and the whole batch is journaled as a single
+// write-ahead-log record ({"op":"batch","ops":[...]}). One record means
+// one Stage, one group-commit ticket, and one fsync for the entire
+// batch — and, because a record is the WAL's atomicity unit (CRC-framed,
+// truncated whole if torn), crash recovery can only ever replay the
+// whole batch or none of it. Any validation, projection, or staging
+// failure rolls every shard back to its pre-batch state before the
+// error is returned, so a failed batch is invisible to readers, to
+// later snapshots, and to replay.
+
+// batchEncoder frames a {"op":"batch","ops":[...]} journal record by
+// hand. Going through json.Marshal(journalOp{Ops: ...}) would re-scan
+// and re-compact every document's already-encoded bytes (RawMessage
+// round-trips through the encoder); appending them verbatim keeps the
+// journal cost of a batch proportional to one buffer write. The output
+// is exactly what encoding/json would produce, so recovery's
+// json.Unmarshal path is unchanged.
+type batchEncoder struct {
+	buf bytes.Buffer
+	n   int
+}
+
+// newBatchEncoder pre-sizes the frame: ops sub-ops carrying payloadHint
+// total id+doc bytes, plus per-op framing overhead.
+func newBatchEncoder(ops, payloadHint int) *batchEncoder {
+	e := &batchEncoder{}
+	e.buf.Grow(64 + payloadHint + ops*48)
+	e.buf.WriteString(`{"op":"batch","ops":[`)
+	return e
+}
+
+func (e *batchEncoder) sep() {
+	if e.n > 0 {
+		e.buf.WriteByte(',')
+	}
+	e.n++
+}
+
+// writeIDShard emits `"op":"...","id":...,"shard":...` for one sub-op.
+func (e *batchEncoder) writeIDShard(op, id string, shard uint32) error {
+	qid, err := json.Marshal(id) // ids can hold any bytes; let json escape them
+	if err != nil {
+		return err
+	}
+	e.buf.WriteString(`{"op":"`)
+	e.buf.WriteString(op)
+	e.buf.WriteString(`","id":`)
+	e.buf.Write(qid)
+	if shard > 0 { // mirror journalOp's omitempty
+		fmt.Fprintf(&e.buf, `,"shard":%d`, shard)
+	}
+	return nil
+}
+
+func (e *batchEncoder) addPut(id string, shard uint32, doc []byte) error {
+	e.sep()
+	if err := e.writeIDShard("put", id, shard); err != nil {
+		return err
+	}
+	e.buf.WriteString(`,"doc":`)
+	e.buf.Write(doc)
+	e.buf.WriteByte('}')
+	return nil
+}
+
+func (e *batchEncoder) addDelete(id string, shard uint32) error {
+	e.sep()
+	if err := e.writeIDShard("delete", id, shard); err != nil {
+		return err
+	}
+	e.buf.WriteByte('}')
+	return nil
+}
+
+func (e *batchEncoder) finish() []byte {
+	e.buf.WriteString(`]}`)
+	return e.buf.Bytes()
+}
+
+// stageFailpoint, when non-nil, is consulted before every journal
+// staging and may return an error to simulate a WAL failure (fail-stop
+// latch, over-cap record). Test-only; nil in production.
+var stageFailpoint func(op []byte) error
+
+// batchEntry is one (shard, id, previous document) triple recorded
+// while a batch is applied, so a later failure can unwind it.
+type batchEntry struct {
+	sh   *shard
+	id   string
+	prev *prov.Document // nil when the id did not exist before the batch
+}
+
+// rollbackBatch unwinds applied entries in reverse order. The owning
+// shard locks must still be held.
+func rollbackBatch(applied []batchEntry) {
+	for i := len(applied) - 1; i >= 0; i-- {
+		e := applied[i]
+		e.sh.deleteLocked(e.id)
+		if e.prev != nil {
+			_ = e.sh.putLocked(e.id, e.prev) // re-projecting a previously valid doc cannot fail
+		}
+	}
+}
+
+// lockShards write-locks every shard index in the set, in ascending
+// order. Put/Delete hold at most one shard lock at a time and batches
+// always acquire ascending, so the ordering rules out deadlock.
+func (s *Store) lockShards(idxs []uint32) {
+	for _, i := range idxs {
+		s.shards[i].mu.Lock()
+	}
+}
+
+func (s *Store) unlockShards(idxs []uint32) {
+	for i := len(idxs) - 1; i >= 0; i-- {
+		s.shards[idxs[i]].mu.Unlock()
+	}
+}
+
+// shardSet returns the sorted, deduplicated shard indices owning ids.
+func (s *Store) shardSet(ids []string) []uint32 {
+	seen := make(map[uint32]struct{}, len(ids))
+	idxs := make([]uint32, 0, len(ids))
+	for _, id := range ids {
+		i := s.shardIndex(id)
+		if _, ok := seen[i]; !ok {
+			seen[i] = struct{}{}
+			idxs = append(idxs, i)
+		}
+	}
+	sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
+	return idxs
+}
+
+// stageBatchLocked journals one already-applied batch while every
+// involved shard lock is held (log order matches apply order); it is
+// stageLocked with the whole batch as the rollback unit.
+func (s *Store) stageBatchLocked(op []byte, applied []batchEntry) (wal.Ticket, bool, error) {
+	return s.stageLocked(op, nil, func() { rollbackBatch(applied) })
+}
+
+// BatchItem is one document of a raw batch: the parsed document plus,
+// optionally, its already-encoded PROV-JSON. When Raw is set it is
+// journaled verbatim — it MUST be the JSON encoding Doc was parsed
+// from (the HTTP batch handler passes each request line's doc bytes
+// through), which spares the hot path a full re-marshal of the batch.
+// When Raw is nil the store encodes Doc itself.
+type BatchItem struct {
+	Doc *prov.Document
+	Raw []byte
+}
+
+// PutBatch stores (or replaces) every document in docs as one atomic
+// unit: either all of them become visible and durable together, or none
+// do and the store is left exactly as it was. On journaled stores the
+// whole batch is one log record committed through a single group-commit
+// ticket, so N documents cost one fsync. An empty batch is a no-op.
+func (s *Store) PutBatch(docs map[string]*prov.Document) error {
+	items := make(map[string]BatchItem, len(docs))
+	for id, d := range docs {
+		items[id] = BatchItem{Doc: d}
+	}
+	return s.PutBatchRaw(items)
+}
+
+// PutBatchRaw is PutBatch for callers that already hold each document's
+// encoded form (see BatchItem.Raw); semantics are identical.
+func (s *Store) PutBatchRaw(items map[string]BatchItem) error {
+	if len(items) == 0 {
+		return nil
+	}
+	ids := make([]string, 0, len(items))
+	for id := range items {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids) // deterministic apply/journal order
+
+	// Validate everything before touching any shard: a bad document must
+	// reject the batch without any lock traffic or partial application.
+	// The HTTP handler validates per line too (for line-numbered
+	// diagnostics); the repeat here is deliberate — PutBatchRaw is a
+	// public entry point and Validate is cheap next to projection.
+	for _, id := range ids {
+		if id == "" {
+			return fmt.Errorf("provstore: batch contains an empty document id")
+		}
+		if items[id].Doc == nil {
+			return fmt.Errorf("provstore: batch item %q has no document", id)
+		}
+		if _, err := items[id].Doc.Validate(); err != nil {
+			return fmt.Errorf("provstore: refusing invalid document %q: %w", id, err)
+		}
+	}
+
+	var op []byte
+	if s.wal != nil {
+		raws := make([][]byte, len(ids))
+		size := 0
+		for i, id := range ids {
+			raw := items[id].Raw
+			if raw == nil {
+				var err error
+				if raw, err = items[id].Doc.MarshalJSON(); err != nil {
+					return fmt.Errorf("provstore: journal encode %q: %w", id, err)
+				}
+			}
+			raws[i] = raw
+			size += len(raw) + len(id)
+		}
+		enc := newBatchEncoder(len(ids), size)
+		for i, id := range ids {
+			if err := enc.addPut(id, s.shardIndex(id), raws[i]); err != nil {
+				return fmt.Errorf("provstore: journal encode %q: %w", id, err)
+			}
+		}
+		op = enc.finish()
+	}
+
+	idxs := s.shardSet(ids)
+	s.lockShards(idxs)
+	applied := make([]batchEntry, 0, len(ids))
+	for _, id := range ids {
+		sh := s.shardFor(id)
+		prev := sh.docs[id]
+		if err := sh.putLocked(id, items[id].Doc); err != nil {
+			rollbackBatch(applied)
+			s.unlockShards(idxs)
+			return fmt.Errorf("provstore: batch put %q: %w", id, err)
+		}
+		applied = append(applied, batchEntry{sh: sh, id: id, prev: prev})
+	}
+	ticket, staged, err := s.stageBatchLocked(op, applied)
+	s.unlockShards(idxs)
+	if err != nil {
+		return err
+	}
+	return s.commitStaged(ticket, staged, len(ids))
+}
+
+// DeleteBatch removes every listed document as one atomic unit. If any
+// id is missing (or listed twice) the whole batch fails and nothing is
+// deleted.
+func (s *Store) DeleteBatch(ids []string) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	ids = append([]string(nil), ids...)
+	sort.Strings(ids)
+	for i, id := range ids {
+		if id == "" {
+			return fmt.Errorf("provstore: batch contains an empty document id")
+		}
+		if i > 0 && ids[i-1] == id {
+			return fmt.Errorf("provstore: duplicate id %q in delete batch", id)
+		}
+	}
+
+	var op []byte
+	if s.wal != nil {
+		enc := newBatchEncoder(len(ids), 0)
+		for _, id := range ids {
+			if err := enc.addDelete(id, s.shardIndex(id)); err != nil {
+				return fmt.Errorf("provstore: journal encode %q: %w", id, err)
+			}
+		}
+		op = enc.finish()
+	}
+
+	idxs := s.shardSet(ids)
+	s.lockShards(idxs)
+	applied := make([]batchEntry, 0, len(ids))
+	for _, id := range ids {
+		sh := s.shardFor(id)
+		prev := sh.docs[id]
+		if prev == nil {
+			rollbackBatch(applied)
+			s.unlockShards(idxs)
+			return fmt.Errorf("provstore: document %q does not exist", id)
+		}
+		sh.deleteLocked(id)
+		applied = append(applied, batchEntry{sh: sh, id: id, prev: prev})
+	}
+	ticket, staged, err := s.stageBatchLocked(op, applied)
+	s.unlockShards(idxs)
+	if err != nil {
+		return err
+	}
+	return s.commitStaged(ticket, staged, len(ids))
+}

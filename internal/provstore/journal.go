@@ -49,15 +49,20 @@ type Durability struct {
 
 const defaultSnapshotEvery = 256
 
-// journalOp is one logged mutation.
+// journalOp is one logged mutation — or, for Op "batch", one atomic
+// group of them. A batch is journaled as a single WAL record, so the
+// log's record-level atomicity (a torn record is truncated whole)
+// extends to the entire batch: recovery replays all of its sub-ops or
+// none of them.
 type journalOp struct {
-	Op string `json:"op"` // "put" | "delete"
-	ID string `json:"id"`
+	Op string `json:"op"` // "put" | "delete" | "batch"
+	ID string `json:"id,omitempty"`
 	// Shard is the shard index the mutation was applied to at write
 	// time — a debugging/observability hint, not routing truth (see the
 	// shard-compatibility note above). Absent in pre-sharding journals.
 	Shard uint32          `json:"shard,omitempty"`
 	Doc   json.RawMessage `json:"doc,omitempty"` // PROV-JSON for puts
+	Ops   []journalOp     `json:"ops,omitempty"` // sub-ops for batches
 }
 
 // storeSnapshot is the full-state snapshot payload. Shards records the
@@ -140,23 +145,42 @@ func (s *Store) restore(rec *wal.RecoveredState) error {
 		if err := json.Unmarshal(r.Payload, &op); err != nil {
 			return fmt.Errorf("provstore: recover journal seq %d: %w", r.Seq, err)
 		}
-		sh := s.shardFor(op.ID)
-		switch op.Op {
-		case "put":
-			doc, err := prov.ParseJSON(op.Doc)
-			if err != nil {
-				return fmt.Errorf("provstore: recover journal seq %d (%q): %w", r.Seq, op.ID, err)
-			}
-			if err := sh.putLocked(op.ID, doc); err != nil {
-				return fmt.Errorf("provstore: recover journal seq %d (%q): %w", r.Seq, op.ID, err)
-			}
-		case "delete":
-			if _, ok := sh.docs[op.ID]; ok {
-				sh.deleteLocked(op.ID)
-			}
-		default:
-			return fmt.Errorf("provstore: recover journal seq %d: unknown op %q", r.Seq, op.Op)
+		if err := s.replayOp(op, r.Seq); err != nil {
+			return err
 		}
+	}
+	return nil
+}
+
+// replayOp applies one recovered journal operation. Batches recurse
+// over their sub-ops — the record was written atomically, so by the
+// time replayOp sees it the whole batch is known durable.
+func (s *Store) replayOp(op journalOp, seq uint64) error {
+	switch op.Op {
+	case "put":
+		doc, err := prov.ParseJSON(op.Doc)
+		if err != nil {
+			return fmt.Errorf("provstore: recover journal seq %d (%q): %w", seq, op.ID, err)
+		}
+		if err := s.shardFor(op.ID).putLocked(op.ID, doc); err != nil {
+			return fmt.Errorf("provstore: recover journal seq %d (%q): %w", seq, op.ID, err)
+		}
+	case "delete":
+		sh := s.shardFor(op.ID)
+		if _, ok := sh.docs[op.ID]; ok {
+			sh.deleteLocked(op.ID)
+		}
+	case "batch":
+		for _, sub := range op.Ops {
+			if sub.Op == "batch" {
+				return fmt.Errorf("provstore: recover journal seq %d: nested batch", seq)
+			}
+			if err := s.replayOp(sub, seq); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("provstore: recover journal seq %d: unknown op %q", seq, op.Op)
 	}
 	return nil
 }
@@ -182,11 +206,15 @@ func encodeDeleteOp(id string, shard uint32) ([]byte, error) {
 // is already durable in the log, so a failed snapshot only delays
 // compaction. If a checkpoint is still running, the trigger is skipped
 // — the cadence counter will fire again.
-func (s *Store) maybeSnapshot() {
-	if s.snapshotEvery <= 0 {
+func (s *Store) maybeSnapshot(n int) {
+	if s.snapshotEvery <= 0 || n <= 0 {
 		return
 	}
-	if atomic.AddUint64(&s.mutations, 1)%uint64(s.snapshotEvery) != 0 {
+	// A batch bumps the counter by its size; trigger when the cadence
+	// boundary is crossed anywhere inside the increment.
+	every := uint64(s.snapshotEvery)
+	c := atomic.AddUint64(&s.mutations, uint64(n))
+	if c/every == (c-uint64(n))/every {
 		return
 	}
 	if !s.snapMu.TryLock() {

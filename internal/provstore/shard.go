@@ -57,14 +57,18 @@ func (sh *shard) putLocked(id string, doc *prov.Document) (err error) {
 	}()
 
 	addElement := func(label string, el *prov.Element, extra graphdb.Props) error {
-		props := graphdb.Props{"qname": string(el.ID), "doc": id}
+		props := make(graphdb.Props, len(el.Attrs)+len(extra)+2)
+		props["qname"] = string(el.ID)
+		props["doc"] = id
 		for k, v := range el.Attrs {
 			props[attrPropKey(k)] = attrPropValue(v)
 		}
 		for k, v := range extra {
 			props[k] = v
 		}
-		nid, err := sh.g.CreateNode([]string{label}, props)
+		// The freshly built map and label slice are handed over — the
+		// Owned variants skip graphdb's defensive copies on this hot path.
+		nid, err := sh.g.CreateNodeOwned([]string{label}, props)
 		if err != nil {
 			return err
 		}
@@ -105,7 +109,7 @@ func (sh *shard) putLocked(id string, doc *prov.Document) (err error) {
 		if !rel.Time.IsZero() {
 			props["time"] = rel.Time.UnixNano()
 		}
-		if _, err := sh.g.CreateRel(from, to, relTypeFor(rel.Kind), props); err != nil {
+		if _, err := sh.g.CreateRelOwned(from, to, relTypeFor(rel.Kind), props); err != nil {
 			return err
 		}
 	}

@@ -96,7 +96,7 @@ func (s *Store) Put(id string, doc *prov.Document) error {
 	if err != nil {
 		return err
 	}
-	return s.commitStaged(ticket, staged)
+	return s.commitStaged(ticket, staged, 1)
 }
 
 // stageLocked journals an already-applied mutation while the owning
@@ -110,6 +110,12 @@ func (s *Store) Put(id string, doc *prov.Document) error {
 func (s *Store) stageLocked(op []byte, applyErr error, rollback func()) (wal.Ticket, bool, error) {
 	if applyErr != nil || s.wal == nil {
 		return wal.Ticket{}, false, applyErr
+	}
+	if fp := stageFailpoint; fp != nil {
+		if err := fp(op); err != nil {
+			rollback()
+			return wal.Ticket{}, false, fmt.Errorf("%w: %v", ErrJournal, err)
+		}
 	}
 	t, err := s.wal.Stage(op)
 	if err != nil {
@@ -132,15 +138,16 @@ func (s *Store) noteApplied(seq uint64) {
 }
 
 // commitStaged waits for durability outside the shard lock and drives
-// the snapshot cadence.
-func (s *Store) commitStaged(t wal.Ticket, staged bool) error {
+// the snapshot cadence. n is the number of mutations the staged record
+// carries (1 for Put/Delete, the batch size for PutBatch/DeleteBatch).
+func (s *Store) commitStaged(t wal.Ticket, staged bool, n int) error {
 	if !staged {
 		return nil
 	}
 	if err := t.Commit(); err != nil {
 		return fmt.Errorf("%w: commit: %v", ErrJournal, err)
 	}
-	s.maybeSnapshot()
+	s.maybeSnapshot(n)
 	return nil
 }
 
@@ -182,7 +189,7 @@ func (s *Store) Delete(id string) error {
 	if err != nil {
 		return err
 	}
-	return s.commitStaged(ticket, staged)
+	return s.commitStaged(ticket, staged, 1)
 }
 
 // nodeID resolves (doc, qname) to the graph node on the owning shard.

@@ -1,12 +1,15 @@
-// Package shardbench holds the sharded-engine benchmark bodies shared
-// by the root benchmark suite (BenchmarkShardedPutParallel,
-// BenchmarkMixedReadWrite) and cmd/benchreport, so `make bench-key`
-// and the tracked BENCH_PR3.json rows always measure the exact same
-// workload instead of drifting copies.
+// Package shardbench holds the sharded-engine and bulk-ingestion
+// benchmark bodies shared by the root benchmark suite
+// (BenchmarkShardedPutParallel, BenchmarkMixedReadWrite,
+// BenchmarkBatchPut), cmd/benchreport, and the loadgen scenario
+// documents, so `make bench-key`, the tracked BENCH_PR*.json rows, and
+// yprov-loadgen traffic always measure the exact same workload instead
+// of drifting copies.
 package shardbench
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -61,6 +64,116 @@ func PutParallel(shards int) func(b *testing.B) {
 			}(g)
 		}
 		wg.Wait()
+	}
+}
+
+// TempDir works under both `go test` and the bare testing.Benchmark
+// harness in cmd/benchreport (where b.TempDir's test-name plumbing is
+// unavailable).
+func TempDir(b *testing.B) string {
+	dir, err := os.MkdirTemp("", "shardbench-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = os.RemoveAll(dir) })
+	return dir
+}
+
+// openDurable opens a journaled store tuned so every measured fsync
+// belongs to a commit: snapshots disabled, segment rotation pushed out
+// of reach.
+func openDurable(b *testing.B, shards int) *provstore.Store {
+	s, err := provstore.Open(TempDir(b), provstore.Durability{
+		Fsync:         true,
+		SnapshotEvery: -1,
+		SegmentBytes:  1 << 30,
+		Shards:        shards,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+// batchEventDepth sizes the documents of the bulk-ingestion pair: a
+// depth-1 chain (entity + generating activity) is the per-step
+// provenance event an instrumented training run emits in volume — the
+// workload batching exists for.
+const batchEventDepth = 1
+
+// batchEventDocs builds size distinct event documents.
+func batchEventDocs(size int) []*prov.Document {
+	docs := make([]*prov.Document, size)
+	for j := range docs {
+		docs[j] = ChainDoc(batchEventDepth)
+	}
+	return docs
+}
+
+// batchStoreEvery bounds how many benchmark iterations share one
+// store: ingestion benchmarks must measure the cost of adding
+// documents, not the GC tax of an unboundedly growing live set.
+const batchStoreEvery = 16
+
+// BatchPutSequential is the bulk-ingestion baseline: size sequential
+// Put calls on a journaled fsync store — one WAL record, one commit,
+// one fsync per document. Every iteration ingests fresh ids, like a run
+// streaming new step documents; stores are recycled outside the timer.
+func BatchPutSequential(size int) func(b *testing.B) {
+	return func(b *testing.B) {
+		docs := batchEventDocs(size)
+		var s *provstore.Store
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%batchStoreEvery == 0 {
+				b.StopTimer()
+				s = openDurable(b, 0)
+				b.StartTimer()
+			}
+			for j := 0; j < size; j++ {
+				if err := s.Put(fmt.Sprintf("i%d-d%03d", i, j), docs[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BatchPutBatch ingests the same size documents through one atomic
+// PutBatch — one WAL record, one group-commit fsync for the whole
+// batch. Reports the measured fsyncs per batch (the acceptance point is
+// exactly 1).
+func BatchPutBatch(size int) func(b *testing.B) {
+	return func(b *testing.B) {
+		docs := batchEventDocs(size)
+		batch := make(map[string]*prov.Document, size)
+		var s *provstore.Store
+		var syncs, batches uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%batchStoreEvery == 0 {
+				b.StopTimer()
+				if s != nil {
+					syncs += s.Stats().Durability.Syncs
+				}
+				s = openDurable(b, 0)
+				b.StartTimer()
+			}
+			for j, d := range docs {
+				batch[fmt.Sprintf("i%d-d%03d", i, j)] = d
+			}
+			if err := s.PutBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+			batches++
+			clear(batch)
+		}
+		b.StopTimer()
+		if s != nil {
+			syncs += s.Stats().Durability.Syncs
+		}
+		b.ReportMetric(float64(syncs)/float64(batches), "fsyncs/batch")
 	}
 }
 
