@@ -27,16 +27,17 @@ bench:
 # kept as an alias so the CI gate reads as intent.
 bench-compile: bench
 
-# The tracked hot-path benchmarks (BENCH_PR1..PR4 rows): logging,
+# The tracked hot-path benchmarks (BENCH_PR1..PR5 rows): logging,
 # lineage, Zarr offload, the WAL durability paths, the sharded engine's
-# concurrency pairs (single-lock vs sharded), and the bulk-ingestion
-# pair (sequential Puts vs one group-committed batch).
+# concurrency pairs (single-lock vs sharded), the bulk-ingestion pair
+# (sequential Puts vs one group-committed batch), and the replication
+# pipeline (follower catch-up throughput).
 bench-key:
-	$(GO) test -run '^$$' -bench 'BenchmarkLogMetric$$|BenchmarkZarrAppend$$|BenchmarkLineage$$|BenchmarkBuildProv$$|BenchmarkWALAppend$$|BenchmarkRecovery$$|BenchmarkShardedPutParallel$$|BenchmarkMixedReadWrite$$|BenchmarkBatchPut$$' -benchtime 1s .
+	$(GO) test -run '^$$' -bench 'BenchmarkLogMetric$$|BenchmarkZarrAppend$$|BenchmarkLineage$$|BenchmarkBuildProv$$|BenchmarkWALAppend$$|BenchmarkRecovery$$|BenchmarkShardedPutParallel$$|BenchmarkMixedReadWrite$$|BenchmarkBatchPut$$|BenchmarkReplicationThroughput$$' -benchtime 1s .
 
 # Regenerate the committed performance-trajectory report.
 bench-report:
-	$(GO) run ./cmd/benchreport -out BENCH_PR4.json
+	$(GO) run ./cmd/benchreport -out BENCH_PR5.json
 
 # Full gate: build, static checks, unit tests, the race-detector pass
 # over every package, and the benchmark compile smoke.

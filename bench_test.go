@@ -17,6 +17,7 @@
 //	BenchmarkShardedPutParallel — concurrent uploads, single lock vs shards
 //	BenchmarkMixedReadWrite    — 8-goroutine mixed workload, single lock vs shards
 //	BenchmarkBatchPut/*        — bulk ingestion, sequential Puts vs one group-committed batch
+//	BenchmarkReplicationThroughput — WAL-shipping follower catch-up (records/s streamed + applied)
 package repro
 
 import (
@@ -431,6 +432,14 @@ func BenchmarkMixedReadWrite(b *testing.B) {
 	for _, cfg := range shardConfigs {
 		b.Run(cfg.name, shardbench.MixedReadWrite(cfg.shards))
 	}
+}
+
+// BenchmarkReplicationThroughput measures WAL-shipping replication: a
+// fresh follower per iteration streams the primary's whole journal over
+// HTTP, re-journals it locally, and projects it into its own sharded
+// state. The records/s metric is the catch-up rate of a new replica.
+func BenchmarkReplicationThroughput(b *testing.B) {
+	b.Run("records=1000", shardbench.ReplicationThroughput(1000))
 }
 
 // BenchmarkBatchPut measures bulk ingestion on a journaled fsync store:

@@ -3,16 +3,18 @@
 // Lineage/document-scan, BuildProv), the PR-2 durability paths
 // (WALAppend/nosync, WALAppend/fsync, Recovery), the PR-3 concurrency
 // pairs (ShardedPutParallel, MixedReadWrite, each single-lock vs
-// sharded), and the PR-4 bulk-ingestion pair (BatchPut, sequential Puts
-// vs one group-committed batch) — and writes a JSON report comparing
-// them against their baselines, extending the repository's performance
+// sharded), the PR-4 bulk-ingestion pair (BatchPut, sequential Puts vs
+// one group-committed batch), and the PR-5 replication pipeline
+// (ReplicationThroughput: follower catch-up over HTTP, records/s in
+// the metrics column) — and writes a JSON report comparing them
+// against their baselines, extending the repository's performance
 // trajectory. For the paired rows the baseline is measured in the same
 // run, so the reported speedup is the scaling factor on the current
 // machine.
 //
 // Usage:
 //
-//	go run ./cmd/benchreport [-out BENCH_PR4.json] [-benchtime 1s]
+//	go run ./cmd/benchreport [-out BENCH_PR5.json] [-benchtime 1s]
 package main
 
 import (
@@ -107,7 +109,7 @@ func lineageFixture(depth int) (*provstore.Store, *prov.Document) {
 
 func main() {
 	testing.Init() // register test.* flags so benchtime is settable
-	out := flag.String("out", "BENCH_PR4.json", "output path for the JSON report")
+	out := flag.String("out", "BENCH_PR5.json", "output path for the JSON report")
 	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark target run time")
 	flag.Parse()
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
@@ -212,6 +214,7 @@ func main() {
 		}},
 		{"BatchPut/sequential-100", shardbench.BatchPutSequential(100)},
 		{"BatchPut/size=100", shardbench.BatchPutBatch(100)},
+		{"ReplicationThroughput/records=1000", shardbench.ReplicationThroughput(1000)},
 		{"ShardedPutParallel/single-lock", shardbench.PutParallel(1)},
 		{"ShardedPutParallel/sharded", shardbench.PutParallel(shardbench.Goroutines)},
 		{"MixedReadWrite/single-lock", shardbench.MixedReadWrite(1)},

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	yprov-loadgen -url http://localhost:3000 [-scenario mixed]
+//	              [-replica-urls http://r1:3001,http://r2:3002]
 //	              [-concurrency 8] [-duration 10s] [-rate 0]
 //	              [-batch 25] [-preload 64] [-depth 12]
 //	              [-token SECRET] [-seed 0] [-json] [-smoke]
@@ -24,13 +25,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/loadgen"
 )
 
 func main() {
-	url := flag.String("url", "http://localhost:3000", "base URL of the yprov-server to load")
+	url := flag.String("url", "http://localhost:3000", "base URL of the yprov-server to load (the primary: all writes go here)")
+	replicaURLs := flag.String("replica-urls", "", "comma-separated read-replica base URLs; read scenarios split across them with failover")
 	scenario := flag.String("scenario", "mixed", "workload mix: ingest | lineage | mixed | hotspot")
 	concurrency := flag.Int("concurrency", 8, "concurrent workers")
 	duration := flag.Duration("duration", 10*time.Second, "run length")
@@ -55,8 +58,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	var replicas []string
+	if *replicaURLs != "" {
+		for _, u := range strings.Split(*replicaURLs, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				replicas = append(replicas, u)
+			}
+		}
+	}
+
 	rep, err := loadgen.Run(loadgen.Config{
 		BaseURL:     *url,
+		ReplicaURLs: replicas,
 		Token:       *token,
 		Scenario:    loadgen.Scenario(*scenario),
 		Concurrency: *concurrency,

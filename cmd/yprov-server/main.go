@@ -9,6 +9,7 @@
 //	             [-log-requests]
 //	             [-data-dir DIR] [-fsync] [-snapshot-every N]
 //	             [-export-dir DIR]
+//	             [-replicate-from URL] [-advertise-addr ADDR] [-max-lag N]
 //
 // The store is sharded: documents spread over -shards independent
 // graph+lock slices (default GOMAXPROCS, rounded to a power of two) so
@@ -24,6 +25,16 @@
 // SIGINT/SIGTERM trigger a graceful shutdown: stop accepting requests,
 // drain in-flight ones, flush the journal, optionally export PROV-JSON
 // to -export-dir, and exit.
+//
+// Replication: every journaled server doubles as a replication primary
+// (its WAL is streamed verbatim from /api/v0/repl/stream). Started with
+// -replicate-from, the server instead runs as a read-only follower: it
+// bootstraps from the primary's latest snapshot, tails its log into a
+// local WAL copy under -data-dir, rejects mutations with 403 + a
+// Location hint, and reports degraded on /healthz once replication lag
+// exceeds -max-lag records. A follower refuses to run with -fsync=false
+// against an fsync primary — the replica must not silently be less
+// durable than the history it acknowledges.
 package main
 
 import (
@@ -40,6 +51,7 @@ import (
 
 	"repro/internal/provservice"
 	"repro/internal/provstore"
+	"repro/internal/repl"
 )
 
 func main() {
@@ -53,12 +65,41 @@ func main() {
 	fsync := flag.Bool("fsync", true, "fsync the journal before acknowledging mutations (power-loss durability)")
 	snapshotEvery := flag.Int("snapshot-every", 256, "mutations between snapshot+compaction cycles (<0 disables)")
 	exportDir := flag.String("export-dir", "", "also export documents as PROV-JSON files here on graceful shutdown")
+	replicateFrom := flag.String("replicate-from", "", "primary base URL; run this server as a read-only follower of it (requires -data-dir)")
+	advertiseAddr := flag.String("advertise-addr", "", "address this server is reachable at, used as its follower id in replication acks (default: -addr)")
+	maxLag := flag.Uint64("max-lag", 10000, "follower: /healthz reports degraded when replication lag exceeds this many records (0 disables)")
 	flag.Parse()
 
 	if *exportDir != "" && *dataDir != "" && samePath(*exportDir, *dataDir) {
 		// Exports into the journal directory would be re-imported as
 		// legacy documents on the next boot (and renamed away).
 		log.Fatalf("-export-dir must differ from -data-dir (%s)", *dataDir)
+	}
+	follower := *replicateFrom != ""
+	if follower && *dataDir == "" {
+		log.Fatalf("-replicate-from requires -data-dir: a follower keeps its own WAL copy so restarts resume from local state")
+	}
+	followerID := *advertiseAddr
+	if followerID == "" {
+		followerID = *addr
+	}
+	if follower {
+		// Refuse a configuration that silently weakens durability: a
+		// no-fsync follower of an fsync primary acknowledges records it
+		// can lose to power loss. Best-effort at boot (the primary may be
+		// down); the stream handshake re-checks on every connect.
+		if st, err := repl.FetchPrimaryStatus(nil, *replicateFrom, 0); err == nil {
+			if st.Fsync && !*fsync {
+				log.Fatalf("%v", repl.ErrFsyncMismatch)
+			}
+		} else {
+			log.Printf("primary %s unreachable at boot (%v); fsync handshake deferred to the stream connect", *replicateFrom, err)
+		}
+		if seq, err := repl.Bootstrap(*dataDir, *replicateFrom, followerID); err != nil {
+			log.Fatalf("bootstrapping from %s: %v", *replicateFrom, err)
+		} else if seq > 0 {
+			log.Printf("bootstrapped from primary snapshot covering seq %d", seq)
+		}
 	}
 
 	var store *provstore.Store
@@ -68,6 +109,7 @@ func main() {
 			Fsync:         *fsync,
 			SnapshotEvery: *snapshotEvery,
 			Shards:        *shards,
+			Follower:      follower,
 		})
 		if err != nil {
 			log.Fatalf("opening data dir %s: %v", *dataDir, err)
@@ -79,11 +121,14 @@ func main() {
 		}
 		// Gate on un-imported *.json files, not on store emptiness: a
 		// previously failed partial import must resume, and imported
-		// files (renamed *.json.imported) must never re-import.
-		if n, err := importLegacyJSON(store, *dataDir); err != nil {
-			log.Fatalf("importing legacy documents from %s: %v", *dataDir, err)
-		} else if n > 0 {
-			log.Printf("imported %d legacy PROV-JSON document(s) into the journal", n)
+		// files (renamed *.json.imported) must never re-import. Followers
+		// never import — their journal is the primary's history.
+		if !follower {
+			if n, err := importLegacyJSON(store, *dataDir); err != nil {
+				log.Fatalf("importing legacy documents from %s: %v", *dataDir, err)
+			} else if n > 0 {
+				log.Printf("imported %d legacy PROV-JSON document(s) into the journal", n)
+			}
 		}
 	} else {
 		store = provstore.NewSharded(*shards)
@@ -99,22 +144,52 @@ func main() {
 	if *logRequests {
 		opts = append(opts, provservice.WithLogger(log.Default()))
 	}
+	var replServer *repl.Server
+	var replFollower *repl.Follower
+	if follower {
+		var err error
+		replFollower, err = repl.NewFollower(store, repl.FollowerConfig{
+			PrimaryURL: *replicateFrom,
+			Token:      *token,
+			ID:         followerID,
+			Fsync:      *fsync,
+			Logger:     log.Default(),
+		})
+		if err != nil {
+			log.Fatalf("building follower: %v", err)
+		}
+		opts = append(opts, provservice.WithReplicationFollower(replFollower, *replicateFrom, *maxLag))
+	} else if store.Log() != nil {
+		// Every journaled server doubles as a replication primary.
+		replServer = repl.NewServer(store.Log(), *fsync)
+		opts = append(opts, provservice.WithReplicationPrimary(replServer))
+	}
 	svc := provservice.New(store, opts...)
 	srv := &http.Server{Addr: *addr, Handler: svc}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if replFollower != nil {
+		go replFollower.Run()
+	}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("yprov-server listening on %s (auth: %v, data: %q, fsync: %v, shards: %d, rate-limit: %g/s)",
-			*addr, *token != "", *dataDir, *fsync, store.ShardCount(), *rateLimit)
+		role := "primary"
+		if follower {
+			role = "follower of " + *replicateFrom
+		}
+		log.Printf("yprov-server listening on %s (auth: %v, data: %q, fsync: %v, shards: %d, rate-limit: %g/s, role: %s)",
+			*addr, *token != "", *dataDir, *fsync, store.ShardCount(), *rateLimit, role)
 		errc <- srv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errc:
 		// Listener died on its own; still flush what we have.
+		if replFollower != nil {
+			replFollower.Stop()
+		}
 		_ = svc.Close()
 		log.Fatal(err)
 	case <-ctx.Done():
@@ -122,6 +197,14 @@ func main() {
 	stop() // a second signal kills immediately
 
 	log.Printf("shutting down: draining requests and flushing journal")
+	// End replication first: follower loops stop applying, primary-side
+	// streams terminate so they cannot hold the HTTP drain open.
+	if replFollower != nil {
+		replFollower.Stop()
+	}
+	if replServer != nil {
+		replServer.Stop()
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

@@ -48,6 +48,10 @@ func Scenarios() []Scenario { return []Scenario{IngestHeavy, LineageHeavy, Mixed
 type Config struct {
 	BaseURL string
 	Token   string
+	// ReplicaURLs, when set, splits read operations (lineage queries)
+	// across these replicas with failover while writes stay pinned to
+	// BaseURL — the replica-aware topology of a replicated deployment.
+	ReplicaURLs []string
 	// Scenario is the operation mix (default Mixed).
 	Scenario Scenario
 	// Concurrency is the worker count (default 8, shardbench.Goroutines).
@@ -162,6 +166,16 @@ func Run(cfg Config) (Report, error) {
 	if err := client().Health(); err != nil {
 		return Report{}, fmt.Errorf("loadgen: service unreachable: %w", err)
 	}
+	// One replica set per worker keeps the round-robin cursors
+	// independent, like a fleet of real clients.
+	replicaSet := func() *provclient.ReplicaSet {
+		if len(cfg.ReplicaURLs) == 0 {
+			return nil
+		}
+		rs := provclient.NewReplicaSet(cfg.BaseURL, cfg.ReplicaURLs)
+		rs.SetToken(cfg.Token)
+		return rs
+	}
 
 	doc := shardbench.ChainDoc(cfg.ChainDepth)
 	leaf := prov.NewQName("ex", fmt.Sprintf("e%d", cfg.ChainDepth-1))
@@ -200,7 +214,8 @@ func Run(cfg Config) (Report, error) {
 		go func(g int) {
 			defer wg.Done()
 			results[g] = runWorker(workerConfig{
-				cfg: cfg, client: client(), doc: doc, leaf: leaf,
+				cfg: cfg, client: client(), replicas: replicaSet(),
+				doc: doc, leaf: leaf,
 				seedIDs: seedIDs, hot: hot, pace: pace,
 				rng: rand.New(rand.NewSource(cfg.Seed + int64(g))),
 				id:  g, deadline: deadline,
@@ -242,7 +257,8 @@ func Run(cfg Config) (Report, error) {
 // workerConfig is everything one worker goroutine needs.
 type workerConfig struct {
 	cfg      Config
-	client   *provclient.Client
+	client   *provclient.Client     // writes: always the primary
+	replicas *provclient.ReplicaSet // reads: fan across replicas when set
 	doc      *prov.Document
 	leaf     prov.QName
 	seedIDs  []string
@@ -334,7 +350,13 @@ func (w *workerConfig) execOp(kind string, n int) error {
 		if w.cfg.Scenario == HotDoc && w.rng.Float64() < 0.9 {
 			id = w.hot[w.rng.Intn(len(w.hot))]
 		}
-		nodes, err := w.client.Lineage(id, w.leaf, "ancestors", 0)
+		var nodes []prov.QName
+		var err error
+		if w.replicas != nil {
+			nodes, err = w.replicas.Lineage(id, w.leaf, "ancestors", 0)
+		} else {
+			nodes, err = w.client.Lineage(id, w.leaf, "ancestors", 0)
+		}
 		if err != nil {
 			return err
 		}

@@ -1,8 +1,10 @@
 package loadgen
 
 import (
+	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -51,6 +53,47 @@ func TestSmokeAllScenarios(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestReplicaURLsSplitReads: with -replica-urls, lineage reads route
+// through the replica set (here: two extra fronts over the same store)
+// while the preload and uploads stay on the primary URL.
+func TestReplicaURLsSplitReads(t *testing.T) {
+	store := provstore.New()
+	primary := httptest.NewServer(provservice.New(store))
+	defer primary.Close()
+	hits1, hits2 := &countingHandler{h: provservice.New(store)}, &countingHandler{h: provservice.New(store)}
+	r1 := httptest.NewServer(hits1)
+	defer r1.Close()
+	r2 := httptest.NewServer(hits2)
+	defer r2.Close()
+
+	rep, err := Run(Config{
+		BaseURL:     primary.URL,
+		ReplicaURLs: []string{r1.URL, r2.URL},
+		Scenario:    LineageHeavy,
+		Seed:        7,
+		Smoke:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("replica smoke run had %d errors (first: %s)", rep.Errors, rep.FirstError)
+	}
+	if hits1.n.Load() == 0 || hits2.n.Load() == 0 {
+		t.Fatalf("reads not split across replicas: %d / %d", hits1.n.Load(), hits2.n.Load())
+	}
+}
+
+type countingHandler struct {
+	h http.Handler
+	n atomic.Int64
+}
+
+func (c *countingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.n.Add(1)
+	c.h.ServeHTTP(w, r)
 }
 
 // TestRunFailsFastWhenUnreachable: a dead endpoint is a setup error,

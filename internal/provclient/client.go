@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/prov"
@@ -22,6 +23,17 @@ type Client struct {
 	BaseURL string
 	Token   string
 	HTTP    *http.Client
+
+	// lastSeq is the highest X-Yprov-Seq write token observed on any
+	// response through this client — the read-your-writes cursor a
+	// ReplicaSet carries from writes (on the primary) to reads (on
+	// replicas).
+	lastSeq atomic.Uint64
+	// minSeq, when set, supplies the X-Yprov-Min-Seq header attached to
+	// every request: servers that have not applied that journal sequence
+	// answer 503 so the caller fails over to a fresher replica.
+	// Installed by ReplicaSet; nil on standalone clients.
+	minSeq func() uint64
 }
 
 // sharedTransport is one connection pool for every client in the
@@ -109,17 +121,41 @@ func (c *Client) do(method, path string, body []byte) ([]byte, int, http.Header,
 	if c.Token != "" {
 		req.Header.Set("Authorization", "Bearer "+c.Token)
 	}
+	if c.minSeq != nil {
+		if seq := c.minSeq(); seq > 0 {
+			req.Header.Set("X-Yprov-Min-Seq", strconv.FormatUint(seq, 10))
+		}
+	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return nil, 0, nil, err
 	}
 	defer resp.Body.Close()
+	if v := resp.Header.Get("X-Yprov-Seq"); v != "" {
+		if seq, perr := strconv.ParseUint(v, 10, 64); perr == nil {
+			c.noteSeq(seq)
+		}
+	}
 	payload, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return nil, resp.StatusCode, resp.Header, err
 	}
 	return payload, resp.StatusCode, resp.Header, nil
 }
+
+// noteSeq raises the observed write-token high-water mark.
+func (c *Client) noteSeq(seq uint64) {
+	for {
+		cur := c.lastSeq.Load()
+		if seq <= cur || c.lastSeq.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// LastSeq reports the highest X-Yprov-Seq write token this client has
+// observed — pass it forward (via a ReplicaSet) for read-your-writes.
+func (c *Client) LastSeq() uint64 { return c.lastSeq.Load() }
 
 // apiError extracts the error envelope (and the Retry-After hint) from
 // a non-2xx response.

@@ -1,0 +1,205 @@
+package provclient
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/prov"
+	"repro/internal/provstore"
+)
+
+// ReplicaSet is a replica-aware client over one primary and any number
+// of read replicas. Writes always go to the primary; reads fan out
+// across the replicas round-robin and fail over — to the next replica
+// and ultimately to the primary — on transport errors and retryable
+// server conditions (503/429, including a replica refusing a
+// read-your-writes token it has not caught up to). Semantic errors
+// (404, 422...) return immediately: every member answers those the
+// same once caught up, so retrying elsewhere only hides lag bugs.
+//
+// With ReadYourWrites set, every read carries the highest X-Yprov-Seq
+// token observed from this set's writes, turning the asynchronous
+// replication into session consistency: a replica that has not applied
+// your own write rejects the read and the fan-out moves on.
+type ReplicaSet struct {
+	primary  *Client
+	replicas []*Client
+	next     atomic.Uint32 // round-robin cursor over replicas
+
+	// ReadYourWrites attaches the write-token header to reads. Off, reads
+	// are eventually consistent (fastest, fine for analytics traffic).
+	ReadYourWrites bool
+}
+
+// NewReplicaSet builds a replica-aware client. replicaURLs may be
+// empty, in which case every operation goes to the primary and the set
+// degrades to a plain client.
+func NewReplicaSet(primaryURL string, replicaURLs []string) *ReplicaSet {
+	rs := &ReplicaSet{primary: New(primaryURL)}
+	for _, u := range replicaURLs {
+		c := New(u)
+		c.minSeq = rs.readToken
+		rs.replicas = append(rs.replicas, c)
+	}
+	return rs
+}
+
+// SetToken sets the bearer token on every member client.
+func (r *ReplicaSet) SetToken(token string) {
+	r.primary.Token = token
+	for _, c := range r.replicas {
+		c.Token = token
+	}
+}
+
+// Primary exposes the primary's client for operations that must not
+// fan out (e.g. health-checking the primary specifically).
+func (r *ReplicaSet) Primary() *Client { return r.primary }
+
+// readToken is the X-Yprov-Min-Seq provider installed on replica
+// clients: the primary's last observed write token when read-your-writes
+// is on, zero (header omitted) otherwise.
+func (r *ReplicaSet) readToken() uint64 {
+	if !r.ReadYourWrites {
+		return 0
+	}
+	return r.primary.LastSeq()
+}
+
+// read runs op against each read candidate until one answers: replicas
+// in round-robin rotation first, the primary as the backstop. Failover
+// triggers on transport errors and retryable API errors only.
+func (r *ReplicaSet) read(op func(c *Client) error) error {
+	var lastErr error
+	if n := len(r.replicas); n > 0 {
+		start := int(r.next.Add(1)-1) % n
+		for i := 0; i < n; i++ {
+			c := r.replicas[(start+i)%n]
+			err := op(c)
+			if err == nil {
+				return nil
+			}
+			if !failover(err) {
+				return err
+			}
+			lastErr = err
+		}
+	}
+	if err := op(r.primary); err != nil {
+		return err
+	}
+	_ = lastErr // replicas failed but the primary answered: success
+	return nil
+}
+
+// failover reports whether an error should move the read to the next
+// candidate: anything transport-level (no APIError in the chain) or an
+// explicitly retryable server condition.
+func failover(err error) bool {
+	if IsRetryable(err) {
+		return true
+	}
+	var ae *APIError
+	return !errors.As(err, &ae)
+}
+
+// --- writes: pinned to the primary ------------------------------------
+
+// Upload stores a document through the primary.
+func (r *ReplicaSet) Upload(id string, doc *prov.Document) error {
+	return r.primary.Upload(id, doc)
+}
+
+// UploadRaw stores raw PROV-JSON through the primary.
+func (r *ReplicaSet) UploadRaw(id string, provJSON []byte) error {
+	return r.primary.UploadRaw(id, provJSON)
+}
+
+// UploadBatch stores one atomic batch through the primary.
+func (r *ReplicaSet) UploadBatch(docs map[string]*prov.Document) error {
+	return r.primary.UploadBatch(docs)
+}
+
+// Delete removes a document through the primary.
+func (r *ReplicaSet) Delete(id string) error {
+	return r.primary.Delete(id)
+}
+
+// --- reads: fanned across replicas with failover ----------------------
+
+// Get fetches a document from a replica (or the primary on failover).
+func (r *ReplicaSet) Get(id string) (*prov.Document, error) {
+	var doc *prov.Document
+	err := r.read(func(c *Client) error {
+		var e error
+		doc, e = c.Get(id)
+		return e
+	})
+	return doc, err
+}
+
+// List returns all stored document ids.
+func (r *ReplicaSet) List() ([]string, error) {
+	var ids []string
+	err := r.read(func(c *Client) error {
+		var e error
+		ids, e = c.List()
+		return e
+	})
+	return ids, err
+}
+
+// Lineage queries ancestors/descendants of a node.
+func (r *ReplicaSet) Lineage(id string, node prov.QName, dir provstore.LineageDirection, depth int) ([]prov.QName, error) {
+	var nodes []prov.QName
+	err := r.read(func(c *Client) error {
+		var e error
+		nodes, e = c.Lineage(id, node, dir, depth)
+		return e
+	})
+	return nodes, err
+}
+
+// Subgraph fetches the neighborhood of a node as a document.
+func (r *ReplicaSet) Subgraph(id string, node prov.QName, hops int) (*prov.Document, error) {
+	var doc *prov.Document
+	err := r.read(func(c *Client) error {
+		var e error
+		doc, e = c.Subgraph(id, node, hops)
+		return e
+	})
+	return doc, err
+}
+
+// SearchByType finds elements by prov:type across all documents.
+func (r *ReplicaSet) SearchByType(typeName string) ([]provstore.SearchResult, error) {
+	var hits []provstore.SearchResult
+	err := r.read(func(c *Client) error {
+		var e error
+		hits, e = c.SearchByType(typeName)
+		return e
+	})
+	return hits, err
+}
+
+// CrossLineage queries lineage across every stored document.
+func (r *ReplicaSet) CrossLineage(node prov.QName, dir provstore.LineageDirection, depth int) ([]provstore.CrossNode, error) {
+	var nodes []provstore.CrossNode
+	err := r.read(func(c *Client) error {
+		var e error
+		nodes, e = c.CrossLineage(node, dir, depth)
+		return e
+	})
+	return nodes, err
+}
+
+// Stats fetches store statistics from a replica.
+func (r *ReplicaSet) Stats() (provstore.Stats, error) {
+	var st provstore.Stats
+	err := r.read(func(c *Client) error {
+		var e error
+		st, e = c.Stats()
+		return e
+	})
+	return st, err
+}

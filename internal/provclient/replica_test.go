@@ -1,0 +1,153 @@
+package provclient
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/prov"
+)
+
+// fakeNode is a scripted server: it answers document lists and counts
+// requests, optionally failing with a fixed status.
+type fakeNode struct {
+	srv      *httptest.Server
+	requests atomic.Int64
+	puts     atomic.Int64
+	fail     atomic.Int64 // when non-zero, reads answer this status
+	seq      atomic.Uint64
+	minSeen  atomic.Uint64 // last X-Yprov-Min-Seq header observed
+}
+
+func newFakeNode(t *testing.T) *fakeNode {
+	t.Helper()
+	n := &fakeNode{}
+	n.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n.requests.Add(1)
+		if v := r.Header.Get("X-Yprov-Min-Seq"); v != "" {
+			if min, err := strconv.ParseUint(v, 10, 64); err == nil {
+				n.minSeen.Store(min)
+			}
+		}
+		if r.Method == http.MethodPut {
+			n.puts.Add(1)
+			if seq := n.seq.Load(); seq > 0 {
+				w.Header().Set("X-Yprov-Seq", strconv.FormatUint(seq, 10))
+			}
+			w.WriteHeader(http.StatusCreated)
+			_ = json.NewEncoder(w).Encode(map[string]string{"id": "x"})
+			return
+		}
+		if st := n.fail.Load(); st != 0 {
+			if st == http.StatusServiceUnavailable {
+				w.Header().Set("Retry-After", "1")
+			}
+			w.WriteHeader(int(st))
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": "scripted failure"})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string][]string{"documents": {"a", "b"}})
+	}))
+	t.Cleanup(n.srv.Close)
+	return n
+}
+
+func TestReplicaSetWritesPinToPrimary(t *testing.T) {
+	primary := newFakeNode(t)
+	replica := newFakeNode(t)
+	set := NewReplicaSet(primary.srv.URL, []string{replica.srv.URL})
+
+	doc := prov.NewDocument()
+	doc.AddEntity("ex:e", nil)
+	for i := 0; i < 3; i++ {
+		if err := set.Upload("d", doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := primary.puts.Load(); got != 3 {
+		t.Fatalf("primary saw %d puts, want 3", got)
+	}
+	if got := replica.puts.Load(); got != 0 {
+		t.Fatalf("replica saw %d puts, want 0", got)
+	}
+}
+
+func TestReplicaSetReadsFanAcrossReplicas(t *testing.T) {
+	primary := newFakeNode(t)
+	r1 := newFakeNode(t)
+	r2 := newFakeNode(t)
+	set := NewReplicaSet(primary.srv.URL, []string{r1.srv.URL, r2.srv.URL})
+
+	for i := 0; i < 6; i++ {
+		if _, err := set.List(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g1, g2 := r1.requests.Load(), r2.requests.Load(); g1 != 3 || g2 != 3 {
+		t.Fatalf("replica split = %d/%d, want 3/3", g1, g2)
+	}
+	if got := primary.requests.Load(); got != 0 {
+		t.Fatalf("primary saw %d reads, want 0", got)
+	}
+}
+
+func TestReplicaSetFailsOverToPrimary(t *testing.T) {
+	primary := newFakeNode(t)
+	lagged := newFakeNode(t)
+	lagged.fail.Store(http.StatusServiceUnavailable)
+	dead := newFakeNode(t)
+	deadURL := dead.srv.URL
+	dead.srv.Close() // transport-level failure
+
+	set := NewReplicaSet(primary.srv.URL, []string{lagged.srv.URL, deadURL})
+	ids, err := set.List()
+	if err != nil {
+		t.Fatalf("read with every replica down failed: %v", err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("got %d ids", len(ids))
+	}
+	if primary.requests.Load() != 1 {
+		t.Fatalf("primary requests = %d, want 1", primary.requests.Load())
+	}
+}
+
+func TestReplicaSetSemanticErrorsDoNotFailOver(t *testing.T) {
+	primary := newFakeNode(t)
+	notFound := newFakeNode(t)
+	notFound.fail.Store(http.StatusNotFound)
+	set := NewReplicaSet(primary.srv.URL, []string{notFound.srv.URL})
+
+	if _, err := set.List(); err == nil {
+		t.Fatal("expected the 404 to surface")
+	}
+	if got := primary.requests.Load(); got != 0 {
+		t.Fatalf("a semantic error must not fail over: primary saw %d requests", got)
+	}
+}
+
+func TestReplicaSetReadYourWritesToken(t *testing.T) {
+	primary := newFakeNode(t)
+	primary.seq.Store(42)
+	replica := newFakeNode(t)
+	set := NewReplicaSet(primary.srv.URL, []string{replica.srv.URL})
+	set.ReadYourWrites = true
+
+	doc := prov.NewDocument()
+	doc.AddEntity("ex:e", nil)
+	if err := set.Upload("d", doc); err != nil {
+		t.Fatal(err)
+	}
+	if got := set.Primary().LastSeq(); got != 42 {
+		t.Fatalf("captured token = %d, want 42", got)
+	}
+	if _, err := set.List(); err != nil {
+		t.Fatal(err)
+	}
+	if got := replica.minSeen.Load(); got != 42 {
+		t.Fatalf("replica saw min-seq %d, want 42", got)
+	}
+}

@@ -145,9 +145,14 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusServiceUnavailable, "%v", err)
 			return
 		}
+		if errors.Is(err, provstore.ErrReadOnly) {
+			writeErr(w, http.StatusForbidden, "%v", err)
+			return
+		}
 		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
+	s.setSeqHeader(w)
 	writeJSON(w, http.StatusCreated, map[string]interface{}{"created": len(ids), "ids": ids})
 }
 

@@ -3,6 +3,7 @@ package provservice
 import (
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -14,7 +15,8 @@ import (
 // The service's HTTP pipeline is a stack of composable middleware
 // wrapped around thin handlers (see service.go):
 //
-//	logging -> metrics -> rate limit -> auth -> body limit -> mux
+//	logging -> metrics -> rate limit -> auth -> follower guard ->
+//	min-seq -> body limit -> mux
 //
 // Each layer does one thing and knows nothing about the others; the
 // handlers at the bottom only ever talk to the StoreAPI interface.
@@ -54,6 +56,11 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	w.bytes += int64(n)
 	return n, err
 }
+
+// Unwrap exposes the wrapped writer so http.NewResponseController can
+// reach Flusher & co. through the middleware stack — the replication
+// stream handler needs per-batch flushes.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // withLogging emits one line per request: method, path, status, bytes,
 // duration, client.
@@ -98,7 +105,7 @@ func (s *Service) withMetrics(next http.Handler) http.Handler {
 // are exempt so load balancers cannot starve themselves.
 func (s *Service) withRateLimit(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if s.limiter != nil && r.URL.Path != "/api/v0/health" {
+		if s.limiter != nil && r.URL.Path != "/api/v0/health" && r.URL.Path != "/healthz" {
 			if !s.limiter.allow(clientKey(r), time.Now()) {
 				w.Header().Set("Retry-After", "1")
 				writeErr(w, http.StatusTooManyRequests, "rate limit exceeded")
@@ -117,6 +124,48 @@ func (s *Service) withAuth(next http.Handler) http.Handler {
 		case http.MethodPut, http.MethodPost, http.MethodDelete, http.MethodPatch:
 			if !s.authorized(r) {
 				writeErr(w, http.StatusUnauthorized, "missing or bad bearer token")
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withFollowerGuard rejects mutating methods on a read-only replica
+// with 403 plus a Location hint rewriting the request onto the primary,
+// so a client (or a human with curl) learns where writes go without a
+// service-discovery round trip. Reads pass through untouched — serving
+// them is the whole point of a replica.
+func (s *Service) withFollowerGuard(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.primaryURL != "" {
+			switch r.Method {
+			case http.MethodPut, http.MethodPost, http.MethodDelete, http.MethodPatch:
+				w.Header().Set("Location", s.primaryURL+r.URL.RequestURI())
+				writeErr(w, http.StatusForbidden, "this server is a read-only replica; write to the primary at %s", s.primaryURL)
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withMinSeq enforces read-your-writes tokens: a request carrying
+// X-Yprov-Min-Seq is answered only if this server has applied at least
+// that journal sequence; otherwise 503 + Retry-After so a replica-aware
+// client fails over to a fresher replica (ultimately the primary, which
+// by construction satisfies every token it issued).
+func (s *Service) withMinSeq(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if v := r.Header.Get("X-Yprov-Min-Seq"); v != "" {
+			want, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, "bad X-Yprov-Min-Seq %q", v)
+				return
+			}
+			if have := s.store.AppliedSeq(); have < want {
+				w.Header().Set("Retry-After", "1")
+				writeErr(w, http.StatusServiceUnavailable, "replica lag: applied seq %d behind requested %d", have, want)
 				return
 			}
 		}
@@ -179,8 +228,10 @@ func routeClass(path string) string {
 		return "stats"
 	case path == "/api/v0/metrics":
 		return "metrics"
-	case path == "/api/v0/health":
+	case path == "/api/v0/health", path == "/healthz":
 		return "health"
+	case strings.HasPrefix(path, "/api/v0/repl/"):
+		return "repl"
 	case strings.HasPrefix(path, "/explorer"):
 		return "explorer"
 	default:

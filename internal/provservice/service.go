@@ -8,8 +8,11 @@
 //	GET    /api/v0/documents/{id}/lineage    ?node=ex:x&direction=ancestors&depth=3
 //	GET    /api/v0/documents/{id}/subgraph   ?node=ex:x&hops=2
 //	GET    /api/v0/search                    ?type=provml:Model | ?key=provml:name&value=x
-//	GET    /api/v0/stats                     store statistics
+//	GET    /api/v0/stats                     store statistics (+ replication state)
 //	GET    /api/v0/metrics                   HTTP telemetry (in-flight, latency)
+//	GET    /healthz                          liveness; degraded on lagged followers
+//	GET    /api/v0/repl/{stream,status,snapshot}  replication (primaries; see internal/repl)
+//	POST   /api/v0/repl/ack                  follower progress reports
 //
 // Document ids in paths are URL-escaped; ids containing '/' or spaces
 // must be percent-encoded (%2F, %20) as provclient does.
@@ -37,6 +40,7 @@ import (
 
 	"repro/internal/prov"
 	"repro/internal/provstore"
+	"repro/internal/repl"
 )
 
 // StoreAPI is everything the HTTP layer needs from a document store.
@@ -54,6 +58,10 @@ type StoreAPI interface {
 	FindByAttr(key string, value interface{}) []provstore.SearchResult
 	CrossDocLineage(start prov.QName, dir provstore.LineageDirection, depth int) ([]provstore.CrossNode, error)
 	Stats() provstore.Stats
+	// AppliedSeq is the journal high-water mark backing the X-Yprov-Seq
+	// write token and the X-Yprov-Min-Seq read-your-writes check (0 for
+	// stores with no journal).
+	AppliedSeq() uint64
 	Close() error
 }
 
@@ -76,6 +84,12 @@ type Service struct {
 	// MaxBatchDocs bounds the number of documents one batch request may
 	// carry (default 10000).
 	MaxBatchDocs int
+
+	// Replication wiring (see WithReplicationPrimary / WithReplicationFollower).
+	replPrimary  *repl.Server
+	replFollower *repl.Follower
+	primaryURL   string // follower: where mutations should go instead
+	maxLag       uint64 // follower: /healthz degrades beyond this record lag
 
 	// Graceful shutdown: Close refuses new requests, drains in-flight
 	// ones, then flushes and closes the store. In-flight requests hold
@@ -110,6 +124,27 @@ func WithLogger(l *log.Logger) Option {
 	return func(s *Service) { s.logger = l }
 }
 
+// WithReplicationPrimary mounts the replication endpoints (stream,
+// status, snapshot, ack) and surfaces primary-side replication state
+// in /api/v0/stats. Any journaled server can act as a primary; the
+// option costs nothing until a follower connects.
+func WithReplicationPrimary(rs *repl.Server) Option {
+	return func(s *Service) { s.replPrimary = rs }
+}
+
+// WithReplicationFollower marks the service a read-only replica fed by
+// the given follower loop: mutating requests get 403 with a Location
+// hint to the primary, /api/v0/stats gains the follower's replication
+// state, and /healthz (and /api/v0/health) report degraded once
+// replication lag exceeds maxLag records (0 disables the lag check).
+func WithReplicationFollower(f *repl.Follower, primaryURL string, maxLag uint64) Option {
+	return func(s *Service) {
+		s.replFollower = f
+		s.primaryURL = primaryURL
+		s.maxLag = maxLag
+	}
+}
+
 // New builds a service over the given store.
 func New(store StoreAPI, opts ...Option) *Service {
 	s := &Service{store: store, MaxBodyBytes: 64 << 20, metrics: newHTTPMetrics()}
@@ -125,13 +160,22 @@ func New(store StoreAPI, opts ...Option) *Service {
 	mux.HandleFunc("/api/v0/stats", s.handleStats)
 	mux.HandleFunc("/api/v0/metrics", s.handleMetrics)
 	mux.HandleFunc("/api/v0/health", s.handleHealth)
+	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/explorer", s.handleExplorerIndex)
 	mux.HandleFunc("/explorer/", s.handleExplorerDoc)
+	if s.replPrimary != nil {
+		mux.HandleFunc(repl.PathStream, s.replPrimary.HandleStream)
+		mux.HandleFunc(repl.PathStatus, s.replPrimary.HandleStatus)
+		mux.HandleFunc(repl.PathSnapshot, s.replPrimary.HandleSnapshot)
+		mux.HandleFunc(repl.PathAck, s.replPrimary.HandleAck)
+	}
 	s.handler = chain(mux,
 		s.withLogging,
 		s.withMetrics,
 		s.withRateLimit,
 		s.withAuth,
+		s.withFollowerGuard,
+		s.withMinSeq,
 		s.withBodyLimit,
 	)
 	return s
@@ -206,6 +250,17 @@ func (s *Service) maxBatchDocs() int {
 	return 10000
 }
 
+// setSeqHeader stamps a successful mutation response with the journal
+// high-water mark as X-Yprov-Seq — the read-your-writes token a
+// replica-aware client echoes back as X-Yprov-Min-Seq on reads. The
+// watermark is at least the mutation's own sequence, which is all the
+// token needs to guarantee. In-memory stores (seq 0) issue no token.
+func (s *Service) setSeqHeader(w http.ResponseWriter) {
+	if seq := s.store.AppliedSeq(); seq > 0 {
+		w.Header().Set("X-Yprov-Seq", strconv.FormatUint(seq, 10))
+	}
+}
+
 // errorBody is the JSON error envelope.
 type errorBody struct {
 	Error string `json:"error"`
@@ -231,6 +286,27 @@ func (s *Service) authorized(r *http.Request) bool {
 }
 
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.replFollower != nil && s.maxLag > 0 {
+		st := s.replFollower.Status()
+		// Stale matters as much as lag: during a partition the lag
+		// figures freeze at the last successful primary contact, so a
+		// cut-off follower would otherwise report a small stale lag
+		// forever and keep passing health checks.
+		if st.FollowerLag > s.maxLag || st.Stale {
+			reason := "replication lag"
+			if st.Stale {
+				reason = "no primary contact"
+			}
+			writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{
+				"status":           "degraded",
+				"reason":           reason,
+				"lag_records":      st.FollowerLag,
+				"max_lag":          s.maxLag,
+				"contact_age_secs": st.ContactAgeSecs,
+			})
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
@@ -323,9 +399,15 @@ func (s *Service) handleDocumentCRUD(w http.ResponseWriter, r *http.Request, id 
 				writeErr(w, http.StatusServiceUnavailable, "%v", err)
 				return
 			}
+			if errors.Is(err, provstore.ErrReadOnly) {
+				// Second line of defense behind the follower guard.
+				writeErr(w, http.StatusForbidden, "%v", err)
+				return
+			}
 			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
 			return
 		}
+		s.setSeqHeader(w)
 		writeJSON(w, http.StatusCreated, map[string]interface{}{"id": id, "stats": doc.Stats()})
 	case http.MethodDelete:
 		if err := s.store.Delete(id); err != nil {
@@ -333,9 +415,14 @@ func (s *Service) handleDocumentCRUD(w http.ResponseWriter, r *http.Request, id 
 				writeErr(w, http.StatusServiceUnavailable, "%v", err)
 				return
 			}
+			if errors.Is(err, provstore.ErrReadOnly) {
+				writeErr(w, http.StatusForbidden, "%v", err)
+				return
+			}
 			writeErr(w, http.StatusNotFound, "%v", err)
 			return
 		}
+		s.setSeqHeader(w)
 		writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
 	default:
 		writeErr(w, http.StatusMethodNotAllowed, "unsupported method %s", r.Method)
@@ -428,7 +515,17 @@ func (s *Service) handleSearch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.store.Stats())
+	body := struct {
+		provstore.Stats
+		Replication *repl.Status `json:"replication,omitempty"`
+	}{Stats: s.store.Stats()}
+	switch {
+	case s.replFollower != nil:
+		body.Replication = s.replFollower.Status()
+	case s.replPrimary != nil:
+		body.Replication = s.replPrimary.Status()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleCrossLineage is the store-wide lineage endpoint:

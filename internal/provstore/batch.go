@@ -180,6 +180,9 @@ func (s *Store) PutBatch(docs map[string]*prov.Document) error {
 // PutBatchRaw is PutBatch for callers that already hold each document's
 // encoded form (see BatchItem.Raw); semantics are identical.
 func (s *Store) PutBatchRaw(items map[string]BatchItem) error {
+	if err := s.readOnlyGuard(); err != nil {
+		return err
+	}
 	if len(items) == 0 {
 		return nil
 	}
@@ -255,6 +258,9 @@ func (s *Store) PutBatchRaw(items map[string]BatchItem) error {
 // id is missing (or listed twice) the whole batch fails and nothing is
 // deleted.
 func (s *Store) DeleteBatch(ids []string) error {
+	if err := s.readOnlyGuard(); err != nil {
+		return err
+	}
 	if len(ids) == 0 {
 		return nil
 	}

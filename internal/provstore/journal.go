@@ -15,6 +15,11 @@ import (
 // server-side durability outage apart from a bad request.
 var ErrJournal = errors.New("provstore: journal failure")
 
+// ErrReadOnly is returned by every local mutation on a follower store:
+// replicas only change state through ApplyReplicated, never through
+// client writes. The HTTP layer maps it to 403 with a primary hint.
+var ErrReadOnly = errors.New("provstore: store is a read-only replica")
+
 // Durability: the store journals every Put/Delete to a single
 // write-ahead log before acknowledging it (one log, global sequencing,
 // regardless of shard count), periodically snapshots the full document
@@ -45,6 +50,12 @@ type Durability struct {
 	// default). Any value opens any data directory: shard assignment is
 	// re-derived from document ids at recovery.
 	Shards int
+	// Follower opens the store in read-only apply mode: local mutations
+	// return ErrReadOnly and state only advances through ApplyReplicated
+	// records shipped from a primary's log. The local WAL is still
+	// written (the follower keeps its own durable copy), snapshotted,
+	// and compacted, so restarts resume from local state.
+	Follower bool
 }
 
 const defaultSnapshotEvery = 256
@@ -110,6 +121,7 @@ func Open(dir string, d Durability) (*Store, error) {
 	s.snapshotEvery = d.SnapshotEvery
 	s.lastApplied.Store(rec.LastSeq())
 	s.suspectBitRot = rec.SuspectBitRot
+	s.follower = d.Follower
 	return s, nil
 }
 

@@ -1,0 +1,201 @@
+package provstore
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/prov"
+	"repro/internal/wal"
+)
+
+// Follower apply mode. A follower store replays the primary's journal
+// records as they arrive over the replication stream: each record is
+// staged into the follower's own WAL under the primary's sequence
+// number (the local log's next sequence is always the replication
+// cursor, so the two histories stay byte-compatible), then applied to
+// the sharded in-memory state under the owning shard locks. Shard
+// placement is re-derived from document id hashes exactly like
+// recovery does, so a follower may run a different -shards value than
+// its primary. Batch records lock every involved shard and apply
+// all-or-nothing, preserving the atomicity PR 4 established — readers
+// on the follower never observe half a batch.
+
+// Follower reports whether the store is a read-only replica.
+func (s *Store) Follower() bool { return s.follower }
+
+// AppliedSeq is the journal-sequence high-water mark: the newest
+// mutation visible to readers. On a primary it advances as writes are
+// staged; on a follower, as replicated records are applied. Zero for
+// in-memory stores.
+func (s *Store) AppliedSeq() uint64 { return s.lastApplied.Load() }
+
+// Log exposes the store's write-ahead log for replication (the
+// primary's stream server reads segments and tails commits through
+// it). Nil for in-memory stores.
+func (s *Store) Log() *wal.Log { return s.wal }
+
+// readOnlyGuard is consulted at the top of every local mutation.
+func (s *Store) readOnlyGuard() error {
+	if s.follower {
+		return ErrReadOnly
+	}
+	return nil
+}
+
+// parsedOp is a journal operation decoded and parse-validated before
+// anything is journaled or applied, so a malformed record is rejected
+// while the follower state is still untouched.
+type parsedOp struct {
+	op   journalOp
+	doc  *prov.Document // puts only
+	subs []parsedOp     // batches only
+}
+
+// parseReplicatedOp decodes and validates one record payload.
+func parseReplicatedOp(payload []byte, seq uint64) (parsedOp, error) {
+	var op journalOp
+	if err := json.Unmarshal(payload, &op); err != nil {
+		return parsedOp{}, fmt.Errorf("provstore: replicated record seq %d: %w", seq, err)
+	}
+	return parseOp(op, seq, true)
+}
+
+func parseOp(op journalOp, seq uint64, batchOK bool) (parsedOp, error) {
+	p := parsedOp{op: op}
+	switch op.Op {
+	case "put":
+		doc, err := prov.ParseJSON(op.Doc)
+		if err != nil {
+			return parsedOp{}, fmt.Errorf("provstore: replicated record seq %d (%q): %w", seq, op.ID, err)
+		}
+		p.doc = doc
+	case "delete":
+	case "batch":
+		if !batchOK {
+			return parsedOp{}, fmt.Errorf("provstore: replicated record seq %d: nested batch", seq)
+		}
+		for _, sub := range op.Ops {
+			ps, err := parseOp(sub, seq, false)
+			if err != nil {
+				return parsedOp{}, err
+			}
+			p.subs = append(p.subs, ps)
+		}
+	default:
+		return parsedOp{}, fmt.Errorf("provstore: replicated record seq %d: unknown op %q", seq, op.Op)
+	}
+	return p, nil
+}
+
+// count is the mutation count the op contributes to snapshot cadence.
+func (p parsedOp) count() int {
+	if p.op.Op == "batch" {
+		return len(p.subs)
+	}
+	return 1
+}
+
+// ApplyReplicated ingests one record from the primary's log: it applies
+// the mutation to the shards under the owning locks, stages the payload
+// verbatim into the local journal while those locks are still held
+// (rolling the apply back if staging fails — the same discipline as the
+// primary's Put path), and advances the applied watermark. The returned
+// ticket is NOT yet committed — the caller groups commits across a
+// burst of records so a catch-up stream costs one fsync per group, and
+// must Commit the last ticket of each burst before acknowledging
+// anything to the primary.
+//
+// Records at or below the applied watermark are skipped (ok=false) so
+// reconnect overlap is harmless; a record further ahead than
+// watermark+1 is a stream gap and fails loudly. Both that check and the
+// local-journal cursor check happen BEFORE anything is staged, so a
+// failed apply leaves the local WAL untouched — retries cannot
+// accumulate records the primary never had.
+func (s *Store) ApplyReplicated(rec wal.Record) (t wal.Ticket, ok bool, err error) {
+	if !s.follower {
+		return wal.Ticket{}, false, fmt.Errorf("provstore: ApplyReplicated on a non-follower store")
+	}
+	expect := s.lastApplied.Load() + 1
+	if rec.Seq < expect {
+		return wal.Ticket{}, false, nil
+	}
+	if rec.Seq > expect {
+		return wal.Ticket{}, false, fmt.Errorf("provstore: replication gap: got seq %d, want %d", rec.Seq, expect)
+	}
+	if next := s.wal.NextSeq(); next != rec.Seq {
+		// The local log diverged from the replication cursor — an
+		// invariant violation that must halt the apply loop before it
+		// writes a history the primary never had.
+		return wal.Ticket{}, false, fmt.Errorf("provstore: local journal at seq %d cannot hold replicated record %d", next, rec.Seq)
+	}
+	p, err := parseReplicatedOp(rec.Payload, rec.Seq)
+	if err != nil {
+		return wal.Ticket{}, false, err
+	}
+	t, err = s.applyAndStage(p, rec.Payload)
+	if err != nil {
+		return wal.Ticket{}, false, err
+	}
+	s.noteApplied(rec.Seq)
+	s.maybeSnapshot(p.count())
+	return t, true, nil
+}
+
+// applyAndStage applies one validated op and stages its payload while
+// the owning shard locks are held, unwinding the apply when staging
+// fails so the in-memory state never runs ahead of the local journal
+// on an error path.
+func (s *Store) applyAndStage(p parsedOp, payload []byte) (wal.Ticket, error) {
+	stage := func(applied []batchEntry) (wal.Ticket, error) {
+		t, err := s.wal.Stage(payload)
+		if err != nil {
+			rollbackBatch(applied)
+			return wal.Ticket{}, fmt.Errorf("%w: %v", ErrJournal, err)
+		}
+		return t, nil
+	}
+	switch p.op.Op {
+	case "put":
+		sh := s.shardFor(p.op.ID)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		prev := sh.docs[p.op.ID]
+		if err := sh.putLocked(p.op.ID, p.doc); err != nil {
+			return wal.Ticket{}, fmt.Errorf("provstore: apply replicated put %q: %w", p.op.ID, err)
+		}
+		return stage([]batchEntry{{sh: sh, id: p.op.ID, prev: prev}})
+	case "delete":
+		sh := s.shardFor(p.op.ID)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		prev := sh.docs[p.op.ID]
+		if prev != nil {
+			sh.deleteLocked(p.op.ID)
+			return stage([]batchEntry{{sh: sh, id: p.op.ID, prev: prev}})
+		}
+		return stage(nil) // delete of a missing doc: tolerated, like replay
+	default: // "batch" (parseOp admits nothing else)
+		ids := make([]string, len(p.subs))
+		for i, sub := range p.subs {
+			ids[i] = sub.op.ID
+		}
+		idxs := s.shardSet(ids)
+		s.lockShards(idxs)
+		defer s.unlockShards(idxs)
+		applied := make([]batchEntry, 0, len(p.subs))
+		for _, sub := range p.subs {
+			sh := s.shardFor(sub.op.ID)
+			prev := sh.docs[sub.op.ID]
+			if sub.op.Op == "delete" {
+				if prev != nil {
+					sh.deleteLocked(sub.op.ID)
+				}
+			} else if err := sh.putLocked(sub.op.ID, sub.doc); err != nil {
+				rollbackBatch(applied)
+				return wal.Ticket{}, fmt.Errorf("provstore: apply replicated batch %q: %w", sub.op.ID, err)
+			}
+			applied = append(applied, batchEntry{sh: sh, id: sub.op.ID, prev: prev})
+		}
+		return stage(applied)
+	}
+}

@@ -38,6 +38,7 @@ type Store struct {
 	snapErrs      uint64       // atomic: failed background checkpoints
 	lastSnapErr   atomic.Value // string: most recent checkpoint failure
 	suspectBitRot bool         // recovery truncated ahead of intact frames
+	follower      bool         // read-only apply mode (see replica.go)
 	snapMu        sync.Mutex
 }
 
@@ -69,6 +70,9 @@ func NewSharded(n int) *Store {
 // returns only once its log batch is durable (group-committed with any
 // concurrent writers, including writers on other shards).
 func (s *Store) Put(id string, doc *prov.Document) error {
+	if err := s.readOnlyGuard(); err != nil {
+		return err
+	}
 	if id == "" {
 		return fmt.Errorf("provstore: empty document id")
 	}
@@ -166,6 +170,9 @@ func (s *Store) Get(id string) (*prov.Document, bool) {
 // Delete removes a document and its graph projection, journaling the
 // removal on durable stores.
 func (s *Store) Delete(id string) error {
+	if err := s.readOnlyGuard(); err != nil {
+		return err
+	}
 	var op []byte
 	if s.wal != nil {
 		var err error

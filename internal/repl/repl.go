@@ -1,0 +1,110 @@
+// Package repl is WAL-shipping replication for the provenance store: a
+// primary-side log-streaming server and a follower-side apply loop,
+// layered on the segmented write-ahead log in internal/wal.
+//
+// The primary re-uses its journal as the replication log — no second
+// format, no double writes. A follower connects to
+//
+//	GET /api/v0/repl/stream?from=<seq>
+//
+// and receives every record with sequence > from as raw WAL frames
+// (length | crc32c | seq | payload — byte-identical to the segment
+// files), first served from sealed and active segments, then tailed
+// live as group commits land. The follower journals each record into
+// its own WAL under the same sequence number, applies it to its sharded
+// in-memory state (shard placement re-derived from id hashes, so
+// primary and follower may run different shard counts), and
+// acknowledges its durable high-water sequence back to the primary.
+//
+// Consistency model: asynchronous. A follower serves reads that may
+// trail the primary by its replication lag; clients that need
+// read-your-writes carry the X-Yprov-Seq token from a write response as
+// X-Yprov-Min-Seq on subsequent reads and fail over to a fresher
+// replica (ultimately the primary) when a follower has not caught up.
+//
+// Auxiliary endpoints:
+//
+//	GET  /api/v0/repl/status?from=<seq>   role, last seq, lag estimate
+//	GET  /api/v0/repl/snapshot            latest snapshot payload (bootstrap)
+//	POST /api/v0/repl/ack                 follower progress reports
+package repl
+
+import "time"
+
+// API paths of the replication protocol, mounted by provservice on
+// primaries.
+const (
+	PathStream   = "/api/v0/repl/stream"
+	PathStatus   = "/api/v0/repl/status"
+	PathSnapshot = "/api/v0/repl/snapshot"
+	PathAck      = "/api/v0/repl/ack"
+)
+
+// Protocol headers.
+const (
+	// HeaderLastSeq is the primary's committed sequence at connect time.
+	HeaderLastSeq = "X-Repl-Last-Seq"
+	// HeaderSnapshotSeq is the sequence a served snapshot covers.
+	HeaderSnapshotSeq = "X-Repl-Snapshot-Seq"
+	// HeaderFsync advertises the primary's fsync mode so a follower can
+	// refuse a configuration that silently weakens durability.
+	HeaderFsync = "X-Repl-Fsync"
+)
+
+// Roles reported in Status.
+const (
+	RolePrimary  = "primary"
+	RoleFollower = "follower"
+)
+
+// Status is the replication block surfaced under /api/v0/stats (and,
+// for primaries, the /api/v0/repl/status body).
+type Status struct {
+	Role string `json:"role"`
+	// Fsync is this node's own journal fsync mode.
+	Fsync bool `json:"fsync"`
+
+	// Primary-side fields.
+	LastSeq     uint64         `json:"last_seq,omitempty"`     // committed journal tail
+	SnapshotSeq uint64         `json:"snapshot_seq,omitempty"` // compaction horizon
+	LagRecords  uint64         `json:"lag_records,omitempty"`  // vs ?from, when asked
+	LagBytes    int64          `json:"lag_bytes,omitempty"`    // vs ?from, estimate
+	Followers   []FollowerInfo `json:"followers,omitempty"`    // acked progress per follower
+
+	// Follower-side fields.
+	PrimaryURL      string `json:"primary_url,omitempty"`
+	AppliedSeq      uint64 `json:"applied_seq,omitempty"`       // newest record visible to readers
+	DurableSeq      uint64 `json:"durable_seq,omitempty"`       // newest record fsynced locally (the acked seq)
+	PrimaryLastSeq  uint64 `json:"primary_last_seq,omitempty"`  // from the last status poll
+	FollowerLag     uint64 `json:"follower_lag_records"`        // primary_last_seq - applied_seq
+	FollowerLagByte int64  `json:"follower_lag_bytes"`          // primary's estimate for our cursor
+	Connected       bool   `json:"connected"`                   // stream currently attached
+	LastStreamError string `json:"last_stream_error,omitempty"` // most recent stream/apply failure
+	// ContactAgeSecs is how long ago the follower last successfully
+	// exchanged anything with its primary; Stale flips once that
+	// exceeds FollowerConfig.StaleAfter. The lag figures above freeze
+	// at the last contact, so Stale — not a small frozen lag — is what
+	// health checks must trust during a partition.
+	ContactAgeSecs float64 `json:"contact_age_secs,omitempty"`
+	Stale          bool    `json:"stale,omitempty"`
+}
+
+// FollowerInfo is one follower's acknowledged progress as tracked by
+// the primary.
+type FollowerInfo struct {
+	ID         string  `json:"id"`
+	AckedSeq   uint64  `json:"acked_seq"`
+	LagRecords uint64  `json:"lag_records"`
+	LagBytes   int64   `json:"lag_bytes"`
+	AckAgeSecs float64 `json:"ack_age_secs"`
+}
+
+// ackBody is the POST /api/v0/repl/ack payload.
+type ackBody struct {
+	Follower string `json:"follower"`
+	Seq      uint64 `json:"seq"`
+}
+
+// followerTTL is how long a silent follower stays listed in primary
+// status before it is pruned as departed.
+const followerTTL = 5 * time.Minute

@@ -1,0 +1,350 @@
+package repl
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// Server is the primary side of replication: it streams the store's
+// write-ahead log to followers and tracks their acknowledged progress.
+// It holds only the log — document state never crosses this boundary,
+// which is what makes replication free of the storage format.
+type Server struct {
+	log   *wal.Log
+	fsync bool
+
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	mu        sync.Mutex
+	followers map[string]*followerState
+}
+
+type followerState struct {
+	ackedSeq uint64
+	lastAck  time.Time
+}
+
+// NewServer builds a stream server over the store's log. fsync is the
+// primary's journal fsync mode, advertised to followers for the
+// durability-mismatch guard.
+func NewServer(log *wal.Log, fsync bool) *Server {
+	return &Server{
+		log:       log,
+		fsync:     fsync,
+		stop:      make(chan struct{}),
+		followers: make(map[string]*followerState),
+	}
+}
+
+// Stop terminates every active stream (and refuses new ones), so HTTP
+// shutdown is not held open by long-lived replication connections.
+// Idempotent.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// HandleStream serves GET /api/v0/repl/stream?from=<seq>: every record
+// with sequence > from, as raw WAL frames, catching up from segments
+// and then tailing live group commits until the client goes away or the
+// server stops. A position that compaction has passed gets 410 Gone
+// plus the snapshot sequence to bootstrap from instead.
+func (s *Server) HandleStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "stream is GET-only")
+		return
+	}
+	select {
+	case <-s.stop:
+		writeError(w, http.StatusServiceUnavailable, "replication stopped")
+		return
+	default:
+	}
+	from, err := parseSeq(r.URL.Query().Get("from"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad ?from=: %v", err)
+		return
+	}
+	if id := r.URL.Query().Get("follower"); id != "" {
+		// The connect position is an implicit ack: everything at or below
+		// it is applied on the follower's side. Registering here also
+		// drops the compaction floor immediately, so a freshly
+		// bootstrapped follower's catch-up range stays on disk.
+		s.recordAck(id, from)
+	}
+	// ResponseController sees Flusher through middleware wrappers that
+	// expose Unwrap.
+	flusher := http.NewResponseController(w)
+
+	// Probe before committing to a 200: a compacted-away position must
+	// surface as 410 while headers are still writable.
+	sr := wal.NewSegmentReader(s.log.Dir(), from)
+	defer sr.Close()
+	first, probeErr := s.nextCommitted(sr)
+	if probeErr != nil && !errors.Is(probeErr, io.EOF) {
+		if errors.Is(probeErr, wal.ErrCompacted) {
+			w.Header().Set(HeaderSnapshotSeq, strconv.FormatUint(s.log.SnapshotSeq(), 10))
+			writeError(w, http.StatusGone, "records after seq %d compacted away; bootstrap from snapshot %d", from, s.log.SnapshotSeq())
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "%v", probeErr)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(HeaderLastSeq, strconv.FormatUint(s.log.CommittedSeq(), 10))
+	w.Header().Set(HeaderSnapshotSeq, strconv.FormatUint(s.log.SnapshotSeq(), 10))
+	w.Header().Set(HeaderFsync, strconv.FormatBool(s.fsync))
+	w.WriteHeader(http.StatusOK)
+
+	cancel := s.cancelOn(r)
+	var frame []byte
+	if first != nil {
+		frame = wal.EncodeFrame(frame[:0], first.Seq, first.Payload)
+		if _, err := w.Write(frame); err != nil {
+			return
+		}
+	}
+	for {
+		// Drain everything committed, then flush once and wait for the
+		// next commit batch — one flush per group commit, not per record.
+		for s.log.CommittedSeq() > sr.LastSeq() {
+			// Checking s.stop directly (not just cancel, which a helper
+			// goroutine closes asynchronously) guarantees no record ships
+			// after Stop returns.
+			select {
+			case <-cancel:
+				return
+			case <-s.stop:
+				return
+			default:
+			}
+			rec, err := s.nextCommitted(sr)
+			if err != nil || rec == nil {
+				// EOF here means a rotation race; wait and retry. Anything
+				// else is a lost connection's problem to report — the wire
+				// has no error channel once streaming, so just stop.
+				if err != nil && !errors.Is(err, io.EOF) {
+					return
+				}
+				break
+			}
+			frame = wal.EncodeFrame(frame[:0], rec.Seq, rec.Payload)
+			if _, err := w.Write(frame); err != nil {
+				return
+			}
+		}
+		if err := flusher.Flush(); err != nil {
+			return // client gone or writer does not support streaming
+		}
+		// A commit and a stop can land together and WaitCommitted may
+		// report the commit; the drain loop's cancel check above makes
+		// the stop win before another record ships.
+		if _, ok := s.log.WaitCommitted(sr.LastSeq(), cancel); !ok {
+			return
+		}
+	}
+}
+
+// nextCommitted returns the next record the committed watermark already
+// covers, nil at the live tail. The bound is what makes reading the
+// active segment race-free: bytes past the watermark are never parsed.
+// Decoding and re-framing (rather than copying raw segment bytes) is
+// deliberate: the reader's CRC pass means a bit-rotted frame aborts the
+// stream here instead of being shipped to every follower.
+func (s *Server) nextCommitted(sr *wal.SegmentReader) (*wal.Record, error) {
+	if s.log.CommittedSeq() <= sr.LastSeq() {
+		return nil, nil
+	}
+	rec, err := sr.Next()
+	if err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
+
+// cancelOn returns a channel that closes when the client disconnects or
+// the server stops, for WaitCommitted.
+func (s *Server) cancelOn(r *http.Request) <-chan struct{} {
+	cancel := make(chan struct{})
+	go func() {
+		select {
+		case <-r.Context().Done():
+		case <-s.stop:
+		}
+		close(cancel)
+	}()
+	return cancel
+}
+
+// HandleSnapshot serves the newest snapshot payload for follower
+// bootstrap, its covered sequence in X-Repl-Snapshot-Seq. 404 when the
+// primary has never snapshotted (followers then stream from seq 0).
+func (s *Server) HandleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "snapshot is GET-only")
+		return
+	}
+	if id := r.URL.Query().Get("follower"); id != "" {
+		// Pin the compaction floor BEFORE reading the snapshot: a
+		// checkpoint landing between this bootstrap and the follower's
+		// first stream connect must not compact away the tail the
+		// follower is about to ask for. The floor rises again at the
+		// stream connect's implicit ack (or the TTL prunes a follower
+		// that never comes back). This RESETS any live entry under the
+		// same id — a re-bootstrapping follower (wiped data dir) starts
+		// over, and its old high ack must not keep the floor above the
+		// snapshot it is about to download.
+		s.resetFollower(id)
+	}
+	payload, seq, ok, err := s.log.LatestSnapshot()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, "no snapshot yet; stream from seq 0")
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(HeaderSnapshotSeq, strconv.FormatUint(seq, 10))
+	_, _ = w.Write(payload)
+}
+
+// HandleStatus serves GET /api/v0/repl/status[?from=<seq>]: the
+// primary's replication status, with lag computed against ?from when a
+// follower reports its cursor.
+func (s *Server) HandleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "status is GET-only")
+		return
+	}
+	st := s.Status()
+	if v := r.URL.Query().Get("from"); v != "" {
+		from, err := parseSeq(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad ?from=: %v", err)
+			return
+		}
+		if st.LastSeq > from {
+			st.LagRecords = st.LastSeq - from
+		}
+		st.LagBytes = s.log.LagBytes(from)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(st)
+}
+
+// HandleAck records a follower's durable high-water sequence.
+func (s *Server) HandleAck(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "ack is POST-only")
+		return
+	}
+	var body ackBody
+	if err := json.NewDecoder(io.LimitReader(r.Body, 4096)).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad ack body: %v", err)
+		return
+	}
+	if body.Follower == "" {
+		writeError(w, http.StatusBadRequest, "ack needs a follower id")
+		return
+	}
+	s.recordAck(body.Follower, body.Seq)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// resetFollower re-registers id from scratch (acked seq 0), dropping
+// the compaction floor for the duration of a (re-)bootstrap.
+func (s *Server) resetFollower(id string) {
+	s.mu.Lock()
+	s.followers[id] = &followerState{lastAck: time.Now()}
+	s.updateFloorLocked(time.Now())
+	s.mu.Unlock()
+}
+
+// recordAck notes a follower's durable progress and refreshes the
+// compaction floor (the minimum acked sequence across live followers).
+func (s *Server) recordAck(id string, seq uint64) {
+	s.mu.Lock()
+	fs := s.followers[id]
+	if fs == nil {
+		fs = &followerState{}
+		s.followers[id] = fs
+	}
+	if seq > fs.ackedSeq {
+		fs.ackedSeq = seq
+	}
+	fs.lastAck = time.Now()
+	s.updateFloorLocked(time.Now())
+	s.mu.Unlock()
+}
+
+// updateFloorLocked recomputes the WAL compaction floor from live
+// follower acks, pruning followers silent past the TTL so a departed
+// replica cannot pin disk forever. s.mu must be held.
+func (s *Server) updateFloorLocked(now time.Time) {
+	floor := ^uint64(0)
+	for id, fs := range s.followers {
+		if now.Sub(fs.lastAck) > followerTTL {
+			delete(s.followers, id)
+			continue
+		}
+		if fs.ackedSeq < floor {
+			floor = fs.ackedSeq
+		}
+	}
+	s.log.SetCompactFloor(floor)
+}
+
+// Status reports the primary's replication state: journal tail,
+// snapshot horizon, and per-follower acked progress with lag estimates.
+func (s *Server) Status() *Status {
+	last := s.log.CommittedSeq()
+	st := &Status{
+		Role:        RolePrimary,
+		Fsync:       s.fsync,
+		LastSeq:     last,
+		SnapshotSeq: s.log.SnapshotSeq(),
+	}
+	now := time.Now()
+	s.mu.Lock()
+	s.updateFloorLocked(now) // also prunes departed followers
+	for id, fs := range s.followers {
+		info := FollowerInfo{
+			ID:         id,
+			AckedSeq:   fs.ackedSeq,
+			AckAgeSecs: now.Sub(fs.lastAck).Seconds(),
+		}
+		if last > fs.ackedSeq {
+			info.LagRecords = last - fs.ackedSeq
+			info.LagBytes = s.log.LagBytes(fs.ackedSeq)
+		}
+		st.Followers = append(st.Followers, info)
+	}
+	s.mu.Unlock()
+	sort.Slice(st.Followers, func(i, j int) bool { return st.Followers[i].ID < st.Followers[j].ID })
+	return st
+}
+
+func parseSeq(v string) (uint64, error) {
+	if v == "" {
+		return 0, nil
+	}
+	return strconv.ParseUint(v, 10, 64)
+}

@@ -49,6 +49,50 @@ func appendRecord(buf []byte, seq uint64, payload []byte) []byte {
 	return append(buf, payload...)
 }
 
+// EncodeFrame appends the on-disk/wire framing of (seq, payload) to dst
+// and returns the extended slice. The bytes are identical to what the
+// log writes into its segments, which is what lets the replication
+// stream ship records verbatim in the WAL's own format.
+func EncodeFrame(dst []byte, seq uint64, payload []byte) []byte {
+	return appendRecord(dst, seq, payload)
+}
+
+// frameStatus classifies one attempted frame parse.
+type frameStatus int
+
+const (
+	frameOK      frameStatus = iota
+	frameShort               // not enough bytes for a complete frame
+	frameCorrupt             // complete-length frame with a bad checksum
+)
+
+// parseFrame reads one framed record from the front of data. The
+// returned n is the total frame size (header + payload) when status is
+// frameOK. The payload slice aliases data — callers that retain it must
+// copy. Shared by segment recovery, the SegmentReader, and the network
+// StreamScanner so every consumer of the frame format agrees on what a
+// valid record is.
+func parseFrame(data []byte) (seq uint64, payload []byte, n int, status frameStatus) {
+	if len(data) < recordHeader {
+		return 0, nil, 0, frameShort
+	}
+	pl := int(binary.LittleEndian.Uint32(data[0:4]))
+	if pl > maxRecordBytes {
+		// An absurd length field cannot be a partial write of a sane
+		// record; treat it as corruption, not a short read.
+		return 0, nil, 0, frameCorrupt
+	}
+	if recordHeader+pl > len(data) {
+		return 0, nil, 0, frameShort
+	}
+	want := binary.LittleEndian.Uint32(data[4:8])
+	if crc32.Checksum(data[8:recordHeader+pl], castagnoli) != want {
+		return 0, nil, 0, frameCorrupt
+	}
+	seq = binary.LittleEndian.Uint64(data[8:16])
+	return seq, data[recordHeader : recordHeader+pl], recordHeader + pl, frameOK
+}
+
 // scanResult is one segment's recovery outcome.
 type scanResult struct {
 	records  []Record
@@ -79,31 +123,20 @@ func scanSegment(path string) (scanResult, error) {
 	off := 0
 	prevSeq := uint64(0)
 	for {
-		if len(data)-off < recordHeader {
+		seq, p, n, status := parseFrame(data[off:])
+		if status != frameOK {
 			res.torn = off < len(data)
 			break
 		}
-		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
-		if n > maxRecordBytes || off+recordHeader+n > len(data) {
-			res.torn = true
-			break
-		}
-		want := binary.LittleEndian.Uint32(data[off+4 : off+8])
-		got := crc32.Checksum(data[off+8:off+recordHeader+n], castagnoli)
-		if want != got {
-			res.torn = true
-			break
-		}
-		seq := binary.LittleEndian.Uint64(data[off+8 : off+16])
 		if prevSeq != 0 && seq != prevSeq+1 {
 			res.torn = true
 			break
 		}
-		payload := make([]byte, n)
-		copy(payload, data[off+recordHeader:off+recordHeader+n])
+		payload := make([]byte, len(p))
+		copy(payload, p)
 		res.records = append(res.records, Record{Seq: seq, Payload: payload})
 		prevSeq = seq
-		off += recordHeader + n
+		off += n
 	}
 	res.validLen = int64(off)
 	if res.torn && hasValidFrameAfter(data, off+1, prevSeq) {

@@ -127,8 +127,11 @@ func (l *Log) Compact() (int, error) {
 	defer l.ioMu.Unlock()
 	removed := 0
 	// Segment i's last record is segs[i+1].firstSeq-1 by the rotation
-	// invariant, so it is fully covered when that is <= snapSeq.
-	for len(l.segs) > 1 && l.segs[1].firstSeq-1 <= l.snapSeq {
+	// invariant, so it is fully covered when that is <= snapSeq — and
+	// releasable only once every tracked replication cursor has streamed
+	// past it (see SetCompactFloor).
+	floor := l.compactFloor.Load()
+	for len(l.segs) > 1 && l.segs[1].firstSeq-1 <= l.snapSeq && l.segs[1].firstSeq-1 <= floor {
 		if err := os.Remove(l.segs[0].path); err != nil && !os.IsNotExist(err) {
 			return removed, fmt.Errorf("wal: compact: %w", err)
 		}

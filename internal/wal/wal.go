@@ -28,6 +28,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrClosed is returned by operations on a closed log.
@@ -149,6 +150,22 @@ type Log struct {
 	snapSeq     uint64        // latest durable snapshot
 	lastWritten uint64        // highest seq written to a segment
 
+	// Live-tail subscription: committed is the highest sequence whose
+	// commit batch has fully reached the segment file (and been fsynced
+	// when Options.Fsync is set) — the publication point replication
+	// readers may stream up to. tailCh is closed and replaced on every
+	// advance so any number of waiters wake per commit.
+	committed atomic.Uint64
+	tailMu    sync.Mutex
+	tailCh    chan struct{}
+	tailDone  bool
+
+	// compactFloor is the replication cursor honored by Compact: records
+	// above it are retained even when a snapshot covers them, so a
+	// connected-but-lagging follower's unstreamed history is not deleted
+	// out from under it. MaxUint64 (the initial value) = no restriction.
+	compactFloor atomic.Uint64
+
 	statsMu sync.Mutex
 	appends uint64
 	commits uint64
@@ -259,7 +276,10 @@ func Open(dir string, opts Options) (*Log, *RecoveredState, error) {
 		snapSeq:     rec.SnapshotSeq,
 		lastWritten: lastSeq,
 		segs:        segs,
+		tailCh:      make(chan struct{}),
 	}
+	l.committed.Store(lastSeq)
+	l.compactFloor.Store(^uint64(0))
 	if len(segs) == 0 {
 		if err := l.createSegment(l.nextSeq); err != nil {
 			return nil, nil, err
@@ -425,12 +445,79 @@ func (l *Log) commitBuf(buf []byte, top uint64) error {
 		l.syncs++
 	}
 	l.statsMu.Unlock()
+	// Publish only after the batch is as durable as an acknowledgment:
+	// a follower must never hold records a crashed primary would not
+	// recover, or the two histories diverge on restart.
+	l.advanceCommitted(top)
 	if l.fSize >= l.opts.SegmentBytes {
 		if err := l.rotate(top + 1); err != nil {
 			return l.setFailed(err)
 		}
 	}
 	return nil
+}
+
+// advanceCommitted raises the committed watermark and wakes every
+// WaitCommitted subscriber.
+func (l *Log) advanceCommitted(seq uint64) {
+	if seq <= l.committed.Load() {
+		return
+	}
+	l.committed.Store(seq)
+	l.tailMu.Lock()
+	ch := l.tailCh
+	l.tailCh = make(chan struct{})
+	l.tailMu.Unlock()
+	close(ch)
+}
+
+// CommittedSeq reports the highest sequence number that is safe to
+// stream to replication readers (see the committed field).
+func (l *Log) CommittedSeq() uint64 { return l.committed.Load() }
+
+// NextSeq reports the sequence number the next Stage will assign. A
+// follower checks it BEFORE staging a replicated record, so a cursor
+// mismatch is rejected while the log is still untouched.
+func (l *Log) NextSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq
+}
+
+// SetCompactFloor installs the replication cursor: Compact keeps every
+// record with sequence > seq on disk regardless of snapshot coverage,
+// so followers that have only streamed up to seq can still catch up
+// incrementally. Pass MaxUint64 to lift the restriction (no followers).
+func (l *Log) SetCompactFloor(seq uint64) { l.compactFloor.Store(seq) }
+
+// SnapshotSeq reports the latest durable snapshot horizon.
+func (l *Log) SnapshotSeq() uint64 {
+	l.ioMu.Lock()
+	defer l.ioMu.Unlock()
+	return l.snapSeq
+}
+
+// WaitCommitted blocks until the committed watermark exceeds after, the
+// log closes, or cancel fires. ok is false when no further progress
+// will be observable (close/cancel).
+func (l *Log) WaitCommitted(after uint64, cancel <-chan struct{}) (seq uint64, ok bool) {
+	for {
+		l.tailMu.Lock()
+		ch := l.tailCh
+		done := l.tailDone
+		l.tailMu.Unlock()
+		if cur := l.committed.Load(); cur > after {
+			return cur, true
+		}
+		if done {
+			return l.committed.Load(), false
+		}
+		select {
+		case <-ch:
+		case <-cancel:
+			return l.committed.Load(), false
+		}
+	}
 }
 
 // setFailed latches the first IO error; later callers see it from
@@ -533,8 +620,82 @@ func (l *Log) Close() error {
 	if cerr := l.f.Close(); err == nil && cerr != nil {
 		err = fmt.Errorf("wal: close: %w", cerr)
 	}
+	// Wake replication tails so streams end instead of waiting forever.
+	l.tailMu.Lock()
+	if !l.tailDone {
+		l.tailDone = true
+		close(l.tailCh)
+	}
+	l.tailMu.Unlock()
 	unlockDir(l.lock)
 	return err
+}
+
+// LatestSnapshot returns the newest structurally-valid snapshot on
+// disk (payload, covered sequence). ok is false when none exists.
+func (l *Log) LatestSnapshot() (payload []byte, seq uint64, ok bool, err error) {
+	l.ioMu.Lock()
+	defer l.ioMu.Unlock()
+	_, snaps, err := scanDir(l.dir)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	for i := len(snaps) - 1; i >= 0; i-- {
+		payload, seq, err := readSnapshot(snaps[i].path)
+		if err != nil {
+			continue
+		}
+		return payload, seq, true, nil
+	}
+	return nil, 0, false, nil
+}
+
+// LagBytes estimates the on-disk bytes of records with sequence > from:
+// full sizes for segments entirely after from, a proportional share of
+// the segment containing it. Replication surfaces this as a follower's
+// byte lag — an estimate at sub-segment granularity, exact above it.
+func (l *Log) LagBytes(from uint64) int64 {
+	l.ioMu.Lock()
+	defer l.ioMu.Unlock()
+	if from >= l.lastWritten {
+		return 0
+	}
+	var lag int64
+	for i, seg := range l.segs {
+		// Records in seg i span [firstSeq(i), lastOf(i)] where lastOf is
+		// firstSeq(i+1)-1 for sealed segments and lastWritten for the
+		// active one.
+		lastOf := l.lastWritten
+		if i+1 < len(l.segs) {
+			lastOf = l.segs[i+1].firstSeq - 1
+		}
+		switch {
+		case lastOf <= from:
+			continue
+		case seg.firstSeq > from:
+			lag += seg.size
+		default:
+			span := lastOf - seg.firstSeq + 1
+			behind := lastOf - from
+			lag += seg.size * int64(behind) / int64(span)
+		}
+	}
+	return lag
+}
+
+// HasState reports whether dir already holds any WAL segments or
+// snapshots — i.e. whether opening it would recover history rather
+// than start fresh. Used by replication bootstrap to decide between
+// resuming from local state and fetching the primary's snapshot.
+func HasState(dir string) (bool, error) {
+	if _, err := os.Stat(dir); os.IsNotExist(err) {
+		return false, nil
+	}
+	segs, snaps, err := scanDir(dir)
+	if err != nil {
+		return false, err
+	}
+	return len(segs) > 0 || len(snaps) > 0, nil
 }
 
 // Stats reports the current log shape and activity counters.
