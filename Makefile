@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-compile bench-key bench-report ci
+.PHONY: all build test vet race chaos bench bench-compile bench-key bench-report ci
 
 all: build
 
@@ -15,6 +15,13 @@ vet:
 
 race:
 	$(GO) test -race ./...
+
+# Fault-injection suite under the race detector: disk faults
+# (wal.FaultFS), network faults (internal/faultnet), the end-to-end
+# chaos scenarios (internal/chaos), and the loadgen chaos smoke.
+chaos:
+	$(GO) test -race ./internal/chaos/ ./internal/faultnet/ ./internal/loadgen/ -run 'TestChaos|TestProxy'
+	$(GO) test -race ./internal/wal/ -run 'TestFault'
 
 # Full benchmark suite (tables, figures, ablations, durability). One
 # iteration per benchmark keeps it tractable; raise -benchtime for
@@ -41,4 +48,4 @@ bench-report:
 
 # Full gate: build, static checks, unit tests, the race-detector pass
 # over every package, and the benchmark compile smoke.
-ci: build vet test race bench-compile
+ci: build vet test race chaos bench-compile

@@ -15,6 +15,11 @@
 //	lineage  — 100% lineage queries over preloaded documents
 //	mixed    — 1 upload per 8 ops, rest lineage (the sharding scenario)
 //	hotspot  — 90% of traffic on the hottest 10% of documents
+//	chaos    — single-doc writes + reads against an overloaded or
+//	           fault-injected server: 429s count as shed (not errors),
+//	           and every acknowledged write is read back after the run;
+//	           any acked write lost is a non-zero exit. -chaos selects
+//	           this scenario directly.
 //
 // -smoke shrinks the run to a bounded sub-second workload; the same
 // mode is exercised as an integration test in internal/loadgen.
@@ -34,7 +39,8 @@ import (
 func main() {
 	url := flag.String("url", "http://localhost:3000", "base URL of the yprov-server to load (the primary: all writes go here)")
 	replicaURLs := flag.String("replica-urls", "", "comma-separated read-replica base URLs; read scenarios split across them with failover")
-	scenario := flag.String("scenario", "mixed", "workload mix: ingest | lineage | mixed | hotspot")
+	scenario := flag.String("scenario", "mixed", "workload mix: ingest | lineage | mixed | hotspot | chaos")
+	chaos := flag.Bool("chaos", false, "shorthand for -scenario chaos (acked-write verification, 429s counted as shed)")
 	concurrency := flag.Int("concurrency", 8, "concurrent workers")
 	duration := flag.Duration("duration", 10*time.Second, "run length")
 	rate := flag.Float64("rate", 0, "target total ops/second (0 = unthrottled)")
@@ -47,6 +53,9 @@ func main() {
 	smoke := flag.Bool("smoke", false, "bounded sub-second smoke run (overrides sizing flags)")
 	flag.Parse()
 
+	if *chaos {
+		*scenario = string(loadgen.Chaos)
+	}
 	valid := false
 	for _, sc := range loadgen.Scenarios() {
 		if loadgen.Scenario(*scenario) == sc {
@@ -96,6 +105,10 @@ func main() {
 		fmt.Print(rep.String())
 	}
 	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+	if rep.AckedLost > 0 {
+		fmt.Fprintf(os.Stderr, "yprov-loadgen: %d acknowledged write(s) lost\n", rep.AckedLost)
 		os.Exit(1)
 	}
 }

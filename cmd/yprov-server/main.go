@@ -10,6 +10,8 @@
 //	             [-data-dir DIR] [-fsync] [-snapshot-every N]
 //	             [-export-dir DIR]
 //	             [-replicate-from URL] [-advertise-addr ADDR] [-max-lag N]
+//	             [-max-inflight-writes N] [-max-commit-queue N]
+//	             [-shed-latency-target D] [-request-timeout D]
 //
 // The store is sharded: documents spread over -shards independent
 // graph+lock slices (default GOMAXPROCS, rounded to a power of two) so
@@ -35,6 +37,15 @@
 // exceeds -max-lag records. A follower refuses to run with -fsync=false
 // against an fsync primary — the replica must not silently be less
 // durable than the history it acknowledges.
+//
+// Overload protection: with any of -max-inflight-writes,
+// -max-commit-queue, or -shed-latency-target set, admission control
+// sheds new writes with 429 + Retry-After once the corresponding
+// signal crosses its threshold; reads are never shed. -request-timeout
+// attaches a deadline to every request (repl streams exempt) that
+// clients may shorten — never extend — with an X-Yprov-Timeout-Ms
+// header; a request whose deadline expires before its write is durable
+// gets 503 without consuming journal space.
 package main
 
 import (
@@ -68,6 +79,10 @@ func main() {
 	replicateFrom := flag.String("replicate-from", "", "primary base URL; run this server as a read-only follower of it (requires -data-dir)")
 	advertiseAddr := flag.String("advertise-addr", "", "address this server is reachable at, used as its follower id in replication acks (default: -addr)")
 	maxLag := flag.Uint64("max-lag", 10000, "follower: /healthz reports degraded when replication lag exceeds this many records (0 disables)")
+	maxInflightWrites := flag.Int("max-inflight-writes", 0, "shed writes with 429 when this many are already in flight (0 disables)")
+	maxCommitQueue := flag.Int64("max-commit-queue", 0, "shed writes with 429 when the journal commit queue is deeper than this (0 disables)")
+	shedLatencyTarget := flag.Duration("shed-latency-target", 0, "shed writes with 429 when the estimated commit wait exceeds this (0 disables)")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline; clients may shorten it via X-Yprov-Timeout-Ms (0 disables)")
 	flag.Parse()
 
 	if *exportDir != "" && *dataDir != "" && samePath(*exportDir, *dataDir) {
@@ -143,6 +158,16 @@ func main() {
 	}
 	if *logRequests {
 		opts = append(opts, provservice.WithLogger(log.Default()))
+	}
+	if *maxInflightWrites > 0 || *maxCommitQueue > 0 || *shedLatencyTarget > 0 {
+		opts = append(opts, provservice.WithAdmission(provservice.AdmissionConfig{
+			MaxInflightWrites: *maxInflightWrites,
+			MaxCommitQueue:    *maxCommitQueue,
+			ShedLatencyTarget: *shedLatencyTarget,
+		}))
+	}
+	if *requestTimeout > 0 {
+		opts = append(opts, provservice.WithRequestTimeout(*requestTimeout))
 	}
 	var replServer *repl.Server
 	var replFollower *repl.Follower

@@ -1,0 +1,11 @@
+// Package chaos holds the end-to-end fault-injection suite: full
+// primary/follower stacks run against wal.FaultFS (disk faults) and
+// faultnet.Proxy (network faults), asserting the invariants that
+// matter under failure — no acknowledged write is ever lost, overload
+// sheds writes while reads keep serving, and a partitioned follower
+// converges byte-identically after the link heals.
+//
+// The package intentionally contains no production code; this file
+// exists so `go build ./...` sees a buildable package alongside the
+// _test.go suite.
+package chaos

@@ -1,0 +1,177 @@
+package faultnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoBackend accepts connections and echoes whatever it reads.
+func echoBackend(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				_, _ = io.Copy(c, c)
+			}(c)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", p.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func roundTrip(c net.Conn, msg []byte) ([]byte, error) {
+	if _, err := c.Write(msg); err != nil {
+		return nil, err
+	}
+	_ = c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		return nil, err
+	}
+	return got, nil
+}
+
+func TestProxyForwards(t *testing.T) {
+	p, err := Listen("127.0.0.1:0", echoBackend(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := dialProxy(t, p)
+	msg := []byte("hello through the proxy")
+	got, err := roundTrip(c, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo = %q, want %q", got, msg)
+	}
+	accepted, up, down := p.Stats()
+	if accepted != 1 || up == 0 || down == 0 {
+		t.Fatalf("stats = %d conns, %dB up, %dB down", accepted, up, down)
+	}
+}
+
+func TestProxyLatency(t *testing.T) {
+	p, err := Listen("127.0.0.1:0", echoBackend(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetLatency(60 * time.Millisecond)
+
+	c := dialProxy(t, p)
+	start := time.Now()
+	if _, err := roundTrip(c, []byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	// One chunk each way => at least ~2x the injected latency.
+	if took := time.Since(start); took < 100*time.Millisecond {
+		t.Fatalf("round trip took %v, want >= 100ms with 60ms/leg latency", took)
+	}
+}
+
+func TestProxyPartitionAndHeal(t *testing.T) {
+	p, err := Listen("127.0.0.1:0", echoBackend(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// A live connection dies when the partition starts.
+	c := dialProxy(t, p)
+	if _, err := roundTrip(c, []byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+	p.Partition()
+	_ = c.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read on a partitioned connection succeeded")
+	}
+
+	// New connections are cut immediately while partitioned.
+	c2, err := net.DialTimeout("tcp", p.Addr(), time.Second)
+	if err == nil {
+		_ = c2.SetReadDeadline(time.Now().Add(time.Second))
+		if _, rerr := c2.Read(make([]byte, 1)); rerr == nil {
+			t.Fatal("partitioned proxy served a new connection")
+		}
+		_ = c2.Close()
+	}
+
+	// Heal: traffic flows again.
+	p.Heal()
+	c3 := dialProxy(t, p)
+	got, err := roundTrip(c3, []byte("post-heal"))
+	if err != nil {
+		t.Fatalf("healed proxy failed: %v", err)
+	}
+	if !bytes.Equal(got, []byte("post-heal")) {
+		t.Fatalf("healed echo = %q", got)
+	}
+}
+
+func TestProxyMangleCorruptsBytes(t *testing.T) {
+	p, err := Listen("127.0.0.1:0", echoBackend(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetMangle(true)
+
+	c := dialProxy(t, p)
+	msg := []byte("pristine payload bytes")
+	got, err := roundTrip(c, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, msg) {
+		t.Fatal("mangle enabled but bytes arrived pristine")
+	}
+}
+
+func TestProxyDropConnections(t *testing.T) {
+	p, err := Listen("127.0.0.1:0", echoBackend(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := dialProxy(t, p)
+	if _, err := roundTrip(c, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	p.DropConnections()
+	_ = c.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("dropped connection still readable")
+	}
+	// Unlike Partition, the very next dial works.
+	c2 := dialProxy(t, p)
+	if _, err := roundTrip(c2, []byte("y")); err != nil {
+		t.Fatalf("redial after drop failed: %v", err)
+	}
+}

@@ -12,8 +12,10 @@
 package loadgen
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"sort"
 	"sync"
 	"time"
@@ -38,10 +40,16 @@ const (
 	// HotDoc skews 90% of operations onto the hottest 10% of documents,
 	// writers re-uploading them while readers traverse them.
 	HotDoc Scenario = "hotspot"
+	// Chaos is the overload/fault harness: single-document writes (1 per
+	// 4 ops, the rest lineage reads) where a 429 from admission control
+	// counts as shed, not failed, and every acknowledged write is read
+	// back after the run — the zero-acked-write-loss check for runs
+	// against a fault-injected or overloaded server.
+	Chaos Scenario = "chaos"
 )
 
 // Scenarios lists every built-in scenario.
-func Scenarios() []Scenario { return []Scenario{IngestHeavy, LineageHeavy, Mixed, HotDoc} }
+func Scenarios() []Scenario { return []Scenario{IngestHeavy, LineageHeavy, Mixed, HotDoc, Chaos} }
 
 // Config parameterizes one load-generation run. Zero values select
 // defaults.
@@ -140,11 +148,20 @@ type Report struct {
 	Latency      LatencySummary     `json:"latency"`
 	PerOp        map[string]OpStats `json:"per_op"`
 	FirstError   string             `json:"first_error,omitempty"`
+	// Chaos-scenario tallies: writes refused by admission control (not
+	// errors — the server kept its promise by saying no), writes the
+	// server acknowledged, and acknowledged writes that could not be
+	// read back afterwards. AckedLost must be zero on any run.
+	Shed        int `json:"shed,omitempty"`
+	AckedWrites int `json:"acked_writes,omitempty"`
+	AckedLost   int `json:"acked_lost,omitempty"`
 }
 
 // workerResult is one worker's tallies, merged after the run.
 type workerResult struct {
 	ops, errs, docs int
+	shed            int
+	acked           []string
 	perOp           map[string]OpStats
 	latencies       []time.Duration
 	firstErr        string
@@ -231,10 +248,13 @@ func Run(cfg Config) (Report, error) {
 		PerOp: map[string]OpStats{},
 	}
 	var all []time.Duration
+	var acked []string
 	for _, r := range results {
 		rep.Ops += r.ops
 		rep.Errors += r.errs
 		rep.DocsIngested += r.docs
+		rep.Shed += r.shed
+		acked = append(acked, r.acked...)
 		if rep.FirstError == "" {
 			rep.FirstError = r.firstErr
 		}
@@ -245,6 +265,20 @@ func Run(cfg Config) (Report, error) {
 			rep.PerOp[k] = agg
 		}
 		all = append(all, r.latencies...)
+	}
+	// The chaos contract: every write the server acknowledged during the
+	// run — however faulted the run was — must be readable afterwards.
+	if cfg.Scenario == Chaos {
+		rep.AckedWrites = len(acked)
+		verify := client()
+		for _, id := range acked {
+			if _, err := verify.Get(id); err != nil {
+				rep.AckedLost++
+				if rep.FirstError == "" {
+					rep.FirstError = fmt.Sprintf("acked write %s lost: %v", id, err)
+				}
+			}
+		}
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		rep.OpsPerSec = float64(rep.Ops) / secs
@@ -289,19 +323,24 @@ func runWorker(w workerConfig) workerResult {
 		}
 		kind, docs := w.pickOp(n)
 		opStart := time.Now()
-		err := w.execOp(kind, n)
+		err := w.execOp(kind, n, &res)
 		res.latencies = append(res.latencies, time.Since(opStart))
 		st := res.perOp[kind]
 		st.Count++
 		res.ops++
-		if err != nil {
+		switch {
+		case err == nil:
+			res.docs += docs
+		case w.cfg.Scenario == Chaos && isShed(err):
+			// Admission control said no before accepting the write: the
+			// server is keeping its durability promise, not breaking one.
+			res.shed++
+		default:
 			st.Errors++
 			res.errs++
 			if res.firstErr == "" {
 				res.firstErr = err.Error()
 			}
-		} else {
-			res.docs += docs
 		}
 		res.perOp[kind] = st
 	}
@@ -321,6 +360,11 @@ func (w *workerConfig) pickOp(n int) (string, int) {
 			return "upload-hot", 1
 		}
 		return "lineage", 0
+	case Chaos:
+		if n%4 == 0 {
+			return "upload-acked", 1
+		}
+		return "lineage", 0
 	default: // Mixed
 		if n%8 == 0 {
 			return "upload", w.cfg.BatchSize
@@ -329,9 +373,22 @@ func (w *workerConfig) pickOp(n int) (string, int) {
 	}
 }
 
-// execOp performs one operation.
-func (w *workerConfig) execOp(kind string, n int) error {
+// isShed reports whether err is a 429 admission refusal.
+func isShed(err error) bool {
+	var apiErr *provclient.APIError
+	return errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests
+}
+
+// execOp performs one operation, recording chaos-scenario acks in res.
+func (w *workerConfig) execOp(kind string, n int, res *workerResult) error {
 	switch kind {
+	case "upload-acked":
+		id := fmt.Sprintf("chaos-w%d-n%d", w.id, n)
+		if err := w.client.Upload(id, w.doc); err != nil {
+			return err
+		}
+		res.acked = append(res.acked, id)
+		return nil
 	case "upload":
 		batch := make(map[string]*prov.Document, w.cfg.BatchSize)
 		for i := 0; i < w.cfg.BatchSize; i++ {
@@ -396,6 +453,9 @@ func (r Report) String() string {
 		r.Ops, r.OpsPerSec, r.DocsIngested, r.DocsPerSec, r.Errors)
 	s += fmt.Sprintf("latency p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms\n",
 		r.Latency.P50Ms, r.Latency.P90Ms, r.Latency.P99Ms, r.Latency.MaxMs)
+	if r.Scenario == Chaos {
+		s += fmt.Sprintf("chaos: shed=%d acked=%d acked_lost=%d\n", r.Shed, r.AckedWrites, r.AckedLost)
+	}
 	for _, k := range sortedOpKinds(r.PerOp) {
 		v := r.PerOp[k]
 		s += fmt.Sprintf("  %-12s %6d ops  %d errors\n", k, v.Count, v.Errors)

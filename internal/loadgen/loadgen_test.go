@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/provservice"
 	"repro/internal/provstore"
+	"repro/internal/wal"
 )
 
 // TestSmokeAllScenarios is the CI wiring for `yprov-loadgen -smoke`:
@@ -35,7 +36,7 @@ func TestSmokeAllScenarios(t *testing.T) {
 				t.Fatalf("implausible latency summary: %+v", rep.Latency)
 			}
 			switch sc {
-			case IngestHeavy, Mixed, HotDoc:
+			case IngestHeavy, Mixed, HotDoc, Chaos:
 				if rep.DocsIngested == 0 {
 					t.Fatal("write scenario ingested no documents")
 				}
@@ -43,6 +44,9 @@ func TestSmokeAllScenarios(t *testing.T) {
 				if rep.DocsIngested != 0 {
 					t.Fatalf("read scenario reported %d ingested docs", rep.DocsIngested)
 				}
+			}
+			if sc == Chaos && (rep.AckedWrites == 0 || rep.AckedLost != 0) {
+				t.Fatalf("chaos smoke: acked=%d lost=%d, want acked>0 lost=0", rep.AckedWrites, rep.AckedLost)
 			}
 			// Preload plus any fresh uploads must be visible server-side.
 			if store.Count() < 8 {
@@ -94,6 +98,49 @@ type countingHandler struct {
 func (c *countingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	c.n.Add(1)
 	c.h.ServeHTTP(w, r)
+}
+
+// TestChaosScenarioUnderOverload is the chaos smoke: a journaled
+// server whose fsyncs are stalled and whose admission control is
+// armed must shed some writes with 429 (counted as shed, not errors)
+// while every write it did acknowledge survives to be read back.
+func TestChaosScenarioUnderOverload(t *testing.T) {
+	ffs := wal.NewFaultFS(nil)
+	store, err := provstore.Open(t.TempDir(), provstore.Durability{Fsync: true, SnapshotEvery: -1, FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := provservice.New(store,
+		provservice.WithAdmission(provservice.AdmissionConfig{
+			MaxInflightWrites: 2,
+			ShedLatencyTarget: 5 * time.Millisecond,
+		}))
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+	defer svc.Close()
+
+	ffs.SlowSyncs(25 * time.Millisecond)
+	rep, err := Run(Config{
+		BaseURL: srv.URL, Scenario: Chaos, Seed: 99,
+		Concurrency: 8, Duration: 2 * time.Second, Preload: 8,
+	})
+	ffs.Clear()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("chaos run had %d hard errors (first: %s)", rep.Errors, rep.FirstError)
+	}
+	if rep.Shed == 0 {
+		t.Fatal("stalled-fsync run shed no writes — admission control idle")
+	}
+	if rep.AckedWrites == 0 {
+		t.Fatal("chaos run acknowledged no writes at all")
+	}
+	if rep.AckedLost != 0 {
+		t.Fatalf("%d acked writes lost (first: %s)", rep.AckedLost, rep.FirstError)
+	}
+	t.Logf("chaos smoke: %d acked, %d shed, read p99 %.2fms", rep.AckedWrites, rep.Shed, rep.Latency.P99Ms)
 }
 
 // TestRunFailsFastWhenUnreachable: a dead endpoint is a setup error,

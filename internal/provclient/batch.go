@@ -2,6 +2,7 @@ package provclient
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -60,6 +61,11 @@ func EncodeBatchLine(id string, provJSON []byte) ([]byte, error) {
 // server-side) or nothing is stored and the returned *BatchError lists
 // the offending lines.
 func (c *Client) UploadBatch(docs map[string]*prov.Document) error {
+	return c.UploadBatchCtx(context.Background(), docs)
+}
+
+// UploadBatchCtx is UploadBatch bounded by ctx.
+func (c *Client) UploadBatchCtx(ctx context.Context, docs map[string]*prov.Document) error {
 	if len(docs) == 0 {
 		return nil
 	}
@@ -81,12 +87,12 @@ func (c *Client) UploadBatch(docs map[string]*prov.Document) error {
 		body.Write(line)
 		body.WriteByte('\n')
 	}
-	return c.uploadBatchNDJSON(body.Bytes())
+	return c.uploadBatchNDJSON(ctx, body.Bytes())
 }
 
 // uploadBatchNDJSON posts an already-framed NDJSON body.
-func (c *Client) uploadBatchNDJSON(body []byte) error {
-	payload, status, hdr, err := c.do(http.MethodPost, "/api/v0/documents:batch", body)
+func (c *Client) uploadBatchNDJSON(ctx context.Context, body []byte) error {
+	payload, status, hdr, err := c.doCtx(ctx, http.MethodPost, "/api/v0/documents:batch", body)
 	if err != nil {
 		return err
 	}
@@ -122,6 +128,11 @@ type BatchWriterOptions struct {
 	// re-sent before the error is surfaced (default 4; negative
 	// disables retries).
 	MaxRetries int
+	// Context, when non-nil, bounds every shipment: cancellation aborts
+	// the in-flight batch POST and interrupts backoff sleeps (the retry
+	// loop returns the context error instead of waiting out its delay).
+	// Default context.Background(), i.e. never canceled.
+	Context context.Context
 }
 
 func (o BatchWriterOptions) withDefaults() BatchWriterOptions {
@@ -136,6 +147,9 @@ func (o BatchWriterOptions) withDefaults() BatchWriterOptions {
 	}
 	if o.MaxRetries == 0 {
 		o.MaxRetries = 4
+	}
+	if o.Context == nil {
+		o.Context = context.Background()
 	}
 	return o
 }
@@ -292,15 +306,39 @@ func (w *BatchWriter) flush(background bool) error {
 // shipWithRetry posts one batch, re-sending retryable rejections with
 // capped exponential backoff + jitter, honoring Retry-After. Batch PUTs
 // are idempotent (documents overwrite), so re-sending after an
-// ambiguous failure is safe.
+// ambiguous failure is safe. The options' Context bounds the whole
+// loop: cancellation aborts the in-flight POST and cuts backoff sleeps
+// short, so a shutting-down producer is never parked behind a 30s
+// Retry-After it no longer cares about.
 func (w *BatchWriter) shipWithRetry(body []byte) error {
+	ctx := w.opts.Context
 	var err error
 	for attempt := 0; ; attempt++ {
-		err = w.c.uploadBatchNDJSON(body)
+		err = w.c.uploadBatchNDJSON(ctx, body)
 		if err == nil || !IsRetryable(err) || attempt >= w.opts.MaxRetries {
 			return err
 		}
-		w.sleep(w.retryDelay(attempt, err))
+		if serr := w.sleepCtx(ctx, w.retryDelay(attempt, err)); serr != nil {
+			return serr
+		}
+	}
+}
+
+// sleepCtx waits d or until ctx is canceled, whichever is first. A
+// context that can never be canceled takes the swappable w.sleep path
+// (tests stub it to record delays).
+func (w *BatchWriter) sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx.Done() == nil {
+		w.sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 

@@ -1,0 +1,131 @@
+package provclient
+
+import (
+	"sync"
+	"time"
+)
+
+// Circuit breaker: a ReplicaSet member that keeps failing is taken out
+// of the read rotation for a cooldown instead of being re-tried on
+// every request. Without it, a dead replica costs every read one
+// connect timeout before failover — the failure of one member becomes
+// a latency tax on all traffic. With it, the member is skipped while
+// open and re-tested with single probes until one succeeds.
+//
+// States:
+//
+//	closed    — healthy; every request passes. Failures are counted in
+//	            a rolling window; Threshold failures within Window trip
+//	            the breaker.
+//	open      — tripped; every request is refused until Cooldown has
+//	            elapsed since the trip (or since the last failed probe).
+//	half-open — Cooldown elapsed; the next request is admitted as a
+//	            probe. A successful probe closes the breaker, a failed
+//	            one re-opens it for another Cooldown. At most one probe
+//	            is admitted per Cooldown, so a still-dead member costs
+//	            one request per Cooldown instead of one per read.
+
+// BreakerConfig tunes a member circuit breaker.
+type BreakerConfig struct {
+	// Threshold failures within Window trip the breaker (default 5).
+	Threshold int
+	// Window is the rolling failure-count horizon (default 10s).
+	Window time.Duration
+	// Cooldown is how long an open breaker refuses requests before
+	// admitting a probe (default 5s).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 5
+	}
+	if c.Window <= 0 {
+		c.Window = 10 * time.Second
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	return c
+}
+
+type breaker struct {
+	cfg BreakerConfig
+	now func() time.Time // swappable in tests
+
+	mu       sync.Mutex
+	open     bool
+	openedAt time.Time   // last trip or last admitted probe
+	failures []time.Time // rolling window of recent failures (closed state)
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	return &breaker{cfg: cfg.withDefaults(), now: time.Now}
+}
+
+// allow reports whether a request may be routed to this member. While
+// open it admits at most one probe per Cooldown: admitting the probe
+// re-stamps openedAt, so the next probe waits out another Cooldown
+// unless onSuccess closes the breaker first.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	now := b.now()
+	if now.Sub(b.openedAt) >= b.cfg.Cooldown {
+		b.openedAt = now
+		return true
+	}
+	return false
+}
+
+// onSuccess closes the breaker and forgets the failure history.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.open = false
+	b.failures = b.failures[:0]
+}
+
+// onFailure records one routing failure: a failed probe re-arms the
+// cooldown; in the closed state the rolling window is pruned and the
+// breaker trips once Threshold failures land within Window.
+func (b *breaker) onFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if b.open {
+		b.openedAt = now
+		return
+	}
+	cutoff := now.Add(-b.cfg.Window)
+	keep := b.failures[:0]
+	for _, t := range b.failures {
+		if t.After(cutoff) {
+			keep = append(keep, t)
+		}
+	}
+	b.failures = append(keep, now)
+	if len(b.failures) >= b.cfg.Threshold {
+		b.open = true
+		b.openedAt = now
+		b.failures = b.failures[:0]
+	}
+}
+
+// state reports "closed", "open", or "half-open" (cooldown elapsed, a
+// probe would be admitted) for observability.
+func (b *breaker) state() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case !b.open:
+		return "closed"
+	case b.now().Sub(b.openedAt) >= b.cfg.Cooldown:
+		return "half-open"
+	default:
+		return "open"
+	}
+}

@@ -1,0 +1,227 @@
+package provclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newFakeNodeWith is newFakeNode with a hook run first; a hook that
+// returns true has fully handled the request, otherwise the node
+// answers its stock document list.
+func newFakeNodeWith(t *testing.T, hook func(http.ResponseWriter, *http.Request) bool) *fakeNode {
+	t.Helper()
+	n := &fakeNode{}
+	n.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n.requests.Add(1)
+		if hook != nil && hook(w, r) {
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string][]string{"documents": {"a", "b"}})
+	}))
+	t.Cleanup(n.srv.Close)
+	return n
+}
+
+// fakeClock drives a breaker deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(cfg BreakerConfig) (*breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(cfg)
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{Threshold: 3, Window: 10 * time.Second, Cooldown: 5 * time.Second})
+
+	// Closed: failures below threshold keep admitting.
+	b.onFailure()
+	b.onFailure()
+	if !b.allow() {
+		t.Fatal("breaker tripped below threshold")
+	}
+	b.onFailure() // third failure within the window: trip
+	if b.state() != "open" {
+		t.Fatalf("state = %q after threshold failures, want open", b.state())
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+
+	// Cooldown elapsed: exactly one probe is admitted.
+	clk.advance(5 * time.Second)
+	if b.state() != "half-open" {
+		t.Fatalf("state = %q after cooldown, want half-open", b.state())
+	}
+	if !b.allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.allow() {
+		t.Fatal("half-open breaker admitted a second probe within one cooldown")
+	}
+
+	// Failed probe re-arms the cooldown; successful probe closes.
+	b.onFailure()
+	clk.advance(2 * time.Second)
+	if b.allow() {
+		t.Fatal("failed probe did not re-arm the cooldown")
+	}
+	clk.advance(3 * time.Second)
+	if !b.allow() {
+		t.Fatal("second probe refused")
+	}
+	b.onSuccess()
+	if b.state() != "closed" {
+		t.Fatalf("state = %q after successful probe, want closed", b.state())
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker refused a request")
+	}
+}
+
+func TestBreakerWindowForgetsOldFailures(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{Threshold: 3, Window: 10 * time.Second, Cooldown: 5 * time.Second})
+	b.onFailure()
+	b.onFailure()
+	clk.advance(11 * time.Second) // both age out of the window
+	b.onFailure()
+	if b.state() != "closed" {
+		t.Fatal("stale failures counted toward the threshold")
+	}
+}
+
+// A dead replica is skipped once its breaker opens: reads stop paying
+// its failure cost and route straight to the healthy members.
+func TestReplicaSetSkipsOpenBreaker(t *testing.T) {
+	primary := newFakeNode(t)
+	dead := newFakeNode(t)
+	deadURL := dead.srv.URL
+	dead.srv.Close()
+
+	set := NewReplicaSet(primary.srv.URL, []string{deadURL})
+	set.ConfigureBreaker(BreakerConfig{Threshold: 2, Window: time.Minute, Cooldown: time.Minute})
+
+	// First reads eat the transport failure and trip the breaker.
+	for i := 0; i < 2; i++ {
+		if _, err := set.List(); err != nil {
+			t.Fatalf("read %d failed despite primary backstop: %v", i, err)
+		}
+	}
+	if got := set.replicas[0].br.state(); got != "open" {
+		t.Fatalf("dead replica breaker = %q, want open", got)
+	}
+
+	// With the breaker open, reads must not touch the dead replica at
+	// all: candidate list is primary-only.
+	before := primary.requests.Load()
+	for i := 0; i < 4; i++ {
+		if _, err := set.List(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := primary.requests.Load() - before; got != 4 {
+		t.Fatalf("primary served %d of 4 reads with the replica breaker open", got)
+	}
+}
+
+// A recovered replica rejoins the rotation via a half-open probe.
+func TestReplicaSetProbeClosesBreaker(t *testing.T) {
+	primary := newFakeNode(t)
+	flaky := newFakeNode(t)
+	flaky.fail.Store(http.StatusServiceUnavailable)
+
+	set := NewReplicaSet(primary.srv.URL, []string{flaky.srv.URL})
+	set.ConfigureBreaker(BreakerConfig{Threshold: 1, Window: time.Minute, Cooldown: time.Nanosecond})
+
+	if _, err := set.List(); err != nil {
+		t.Fatal(err)
+	}
+	flaky.fail.Store(0) // replica recovers
+	time.Sleep(time.Millisecond)
+	// Next read is admitted as a probe, succeeds, and closes the breaker.
+	if _, err := set.List(); err != nil {
+		t.Fatal(err)
+	}
+	if got := set.replicas[0].br.state(); got != "closed" {
+		t.Fatalf("recovered replica breaker = %q, want closed", got)
+	}
+}
+
+// Hedged reads: a stalled first candidate must not hold the read past
+// the hedge delay — the duplicate request answers, first result wins.
+func TestReplicaSetHedgedRead(t *testing.T) {
+	var stall atomic.Bool
+	stall.Store(true)
+	slowHits := atomic.Int64{}
+	slow := newFakeNodeWith(t, func(w http.ResponseWriter, r *http.Request) bool {
+		slowHits.Add(1)
+		if stall.Load() {
+			time.Sleep(500 * time.Millisecond)
+		}
+		return false // fall through to normal handling
+	})
+	fast := newFakeNode(t)
+	primary := newFakeNode(t)
+
+	set := NewReplicaSet(primary.srv.URL, []string{slow.srv.URL, fast.srv.URL})
+	set.HedgeDelay = 20 * time.Millisecond
+	// Pin rotation so the slow replica is the first candidate.
+	set.next.Store(0)
+
+	start := time.Now()
+	ids, err := set.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("got %d ids", len(ids))
+	}
+	if waited := time.Since(start); waited > 400*time.Millisecond {
+		t.Fatalf("hedged read waited %v — hedge never fired", waited)
+	}
+	if slowHits.Load() != 1 {
+		t.Fatalf("slow replica hits = %d, want 1", slowHits.Load())
+	}
+	stall.Store(false)
+}
+
+// Canceled contexts cut the BatchWriter retry loop short: no waiting
+// out backoff, the context error surfaces.
+func TestBatchWriterRetryHonorsCancel(t *testing.T) {
+	always429 := newFakeNodeWith(t, func(w http.ResponseWriter, r *http.Request) bool {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_, _ = w.Write([]byte(`{"error":"shed"}`))
+		return true
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(always429.srv.URL)
+	bw := c.NewBatchWriter(BatchWriterOptions{MaxRetries: 10, FlushInterval: -1, Context: ctx})
+	if err := bw.Add("a", batchDoc("ctx")); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := bw.Flush()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Flush under canceled ctx: got %v, want context.Canceled", err)
+	}
+	// Without cancellation the 30s Retry-After floor would park the
+	// first backoff for ~30s.
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("retry loop waited %v past cancellation", waited)
+	}
+}

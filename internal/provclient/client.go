@@ -3,6 +3,7 @@ package provclient
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -107,16 +108,29 @@ func IsRetryable(err error) bool {
 }
 
 func (c *Client) do(method, path string, body []byte) ([]byte, int, http.Header, error) {
+	return c.doCtx(context.Background(), method, path, body)
+}
+
+// doCtx issues one request bounded by ctx. A context deadline is also
+// forwarded to the server as X-Yprov-Timeout-Ms so its handlers stop
+// working on the request (and stop queueing for fsync) once the client
+// has given up, instead of only when the connection drops.
+func (c *Client) doCtx(ctx context.Context, method, path string, body []byte) ([]byte, int, http.Header, error) {
 	var rdr io.Reader
 	if body != nil {
 		rdr = bytes.NewReader(body)
 	}
-	req, err := http.NewRequest(method, c.BaseURL+path, rdr)
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rdr)
 	if err != nil {
 		return nil, 0, nil, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			req.Header.Set("X-Yprov-Timeout-Ms", strconv.FormatInt(ms, 10))
+		}
 	}
 	if c.Token != "" {
 		req.Header.Set("Authorization", "Bearer "+c.Token)
@@ -187,8 +201,11 @@ func parseRetryAfter(hdr http.Header) time.Duration {
 }
 
 // Health checks the service.
-func (c *Client) Health() error {
-	payload, status, hdr, err := c.do(http.MethodGet, "/api/v0/health", nil)
+func (c *Client) Health() error { return c.HealthCtx(context.Background()) }
+
+// HealthCtx checks the service, bounded by ctx.
+func (c *Client) HealthCtx(ctx context.Context) error {
+	payload, status, hdr, err := c.doCtx(ctx, http.MethodGet, "/api/v0/health", nil)
 	if err != nil {
 		return err
 	}
@@ -200,11 +217,16 @@ func (c *Client) Health() error {
 
 // Upload stores a document under id.
 func (c *Client) Upload(id string, doc *prov.Document) error {
+	return c.UploadCtx(context.Background(), id, doc)
+}
+
+// UploadCtx stores a document under id, bounded by ctx.
+func (c *Client) UploadCtx(ctx context.Context, id string, doc *prov.Document) error {
 	body, err := json.Marshal(doc)
 	if err != nil {
 		return err
 	}
-	payload, status, hdr, err := c.do(http.MethodPut, "/api/v0/documents/"+url.PathEscape(id), body)
+	payload, status, hdr, err := c.doCtx(ctx, http.MethodPut, "/api/v0/documents/"+url.PathEscape(id), body)
 	if err != nil {
 		return err
 	}
@@ -216,7 +238,12 @@ func (c *Client) Upload(id string, doc *prov.Document) error {
 
 // UploadRaw stores raw PROV-JSON bytes under id.
 func (c *Client) UploadRaw(id string, provJSON []byte) error {
-	payload, status, hdr, err := c.do(http.MethodPut, "/api/v0/documents/"+url.PathEscape(id), provJSON)
+	return c.UploadRawCtx(context.Background(), id, provJSON)
+}
+
+// UploadRawCtx stores raw PROV-JSON bytes under id, bounded by ctx.
+func (c *Client) UploadRawCtx(ctx context.Context, id string, provJSON []byte) error {
+	payload, status, hdr, err := c.doCtx(ctx, http.MethodPut, "/api/v0/documents/"+url.PathEscape(id), provJSON)
 	if err != nil {
 		return err
 	}
@@ -227,8 +254,11 @@ func (c *Client) UploadRaw(id string, provJSON []byte) error {
 }
 
 // List returns all stored document ids.
-func (c *Client) List() ([]string, error) {
-	payload, status, hdr, err := c.do(http.MethodGet, "/api/v0/documents", nil)
+func (c *Client) List() ([]string, error) { return c.ListCtx(context.Background()) }
+
+// ListCtx returns all stored document ids, bounded by ctx.
+func (c *Client) ListCtx(ctx context.Context) ([]string, error) {
+	payload, status, hdr, err := c.doCtx(ctx, http.MethodGet, "/api/v0/documents", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -246,7 +276,12 @@ func (c *Client) List() ([]string, error) {
 
 // Get fetches a document.
 func (c *Client) Get(id string) (*prov.Document, error) {
-	payload, status, hdr, err := c.do(http.MethodGet, "/api/v0/documents/"+url.PathEscape(id), nil)
+	return c.GetCtx(context.Background(), id)
+}
+
+// GetCtx fetches a document, bounded by ctx.
+func (c *Client) GetCtx(ctx context.Context, id string) (*prov.Document, error) {
+	payload, status, hdr, err := c.doCtx(ctx, http.MethodGet, "/api/v0/documents/"+url.PathEscape(id), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -258,7 +293,12 @@ func (c *Client) Get(id string) (*prov.Document, error) {
 
 // Delete removes a document.
 func (c *Client) Delete(id string) error {
-	payload, status, hdr, err := c.do(http.MethodDelete, "/api/v0/documents/"+url.PathEscape(id), nil)
+	return c.DeleteCtx(context.Background(), id)
+}
+
+// DeleteCtx removes a document, bounded by ctx.
+func (c *Client) DeleteCtx(ctx context.Context, id string) error {
+	payload, status, hdr, err := c.doCtx(ctx, http.MethodDelete, "/api/v0/documents/"+url.PathEscape(id), nil)
 	if err != nil {
 		return err
 	}
@@ -270,13 +310,18 @@ func (c *Client) Delete(id string) error {
 
 // Lineage queries ancestors/descendants of a node.
 func (c *Client) Lineage(id string, node prov.QName, dir provstore.LineageDirection, depth int) ([]prov.QName, error) {
+	return c.LineageCtx(context.Background(), id, node, dir, depth)
+}
+
+// LineageCtx queries ancestors/descendants of a node, bounded by ctx.
+func (c *Client) LineageCtx(ctx context.Context, id string, node prov.QName, dir provstore.LineageDirection, depth int) ([]prov.QName, error) {
 	q := url.Values{}
 	q.Set("node", string(node))
 	q.Set("direction", string(dir))
 	if depth > 0 {
 		q.Set("depth", strconv.Itoa(depth))
 	}
-	payload, status, hdr, err := c.do(http.MethodGet,
+	payload, status, hdr, err := c.doCtx(ctx, http.MethodGet,
 		"/api/v0/documents/"+url.PathEscape(id)+"/lineage?"+q.Encode(), nil)
 	if err != nil {
 		return nil, err
@@ -295,10 +340,15 @@ func (c *Client) Lineage(id string, node prov.QName, dir provstore.LineageDirect
 
 // Subgraph fetches the neighborhood of a node as a document.
 func (c *Client) Subgraph(id string, node prov.QName, hops int) (*prov.Document, error) {
+	return c.SubgraphCtx(context.Background(), id, node, hops)
+}
+
+// SubgraphCtx fetches the neighborhood of a node, bounded by ctx.
+func (c *Client) SubgraphCtx(ctx context.Context, id string, node prov.QName, hops int) (*prov.Document, error) {
 	q := url.Values{}
 	q.Set("node", string(node))
 	q.Set("hops", strconv.Itoa(hops))
-	payload, status, hdr, err := c.do(http.MethodGet,
+	payload, status, hdr, err := c.doCtx(ctx, http.MethodGet,
 		"/api/v0/documents/"+url.PathEscape(id)+"/subgraph?"+q.Encode(), nil)
 	if err != nil {
 		return nil, err
@@ -311,13 +361,18 @@ func (c *Client) Subgraph(id string, node prov.QName, hops int) (*prov.Document,
 
 // CrossLineage queries lineage across every stored document.
 func (c *Client) CrossLineage(node prov.QName, dir provstore.LineageDirection, depth int) ([]provstore.CrossNode, error) {
+	return c.CrossLineageCtx(context.Background(), node, dir, depth)
+}
+
+// CrossLineageCtx queries lineage across every document, bounded by ctx.
+func (c *Client) CrossLineageCtx(ctx context.Context, node prov.QName, dir provstore.LineageDirection, depth int) ([]provstore.CrossNode, error) {
 	q := url.Values{}
 	q.Set("node", string(node))
 	q.Set("direction", string(dir))
 	if depth > 0 {
 		q.Set("depth", strconv.Itoa(depth))
 	}
-	payload, status, hdr, err := c.do(http.MethodGet, "/api/v0/lineage?"+q.Encode(), nil)
+	payload, status, hdr, err := c.doCtx(ctx, http.MethodGet, "/api/v0/lineage?"+q.Encode(), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -335,9 +390,14 @@ func (c *Client) CrossLineage(node prov.QName, dir provstore.LineageDirection, d
 
 // SearchByType finds elements by prov:type across all documents.
 func (c *Client) SearchByType(typeName string) ([]provstore.SearchResult, error) {
+	return c.SearchByTypeCtx(context.Background(), typeName)
+}
+
+// SearchByTypeCtx finds elements by prov:type, bounded by ctx.
+func (c *Client) SearchByTypeCtx(ctx context.Context, typeName string) ([]provstore.SearchResult, error) {
 	q := url.Values{}
 	q.Set("type", typeName)
-	payload, status, hdr, err := c.do(http.MethodGet, "/api/v0/search?"+q.Encode(), nil)
+	payload, status, hdr, err := c.doCtx(ctx, http.MethodGet, "/api/v0/search?"+q.Encode(), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -355,7 +415,12 @@ func (c *Client) SearchByType(typeName string) ([]provstore.SearchResult, error)
 
 // Stats fetches store statistics.
 func (c *Client) Stats() (provstore.Stats, error) {
-	payload, status, hdr, err := c.do(http.MethodGet, "/api/v0/stats", nil)
+	return c.StatsCtx(context.Background())
+}
+
+// StatsCtx fetches store statistics, bounded by ctx.
+func (c *Client) StatsCtx(ctx context.Context) (provstore.Stats, error) {
+	payload, status, hdr, err := c.doCtx(ctx, http.MethodGet, "/api/v0/stats", nil)
 	if err != nil {
 		return provstore.Stats{}, err
 	}

@@ -1,8 +1,10 @@
 package provclient
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/prov"
 	"repro/internal/provstore"
@@ -17,44 +19,96 @@ import (
 // (404, 422...) return immediately: every member answers those the
 // same once caught up, so retrying elsewhere only hides lag bugs.
 //
+// Every member carries a circuit breaker (see breaker.go): a replica
+// that keeps failing is skipped for a cooldown instead of taxing each
+// read with a connect timeout, then re-tested with single probes. The
+// primary's breaker is tracked for observability but never blocks it —
+// the primary is the read path of last resort.
+//
 // With ReadYourWrites set, every read carries the highest X-Yprov-Seq
 // token observed from this set's writes, turning the asynchronous
 // replication into session consistency: a replica that has not applied
 // your own write rejects the read and the fan-out moves on.
+//
+// With HedgeDelay set, a read that has not answered within the delay
+// fires one hedge request at the next candidate and the first answer
+// wins — bounding tail latency at the cost of at most one duplicate
+// read per slow request.
 type ReplicaSet struct {
-	primary  *Client
-	replicas []*Client
+	primary  *member
+	replicas []*member
 	next     atomic.Uint32 // round-robin cursor over replicas
 
 	// ReadYourWrites attaches the write-token header to reads. Off, reads
 	// are eventually consistent (fastest, fine for analytics traffic).
 	ReadYourWrites bool
+
+	// HedgeDelay, when positive, launches one duplicate read at the next
+	// candidate if the first has not answered within the delay. Set it
+	// near the expected p99; zero disables hedging.
+	HedgeDelay time.Duration
+}
+
+// member pairs one endpoint's client with its circuit breaker.
+type member struct {
+	c  *Client
+	br *breaker
+}
+
+// record feeds the routing outcome to the member's breaker. A semantic
+// error (404, 422...) proves the server is answering, so it counts as
+// routing success.
+func (m *member) record(err error) {
+	if err == nil || !failover(err) {
+		m.br.onSuccess()
+	} else {
+		m.br.onFailure()
+	}
 }
 
 // NewReplicaSet builds a replica-aware client. replicaURLs may be
 // empty, in which case every operation goes to the primary and the set
 // degrades to a plain client.
 func NewReplicaSet(primaryURL string, replicaURLs []string) *ReplicaSet {
-	rs := &ReplicaSet{primary: New(primaryURL)}
+	rs := &ReplicaSet{primary: &member{c: New(primaryURL), br: newBreaker(BreakerConfig{})}}
 	for _, u := range replicaURLs {
 		c := New(u)
 		c.minSeq = rs.readToken
-		rs.replicas = append(rs.replicas, c)
+		rs.replicas = append(rs.replicas, &member{c: c, br: newBreaker(BreakerConfig{})})
 	}
 	return rs
 }
 
+// ConfigureBreaker replaces every member's circuit breaker with one
+// using cfg. Call before serving traffic; open/failure state is reset.
+func (r *ReplicaSet) ConfigureBreaker(cfg BreakerConfig) {
+	r.primary.br = newBreaker(cfg)
+	for _, m := range r.replicas {
+		m.br = newBreaker(cfg)
+	}
+}
+
 // SetToken sets the bearer token on every member client.
 func (r *ReplicaSet) SetToken(token string) {
-	r.primary.Token = token
-	for _, c := range r.replicas {
-		c.Token = token
+	r.primary.c.Token = token
+	for _, m := range r.replicas {
+		m.c.Token = token
 	}
 }
 
 // Primary exposes the primary's client for operations that must not
 // fan out (e.g. health-checking the primary specifically).
-func (r *ReplicaSet) Primary() *Client { return r.primary }
+func (r *ReplicaSet) Primary() *Client { return r.primary.c }
+
+// BreakerStates reports each member's breaker state keyed by base URL
+// (for logs and load-generator summaries).
+func (r *ReplicaSet) BreakerStates() map[string]string {
+	out := map[string]string{r.primary.c.BaseURL: r.primary.br.state()}
+	for _, m := range r.replicas {
+		out[m.c.BaseURL] = m.br.state()
+	}
+	return out
+}
 
 // readToken is the X-Yprov-Min-Seq provider installed on replica
 // clients: the primary's last observed write token when read-your-writes
@@ -63,33 +117,106 @@ func (r *ReplicaSet) readToken() uint64 {
 	if !r.ReadYourWrites {
 		return 0
 	}
-	return r.primary.LastSeq()
+	return r.primary.c.LastSeq()
 }
 
-// read runs op against each read candidate until one answers: replicas
-// in round-robin rotation first, the primary as the backstop. Failover
-// triggers on transport errors and retryable API errors only.
-func (r *ReplicaSet) read(op func(c *Client) error) error {
-	var lastErr error
+// readCandidates is the ordered failover chain for one read: replicas
+// in round-robin rotation with open breakers skipped, then the primary.
+// The primary is never breaker-skipped — refusing the last candidate
+// would turn a guess about its health into a guaranteed failure.
+func (r *ReplicaSet) readCandidates() []*member {
+	cands := make([]*member, 0, len(r.replicas)+1)
 	if n := len(r.replicas); n > 0 {
 		start := int(r.next.Add(1)-1) % n
 		for i := 0; i < n; i++ {
-			c := r.replicas[(start+i)%n]
-			err := op(c)
-			if err == nil {
-				return nil
+			m := r.replicas[(start+i)%n]
+			if m.br.allow() {
+				cands = append(cands, m)
 			}
-			if !failover(err) {
-				return err
-			}
-			lastErr = err
 		}
 	}
-	if err := op(r.primary); err != nil {
-		return err
+	return append(cands, r.primary)
+}
+
+// readVal runs op down the candidate chain until one member answers,
+// recording each outcome with the member's breaker. Failover triggers
+// on transport errors and retryable API errors only. (A package-level
+// generic because Go methods cannot have type parameters.)
+func readVal[T any](r *ReplicaSet, op func(c *Client) (T, error)) (T, error) {
+	cands := r.readCandidates()
+	if r.HedgeDelay > 0 && len(cands) > 1 {
+		return hedgedRead(r.HedgeDelay, cands, op)
 	}
-	_ = lastErr // replicas failed but the primary answered: success
-	return nil
+	var zero T
+	var lastErr error
+	for _, m := range cands {
+		v, err := op(m.c)
+		m.record(err)
+		if err == nil {
+			return v, nil
+		}
+		if !failover(err) {
+			return zero, err
+		}
+		lastErr = err
+	}
+	return zero, lastErr
+}
+
+// hedgedRead is readVal's tail-latency variant: the first candidate is
+// asked immediately, and if it has not answered within delay ONE hedge
+// fires at the next candidate. First success wins; failures keep
+// walking the chain as usual. Every launched attempt reports to its
+// member's breaker even after the winner returns.
+func hedgedRead[T any](delay time.Duration, cands []*member, op func(c *Client) (T, error)) (T, error) {
+	type result struct {
+		val T
+		err error
+	}
+	// Buffered to len(cands): a straggler must be able to deliver after
+	// the caller has returned, or its goroutine would leak.
+	ch := make(chan result, len(cands))
+	launched := 0
+	launch := func() {
+		m := cands[launched]
+		launched++
+		go func() {
+			v, err := op(m.c)
+			m.record(err)
+			ch <- result{val: v, err: err}
+		}()
+	}
+	launch()
+	hedge := time.NewTimer(delay)
+	defer hedge.Stop()
+	hedgeFired := false
+
+	var zero T
+	var lastErr error
+	for outstanding := 1; outstanding > 0; {
+		select {
+		case <-hedge.C:
+			if !hedgeFired && launched < len(cands) {
+				hedgeFired = true
+				launch()
+				outstanding++
+			}
+		case res := <-ch:
+			outstanding--
+			if res.err == nil {
+				return res.val, nil
+			}
+			if !failover(res.err) {
+				return zero, res.err
+			}
+			lastErr = res.err
+			if launched < len(cands) {
+				launch()
+				outstanding++
+			}
+		}
+	}
+	return zero, lastErr
 }
 
 // failover reports whether an error should move the read to the next
@@ -107,99 +234,77 @@ func failover(err error) bool {
 
 // Upload stores a document through the primary.
 func (r *ReplicaSet) Upload(id string, doc *prov.Document) error {
-	return r.primary.Upload(id, doc)
+	return r.primary.c.Upload(id, doc)
+}
+
+// UploadCtx stores a document through the primary, bounded by ctx.
+func (r *ReplicaSet) UploadCtx(ctx context.Context, id string, doc *prov.Document) error {
+	return r.primary.c.UploadCtx(ctx, id, doc)
 }
 
 // UploadRaw stores raw PROV-JSON through the primary.
 func (r *ReplicaSet) UploadRaw(id string, provJSON []byte) error {
-	return r.primary.UploadRaw(id, provJSON)
+	return r.primary.c.UploadRaw(id, provJSON)
 }
 
 // UploadBatch stores one atomic batch through the primary.
 func (r *ReplicaSet) UploadBatch(docs map[string]*prov.Document) error {
-	return r.primary.UploadBatch(docs)
+	return r.primary.c.UploadBatch(docs)
 }
 
 // Delete removes a document through the primary.
 func (r *ReplicaSet) Delete(id string) error {
-	return r.primary.Delete(id)
+	return r.primary.c.Delete(id)
+}
+
+// DeleteCtx removes a document through the primary, bounded by ctx.
+func (r *ReplicaSet) DeleteCtx(ctx context.Context, id string) error {
+	return r.primary.c.DeleteCtx(ctx, id)
 }
 
 // --- reads: fanned across replicas with failover ----------------------
 
 // Get fetches a document from a replica (or the primary on failover).
 func (r *ReplicaSet) Get(id string) (*prov.Document, error) {
-	var doc *prov.Document
-	err := r.read(func(c *Client) error {
-		var e error
-		doc, e = c.Get(id)
-		return e
-	})
-	return doc, err
+	return r.GetCtx(context.Background(), id)
+}
+
+// GetCtx is Get bounded by ctx.
+func (r *ReplicaSet) GetCtx(ctx context.Context, id string) (*prov.Document, error) {
+	return readVal(r, func(c *Client) (*prov.Document, error) { return c.GetCtx(ctx, id) })
 }
 
 // List returns all stored document ids.
 func (r *ReplicaSet) List() ([]string, error) {
-	var ids []string
-	err := r.read(func(c *Client) error {
-		var e error
-		ids, e = c.List()
-		return e
-	})
-	return ids, err
+	return r.ListCtx(context.Background())
+}
+
+// ListCtx is List bounded by ctx.
+func (r *ReplicaSet) ListCtx(ctx context.Context) ([]string, error) {
+	return readVal(r, func(c *Client) ([]string, error) { return c.ListCtx(ctx) })
 }
 
 // Lineage queries ancestors/descendants of a node.
 func (r *ReplicaSet) Lineage(id string, node prov.QName, dir provstore.LineageDirection, depth int) ([]prov.QName, error) {
-	var nodes []prov.QName
-	err := r.read(func(c *Client) error {
-		var e error
-		nodes, e = c.Lineage(id, node, dir, depth)
-		return e
-	})
-	return nodes, err
+	return readVal(r, func(c *Client) ([]prov.QName, error) { return c.Lineage(id, node, dir, depth) })
 }
 
 // Subgraph fetches the neighborhood of a node as a document.
 func (r *ReplicaSet) Subgraph(id string, node prov.QName, hops int) (*prov.Document, error) {
-	var doc *prov.Document
-	err := r.read(func(c *Client) error {
-		var e error
-		doc, e = c.Subgraph(id, node, hops)
-		return e
-	})
-	return doc, err
+	return readVal(r, func(c *Client) (*prov.Document, error) { return c.Subgraph(id, node, hops) })
 }
 
 // SearchByType finds elements by prov:type across all documents.
 func (r *ReplicaSet) SearchByType(typeName string) ([]provstore.SearchResult, error) {
-	var hits []provstore.SearchResult
-	err := r.read(func(c *Client) error {
-		var e error
-		hits, e = c.SearchByType(typeName)
-		return e
-	})
-	return hits, err
+	return readVal(r, func(c *Client) ([]provstore.SearchResult, error) { return c.SearchByType(typeName) })
 }
 
 // CrossLineage queries lineage across every stored document.
 func (r *ReplicaSet) CrossLineage(node prov.QName, dir provstore.LineageDirection, depth int) ([]provstore.CrossNode, error) {
-	var nodes []provstore.CrossNode
-	err := r.read(func(c *Client) error {
-		var e error
-		nodes, e = c.CrossLineage(node, dir, depth)
-		return e
-	})
-	return nodes, err
+	return readVal(r, func(c *Client) ([]provstore.CrossNode, error) { return c.CrossLineage(node, dir, depth) })
 }
 
 // Stats fetches store statistics from a replica.
 func (r *ReplicaSet) Stats() (provstore.Stats, error) {
-	var st provstore.Stats
-	err := r.read(func(c *Client) error {
-		var e error
-		st, e = c.Stats()
-		return e
-	})
-	return st, err
+	return readVal(r, func(c *Client) (provstore.Stats, error) { return c.Stats() })
 }

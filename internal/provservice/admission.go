@@ -1,0 +1,192 @@
+package provservice
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Admission control: shed writes with 429/Retry-After BEFORE they queue
+// on shard locks and the group-commit fsync, instead of letting latency
+// collapse for everyone. Reads are never shed here — serving reads
+// while writes back off is the graceful-degradation contract — and the
+// health/metrics/repl route classes are always exempt so operators and
+// replicas keep their view of a struggling server.
+//
+// The decision is fed by two lock-free gauges: the per-class in-flight
+// counters kept by the metrics middleware, and the WAL commit-queue
+// depth + estimated wait exported by the store (wal.Log.QueueDepth /
+// EstimateCommitWait).
+
+// AdmissionConfig sets the write-shedding thresholds. Zero values
+// disable their check; an all-zero config disables admission control.
+type AdmissionConfig struct {
+	// MaxInflightWrites sheds writes while more than this many mutation
+	// requests are already in flight (queued on shard locks or fsync).
+	MaxInflightWrites int
+	// MaxCommitQueue sheds writes while more than this many journal
+	// records are staged but not yet durable.
+	MaxCommitQueue int64
+	// ShedLatencyTarget sheds writes while the estimated group-commit
+	// wait exceeds this duration.
+	ShedLatencyTarget time.Duration
+}
+
+func (c AdmissionConfig) enabled() bool {
+	return c.MaxInflightWrites > 0 || c.MaxCommitQueue > 0 || c.ShedLatencyTarget > 0
+}
+
+// admission is the middleware state: the config plus a shed counter
+// surfaced through /api/v0/metrics.
+type admission struct {
+	cfg  AdmissionConfig
+	shed atomic.Uint64
+}
+
+// WithAdmission enables write admission control with the given
+// thresholds (an all-zero config leaves it disabled).
+func WithAdmission(cfg AdmissionConfig) Option {
+	return func(s *Service) {
+		if cfg.enabled() {
+			s.admission = &admission{cfg: cfg}
+		}
+	}
+}
+
+// isMutation reports whether the method is a write, mirroring the auth
+// and follower-guard method sets.
+func isMutation(method string) bool {
+	switch method {
+	case http.MethodPut, http.MethodPost, http.MethodDelete, http.MethodPatch:
+		return true
+	}
+	return false
+}
+
+// admissionExempt lists the route classes that must keep working under
+// overload: health checks (load balancers must see the truth), metrics
+// (operators are debugging exactly now), and replication (followers
+// draining the backlog is how the overload ends).
+func admissionExempt(class string) bool {
+	switch class {
+	case "health", "metrics", "repl":
+		return true
+	}
+	return false
+}
+
+// withAdmission sheds writes when the shed thresholds are crossed. It
+// sits inside auth (a 401 should stay a 401 under overload, and
+// unauthenticated traffic must not be able to probe queue state) and
+// outside the follower guard (shedding is about this server's queues,
+// wherever writes would land).
+func (s *Service) withAdmission(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		a := s.admission
+		if a == nil || !isMutation(r.Method) || admissionExempt(routeClass(r.URL.EscapedPath())) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if reason, retryAfter, ok := a.admit(s); !ok {
+			a.shed.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+			writeErr(w, http.StatusTooManyRequests, "write shed: %s; retry after backoff", reason)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// admit evaluates the thresholds. Not ok => (human-readable reason,
+// Retry-After seconds). The in-flight gauge already counts this request
+// (the metrics middleware wraps this one), hence the strict >.
+func (a *admission) admit(s *Service) (reason string, retryAfter int, ok bool) {
+	depth, estWait := s.store.CommitQueue()
+	if t := a.cfg.ShedLatencyTarget; t > 0 && estWait > t {
+		return "estimated commit wait " + estWait.Round(time.Millisecond).String() +
+			" over target " + t.String(), retrySecs(estWait), false
+	}
+	if m := a.cfg.MaxCommitQueue; m > 0 && depth > m {
+		return "commit queue depth " + strconv.FormatInt(depth, 10) +
+			" over limit " + strconv.FormatInt(m, 10), retrySecs(estWait), false
+	}
+	if m := a.cfg.MaxInflightWrites; m > 0 {
+		if inflight := s.metrics.inflightWrites.Load(); inflight > int64(m) {
+			return "in-flight writes " + strconv.FormatInt(inflight, 10) +
+				" over limit " + strconv.Itoa(m), retrySecs(estWait), false
+		}
+	}
+	return "", 0, true
+}
+
+// retrySecs turns the estimated queue wait into a Retry-After value:
+// at least 1s (the floor clients jitter on top of), at most 30s so a
+// transient spike cannot park clients for minutes.
+func retrySecs(estWait time.Duration) int {
+	secs := int((estWait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+// --- request deadlines -------------------------------------------------
+
+// timeoutHeader lets a client ask for a shorter per-request deadline
+// than the server default; requests can never extend past the
+// server-side cap (-request-timeout).
+const timeoutHeader = "X-Yprov-Timeout-Ms"
+
+// WithRequestTimeout gives every request a context deadline of d
+// (<= 0 disables). Clients may shorten it per request via
+// X-Yprov-Timeout-Ms; the replication stream is exempt (it is
+// long-lived by design).
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Service) { s.requestTimeout = d }
+}
+
+// withDeadline installs the per-request context deadline. Handlers
+// thread r.Context() through StoreAPI into shard-lock acquisition and
+// the WAL commit wait, so a request that outlives its deadline stops
+// consuming store resources instead of queueing invisibly.
+func (s *Service) withDeadline(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.requestTimeout <= 0 || routeClass(r.URL.EscapedPath()) == "repl" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		d := s.requestTimeout
+		if hv := r.Header.Get(timeoutHeader); hv != "" {
+			if ms, err := strconv.Atoi(hv); err == nil && ms > 0 {
+				if hd := time.Duration(ms) * time.Millisecond; hd < d {
+					d = hd
+				}
+			}
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// deadlineErr maps a context expiry surfaced from the store to a 503
+// with a Retry-After floor, reporting whether it handled the error.
+// 503 (not 408/504): the server is shedding its own queue wait, and
+// retryable-server-error is the contract provclient already honors.
+func deadlineErr(w http.ResponseWriter, err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, "request deadline exceeded before the write was durable")
+		return true
+	}
+	return false
+}

@@ -140,7 +140,10 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "empty batch: no documents in request body")
 		return
 	}
-	if err := s.store.PutBatchRaw(docs); err != nil {
+	if err := s.store.PutBatchRawCtx(r.Context(), docs); err != nil {
+		if deadlineErr(w, err) {
+			return
+		}
 		if errors.Is(err, provstore.ErrJournal) {
 			writeErr(w, http.StatusServiceUnavailable, "%v", err)
 			return

@@ -15,8 +15,8 @@ import (
 // The service's HTTP pipeline is a stack of composable middleware
 // wrapped around thin handlers (see service.go):
 //
-//	logging -> metrics -> rate limit -> auth -> follower guard ->
-//	min-seq -> body limit -> mux
+//	logging -> metrics -> rate limit -> auth -> admission ->
+//	follower guard -> min-seq -> deadline -> body limit -> mux
 //
 // Each layer does one thing and knows nothing about the others; the
 // handlers at the bottom only ever talk to the StoreAPI interface.
@@ -82,12 +82,20 @@ func (s *Service) withLogging(next http.Handler) http.Handler {
 	})
 }
 
-// withMetrics tracks in-flight requests and per-route latency.
+// withMetrics tracks in-flight requests (total and per write/read
+// class — the write gauge feeds admission control) and per-route
+// latency.
 func (s *Service) withMetrics(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		m := s.metrics
 		m.inflight.Add(1)
 		defer m.inflight.Add(-1)
+		class := &m.inflightReads
+		if isMutation(r.Method) {
+			class = &m.inflightWrites
+		}
+		class.Add(1)
+		defer class.Add(-1)
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
 		next.ServeHTTP(sw, r)
@@ -120,12 +128,9 @@ func (s *Service) withRateLimit(next http.Handler) http.Handler {
 // stay open, matching the yProv service's open-exploration model.
 func (s *Service) withAuth(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		switch r.Method {
-		case http.MethodPut, http.MethodPost, http.MethodDelete, http.MethodPatch:
-			if !s.authorized(r) {
-				writeErr(w, http.StatusUnauthorized, "missing or bad bearer token")
-				return
-			}
+		if isMutation(r.Method) && !s.authorized(r) {
+			writeErr(w, http.StatusUnauthorized, "missing or bad bearer token")
+			return
 		}
 		next.ServeHTTP(w, r)
 	})
@@ -138,13 +143,10 @@ func (s *Service) withAuth(next http.Handler) http.Handler {
 // them is the whole point of a replica.
 func (s *Service) withFollowerGuard(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if s.primaryURL != "" {
-			switch r.Method {
-			case http.MethodPut, http.MethodPost, http.MethodDelete, http.MethodPatch:
-				w.Header().Set("Location", s.primaryURL+r.URL.RequestURI())
-				writeErr(w, http.StatusForbidden, "this server is a read-only replica; write to the primary at %s", s.primaryURL)
-				return
-			}
+		if s.primaryURL != "" && isMutation(r.Method) {
+			w.Header().Set("Location", s.primaryURL+r.URL.RequestURI())
+			writeErr(w, http.StatusForbidden, "this server is a read-only replica; write to the primary at %s", s.primaryURL)
+			return
 		}
 		next.ServeHTTP(w, r)
 	})
@@ -341,12 +343,14 @@ func (l *clientLimiter) pruneLocked(now time.Time) {
 // swap the collection out from under an in-flight Log, and no latency
 // point is ever written into an unreachable collection.
 type httpMetrics struct {
-	inflight atomic.Int64
-	total    atomic.Uint64
-	status2x atomic.Uint64
-	status4x atomic.Uint64
-	status5x atomic.Uint64
-	statusOt atomic.Uint64 // 1xx/3xx (redirects, continues)
+	inflight       atomic.Int64
+	inflightWrites atomic.Int64 // mutating methods; feeds admission control
+	inflightReads  atomic.Int64
+	total          atomic.Uint64
+	status2x       atomic.Uint64
+	status4x       atomic.Uint64
+	status5x       atomic.Uint64
+	statusOt       atomic.Uint64 // 1xx/3xx (redirects, continues)
 
 	points atomic.Int64 // logged since the last rotation
 	mu     sync.RWMutex
@@ -406,7 +410,13 @@ type routeStats struct {
 
 // metricsReport is the /api/v0/metrics response body.
 type metricsReport struct {
-	InFlight      int64                 `json:"in_flight"`
+	InFlight       int64 `json:"in_flight"`
+	InFlightWrites int64 `json:"in_flight_writes"`
+	InFlightReads  int64 `json:"in_flight_reads"`
+	// ShedWrites counts mutations refused by admission control (429);
+	// filled by handleMetrics, not report, since the counter lives on
+	// the Service.
+	ShedWrites    uint64                `json:"shed_writes"`
 	TotalRequests uint64                `json:"total_requests"`
 	Status2xx     uint64                `json:"status_2xx"`
 	Status4xx     uint64                `json:"status_4xx"`
@@ -421,13 +431,15 @@ func (m *httpMetrics) report() metricsReport {
 	col := m.col
 	m.mu.RUnlock()
 	rep := metricsReport{
-		InFlight:      m.inflight.Load(),
-		TotalRequests: m.total.Load(),
-		Status2xx:     m.status2x.Load(),
-		Status4xx:     m.status4x.Load(),
-		Status5xx:     m.status5x.Load(),
-		StatusOther:   m.statusOt.Load(),
-		Routes:        map[string]routeStats{},
+		InFlight:       m.inflight.Load(),
+		InFlightWrites: m.inflightWrites.Load(),
+		InFlightReads:  m.inflightReads.Load(),
+		TotalRequests:  m.total.Load(),
+		Status2xx:      m.status2x.Load(),
+		Status4xx:      m.status4x.Load(),
+		Status5xx:      m.status5x.Load(),
+		StatusOther:    m.statusOt.Load(),
+		Routes:         map[string]routeStats{},
 	}
 	for _, s := range col.Snapshot() {
 		st := s.Stats()

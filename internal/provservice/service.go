@@ -25,6 +25,7 @@
 package provservice
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -47,10 +48,15 @@ import (
 // *provstore.Store implements it; tests and alternative back-ends can
 // substitute their own.
 type StoreAPI interface {
-	Put(id string, doc *prov.Document) error
-	PutBatchRaw(items map[string]provstore.BatchItem) error
+	// Mutations take the request context: the deadline installed by the
+	// withDeadline middleware propagates into shard-lock acquisition and
+	// the group-commit wait, so abandoned requests stop consuming fsync
+	// tickets. Context expiry surfaces as context.Canceled /
+	// context.DeadlineExceeded, never wrapped in store error types.
+	PutCtx(ctx context.Context, id string, doc *prov.Document) error
+	PutBatchRawCtx(ctx context.Context, items map[string]provstore.BatchItem) error
 	Get(id string) (*prov.Document, bool)
-	Delete(id string) error
+	DeleteCtx(ctx context.Context, id string) error
 	List() []string
 	Lineage(doc string, node prov.QName, dir provstore.LineageDirection, depth int) ([]prov.QName, error)
 	Subgraph(doc string, node prov.QName, hops int) (*prov.Document, error)
@@ -62,6 +68,12 @@ type StoreAPI interface {
 	// write token and the X-Yprov-Min-Seq read-your-writes check (0 for
 	// stores with no journal).
 	AppliedSeq() uint64
+	// FailStop reports the journal's latched fail-stop reason ("" while
+	// healthy); /healthz degrades and mutations are refused once set.
+	FailStop() string
+	// CommitQueue feeds admission control: staged-but-not-durable record
+	// count and the estimated group-commit wait.
+	CommitQueue() (int64, time.Duration)
 	Close() error
 }
 
@@ -90,6 +102,10 @@ type Service struct {
 	replFollower *repl.Follower
 	primaryURL   string // follower: where mutations should go instead
 	maxLag       uint64 // follower: /healthz degrades beyond this record lag
+
+	// Overload hardening (see admission.go).
+	admission      *admission    // write shedding; nil = disabled
+	requestTimeout time.Duration // per-request context deadline; 0 = none
 
 	// Graceful shutdown: Close refuses new requests, drains in-flight
 	// ones, then flushes and closes the store. In-flight requests hold
@@ -174,8 +190,10 @@ func New(store StoreAPI, opts ...Option) *Service {
 		s.withMetrics,
 		s.withRateLimit,
 		s.withAuth,
+		s.withAdmission,
 		s.withFollowerGuard,
 		s.withMinSeq,
+		s.withDeadline,
 		s.withBodyLimit,
 	)
 	return s
@@ -286,6 +304,17 @@ func (s *Service) authorized(r *http.Request) bool {
 }
 
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	// A latched journal means this server can no longer make writes
+	// durable; load balancers must route writes elsewhere even though
+	// reads still work.
+	if reason := s.store.FailStop(); reason != "" {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{
+			"status": "degraded",
+			"reason": "journal fail-stop",
+			"detail": reason,
+		})
+		return
+	}
 	if s.replFollower != nil && s.maxLag > 0 {
 		st := s.replFollower.Status()
 		// Stale matters as much as lag: during a partition the lag
@@ -315,7 +344,11 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "metrics is GET-only")
 		return
 	}
-	writeJSON(w, http.StatusOK, s.metrics.report())
+	rep := s.metrics.report()
+	if s.admission != nil {
+		rep.ShedWrites = s.admission.shed.Load()
+	}
+	writeJSON(w, http.StatusOK, rep)
 }
 
 func (s *Service) handleDocuments(w http.ResponseWriter, r *http.Request) {
@@ -392,7 +425,10 @@ func (s *Service) handleDocumentCRUD(w http.ResponseWriter, r *http.Request, id 
 			writeErr(w, http.StatusBadRequest, "invalid PROV-JSON: %v", err)
 			return
 		}
-		if err := s.store.Put(id, doc); err != nil {
+		if err := s.store.PutCtx(r.Context(), id, doc); err != nil {
+			if deadlineErr(w, err) {
+				return
+			}
 			if errors.Is(err, provstore.ErrJournal) {
 				// Durability outage, not a bad document: a 4xx would
 				// tell clients to stop retrying a server-side failure.
@@ -410,7 +446,10 @@ func (s *Service) handleDocumentCRUD(w http.ResponseWriter, r *http.Request, id 
 		s.setSeqHeader(w)
 		writeJSON(w, http.StatusCreated, map[string]interface{}{"id": id, "stats": doc.Stats()})
 	case http.MethodDelete:
-		if err := s.store.Delete(id); err != nil {
+		if err := s.store.DeleteCtx(r.Context(), id); err != nil {
+			if deadlineErr(w, err) {
+				return
+			}
 			if errors.Is(err, provstore.ErrJournal) {
 				writeErr(w, http.StatusServiceUnavailable, "%v", err)
 				return

@@ -2,6 +2,7 @@ package provstore
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -91,11 +92,6 @@ func (e *batchEncoder) finish() []byte {
 	return e.buf.Bytes()
 }
 
-// stageFailpoint, when non-nil, is consulted before every journal
-// staging and may return an error to simulate a WAL failure (fail-stop
-// latch, over-cap record). Test-only; nil in production.
-var stageFailpoint func(op []byte) error
-
 // batchEntry is one (shard, id, previous document) triple recorded
 // while a batch is applied, so a later failure can unwind it.
 type batchEntry struct {
@@ -180,7 +176,18 @@ func (s *Store) PutBatch(docs map[string]*prov.Document) error {
 // PutBatchRaw is PutBatch for callers that already hold each document's
 // encoded form (see BatchItem.Raw); semantics are identical.
 func (s *Store) PutBatchRaw(items map[string]BatchItem) error {
+	return s.PutBatchRawCtx(context.Background(), items)
+}
+
+// PutBatchRawCtx is PutBatchRaw bounded by ctx (see PutCtx): the
+// deadline is checked before and after the shard locks are taken, so an
+// abandoned batch neither applies nor consumes a group-commit ticket,
+// and the durability wait honors the context.
+func (s *Store) PutBatchRawCtx(ctx context.Context, items map[string]BatchItem) error {
 	if err := s.readOnlyGuard(); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	if len(items) == 0 {
@@ -235,6 +242,12 @@ func (s *Store) PutBatchRaw(items map[string]BatchItem) error {
 
 	idxs := s.shardSet(ids)
 	s.lockShards(idxs)
+	if err := ctx.Err(); err != nil {
+		// Deadline expired while queued on the shard locks: nothing
+		// applied, nothing staged, no ticket consumed.
+		s.unlockShards(idxs)
+		return err
+	}
 	applied := make([]batchEntry, 0, len(ids))
 	for _, id := range ids {
 		sh := s.shardFor(id)
@@ -251,14 +264,22 @@ func (s *Store) PutBatchRaw(items map[string]BatchItem) error {
 	if err != nil {
 		return err
 	}
-	return s.commitStaged(ticket, staged, len(ids))
+	return s.commitStaged(ctx, ticket, staged, len(ids))
 }
 
 // DeleteBatch removes every listed document as one atomic unit. If any
 // id is missing (or listed twice) the whole batch fails and nothing is
 // deleted.
 func (s *Store) DeleteBatch(ids []string) error {
+	return s.DeleteBatchCtx(context.Background(), ids)
+}
+
+// DeleteBatchCtx is DeleteBatch bounded by ctx (see PutBatchRawCtx).
+func (s *Store) DeleteBatchCtx(ctx context.Context, ids []string) error {
 	if err := s.readOnlyGuard(); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	if len(ids) == 0 {
@@ -288,6 +309,10 @@ func (s *Store) DeleteBatch(ids []string) error {
 
 	idxs := s.shardSet(ids)
 	s.lockShards(idxs)
+	if err := ctx.Err(); err != nil {
+		s.unlockShards(idxs)
+		return err
+	}
 	applied := make([]batchEntry, 0, len(ids))
 	for _, id := range ids {
 		sh := s.shardFor(id)
@@ -305,5 +330,5 @@ func (s *Store) DeleteBatch(ids []string) error {
 	if err != nil {
 		return err
 	}
-	return s.commitStaged(ticket, staged, len(ids))
+	return s.commitStaged(ctx, ticket, staged, len(ids))
 }

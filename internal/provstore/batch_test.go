@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/prov"
+	"repro/internal/wal"
 )
 
 // batchDocs builds n distinct valid documents keyed by "prefix-i".
@@ -157,27 +158,35 @@ func TestPutBatchRejectsInvalidDocAtomically(t *testing.T) {
 }
 
 // TestPutBatchStageFailureRollsBack is the fault-injection satellite: a
-// journal staging failure mid-batch (fail-stop latch, over-cap record)
-// must leave zero batch documents visible, in later snapshots, or
-// replayed after reopen — including when the batch replaces documents
-// that already existed.
+// journal staging failure mid-batch (here the fail-stop latch, armed
+// for real through the wal.FS seam by failing a segment write) must
+// leave zero batch documents visible, in later snapshots, or replayed
+// after reopen — including when the batch replaces documents that
+// already existed.
 func TestPutBatchStageFailureRollsBack(t *testing.T) {
 	dir := t.TempDir()
-	s := openTemp(t, dir, Durability{Fsync: true, SnapshotEvery: -1})
+	ffs := wal.NewFaultFS(nil)
+	s := openTemp(t, dir, Durability{Fsync: true, SnapshotEvery: -1, FS: ffs})
 	if err := s.Put("pre-00", testDoc(t, "old-version")); err != nil {
 		t.Fatal(err)
 	}
 	before := storeFingerprint(s)
 
-	stageFailpoint = func([]byte) error { return errors.New("injected: fail-stop latch") }
-	defer func() { stageFailpoint = nil }()
+	// Latch the journal the way a dying disk would: the next segment
+	// write fails, nothing lands on disk, and every later Stage is
+	// refused with the latched error.
+	ffs.FailWrites(0, errors.New("injected: device error"))
+	if _, err := s.Log().Append([]byte(`{"op":"delete","id":"never-acked"}`)); err == nil {
+		t.Fatal("write fault did not surface")
+	}
+	ffs.Clear()
+
 	docs := batchDocs(t, "lost", 5)
 	docs["pre-00"] = testDoc(t, "new-version") // replacement that must unwind
 	err := s.PutBatch(docs)
 	if !errors.Is(err, ErrJournal) {
 		t.Fatalf("PutBatch error = %v, want ErrJournal", err)
 	}
-	stageFailpoint = nil
 
 	if after := storeFingerprint(s); !reflect.DeepEqual(before, after) {
 		t.Fatalf("failed batch changed store state:\n before %+v\n after  %+v", before, after)
@@ -187,13 +196,16 @@ func TestPutBatchStageFailureRollsBack(t *testing.T) {
 	if err != nil || len(got) != 2 {
 		t.Fatalf("pre-existing doc projection damaged: %v %v", got, err)
 	}
-	// A snapshot taken after the failure must not capture batch members.
-	if err := s.Checkpoint(); err != nil {
-		t.Fatal(err)
+	if s.FailStop() == "" {
+		t.Fatal("latched store does not report a fail-stop reason")
 	}
-	if err := s.Close(); err != nil {
-		t.Fatal(err)
+	// Snapshots must refuse to run on a latched journal: a checkpoint
+	// that succeeded here could compact away records recovery needs.
+	if err := s.Checkpoint(); err == nil {
+		t.Fatal("checkpoint on a latched journal succeeded")
 	}
+	_ = s.Close() // close-time flush also sees the latch; error expected
+
 	s2 := openTemp(t, dir, Durability{})
 	if s2.Count() != 1 {
 		t.Fatalf("reopen after failed batch: %d docs, want 1", s2.Count())

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/prov"
 	"repro/internal/wal"
@@ -56,6 +57,10 @@ type Durability struct {
 	// written (the follower keeps its own durable copy), snapshotted,
 	// and compacted, so restarts resume from local state.
 	Follower bool
+	// FS supplies the journal's segment files (nil = the real
+	// filesystem). Chaos tests inject a wal.FaultFS here to drive IO
+	// failures through the exact code paths a dying disk would take.
+	FS wal.FS
 }
 
 const defaultSnapshotEvery = 256
@@ -98,6 +103,10 @@ type DurabilityStats struct {
 	// rather than an interrupted batch write (see
 	// wal.RecoveredState.SuspectBitRot).
 	SuspectBitRot bool `json:"suspect_bit_rot,omitempty"`
+	// FailStop is the journal's latched fail-stop reason (empty while
+	// healthy). Once set the store acknowledges no further mutations;
+	// /healthz reports the primary degraded with this string.
+	FailStop string `json:"fail_stop,omitempty"`
 }
 
 // Open builds a store whose state is durably backed by a write-ahead
@@ -108,7 +117,7 @@ func Open(dir string, d Durability) (*Store, error) {
 	if d.SnapshotEvery == 0 {
 		d.SnapshotEvery = defaultSnapshotEvery
 	}
-	l, rec, err := wal.Open(dir, wal.Options{Fsync: d.Fsync, SegmentBytes: d.SegmentBytes})
+	l, rec, err := wal.Open(dir, wal.Options{Fsync: d.Fsync, SegmentBytes: d.SegmentBytes, FS: d.FS})
 	if err != nil {
 		return nil, err
 	}
@@ -294,6 +303,31 @@ func (s *Store) checkpointLocked() error {
 		return fmt.Errorf("provstore: checkpoint compact: %w", err)
 	}
 	return nil
+}
+
+// FailStop reports the journal's latched fail-stop reason, empty while
+// healthy (and always for in-memory stores). Health endpoints surface
+// it so a latched primary shows up as degraded instead of as a stream
+// of unexplained 503s.
+func (s *Store) FailStop() string {
+	if s.wal == nil {
+		return ""
+	}
+	if err := s.wal.Failed(); err != nil {
+		return err.Error()
+	}
+	return ""
+}
+
+// CommitQueue reports the journal's commit-queue depth (records staged
+// but not yet durable) and the estimated wait a write admitted now
+// would see. Both are zero for in-memory stores. Lock-free; admission
+// control calls this on every write.
+func (s *Store) CommitQueue() (depth int64, estWait time.Duration) {
+	if s.wal == nil {
+		return 0, 0
+	}
+	return s.wal.QueueDepth(), s.wal.EstimateCommitWait()
 }
 
 // Sync forces any pending journal records to disk. A no-op for

@@ -11,6 +11,8 @@
 package provstore
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -70,7 +72,22 @@ func NewSharded(n int) *Store {
 // returns only once its log batch is durable (group-committed with any
 // concurrent writers, including writers on other shards).
 func (s *Store) Put(id string, doc *prov.Document) error {
+	return s.PutCtx(context.Background(), id, doc)
+}
+
+// PutCtx is Put bounded by ctx. The deadline is honored at the two
+// points a request can queue: before the shard lock is taken and again
+// once it is held but before the mutation is applied or staged — an
+// abandoned request therefore never consumes a group-commit ticket. The
+// durability wait itself goes through wal.Ticket.CommitCtx, so a caller
+// whose deadline expires during a slow fsync stops waiting (the staged
+// record still becomes durable; the outcome is ambiguous to the caller,
+// like any timed-out write).
+func (s *Store) PutCtx(ctx context.Context, id string, doc *prov.Document) error {
 	if err := s.readOnlyGuard(); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	if id == "" {
@@ -88,6 +105,12 @@ func (s *Store) Put(id string, doc *prov.Document) error {
 	}
 	sh := s.shardFor(id)
 	sh.mu.Lock()
+	if err := ctx.Err(); err != nil {
+		// The deadline expired while queued on the shard lock: nothing
+		// has been applied or staged yet, so bail without a ticket.
+		sh.mu.Unlock()
+		return err
+	}
 	prev := sh.docs[id] // stored clone, for rollback if staging fails
 	err := sh.putLocked(id, doc)
 	ticket, staged, err := s.stageLocked(op, err, func() {
@@ -100,7 +123,7 @@ func (s *Store) Put(id string, doc *prov.Document) error {
 	if err != nil {
 		return err
 	}
-	return s.commitStaged(ticket, staged, 1)
+	return s.commitStaged(ctx, ticket, staged, 1)
 }
 
 // stageLocked journals an already-applied mutation while the owning
@@ -114,12 +137,6 @@ func (s *Store) Put(id string, doc *prov.Document) error {
 func (s *Store) stageLocked(op []byte, applyErr error, rollback func()) (wal.Ticket, bool, error) {
 	if applyErr != nil || s.wal == nil {
 		return wal.Ticket{}, false, applyErr
-	}
-	if fp := stageFailpoint; fp != nil {
-		if err := fp(op); err != nil {
-			rollback()
-			return wal.Ticket{}, false, fmt.Errorf("%w: %v", ErrJournal, err)
-		}
 	}
 	t, err := s.wal.Stage(op)
 	if err != nil {
@@ -144,11 +161,17 @@ func (s *Store) noteApplied(seq uint64) {
 // commitStaged waits for durability outside the shard lock and drives
 // the snapshot cadence. n is the number of mutations the staged record
 // carries (1 for Put/Delete, the batch size for PutBatch/DeleteBatch).
-func (s *Store) commitStaged(t wal.Ticket, staged bool, n int) error {
+// A context expiry during the commit wait surfaces as the context's own
+// error, not ErrJournal — the journal is healthy, the caller just
+// stopped waiting.
+func (s *Store) commitStaged(ctx context.Context, t wal.Ticket, staged bool, n int) error {
 	if !staged {
 		return nil
 	}
-	if err := t.Commit(); err != nil {
+	if err := t.CommitCtx(ctx); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
 		return fmt.Errorf("%w: commit: %v", ErrJournal, err)
 	}
 	s.maybeSnapshot(n)
@@ -170,7 +193,16 @@ func (s *Store) Get(id string) (*prov.Document, bool) {
 // Delete removes a document and its graph projection, journaling the
 // removal on durable stores.
 func (s *Store) Delete(id string) error {
+	return s.DeleteCtx(context.Background(), id)
+}
+
+// DeleteCtx is Delete bounded by ctx (see PutCtx for the deadline
+// semantics).
+func (s *Store) DeleteCtx(ctx context.Context, id string) error {
 	if err := s.readOnlyGuard(); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	var op []byte
@@ -182,6 +214,10 @@ func (s *Store) Delete(id string) error {
 	}
 	sh := s.shardFor(id)
 	sh.mu.Lock()
+	if err := ctx.Err(); err != nil {
+		sh.mu.Unlock()
+		return err
+	}
 	prev := sh.docs[id] // for rollback if staging fails
 	var err error
 	if prev == nil {
@@ -196,7 +232,7 @@ func (s *Store) Delete(id string) error {
 	if err != nil {
 		return err
 	}
-	return s.commitStaged(ticket, staged, 1)
+	return s.commitStaged(ctx, ticket, staged, 1)
 }
 
 // nodeID resolves (doc, qname) to the graph node on the owning shard.
@@ -328,6 +364,7 @@ func (s *Store) Stats() Stats {
 			SnapshotEvery:  s.snapshotEvery,
 			SnapshotErrors: atomic.LoadUint64(&s.snapErrs),
 			SuspectBitRot:  s.suspectBitRot,
+			FailStop:       s.FailStop(),
 		}
 		if msg, ok := s.lastSnapErr.Load().(string); ok {
 			st.Durability.LastSnapshotError = msg

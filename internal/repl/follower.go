@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"os"
@@ -120,9 +121,14 @@ type Follower struct {
 	ctx      context.Context
 	cancel   context.CancelFunc
 
+	// rng jitters the reconnect backoff; only Run's goroutine draws
+	// from it.
+	rng *rand.Rand
+
 	mu             sync.Mutex
 	connected      bool
 	lastErr        string
+	consecFails    uint64 // failed stream attempts since the last applied record
 	durableSeq     uint64
 	primaryLastSeq uint64
 	lagBytes       int64
@@ -141,6 +147,7 @@ func NewFollower(store *provstore.Store, cfg FollowerConfig) (*Follower, error) 
 	return &Follower{
 		store:        store,
 		cfg:          cfg.withDefaults(),
+		rng:          rand.New(rand.NewSource(time.Now().UnixNano())),
 		streamClient: &http.Client{},
 		ctl:          &http.Client{Timeout: 5 * time.Second},
 		stop:         make(chan struct{}),
@@ -170,17 +177,24 @@ func (f *Follower) Run() {
 		default:
 		}
 		progressed, err := f.streamOnce()
-		if err != nil {
-			f.setErr(err)
-			f.cfg.Logger.Printf("repl: follower %s: %v (retrying in %s)", f.cfg.ID, err, delay)
-		}
 		if progressed {
 			delay = f.cfg.RetryBase
+			f.mu.Lock()
+			f.consecFails = 0
+			f.mu.Unlock()
+		}
+		// Jitter over [delay/2, delay]: a primary restart disconnects
+		// every follower at once, and identical deterministic backoff
+		// would reconnect them as one synchronized thundering herd.
+		wait := delay/2 + time.Duration(f.rng.Int63n(int64(delay/2)+1))
+		if err != nil {
+			f.setErr(err)
+			f.cfg.Logger.Printf("repl: follower %s: %v (retrying in %s)", f.cfg.ID, err, wait.Round(time.Millisecond))
 		}
 		select {
 		case <-f.stop:
 			return
-		case <-time.After(delay):
+		case <-time.After(wait):
 		}
 		if delay *= 2; delay > f.cfg.RetryMax {
 			delay = f.cfg.RetryMax
@@ -200,6 +214,7 @@ func (f *Follower) Stop() {
 func (f *Follower) setErr(err error) {
 	f.mu.Lock()
 	f.lastErr = err.Error()
+	f.consecFails++
 	f.mu.Unlock()
 }
 
@@ -217,16 +232,17 @@ func (f *Follower) Status() *Status {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	st := &Status{
-		Role:            RoleFollower,
-		Fsync:           f.cfg.Fsync,
-		PrimaryURL:      f.cfg.PrimaryURL,
-		AppliedSeq:      f.store.AppliedSeq(),
-		DurableSeq:      f.durableSeq,
-		PrimaryLastSeq:  f.primaryLastSeq,
-		FollowerLagByte: f.lagBytes,
-		Connected:       f.connected,
-		LastStreamError: f.lastErr,
-		ContactAgeSecs:  time.Since(f.lastContact).Seconds(),
+		Role:                RoleFollower,
+		Fsync:               f.cfg.Fsync,
+		PrimaryURL:          f.cfg.PrimaryURL,
+		AppliedSeq:          f.store.AppliedSeq(),
+		DurableSeq:          f.durableSeq,
+		PrimaryLastSeq:      f.primaryLastSeq,
+		FollowerLagByte:     f.lagBytes,
+		Connected:           f.connected,
+		LastStreamError:     f.lastErr,
+		ConsecutiveFailures: f.consecFails,
+		ContactAgeSecs:      time.Since(f.lastContact).Seconds(),
 	}
 	if st.PrimaryLastSeq > st.AppliedSeq {
 		st.FollowerLag = st.PrimaryLastSeq - st.AppliedSeq
@@ -301,6 +317,7 @@ func (f *Follower) streamOnce() (progressed bool, err error) {
 			seq := f.store.AppliedSeq()
 			f.mu.Lock()
 			f.durableSeq = seq
+			f.consecFails = 0 // records are landing again; the live stream may outlast Run's reset
 			f.mu.Unlock()
 		}
 		if force || sinceAck >= f.cfg.AckEvery || time.Since(lastAck) >= f.cfg.AckInterval {

@@ -80,6 +80,10 @@ type Status struct {
 	FollowerLagByte int64  `json:"follower_lag_bytes"`          // primary's estimate for our cursor
 	Connected       bool   `json:"connected"`                   // stream currently attached
 	LastStreamError string `json:"last_stream_error,omitempty"` // most recent stream/apply failure
+	// ConsecutiveFailures counts stream attempts that have failed since
+	// the last applied record — the operator's signal that a follower is
+	// stuck reconnecting rather than merely between streams.
+	ConsecutiveFailures uint64 `json:"consecutive_failures,omitempty"`
 	// ContactAgeSecs is how long ago the follower last successfully
 	// exchanged anything with its primary; Stale flips once that
 	// exceeds FollowerConfig.StaleAfter. The lag figures above freeze

@@ -1,0 +1,168 @@
+package wal
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// A write fault must latch fail-stop: the failing append errors, and
+// every subsequent stage is refused with the same latched error.
+func TestFaultFSWriteErrorLatches(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	l, _, err := Open(t.TempDir(), Options{Fsync: true, FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append([]byte("ok")); err != nil {
+		t.Fatalf("append before fault: %v", err)
+	}
+	injected := errors.New("injected: device error")
+	ffs.FailWrites(0, injected)
+	if _, err := l.Append([]byte("doomed")); !errors.Is(err, injected) {
+		t.Fatalf("append during fault: got %v, want %v", err, injected)
+	}
+	if err := l.Failed(); !errors.Is(err, injected) {
+		t.Fatalf("Failed() = %v, want latched %v", err, injected)
+	}
+	ffs.Clear()
+	if _, err := l.Stage([]byte("after")); err == nil {
+		t.Fatal("stage after latch succeeded; fail-stop not latched")
+	}
+}
+
+// A failed fsync must latch too — the record bytes may be in the page
+// cache but were never acknowledged durable.
+func TestFaultFSSyncErrorLatches(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	l, _, err := Open(t.TempDir(), Options{Fsync: true, FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	injected := errors.New("injected: fsync EIO")
+	ffs.FailSyncs(0, injected)
+	if _, err := l.Append([]byte("doomed")); !errors.Is(err, injected) {
+		t.Fatalf("append during sync fault: got %v, want %v", err, injected)
+	}
+	if l.Failed() == nil {
+		t.Fatal("fsync error did not latch fail-stop")
+	}
+}
+
+// A short write leaves a torn record that recovery must repair, and
+// nothing acknowledged before the fault may be lost.
+func TestFaultFSShortWriteRecovery(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil)
+	l, _, err := Open(dir, Options{Fsync: true, FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const acked = 5
+	for i := 0; i < acked; i++ {
+		if _, err := l.Append([]byte{byte('a' + i)}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	ffs.ShortWrites(0, errors.New("injected: ENOSPC"))
+	if _, err := l.Append([]byte("torn-record-payload")); err == nil {
+		t.Fatal("short write did not surface an error")
+	}
+	_ = l.Close()
+
+	l2, rec, err := Open(dir, Options{Fsync: true})
+	if err != nil {
+		t.Fatalf("reopen after short write: %v", err)
+	}
+	defer l2.Close()
+	if !rec.Repaired {
+		t.Error("torn tail was not repaired")
+	}
+	if got := rec.LastSeq(); got != acked {
+		t.Fatalf("recovered through seq %d, want %d (acked)", got, acked)
+	}
+}
+
+func TestQueueDepthAndEstimate(t *testing.T) {
+	l, _, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if d := l.QueueDepth(); d != 0 {
+		t.Fatalf("empty log queue depth = %d", d)
+	}
+	t1, err := l.Stage([]byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := l.Stage([]byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := l.QueueDepth(); d != 2 {
+		t.Fatalf("queue depth with 2 staged = %d", d)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if d := l.QueueDepth(); d != 0 {
+		t.Fatalf("queue depth after commit = %d", d)
+	}
+	if l.CommitLatency() <= 0 {
+		t.Error("commit latency EWMA not observed")
+	}
+	if st := l.Stats(); st.QueueDepth != 0 {
+		t.Errorf("stats queue depth = %d", st.QueueDepth)
+	}
+}
+
+func TestCommitCtx(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	l, _, err := Open(t.TempDir(), Options{Fsync: true, FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// Non-cancelable context: identical to Commit.
+	tk, err := l.Stage([]byte("fast"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.CommitCtx(context.Background()); err != nil {
+		t.Fatalf("CommitCtx(Background): %v", err)
+	}
+
+	// Expired deadline against a stalled disk: the caller gets the
+	// context error promptly while the background commit proceeds.
+	ffs.SlowSyncs(200 * time.Millisecond)
+	tk2, err := l.Stage([]byte("slow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = tk2.CommitCtx(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("CommitCtx under slow fsync: got %v, want deadline exceeded", err)
+	}
+	if waited := time.Since(start); waited > 150*time.Millisecond {
+		t.Fatalf("CommitCtx waited %v past its deadline", waited)
+	}
+	// The abandoned record still becomes durable.
+	deadline := time.Now().Add(2 * time.Second)
+	for l.CommittedSeq() < tk2.Seq() {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned commit never reached disk")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -23,12 +23,14 @@
 package wal
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrClosed is returned by operations on a closed log.
@@ -43,11 +45,18 @@ type Options struct {
 	// SegmentBytes is the rotation threshold for the active segment.
 	// Defaults to 4 MiB.
 	SegmentBytes int64
+	// FS supplies the segment files. Nil selects DefaultFS (the real
+	// filesystem); tests inject a FaultFS to exercise the fail-stop
+	// latch against write/fsync failures and slow disks.
+	FS FS
 }
 
 func (o Options) withDefaults() Options {
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 4 << 20
+	}
+	if o.FS == nil {
+		o.FS = DefaultFS
 	}
 	return o
 }
@@ -108,6 +117,10 @@ type Stats struct {
 	Syncs           uint64 `json:"syncs"`
 	Snapshots       uint64 `json:"snapshots"`
 	SegmentsRemoved uint64 `json:"segments_removed"`
+	// QueueDepth and CommitLatencyUs snapshot the commit-queue gauge
+	// (see Log.QueueDepth / Log.CommitLatency) for /stats.
+	QueueDepth      int64 `json:"commit_queue_depth"`
+	CommitLatencyUs int64 `json:"commit_latency_us"`
 }
 
 // segmentInfo is one on-disk segment. By the rotation invariant the
@@ -144,7 +157,7 @@ type Log struct {
 	// ioMu serializes all file IO: commit batches, rotation,
 	// snapshot writes, and compaction.
 	ioMu        sync.Mutex
-	f           *os.File
+	f           File
 	fSize       int64
 	segs        []segmentInfo // sorted by firstSeq; last entry is active
 	snapSeq     uint64        // latest durable snapshot
@@ -165,6 +178,16 @@ type Log struct {
 	// connected-but-lagging follower's unstreamed history is not deleted
 	// out from under it. MaxUint64 (the initial value) = no restriction.
 	compactFloor atomic.Uint64
+
+	// Commit-queue telemetry, read lock-free by admission control on
+	// every shed decision. staged tracks the highest sequence handed out
+	// by Stage, so staged-committed is the records waiting on a group
+	// commit; commitNanos and batchRecs are EWMAs (alpha 1/8) of batch
+	// write+fsync latency and records-per-batch, updated once per batch
+	// under ioMu.
+	staged      atomic.Uint64
+	commitNanos atomic.Int64
+	batchRecs   atomic.Int64
 
 	statsMu sync.Mutex
 	appends uint64
@@ -279,6 +302,7 @@ func Open(dir string, opts Options) (*Log, *RecoveredState, error) {
 		tailCh:      make(chan struct{}),
 	}
 	l.committed.Store(lastSeq)
+	l.staged.Store(lastSeq)
 	l.compactFloor.Store(^uint64(0))
 	if len(segs) == 0 {
 		if err := l.createSegment(l.nextSeq); err != nil {
@@ -286,7 +310,7 @@ func Open(dir string, opts Options) (*Log, *RecoveredState, error) {
 		}
 	} else {
 		active := &l.segs[len(l.segs)-1]
-		f, err := os.OpenFile(active.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := opts.FS.OpenFile(active.path, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, nil, fmt.Errorf("wal: open active segment: %w", err)
 		}
@@ -304,7 +328,7 @@ func Open(dir string, opts Options) (*Log, *RecoveredState, error) {
 // setup) must be held.
 func (l *Log) createSegment(firstSeq uint64) error {
 	path := filepath.Join(l.dir, segmentName(firstSeq))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := l.opts.FS.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: create segment: %w", err)
 	}
@@ -350,6 +374,7 @@ func (l *Log) Stage(payload []byte) (Ticket, error) {
 	}
 	seq := l.nextSeq
 	l.nextSeq++
+	l.staged.Store(seq)
 	if l.pending == nil && l.spare != nil {
 		l.pending = l.spare[:0]
 		l.spare = nil
@@ -393,6 +418,36 @@ func (t Ticket) Commit() error {
 	return err
 }
 
+// CommitCtx is Commit bounded by ctx: it returns ctx.Err() if the
+// context ends before the record's batch reaches disk. The record
+// itself is already sequenced — abandoning the wait cannot un-stage
+// it — so the commit is handed to a background goroutine and still
+// completes; only the caller stops burning a thread on the fsync wait.
+// Like any timed-out write, the outcome is ambiguous to the caller:
+// the record may or may not be durable. Contexts that cannot be
+// canceled take the exact Commit fast path (no goroutine).
+func (t Ticket) CommitCtx(ctx context.Context) error {
+	if ctx == nil || ctx.Done() == nil {
+		return t.Commit()
+	}
+	if t.l == nil {
+		return errors.New("wal: zero ticket")
+	}
+	select {
+	case <-t.b.done:
+		return t.b.err
+	default:
+	}
+	res := make(chan error, 1)
+	go func() { res <- t.Commit() }()
+	select {
+	case err := <-res:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // Append stages and commits in one call.
 func (l *Log) Append(payload []byte) (uint64, error) {
 	t, err := l.Stage(payload)
@@ -428,6 +483,8 @@ func (l *Log) commitBuf(buf []byte, top uint64) error {
 		return nil
 	}
 	defer l.recycle(buf)
+	recs := int64(top - l.lastWritten)
+	start := time.Now()
 	if _, err := l.f.Write(buf); err != nil {
 		return l.setFailed(fmt.Errorf("wal: write: %w", err))
 	}
@@ -439,6 +496,7 @@ func (l *Log) commitBuf(buf []byte, top uint64) error {
 			return l.setFailed(fmt.Errorf("wal: fsync: %w", err))
 		}
 	}
+	l.observeCommit(time.Since(start), recs)
 	l.statsMu.Lock()
 	l.commits++
 	if l.opts.Fsync {
@@ -455,6 +513,65 @@ func (l *Log) commitBuf(buf []byte, top uint64) error {
 		}
 	}
 	return nil
+}
+
+// observeCommit folds one batch's write+fsync latency and record count
+// into the EWMAs behind EstimateCommitWait. Single writer (ioMu held),
+// so plain load/store is race-free against the lock-free readers.
+func (l *Log) observeCommit(d time.Duration, recs int64) {
+	if prev := l.commitNanos.Load(); prev == 0 {
+		l.commitNanos.Store(int64(d))
+	} else {
+		l.commitNanos.Store(prev + (int64(d)-prev)/8)
+	}
+	if recs < 1 {
+		recs = 1
+	}
+	if prev := l.batchRecs.Load(); prev == 0 {
+		l.batchRecs.Store(recs)
+	} else {
+		l.batchRecs.Store(prev + (recs-prev)/8)
+	}
+}
+
+// QueueDepth reports the number of staged records whose group commit
+// has not yet reached disk — the WAL's commit-queue depth. Lock-free;
+// admission control reads it on every write admission decision.
+func (l *Log) QueueDepth() int64 {
+	d := int64(l.staged.Load()) - int64(l.committed.Load())
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// CommitLatency reports the smoothed write+fsync latency of recent
+// commit batches (0 until the first batch lands).
+func (l *Log) CommitLatency() time.Duration {
+	return time.Duration(l.commitNanos.Load())
+}
+
+// EstimateCommitWait estimates how long a record staged right now would
+// wait for durability: queue depth divided by the smoothed batch size,
+// times the smoothed batch latency. It is a shedding signal, not a
+// promise — group commit absorbs bursts, so the estimate is pessimistic
+// exactly when the queue is deep, which is when admission control wants
+// pessimism.
+func (l *Log) EstimateCommitWait() time.Duration {
+	depth := l.QueueDepth()
+	if depth == 0 {
+		return 0
+	}
+	lat := l.commitNanos.Load()
+	if lat == 0 {
+		return 0
+	}
+	recs := l.batchRecs.Load()
+	if recs < 1 {
+		recs = 1
+	}
+	batches := (depth + recs - 1) / recs
+	return time.Duration(batches * lat)
 }
 
 // advanceCommitted raises the committed watermark and wakes every
@@ -537,6 +654,11 @@ func (l *Log) failedErr() error {
 	defer l.mu.Unlock()
 	return l.failed
 }
+
+// Failed reports the latched fail-stop error (nil while healthy). Once
+// non-nil the log acknowledges nothing further; health endpoints
+// surface this so operators see a latched primary, not silent 503s.
+func (l *Log) Failed() error { return l.failedErr() }
 
 // maxRecycledBuf caps the batch buffer kept for reuse: one oversized
 // record must not pin its peak allocation for the log's lifetime.
@@ -722,6 +844,8 @@ func (l *Log) Stats() Stats {
 		Syncs:           l.syncs,
 		Snapshots:       l.snaps,
 		SegmentsRemoved: l.removed,
+		QueueDepth:      l.QueueDepth(),
+		CommitLatencyUs: l.commitNanos.Load() / int64(time.Microsecond),
 	}
 }
 
