@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race chaos bench bench-compile bench-key bench-report ci
+.PHONY: all build test vet race chaos bench bench-compile bench-key bench-report metrics-format ci
 
 all: build
 
@@ -37,15 +37,23 @@ bench-compile: bench
 # The tracked hot-path benchmarks (BENCH_PR1..PR5 rows): logging,
 # lineage, Zarr offload, the WAL durability paths, the sharded engine's
 # concurrency pairs (single-lock vs sharded), the bulk-ingestion pair
-# (sequential Puts vs one group-committed batch), and the replication
-# pipeline (follower catch-up throughput).
+# (sequential Puts vs one group-committed batch), the replication
+# pipeline (follower catch-up throughput), and the histogram-observe
+# hot path every one of those now pays per request/fsync/lock.
 bench-key:
-	$(GO) test -run '^$$' -bench 'BenchmarkLogMetric$$|BenchmarkZarrAppend$$|BenchmarkLineage$$|BenchmarkBuildProv$$|BenchmarkWALAppend$$|BenchmarkRecovery$$|BenchmarkShardedPutParallel$$|BenchmarkMixedReadWrite$$|BenchmarkBatchPut$$|BenchmarkReplicationThroughput$$' -benchtime 1s .
+	$(GO) test -run '^$$' -bench 'BenchmarkLogMetric$$|BenchmarkZarrAppend$$|BenchmarkLineage$$|BenchmarkBuildProv$$|BenchmarkWALAppend$$|BenchmarkRecovery$$|BenchmarkShardedPutParallel$$|BenchmarkMixedReadWrite$$|BenchmarkBatchPut$$|BenchmarkReplicationThroughput$$|BenchmarkHistObserve$$' -benchtime 1s .
 
 # Regenerate the committed performance-trajectory report.
 bench-report:
 	$(GO) run ./cmd/benchreport -out BENCH_PR5.json
 
+# Exposition-format gate: the strict Prometheus 0.0.4 parser in
+# internal/obs must accept everything GET /metrics serves, and the
+# registry's own output must round-trip through it.
+metrics-format:
+	$(GO) test -count=1 -run 'TestPromMetricsExposition|TestRegistryExposition|TestValidateExposition' ./internal/provservice/ ./internal/obs/
+
 # Full gate: build, static checks, unit tests, the race-detector pass
-# over every package, and the benchmark compile smoke.
-ci: build vet test race chaos bench-compile
+# over every package, the exposition-format gate, and the benchmark
+# compile smoke.
+ci: build vet test race chaos metrics-format bench-compile

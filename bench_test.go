@@ -18,6 +18,7 @@
 //	BenchmarkMixedReadWrite    — 8-goroutine mixed workload, single lock vs shards
 //	BenchmarkBatchPut/*        — bulk ingestion, sequential Puts vs one group-committed batch
 //	BenchmarkReplicationThroughput — WAL-shipping follower catch-up (records/s streamed + applied)
+//	BenchmarkHistObserve       — one histogram observation (the metrics hot path on every request)
 package repro
 
 import (
@@ -28,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/prov"
 	"repro/internal/provstore"
 	"repro/internal/shardbench"
@@ -452,6 +454,32 @@ func BenchmarkBatchPut(b *testing.B) {
 		b.Run(fmt.Sprintf("sequential/size=%d", size), shardbench.BatchPutSequential(size))
 		b.Run(fmt.Sprintf("size=%d", size), shardbench.BatchPutBatch(size))
 	}
+}
+
+// BenchmarkHistObserve measures one histogram observation — the cost
+// added to every request, fsync, and lock acquisition by the PR-7
+// instruments. It must stay in the low tens of nanoseconds; the
+// parallel variant checks the atomics don't collapse under the same
+// contention the request path sees.
+func BenchmarkHistObserve(b *testing.B) {
+	b.Run("serial", func(b *testing.B) {
+		h := obs.NewDurationHistogram()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Observe(int64(i)%int64(time.Second) + 1)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		h := obs.NewDurationHistogram()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			v := int64(1)
+			for pb.Next() {
+				h.Observe(v % int64(time.Second))
+				v += 4099
+			}
+		})
+	})
 }
 
 // BenchmarkProvParse measures PROV-JSON parsing of a populated run doc.

@@ -6,7 +6,8 @@
 //
 //	yprov-server [-addr :3000] [-token SECRET]
 //	             [-shards N] [-rate-limit RPS] [-rate-burst N]
-//	             [-log-requests]
+//	             [-log-requests] [-log-format text|json] [-slow-request D]
+//	             [-pprof-addr ADDR]
 //	             [-data-dir DIR] [-fsync] [-snapshot-every N]
 //	             [-export-dir DIR]
 //	             [-replicate-from URL] [-advertise-addr ADDR] [-max-lag N]
@@ -46,13 +47,26 @@
 // clients may shorten — never extend — with an X-Yprov-Timeout-Ms
 // header; a request whose deadline expires before its write is durable
 // gets 503 without consuming journal space.
+//
+// Observability: GET /metrics serves every registered instrument (HTTP
+// route histograms, WAL fsync/commit-queue, shard lock waits,
+// admission sheds, replication lag) in Prometheus text format;
+// /api/v0/metrics keeps the JSON summary. Every request carries an
+// X-Yprov-Trace ID (client-supplied or minted) that request logs, the
+// journal, and follower apply logs share. -log-format=json switches
+// request logs to one JSON object per line; -slow-request logs any
+// request at or over the threshold with its per-stage span breakdown;
+// -pprof-addr serves net/http/pprof on a separate listener (keep it
+// private — profiles are not for the public API port).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // mounted on -pprof-addr's DefaultServeMux listener only
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -60,6 +74,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/provservice"
 	"repro/internal/provstore"
 	"repro/internal/repl"
@@ -72,6 +87,9 @@ func main() {
 	rateLimit := flag.Float64("rate-limit", 0, "per-client requests/second budget (0 = unlimited)")
 	rateBurst := flag.Int("rate-burst", 0, "per-client burst on top of -rate-limit (0 = 2x rate)")
 	logRequests := flag.Bool("log-requests", false, "log one line per HTTP request")
+	logFormat := flag.String("log-format", "text", "request log format: text or json")
+	slowRequest := flag.Duration("slow-request", 0, "log requests at or over this duration with their span breakdown (0 disables)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled; keep it private)")
 	dataDir := flag.String("data-dir", "", "write-ahead-logged data directory (empty = in-memory only)")
 	fsync := flag.Bool("fsync", true, "fsync the journal before acknowledging mutations (power-loss durability)")
 	snapshotEvery := flag.Int("snapshot-every", 256, "mutations between snapshot+compaction cycles (<0 disables)")
@@ -149,7 +167,13 @@ func main() {
 		store = provstore.NewSharded(*shards)
 	}
 
+	// One registry collects every subsystem's instruments; the service
+	// exposes it at GET /metrics.
+	reg := obs.NewRegistry()
+	store.RegisterObs(reg)
+
 	var opts []provservice.Option
+	opts = append(opts, provservice.WithRegistry(reg))
 	if *token != "" {
 		opts = append(opts, provservice.WithToken(*token))
 	}
@@ -158,6 +182,12 @@ func main() {
 	}
 	if *logRequests {
 		opts = append(opts, provservice.WithLogger(log.Default()))
+	}
+	if *logFormat == "json" {
+		opts = append(opts, provservice.WithLogFormat(*logFormat))
+	}
+	if *slowRequest > 0 {
+		opts = append(opts, provservice.WithSlowRequestThreshold(*slowRequest))
 	}
 	if *maxInflightWrites > 0 || *maxCommitQueue > 0 || *shedLatencyTarget > 0 {
 		opts = append(opts, provservice.WithAdmission(provservice.AdmissionConfig{
@@ -183,14 +213,28 @@ func main() {
 		if err != nil {
 			log.Fatalf("building follower: %v", err)
 		}
+		replFollower.RegisterObs(reg)
 		opts = append(opts, provservice.WithReplicationFollower(replFollower, *replicateFrom, *maxLag))
 	} else if store.Log() != nil {
 		// Every journaled server doubles as a replication primary.
 		replServer = repl.NewServer(store.Log(), *fsync)
+		replServer.RegisterObs(reg)
 		opts = append(opts, provservice.WithReplicationPrimary(replServer))
 	}
 	svc := provservice.New(store, opts...)
 	srv := &http.Server{Addr: *addr, Handler: svc}
+
+	if *pprofAddr != "" {
+		// net/http/pprof registers on DefaultServeMux; this process
+		// never serves DefaultServeMux anywhere else, so the profiling
+		// listener exposes exactly the pprof handlers.
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -198,14 +242,46 @@ func main() {
 	if replFollower != nil {
 		go replFollower.Run()
 	}
+	role := "primary"
+	if follower {
+		role = "follower"
+	}
+	// One structured line with the full effective configuration — flags
+	// plus derived defaults (actual shard count, follower id, role) — so
+	// a log capture pins down exactly how this server was running.
+	effective, _ := json.Marshal(map[string]interface{}{
+		"addr":                *addr,
+		"auth":                *token != "",
+		"shards":              store.ShardCount(),
+		"rate_limit":          *rateLimit,
+		"rate_burst":          *rateBurst,
+		"log_requests":        *logRequests,
+		"log_format":          *logFormat,
+		"slow_request_ms":     slowRequest.Milliseconds(),
+		"pprof_addr":          *pprofAddr,
+		"data_dir":            *dataDir,
+		"fsync":               *fsync,
+		"snapshot_every":      *snapshotEvery,
+		"export_dir":          *exportDir,
+		"role":                role,
+		"replicate_from":      *replicateFrom,
+		"follower_id":         followerID,
+		"max_lag":             *maxLag,
+		"max_inflight_writes": *maxInflightWrites,
+		"max_commit_queue":    *maxCommitQueue,
+		"shed_latency_ms":     shedLatencyTarget.Milliseconds(),
+		"request_timeout_ms":  requestTimeout.Milliseconds(),
+	})
+	log.Printf("config: %s", effective)
+
 	errc := make(chan error, 1)
 	go func() {
-		role := "primary"
+		roleDesc := role
 		if follower {
-			role = "follower of " + *replicateFrom
+			roleDesc = "follower of " + *replicateFrom
 		}
 		log.Printf("yprov-server listening on %s (auth: %v, data: %q, fsync: %v, shards: %d, rate-limit: %g/s, role: %s)",
-			*addr, *token != "", *dataDir, *fsync, store.ShardCount(), *rateLimit, role)
+			*addr, *token != "", *dataDir, *fsync, store.ShardCount(), *rateLimit, roleDesc)
 		errc <- srv.ListenAndServe()
 	}()
 

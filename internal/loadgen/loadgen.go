@@ -12,14 +12,17 @@
 package loadgen
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/prov"
 	"repro/internal/provclient"
 	"repro/internal/shardbench"
@@ -133,6 +136,19 @@ type OpStats struct {
 	Errors int `json:"errors"`
 }
 
+// SlowOp is one of the run's slowest operations, with the trace ID the
+// request was stamped with — grep the server's request log (and a
+// follower's apply log) for the ID to see where the time went.
+type SlowOp struct {
+	Op    string  `json:"op"`
+	Ms    float64 `json:"ms"`
+	Trace string  `json:"trace"`
+}
+
+// slowestKeep bounds how many slow operations each worker tracks and
+// the merged report lists.
+const slowestKeep = 5
+
 // Report is the outcome of one run.
 type Report struct {
 	Scenario     Scenario           `json:"scenario"`
@@ -147,7 +163,17 @@ type Report struct {
 	DocsPerSec   float64            `json:"docs_per_sec"`
 	Latency      LatencySummary     `json:"latency"`
 	PerOp        map[string]OpStats `json:"per_op"`
-	FirstError   string             `json:"first_error,omitempty"`
+	// ErrorsByStatus breaks Errors down by HTTP status code ("429",
+	// "503", ...), with transport-level failures under "transport".
+	ErrorsByStatus map[string]int `json:"errors_by_status,omitempty"`
+	// Slowest lists the slowest operations of the run with their trace
+	// IDs (see SlowOp).
+	Slowest []SlowOp `json:"slowest,omitempty"`
+	// Client is client-side telemetry (breaker transitions, hedges,
+	// failovers) summed over every worker's replica set; present only
+	// on replica-aware runs.
+	Client     *provclient.ClientMetrics `json:"client,omitempty"`
+	FirstError string                    `json:"first_error,omitempty"`
 	// Chaos-scenario tallies: writes refused by admission control (not
 	// errors — the server kept its promise by saying no), writes the
 	// server acknowledged, and acknowledged writes that could not be
@@ -163,8 +189,11 @@ type workerResult struct {
 	shed            int
 	acked           []string
 	perOp           map[string]OpStats
+	errsByStatus    map[string]int
+	slowest         []SlowOp // at most slowestKeep, descending by Ms
 	latencies       []time.Duration
 	firstErr        string
+	client          provclient.ClientMetrics
 }
 
 // Run executes the configured scenario and reports. It fails fast when
@@ -249,6 +278,8 @@ func Run(cfg Config) (Report, error) {
 	}
 	var all []time.Duration
 	var acked []string
+	var slow []SlowOp
+	var cm provclient.ClientMetrics
 	for _, r := range results {
 		rep.Ops += r.ops
 		rep.Errors += r.errs
@@ -264,7 +295,27 @@ func Run(cfg Config) (Report, error) {
 			agg.Errors += v.Errors
 			rep.PerOp[k] = agg
 		}
+		for k, v := range r.errsByStatus {
+			if rep.ErrorsByStatus == nil {
+				rep.ErrorsByStatus = map[string]int{}
+			}
+			rep.ErrorsByStatus[k] += v
+		}
+		slow = append(slow, r.slowest...)
+		cm.BreakerOpens += r.client.BreakerOpens
+		cm.BreakerCloses += r.client.BreakerCloses
+		cm.Hedges += r.client.Hedges
+		cm.HedgeWins += r.client.HedgeWins
+		cm.Failovers += r.client.Failovers
 		all = append(all, r.latencies...)
+	}
+	sort.Slice(slow, func(i, j int) bool { return slow[i].Ms > slow[j].Ms })
+	if len(slow) > slowestKeep {
+		slow = slow[:slowestKeep]
+	}
+	rep.Slowest = slow
+	if len(cfg.ReplicaURLs) > 0 {
+		rep.Client = &cm
 	}
 	// The chaos contract: every write the server acknowledged during the
 	// run — however faulted the run was — must be readable afterwards.
@@ -306,7 +357,7 @@ type workerConfig struct {
 // runWorker loops operations for one goroutine until the deadline (or
 // the Smoke op budget) and tallies outcomes.
 func runWorker(w workerConfig) workerResult {
-	res := workerResult{perOp: map[string]OpStats{}}
+	res := workerResult{perOp: map[string]OpStats{}, errsByStatus: map[string]int{}}
 	next := time.Now()
 	for n := 0; ; n++ {
 		if time.Now().After(w.deadline) {
@@ -322,9 +373,16 @@ func runWorker(w workerConfig) workerResult {
 			next = next.Add(w.pace)
 		}
 		kind, docs := w.pickOp(n)
+		// Every operation carries a trace: the server logs requests
+		// under this ID, so the slowest ops reported below can be
+		// matched against server-side span breakdowns.
+		tr := obs.NewTrace("")
+		ctx := obs.WithTrace(context.Background(), tr)
 		opStart := time.Now()
-		err := w.execOp(kind, n, &res)
-		res.latencies = append(res.latencies, time.Since(opStart))
+		err := w.execOp(ctx, kind, n, &res)
+		elapsed := time.Since(opStart)
+		res.latencies = append(res.latencies, elapsed)
+		res.noteSlow(kind, elapsed, tr.ID())
 		st := res.perOp[kind]
 		st.Count++
 		res.ops++
@@ -338,13 +396,39 @@ func runWorker(w workerConfig) workerResult {
 		default:
 			st.Errors++
 			res.errs++
+			res.errsByStatus[statusKey(err)]++
 			if res.firstErr == "" {
 				res.firstErr = err.Error()
 			}
 		}
 		res.perOp[kind] = st
 	}
+	if w.replicas != nil {
+		res.client = w.replicas.Metrics()
+	}
 	return res
+}
+
+// statusKey buckets an operation error for the by-status breakdown.
+func statusKey(err error) string {
+	var ae *provclient.APIError
+	if errors.As(err, &ae) {
+		return strconv.Itoa(ae.Status)
+	}
+	return "transport"
+}
+
+// noteSlow keeps the worker's top-slowestKeep operations, descending.
+func (r *workerResult) noteSlow(op string, d time.Duration, trace string) {
+	ms := float64(d) / float64(time.Millisecond)
+	if len(r.slowest) == slowestKeep && ms <= r.slowest[slowestKeep-1].Ms {
+		return
+	}
+	r.slowest = append(r.slowest, SlowOp{Op: op, Ms: ms, Trace: trace})
+	sort.Slice(r.slowest, func(i, j int) bool { return r.slowest[i].Ms > r.slowest[j].Ms })
+	if len(r.slowest) > slowestKeep {
+		r.slowest = r.slowest[:slowestKeep]
+	}
 }
 
 // pickOp chooses the n-th operation kind for this worker per the
@@ -380,11 +464,13 @@ func isShed(err error) bool {
 }
 
 // execOp performs one operation, recording chaos-scenario acks in res.
-func (w *workerConfig) execOp(kind string, n int, res *workerResult) error {
+// ctx carries the operation's trace so every request (including hedges
+// and failovers) is stamped with one ID.
+func (w *workerConfig) execOp(ctx context.Context, kind string, n int, res *workerResult) error {
 	switch kind {
 	case "upload-acked":
 		id := fmt.Sprintf("chaos-w%d-n%d", w.id, n)
-		if err := w.client.Upload(id, w.doc); err != nil {
+		if err := w.client.UploadCtx(ctx, id, w.doc); err != nil {
 			return err
 		}
 		res.acked = append(res.acked, id)
@@ -396,12 +482,12 @@ func (w *workerConfig) execOp(kind string, n int, res *workerResult) error {
 		}
 		if w.cfg.BatchSize == 1 { // comparison mode: the single-PUT path
 			for id, d := range batch {
-				return w.client.Upload(id, d)
+				return w.client.UploadCtx(ctx, id, d)
 			}
 		}
-		return w.client.UploadBatch(batch)
+		return w.client.UploadBatchCtx(ctx, batch)
 	case "upload-hot":
-		return w.client.Upload(w.hot[w.rng.Intn(len(w.hot))], w.doc)
+		return w.client.UploadCtx(ctx, w.hot[w.rng.Intn(len(w.hot))], w.doc)
 	case "lineage":
 		id := w.seedIDs[w.rng.Intn(len(w.seedIDs))]
 		if w.cfg.Scenario == HotDoc && w.rng.Float64() < 0.9 {
@@ -410,9 +496,9 @@ func (w *workerConfig) execOp(kind string, n int, res *workerResult) error {
 		var nodes []prov.QName
 		var err error
 		if w.replicas != nil {
-			nodes, err = w.replicas.Lineage(id, w.leaf, "ancestors", 0)
+			nodes, err = w.replicas.LineageCtx(ctx, id, w.leaf, "ancestors", 0)
 		} else {
-			nodes, err = w.client.Lineage(id, w.leaf, "ancestors", 0)
+			nodes, err = w.client.LineageCtx(ctx, id, w.leaf, "ancestors", 0)
 		}
 		if err != nil {
 			return err
@@ -459,6 +545,25 @@ func (r Report) String() string {
 	for _, k := range sortedOpKinds(r.PerOp) {
 		v := r.PerOp[k]
 		s += fmt.Sprintf("  %-12s %6d ops  %d errors\n", k, v.Count, v.Errors)
+	}
+	if len(r.ErrorsByStatus) > 0 {
+		keys := make([]string, 0, len(r.ErrorsByStatus))
+		for k := range r.ErrorsByStatus {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		s += "errors by status:"
+		for _, k := range keys {
+			s += fmt.Sprintf(" %s=%d", k, r.ErrorsByStatus[k])
+		}
+		s += "\n"
+	}
+	if r.Client != nil {
+		s += fmt.Sprintf("client: breaker_opens=%d breaker_closes=%d hedges=%d hedge_wins=%d failovers=%d\n",
+			r.Client.BreakerOpens, r.Client.BreakerCloses, r.Client.Hedges, r.Client.HedgeWins, r.Client.Failovers)
+	}
+	for _, so := range r.Slowest {
+		s += fmt.Sprintf("slow: %-12s %8.2fms  trace=%s\n", so.Op, so.Ms, so.Trace)
 	}
 	if r.FirstError != "" {
 		s += "first error: " + r.FirstError + "\n"

@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition parses data as Prometheus text format (0.0.4)
+// and returns the first violation found, or nil. It is the strict
+// parser backing the exposition-format tests: beyond line syntax it
+// checks that TYPE precedes a family's samples, that histogram
+// families expose _bucket/_sum/_count with a +Inf bucket, and that
+// bucket counts are cumulative per series.
+func ValidateExposition(data []byte) error {
+	types := make(map[string]string)          // family -> declared type
+	sampled := make(map[string]bool)          // family -> samples seen
+	buckets := make(map[string][]bucketPoint) // histogram series (name+labels sans le) -> le points
+	histSuffix := make(map[string]map[string]bool)
+
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, types, sampled); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := name
+		var suffix string
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, s)
+			if base != name && types[base] == "histogram" {
+				fam, suffix = base, s
+				break
+			}
+		}
+		typ, declared := types[fam]
+		if !declared {
+			return fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, name)
+		}
+		sampled[fam] = true
+		if typ == "histogram" {
+			if suffix == "" {
+				return fmt.Errorf("line %d: histogram %q sample lacks _bucket/_sum/_count suffix", lineNo, fam)
+			}
+			if histSuffix[fam] == nil {
+				histSuffix[fam] = make(map[string]bool)
+			}
+			histSuffix[fam][suffix] = true
+			if suffix == "_bucket" {
+				le, ok := labels["le"]
+				if !ok {
+					return fmt.Errorf("line %d: %s_bucket without le label", lineNo, fam)
+				}
+				delete(labels, "le")
+				key := fam + renderLabels(labels)
+				buckets[key] = append(buckets[key], bucketPoint{le: le, count: value, line: lineNo})
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for fam, suffixes := range histSuffix {
+		for _, want := range []string{"_bucket", "_sum", "_count"} {
+			if !suffixes[want] {
+				return fmt.Errorf("histogram %q missing %s samples", fam, want)
+			}
+		}
+	}
+	for key, pts := range buckets {
+		var prev float64
+		infSeen := false
+		for _, p := range pts {
+			if p.le == "+Inf" {
+				infSeen = true
+			} else if _, err := strconv.ParseFloat(p.le, 64); err != nil {
+				return fmt.Errorf("line %d: bad le %q", p.line, p.le)
+			}
+			if p.count < prev {
+				return fmt.Errorf("line %d: series %s buckets not cumulative (%g < %g)", p.line, key, p.count, prev)
+			}
+			prev = p.count
+		}
+		if !infSeen {
+			return fmt.Errorf("series %s has no +Inf bucket", key)
+		}
+	}
+	return nil
+}
+
+type bucketPoint struct {
+	le    string
+	count float64
+	line  int
+}
+
+func parseComment(line string, types map[string]string, sampled map[string]bool) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 {
+		return fmt.Errorf("malformed comment %q", line)
+	}
+	switch fields[1] {
+	case "HELP":
+		if !validMetricName(fields[2]) {
+			return fmt.Errorf("HELP for invalid metric name %q", fields[2])
+		}
+	case "TYPE":
+		name := fields[2]
+		if !validMetricName(name) {
+			return fmt.Errorf("TYPE for invalid metric name %q", name)
+		}
+		if len(fields) != 4 {
+			return fmt.Errorf("TYPE %s missing type", name)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("TYPE %s has unknown type %q", name, fields[3])
+		}
+		if _, dup := types[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %q", name)
+		}
+		if sampled[name] {
+			return fmt.Errorf("TYPE for %q after its samples", name)
+		}
+		types[name] = fields[3]
+	default:
+		// Free-form comments are legal.
+	}
+	return nil
+}
+
+// parseSample splits `name{k="v",...} value` into parts, validating
+// each. Timestamps (a trailing integer) are accepted.
+func parseSample(line string) (name string, labels Labels, value float64, err error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = rest[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	labels = Labels{}
+	if rest[i] == '{' {
+		rest = rest[i+1:]
+		for {
+			rest = strings.TrimLeft(rest, ",")
+			if len(rest) > 0 && rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.Index(rest, "=")
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("malformed labels in %q", line)
+			}
+			lname := rest[:eq]
+			if !validLabelName(lname) {
+				return "", nil, 0, fmt.Errorf("invalid label name %q", lname)
+			}
+			rest = rest[eq:]
+			if len(rest) < 2 || rest[0] != '=' || rest[1] != '"' {
+				return "", nil, 0, fmt.Errorf("unquoted label value in %q", line)
+			}
+			rest = rest[2:]
+			var val strings.Builder
+			closed := false
+			for j := 0; j < len(rest); j++ {
+				c := rest[j]
+				if c == '\\' {
+					if j+1 >= len(rest) {
+						return "", nil, 0, fmt.Errorf("dangling escape in %q", line)
+					}
+					j++
+					switch rest[j] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return "", nil, 0, fmt.Errorf("bad escape \\%c in %q", rest[j], line)
+					}
+					continue
+				}
+				if c == '"' {
+					rest = rest[j+1:]
+					closed = true
+					break
+				}
+				val.WriteString(string(c))
+			}
+			if !closed {
+				return "", nil, 0, fmt.Errorf("unterminated label value in %q", line)
+			}
+			if _, dup := labels[lname]; dup {
+				return "", nil, 0, fmt.Errorf("duplicate label %q in %q", lname, line)
+			}
+			labels[lname] = val.String()
+		}
+	} else {
+		rest = rest[i:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("expected value [timestamp] in %q", line)
+	}
+	value, err = parsePromValue(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q in %q", fields[0], line)
+	}
+	if len(fields) == 2 {
+		if _, terr := strconv.ParseInt(fields[1], 10, 64); terr != nil {
+			return "", nil, 0, fmt.Errorf("bad timestamp %q in %q", fields[1], line)
+		}
+	}
+	return name, labels, value, nil
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader carries the request's trace ID: accepted inbound (so a
+// client can pick the ID), always echoed on the response, and stamped
+// by provclient on outgoing requests.
+const TraceHeader = "X-Yprov-Trace"
+
+// SpanHeader echoes the per-stage span timings recorded while the
+// request was handled, e.g. "parse=0.102ms,lock=0.004ms,commit=2.1ms".
+const SpanHeader = "X-Yprov-Spans"
+
+var traceFallback atomic.Uint64
+
+// NewTraceID returns a 16-hex-char random ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy exhaustion is effectively unreachable on supported
+		// platforms; a process-local counter keeps IDs unique anyway.
+		return fmt.Sprintf("%016x", traceFallback.Add(1)^uint64(time.Now().UnixNano()))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Trace is one request's identity plus its named span timings. It is
+// carried by context through the handler → store → WAL pipeline; every
+// method is safe on a nil receiver so untraced paths (benchmarks,
+// internal calls with context.Background) pay only a nil check.
+type Trace struct {
+	id    string
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// SpanRecord is one named timing within a trace.
+type SpanRecord struct {
+	Name string
+	Dur  time.Duration
+}
+
+// NewTrace builds a trace with the given ID, generating one when id is
+// empty or not a plausible header value (1–64 chars of [0-9A-Za-z_.-]).
+func NewTrace(id string) *Trace {
+	if !validTraceID(id) {
+		id = NewTraceID()
+	}
+	return &Trace{id: id}
+}
+
+func validTraceID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c == '_', c == '.', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ID returns the trace ID ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Observe records a completed span.
+func (t *Trace) Observe(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, SpanRecord{Name: name, Dur: d})
+	t.mu.Unlock()
+}
+
+// StartSpan begins a named span; call End on the result. On a nil
+// trace the returned span is inert and End is free.
+func (t *Trace) StartSpan(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, start: time.Now()}
+}
+
+// Span is an in-flight named timing. The zero value is inert.
+type Span struct {
+	t     *Trace
+	name  string
+	start time.Time
+}
+
+// End records the span's elapsed time into its trace. Safe to call on
+// the zero value.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.Observe(s.name, time.Since(s.start))
+}
+
+// Spans returns the recorded spans merged by name (durations summed,
+// first-appearance order), so a batch that locks several shards reads
+// as one "lock" figure.
+func (t *Trace) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	merged := make([]SpanRecord, 0, len(t.spans))
+	idx := make(map[string]int, len(t.spans))
+	for _, s := range t.spans {
+		if i, ok := idx[s.Name]; ok {
+			merged[i].Dur += s.Dur
+			continue
+		}
+		idx[s.Name] = len(merged)
+		merged = append(merged, s)
+	}
+	return merged
+}
+
+// SpanString renders the merged spans as "name=1.234ms,..." for the
+// response header and log lines ("" when nothing was recorded).
+func (t *Trace) SpanString() string {
+	spans := t.Spans()
+	if len(spans) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, s := range spans {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%.3fms", s.Name, float64(s.Dur)/1e6)
+	}
+	return b.String()
+}
+
+type traceKey struct{}
+
+// WithTrace attaches t to ctx.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the context's trace, or nil — callers gate span
+// work on the nil check so untraced paths stay clock-free.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/prov"
@@ -178,6 +179,10 @@ type BatchWriter struct {
 	rng   *rand.Rand
 	rngMu sync.Mutex
 
+	// retries counts re-sent batches (attempts beyond each batch's
+	// first), for load-generator and operator reporting.
+	retries atomic.Uint64
+
 	mu      sync.Mutex
 	lines   [][]byte       // encoded NDJSON lines, in Add order
 	byID    map[string]int // id -> index in lines (duplicate Adds overwrite)
@@ -321,8 +326,12 @@ func (w *BatchWriter) shipWithRetry(body []byte) error {
 		if serr := w.sleepCtx(ctx, w.retryDelay(attempt, err)); serr != nil {
 			return serr
 		}
+		w.retries.Add(1)
 	}
 }
+
+// Retries reports how many batch re-sends this writer has performed.
+func (w *BatchWriter) Retries() uint64 { return w.retries.Load() }
 
 // sleepCtx waits d or until ctx is canceled, whichever is first. A
 // context that can never be canceled takes the swappable w.sleep path

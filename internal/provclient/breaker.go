@@ -57,6 +57,19 @@ type breaker struct {
 	open     bool
 	openedAt time.Time   // last trip or last admitted probe
 	failures []time.Time // rolling window of recent failures (closed state)
+
+	// Transition tallies for observability (guarded by mu): how many
+	// times the breaker tripped open and how many times a successful
+	// probe closed it again.
+	opens  uint64
+	closes uint64
+}
+
+// transitions reports the cumulative open/close counts.
+func (b *breaker) transitions() (opens, closes uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens, b.closes
 }
 
 func newBreaker(cfg BreakerConfig) *breaker {
@@ -85,6 +98,9 @@ func (b *breaker) allow() bool {
 func (b *breaker) onSuccess() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.open {
+		b.closes++
+	}
 	b.open = false
 	b.failures = b.failures[:0]
 }
@@ -110,6 +126,7 @@ func (b *breaker) onFailure() {
 	b.failures = append(keep, now)
 	if len(b.failures) >= b.cfg.Threshold {
 		b.open = true
+		b.opens++
 		b.openedAt = now
 		b.failures = b.failures[:0]
 	}

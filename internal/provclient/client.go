@@ -12,9 +12,11 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/prov"
 	"repro/internal/provstore"
 )
@@ -24,6 +26,14 @@ type Client struct {
 	BaseURL string
 	Token   string
 	HTTP    *http.Client
+
+	// Trace stamps every outgoing request with a fresh X-Yprov-Trace ID
+	// (unless the context already carries a trace via obs.WithTrace, in
+	// which case that trace's ID is used — retries and hedges of one
+	// logical operation then share one ID). The last ID sent is kept for
+	// LastTrace, so a caller that just timed a slow operation can quote
+	// the ID the server logged it under.
+	Trace bool
 
 	// lastSeq is the highest X-Yprov-Seq write token observed on any
 	// response through this client — the read-your-writes cursor a
@@ -35,6 +45,9 @@ type Client struct {
 	// answer 503 so the caller fails over to a fresher replica.
 	// Installed by ReplicaSet; nil on standalone clients.
 	minSeq func() uint64
+	// lastTrace holds the most recent trace ID stamped on a request
+	// (string; see Trace above).
+	lastTrace atomic.Value
 }
 
 // sharedTransport is one connection pool for every client in the
@@ -83,11 +96,23 @@ type APIError struct {
 	// Retry loops should wait at least this long before the next
 	// attempt; BatchWriter does.
 	RetryAfter time.Duration
+	// Body is the raw response body, truncated to maxErrBodyBytes. When
+	// the body was not the service's JSON error envelope (a proxy's HTML
+	// 502, a panic trace), Error falls back to it so the actual server
+	// response is never silently dropped from diagnostics.
+	Body string
 }
+
+// maxErrBodyBytes caps how much of a non-envelope error response is
+// carried in APIError.Body (and quoted by Error).
+const maxErrBodyBytes = 256
 
 func (e *APIError) Error() string {
 	if e.Message != "" {
 		return fmt.Sprintf("provclient: HTTP %d: %s", e.Status, e.Message)
+	}
+	if e.Body != "" {
+		return fmt.Sprintf("provclient: HTTP %d: %s", e.Status, e.Body)
 	}
 	return fmt.Sprintf("provclient: HTTP %d", e.Status)
 }
@@ -140,6 +165,14 @@ func (c *Client) doCtx(ctx context.Context, method, path string, body []byte) ([
 			req.Header.Set("X-Yprov-Min-Seq", strconv.FormatUint(seq, 10))
 		}
 	}
+	if tr := obs.FromContext(ctx); tr != nil {
+		req.Header.Set(obs.TraceHeader, tr.ID())
+		c.lastTrace.Store(tr.ID())
+	} else if c.Trace {
+		id := obs.NewTraceID()
+		req.Header.Set(obs.TraceHeader, id)
+		c.lastTrace.Store(id)
+	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return nil, 0, nil, err
@@ -171,6 +204,17 @@ func (c *Client) noteSeq(seq uint64) {
 // observed — pass it forward (via a ReplicaSet) for read-your-writes.
 func (c *Client) LastSeq() uint64 { return c.lastSeq.Load() }
 
+// LastTrace reports the trace ID stamped on this client's most recent
+// request ("" before the first traced request). Meaningful only when
+// the caller serializes operations per client (one client per worker),
+// as loadgen does.
+func (c *Client) LastTrace() string {
+	if v, ok := c.lastTrace.Load().(string); ok {
+		return v
+	}
+	return ""
+}
+
 // apiError extracts the error envelope (and the Retry-After hint) from
 // a non-2xx response.
 func apiError(payload []byte, status int, hdr http.Header) error {
@@ -179,7 +223,20 @@ func apiError(payload []byte, status int, hdr http.Header) error {
 	}
 	_ = json.Unmarshal(payload, &eb)
 	e := &APIError{Status: status, Message: eb.Error, RetryAfter: parseRetryAfter(hdr)}
+	if e.Message == "" {
+		e.Body = truncBody(payload)
+	}
 	return e
+}
+
+// truncBody renders a response body for APIError.Body: trimmed, capped
+// at maxErrBodyBytes with an ellipsis marker.
+func truncBody(payload []byte) string {
+	s := strings.TrimSpace(string(payload))
+	if len(s) > maxErrBodyBytes {
+		s = s[:maxErrBodyBytes] + "..."
+	}
+	return s
 }
 
 // parseRetryAfter reads a Retry-After header in its delta-seconds form

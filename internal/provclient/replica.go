@@ -47,6 +47,13 @@ type ReplicaSet struct {
 	// candidate if the first has not answered within the delay. Set it
 	// near the expected p99; zero disables hedging.
 	HedgeDelay time.Duration
+
+	// Hedge outcome tallies: hedges fired, and hedges whose duplicate
+	// request answered first (wins). Exposed through Metrics.
+	hedges    atomic.Uint64
+	hedgeWins atomic.Uint64
+	// failovers counts reads that moved past their first candidate.
+	failovers atomic.Uint64
 }
 
 // member pairs one endpoint's client with its circuit breaker.
@@ -94,6 +101,44 @@ func (r *ReplicaSet) SetToken(token string) {
 	for _, m := range r.replicas {
 		m.c.Token = token
 	}
+}
+
+// SetTracing enables X-Yprov-Trace stamping on every member client.
+// Operations given a context that already carries an obs.Trace use
+// that trace's ID regardless of this setting, so hedges and failovers
+// of one read share one ID.
+func (r *ReplicaSet) SetTracing(on bool) {
+	r.primary.c.Trace = on
+	for _, m := range r.replicas {
+		m.c.Trace = on
+	}
+}
+
+// ClientMetrics is a snapshot of a ReplicaSet's client-side telemetry:
+// breaker transitions summed over every member, plus hedge and
+// failover outcomes.
+type ClientMetrics struct {
+	BreakerOpens  uint64 `json:"breaker_opens"`
+	BreakerCloses uint64 `json:"breaker_closes"`
+	Hedges        uint64 `json:"hedges"`
+	HedgeWins     uint64 `json:"hedge_wins"`
+	Failovers     uint64 `json:"failovers"`
+}
+
+// Metrics sums the set's client-side telemetry.
+func (r *ReplicaSet) Metrics() ClientMetrics {
+	m := ClientMetrics{
+		Hedges:    r.hedges.Load(),
+		HedgeWins: r.hedgeWins.Load(),
+		Failovers: r.failovers.Load(),
+	}
+	members := append([]*member{r.primary}, r.replicas...)
+	for _, mb := range members {
+		o, c := mb.br.transitions()
+		m.BreakerOpens += o
+		m.BreakerCloses += c
+	}
+	return m
 }
 
 // Primary exposes the primary's client for operations that must not
@@ -145,11 +190,11 @@ func (r *ReplicaSet) readCandidates() []*member {
 func readVal[T any](r *ReplicaSet, op func(c *Client) (T, error)) (T, error) {
 	cands := r.readCandidates()
 	if r.HedgeDelay > 0 && len(cands) > 1 {
-		return hedgedRead(r.HedgeDelay, cands, op)
+		return hedgedRead(r, cands, op)
 	}
 	var zero T
 	var lastErr error
-	for _, m := range cands {
+	for i, m := range cands {
 		v, err := op(m.c)
 		m.record(err)
 		if err == nil {
@@ -157,6 +202,9 @@ func readVal[T any](r *ReplicaSet, op func(c *Client) (T, error)) (T, error) {
 		}
 		if !failover(err) {
 			return zero, err
+		}
+		if i == 0 {
+			r.failovers.Add(1)
 		}
 		lastErr = err
 	}
@@ -168,8 +216,9 @@ func readVal[T any](r *ReplicaSet, op func(c *Client) (T, error)) (T, error) {
 // fires at the next candidate. First success wins; failures keep
 // walking the chain as usual. Every launched attempt reports to its
 // member's breaker even after the winner returns.
-func hedgedRead[T any](delay time.Duration, cands []*member, op func(c *Client) (T, error)) (T, error) {
+func hedgedRead[T any](r *ReplicaSet, cands []*member, op func(c *Client) (T, error)) (T, error) {
 	type result struct {
+		idx int
 		val T
 		err error
 	}
@@ -179,35 +228,43 @@ func hedgedRead[T any](delay time.Duration, cands []*member, op func(c *Client) 
 	launched := 0
 	launch := func() {
 		m := cands[launched]
+		idx := launched
 		launched++
 		go func() {
 			v, err := op(m.c)
 			m.record(err)
-			ch <- result{val: v, err: err}
+			ch <- result{idx: idx, val: v, err: err}
 		}()
 	}
 	launch()
-	hedge := time.NewTimer(delay)
+	hedge := time.NewTimer(r.HedgeDelay)
 	defer hedge.Stop()
-	hedgeFired := false
+	hedgeIdx := -1 // launch index of the hedge attempt, once fired
 
 	var zero T
 	var lastErr error
 	for outstanding := 1; outstanding > 0; {
 		select {
 		case <-hedge.C:
-			if !hedgeFired && launched < len(cands) {
-				hedgeFired = true
+			if hedgeIdx < 0 && launched < len(cands) {
+				hedgeIdx = launched
+				r.hedges.Add(1)
 				launch()
 				outstanding++
 			}
 		case res := <-ch:
 			outstanding--
 			if res.err == nil {
+				if res.idx == hedgeIdx {
+					r.hedgeWins.Add(1)
+				}
 				return res.val, nil
 			}
 			if !failover(res.err) {
 				return zero, res.err
+			}
+			if res.idx == 0 {
+				r.failovers.Add(1)
 			}
 			lastErr = res.err
 			if launched < len(cands) {
@@ -286,7 +343,13 @@ func (r *ReplicaSet) ListCtx(ctx context.Context) ([]string, error) {
 
 // Lineage queries ancestors/descendants of a node.
 func (r *ReplicaSet) Lineage(id string, node prov.QName, dir provstore.LineageDirection, depth int) ([]prov.QName, error) {
-	return readVal(r, func(c *Client) ([]prov.QName, error) { return c.Lineage(id, node, dir, depth) })
+	return r.LineageCtx(context.Background(), id, node, dir, depth)
+}
+
+// LineageCtx is Lineage bounded by ctx (which may carry an obs.Trace
+// so every attempt of the read shares one trace ID).
+func (r *ReplicaSet) LineageCtx(ctx context.Context, id string, node prov.QName, dir provstore.LineageDirection, depth int) ([]prov.QName, error) {
+	return readVal(r, func(c *Client) ([]prov.QName, error) { return c.LineageCtx(ctx, id, node, dir, depth) })
 }
 
 // Subgraph fetches the neighborhood of a node as a document.

@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Admission control: shed writes with 429/Retry-After BEFORE they queue
@@ -39,11 +41,26 @@ func (c AdmissionConfig) enabled() bool {
 	return c.MaxInflightWrites > 0 || c.MaxCommitQueue > 0 || c.ShedLatencyTarget > 0
 }
 
-// admission is the middleware state: the config plus a shed counter
-// surfaced through /api/v0/metrics.
+// admission is the middleware state: the config, a total shed counter
+// surfaced through /api/v0/metrics, and per-reason counters exposed as
+// yprov_admission_shed_total{reason=...} so operators can tell WHICH
+// threshold is tripping (queue depth vs. latency target vs. in-flight).
 type admission struct {
 	cfg  AdmissionConfig
 	shed atomic.Uint64
+
+	shedWait     obs.Counter // ShedLatencyTarget exceeded
+	shedQueue    obs.Counter // MaxCommitQueue exceeded
+	shedInflight obs.Counter // MaxInflightWrites exceeded
+}
+
+// register exposes the per-reason shed counters on reg.
+func (a *admission) register(reg *obs.Registry) {
+	const name = "yprov_admission_shed_total"
+	const help = "Writes shed by admission control, by threshold tripped."
+	reg.RegisterCounter(name, help, obs.Labels{"reason": "est-commit-wait"}, &a.shedWait)
+	reg.RegisterCounter(name, help, obs.Labels{"reason": "commit-queue"}, &a.shedQueue)
+	reg.RegisterCounter(name, help, obs.Labels{"reason": "inflight-writes"}, &a.shedInflight)
 }
 
 // WithAdmission enables write admission control with the given
@@ -90,8 +107,9 @@ func (s *Service) withAdmission(next http.Handler) http.Handler {
 			next.ServeHTTP(w, r)
 			return
 		}
-		if reason, retryAfter, ok := a.admit(s); !ok {
+		if reason, byReason, retryAfter, ok := a.admit(s); !ok {
 			a.shed.Add(1)
+			byReason.Inc()
 			w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 			writeErr(w, http.StatusTooManyRequests, "write shed: %s; retry after backoff", reason)
 			return
@@ -101,25 +119,26 @@ func (s *Service) withAdmission(next http.Handler) http.Handler {
 }
 
 // admit evaluates the thresholds. Not ok => (human-readable reason,
-// Retry-After seconds). The in-flight gauge already counts this request
-// (the metrics middleware wraps this one), hence the strict >.
-func (a *admission) admit(s *Service) (reason string, retryAfter int, ok bool) {
+// the per-reason counter to bump, Retry-After seconds). The in-flight
+// gauge already counts this request (the metrics middleware wraps this
+// one), hence the strict >.
+func (a *admission) admit(s *Service) (reason string, byReason *obs.Counter, retryAfter int, ok bool) {
 	depth, estWait := s.store.CommitQueue()
 	if t := a.cfg.ShedLatencyTarget; t > 0 && estWait > t {
 		return "estimated commit wait " + estWait.Round(time.Millisecond).String() +
-			" over target " + t.String(), retrySecs(estWait), false
+			" over target " + t.String(), &a.shedWait, retrySecs(estWait), false
 	}
 	if m := a.cfg.MaxCommitQueue; m > 0 && depth > m {
 		return "commit queue depth " + strconv.FormatInt(depth, 10) +
-			" over limit " + strconv.FormatInt(m, 10), retrySecs(estWait), false
+			" over limit " + strconv.FormatInt(m, 10), &a.shedQueue, retrySecs(estWait), false
 	}
 	if m := a.cfg.MaxInflightWrites; m > 0 {
 		if inflight := s.metrics.inflightWrites.Load(); inflight > int64(m) {
 			return "in-flight writes " + strconv.FormatInt(inflight, 10) +
-				" over limit " + strconv.Itoa(m), retrySecs(estWait), false
+				" over limit " + strconv.Itoa(m), &a.shedInflight, retrySecs(estWait), false
 		}
 	}
-	return "", 0, true
+	return "", nil, 0, true
 }
 
 // retrySecs turns the estimated queue wait into a Retry-After value:

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 
+	"repro/internal/obs"
 	"repro/internal/prov"
 	"repro/internal/provstore"
 )
@@ -65,6 +66,11 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var lineErrs []batchLineError
 	ids := make([]string, 0, 16) // request order, for the response
 	br := bufio.NewReader(r.Body)
+	// The "parse" span covers the whole NDJSON decode loop (reads are
+	// interleaved with parsing, so they are inseparable here). Ended
+	// explicitly after the loop so the store commit is not counted;
+	// early-return error paths simply drop the span.
+	parseSpan := obs.FromContext(r.Context()).StartSpan("parse")
 	lineNo := 0
 	for {
 		lineNo++
@@ -132,6 +138,7 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 	}
+	parseSpan.End()
 	if len(lineErrs) > 0 {
 		writeBatchRejected(w, http.StatusUnprocessableEntity, lineErrs)
 		return

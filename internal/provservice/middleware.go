@@ -1,6 +1,9 @@
 package provservice
 
 import (
+	"encoding/json"
+	"fmt"
+	"log"
 	"net"
 	"net/http"
 	"strconv"
@@ -9,13 +12,13 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // The service's HTTP pipeline is a stack of composable middleware
 // wrapped around thin handlers (see service.go):
 //
-//	logging -> metrics -> rate limit -> auth -> admission ->
+//	trace -> logging -> metrics -> rate limit -> auth -> admission ->
 //	follower guard -> min-seq -> deadline -> body limit -> mux
 //
 // Each layer does one thing and knows nothing about the others; the
@@ -62,11 +65,77 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 // stream handler needs per-batch flushes.
 func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
-// withLogging emits one line per request: method, path, status, bytes,
-// duration, client.
+// withTrace is the outermost layer: it adopts the client's
+// X-Yprov-Trace ID (or mints one), carries the trace through the
+// request context — where the store and WAL record their span timings
+// — and echoes the ID immediately plus the spans lazily (see
+// spanWriter) on the response.
+func (s *Service) withTrace(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := obs.NewTrace(r.Header.Get(obs.TraceHeader))
+		w.Header().Set(obs.TraceHeader, tr.ID())
+		sw := &spanWriter{ResponseWriter: w, tr: tr}
+		next.ServeHTTP(sw, r.WithContext(obs.WithTrace(r.Context(), tr)))
+	})
+}
+
+// spanWriter injects the X-Yprov-Spans header at the moment the
+// handler commits to a status — net/http drops headers set after
+// WriteHeader, and the interesting spans (the WAL commit wait in
+// particular) only finish just before the handler writes its response.
+type spanWriter struct {
+	http.ResponseWriter
+	tr      *obs.Trace
+	stamped bool
+}
+
+func (w *spanWriter) stamp() {
+	if w.stamped {
+		return
+	}
+	w.stamped = true
+	if spans := w.tr.SpanString(); spans != "" {
+		w.ResponseWriter.Header().Set(obs.SpanHeader, spans)
+	}
+}
+
+func (w *spanWriter) WriteHeader(code int) {
+	w.stamp()
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *spanWriter) Write(p []byte) (int, error) {
+	w.stamp()
+	return w.ResponseWriter.Write(p)
+}
+
+// Unwrap keeps Flusher & co. reachable (see statusWriter.Unwrap).
+func (w *spanWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// requestLog is the structured request record emitted when the
+// service runs with the JSON log format. Span durations are in
+// milliseconds, keyed by span name.
+type requestLog struct {
+	Time   string             `json:"time"`
+	Trace  string             `json:"trace"`
+	Method string             `json:"method"`
+	Path   string             `json:"path"`
+	Route  string             `json:"route"`
+	Status int                `json:"status"`
+	Bytes  int64              `json:"bytes"`
+	DurMs  float64            `json:"dur_ms"`
+	Client string             `json:"client"`
+	Slow   bool               `json:"slow,omitempty"`
+	Spans  map[string]float64 `json:"spans,omitempty"`
+}
+
+// withLogging emits one line per request — classic text or structured
+// JSON (WithLogFormat). Requests at or over the slow-request threshold
+// are flagged and carry their span breakdown, and are logged even when
+// general request logging is off.
 func (s *Service) withLogging(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if s.logger == nil {
+		if s.logger == nil && s.slowThreshold <= 0 {
 			next.ServeHTTP(w, r)
 			return
 		}
@@ -76,9 +145,50 @@ func (s *Service) withLogging(next http.Handler) http.Handler {
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
-		s.logger.Printf("%s %s -> %d (%dB, %s, client %s)",
+		d := time.Since(start)
+		slow := s.slowThreshold > 0 && d >= s.slowThreshold
+		logger := s.logger
+		if logger == nil {
+			if !slow {
+				return
+			}
+			logger = log.Default() // slow-request logging was asked for explicitly
+		}
+		tr := obs.FromContext(r.Context())
+		if s.logJSON {
+			rec := requestLog{
+				Time:   start.UTC().Format(time.RFC3339Nano),
+				Trace:  tr.ID(),
+				Method: r.Method,
+				Path:   r.URL.Path,
+				Route:  routeClass(r.URL.EscapedPath()),
+				Status: sw.status,
+				Bytes:  sw.bytes,
+				DurMs:  float64(d) / 1e6,
+				Client: clientKey(r),
+				Slow:   slow,
+			}
+			if spans := tr.Spans(); len(spans) > 0 {
+				rec.Spans = make(map[string]float64, len(spans))
+				for _, sp := range spans {
+					rec.Spans[sp.Name] = float64(sp.Dur) / 1e6
+				}
+			}
+			if b, err := json.Marshal(rec); err == nil {
+				logger.Printf("%s", b)
+			}
+			return
+		}
+		line := fmt.Sprintf("%s %s -> %d (%dB, %s, client %s, trace %s)",
 			r.Method, r.URL.Path, sw.status, sw.bytes,
-			time.Since(start).Round(time.Microsecond), clientKey(r))
+			d.Round(time.Microsecond), clientKey(r), tr.ID())
+		if slow {
+			line += " SLOW"
+			if spans := tr.SpanString(); spans != "" {
+				line += " spans=" + spans
+			}
+		}
+		logger.Print(line)
 	})
 }
 
@@ -228,7 +338,7 @@ func routeClass(path string) string {
 		return "cross-lineage"
 	case path == "/api/v0/stats":
 		return "stats"
-	case path == "/api/v0/metrics":
+	case path == "/api/v0/metrics", path == "/metrics":
 		return "metrics"
 	case path == "/api/v0/health", path == "/healthz":
 		return "health"
@@ -331,17 +441,15 @@ func (l *clientLimiter) pruneLocked(now time.Time) {
 
 // --- HTTP metrics ------------------------------------------------------
 
-// httpMetrics aggregates request telemetry for the /api/v0/metrics
-// endpoint: an in-flight gauge, cumulative status-class counters, and
-// per-route latency series kept in a metrics.Collection. The collection
-// is rotated once ~maxLatencyPoints have been logged so a long-lived
-// server's memory stays bounded; the cumulative counters never reset.
-//
-// Locking: points is the rotation cadence counter (atomic, no locks on
-// the common path); mu is an RWMutex where observers hold the read side
-// only while logging into col — so a rotation (write side) can never
-// swap the collection out from under an in-flight Log, and no latency
-// point is ever written into an unreachable collection.
+// httpMetrics aggregates request telemetry: in-flight gauges,
+// cumulative status-class counters, and a log-bucketed latency
+// histogram per route class. The histograms replaced the old
+// bounded-rotation metrics.Collection — they are cumulative (accurate
+// p50/p95/p99 with no sampling loss across rotations), lock-free on
+// the observe path, and fixed-size regardless of traffic. Route
+// classes are a bounded set (see routeClass), so the route map cannot
+// grow per-document-id; routes materialize lazily on first hit and
+// self-register on the service's obs registry.
 type httpMetrics struct {
 	inflight       atomic.Int64
 	inflightWrites atomic.Int64 // mutating methods; feeds admission control
@@ -352,60 +460,102 @@ type httpMetrics struct {
 	status5x       atomic.Uint64
 	statusOt       atomic.Uint64 // 1xx/3xx (redirects, continues)
 
-	points atomic.Int64 // logged since the last rotation
-	mu     sync.RWMutex
-	col    *metrics.Collection
+	reg    *obs.Registry
+	mu     sync.Mutex // guards route creation (reads go through the sync.Map)
+	routes sync.Map   // route class -> *routeMetrics
 }
 
-// httpContext is the metrics.Context under which request latencies are
-// logged.
-const httpContext metrics.Context = "HTTP"
+// routeMetrics is one route class's latency histogram plus per-status-
+// class request counters, all exposed on the registry with a route
+// label.
+type routeMetrics struct {
+	hist     *obs.Histogram
+	statuses [4]*obs.Counter // indexed by statusClass
+}
 
-// maxLatencyPoints caps the retained latency window (~16 doubles per
-// point; 64k points ≈ 4 MiB worst case across all routes).
-const maxLatencyPoints = 65536
+// statusClass maps an HTTP status to the counter index / label.
+func statusClass(status int) (int, string) {
+	switch {
+	case status >= 500:
+		return 2, "5xx"
+	case status >= 400:
+		return 1, "4xx"
+	case status >= 200 && status < 300:
+		return 0, "2xx"
+	default:
+		return 3, "other" // 1xx/3xx
+	}
+}
 
-func newHTTPMetrics() *httpMetrics {
-	return &httpMetrics{col: metrics.NewCollection()}
+func newHTTPMetrics(reg *obs.Registry) *httpMetrics {
+	m := &httpMetrics{reg: reg}
+	for class, g := range map[string]*atomic.Int64{
+		"all": &m.inflight, "write": &m.inflightWrites, "read": &m.inflightReads,
+	} {
+		g := g
+		reg.RegisterGaugeFunc("yprov_http_inflight",
+			"Requests currently being served, by class.",
+			obs.Labels{"class": class},
+			func() float64 { return float64(g.Load()) })
+	}
+	return m
+}
+
+// route returns (creating and registering on first use) the metrics
+// for one route class.
+func (m *httpMetrics) route(name string) *routeMetrics {
+	if v, ok := m.routes.Load(name); ok {
+		return v.(*routeMetrics)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if v, ok := m.routes.Load(name); ok {
+		return v.(*routeMetrics)
+	}
+	rm := &routeMetrics{hist: obs.NewDurationHistogram()}
+	m.reg.RegisterHistogram("yprov_http_request_seconds",
+		"Request latency by route class.",
+		obs.Labels{"route": name}, rm.hist)
+	for i, code := range [...]string{"2xx", "4xx", "5xx", "other"} {
+		rm.statuses[i] = &obs.Counter{}
+		m.reg.RegisterCounter("yprov_http_requests_total",
+			"Completed requests by route class and status class.",
+			obs.Labels{"route": name, "code": code}, rm.statuses[i])
+	}
+	m.routes.Store(name, rm)
+	return rm
 }
 
 // observe records one completed request.
 func (m *httpMetrics) observe(route string, status int, d time.Duration) {
-	n := m.total.Add(1)
-	switch {
-	case status >= 500:
-		m.status5x.Add(1)
-	case status >= 400:
-		m.status4x.Add(1)
-	case status >= 200 && status < 300:
+	m.total.Add(1)
+	idx, _ := statusClass(status)
+	switch idx {
+	case 0:
 		m.status2x.Add(1)
+	case 1:
+		m.status4x.Add(1)
+	case 2:
+		m.status5x.Add(1)
 	default:
-		m.statusOt.Add(1) // 1xx/3xx
+		m.statusOt.Add(1)
 	}
-	if m.points.Add(1) > maxLatencyPoints {
-		m.mu.Lock()
-		if m.points.Load() > maxLatencyPoints { // racing rotators: first one wins
-			m.col = metrics.NewCollection()
-			m.points.Store(0)
-		}
-		m.mu.Unlock()
-	}
-	m.mu.RLock()
-	m.col.Log(route, httpContext, metrics.Point{
-		Step:  int64(n),
-		Value: float64(d) / float64(time.Millisecond),
-	})
-	m.mu.RUnlock()
+	rm := m.route(route)
+	rm.statuses[idx].Inc()
+	rm.hist.ObserveDuration(d)
 }
 
-// routeStats is the latency summary for one route class (milliseconds),
-// over the current retention window.
+// routeStats is the latency summary for one route class
+// (milliseconds), cumulative since start. The percentiles come from
+// the route's log-bucketed histogram (≤12.5% relative error).
 type routeStats struct {
 	Count  int     `json:"count"`
 	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
 	MinMs  float64 `json:"min_ms"`
 	MaxMs  float64 `json:"max_ms"`
-	LastMs float64 `json:"last_ms"`
 }
 
 // metricsReport is the /api/v0/metrics response body.
@@ -427,9 +577,6 @@ type metricsReport struct {
 
 // report snapshots the aggregated telemetry.
 func (m *httpMetrics) report() metricsReport {
-	m.mu.RLock()
-	col := m.col
-	m.mu.RUnlock()
 	rep := metricsReport{
 		InFlight:       m.inflight.Load(),
 		InFlightWrites: m.inflightWrites.Load(),
@@ -441,15 +588,23 @@ func (m *httpMetrics) report() metricsReport {
 		StatusOther:    m.statusOt.Load(),
 		Routes:         map[string]routeStats{},
 	}
-	for _, s := range col.Snapshot() {
-		st := s.Stats()
-		rep.Routes[s.Name] = routeStats{
-			Count:  st.Count,
-			MeanMs: st.Mean,
-			MinMs:  st.Min,
-			MaxMs:  st.Max,
-			LastMs: st.Last,
+	m.routes.Range(func(k, v interface{}) bool {
+		rm := v.(*routeMetrics)
+		snap := rm.hist.Snapshot()
+		if snap.Count == 0 {
+			return true
 		}
-	}
+		toMs := rm.hist.Scale() * 1e3
+		rep.Routes[k.(string)] = routeStats{
+			Count:  int(snap.Count),
+			MeanMs: float64(snap.Sum) / float64(snap.Count) * toMs,
+			P50Ms:  snap.Quantile(rm.hist, 0.50) * 1e3,
+			P95Ms:  snap.Quantile(rm.hist, 0.95) * 1e3,
+			P99Ms:  snap.Quantile(rm.hist, 0.99) * 1e3,
+			MinMs:  float64(snap.Min) * toMs,
+			MaxMs:  float64(snap.Max) * toMs,
+		}
+		return true
+	})
 	return rep
 }

@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/prov"
 	"repro/internal/provstore"
 	"repro/internal/repl"
@@ -87,6 +88,16 @@ type Service struct {
 	limiter *clientLimiter
 	metrics *httpMetrics
 	handler http.Handler
+
+	// Observability (see internal/obs and middleware.go). reg collects
+	// every instrument the service and its store register; GET /metrics
+	// exposes it in Prometheus text format. logJSON switches request
+	// logs to one JSON object per line; slowThreshold makes requests at
+	// or over the threshold log with their span breakdown even when no
+	// request logger is configured.
+	reg           *obs.Registry
+	logJSON       bool
+	slowThreshold time.Duration
 	// MaxBodyBytes bounds uploaded document size (default 64 MiB). For
 	// batch requests this caps the whole NDJSON stream.
 	MaxBodyBytes int64
@@ -140,6 +151,27 @@ func WithLogger(l *log.Logger) Option {
 	return func(s *Service) { s.logger = l }
 }
 
+// WithRegistry collects the service's metrics into reg instead of a
+// private registry, so a server can register store/WAL/replication
+// instruments alongside and expose all of them at GET /metrics.
+func WithRegistry(reg *obs.Registry) Option {
+	return func(s *Service) { s.reg = reg }
+}
+
+// WithLogFormat selects the request-log format: "json" emits one JSON
+// object per request, anything else keeps the human-readable text line.
+func WithLogFormat(format string) Option {
+	return func(s *Service) { s.logJSON = format == "json" }
+}
+
+// WithSlowRequestThreshold logs requests taking at least d with their
+// per-span timing breakdown (lock, stage, commit, parse, ...), even
+// when no request logger is configured. 0 disables slow-request
+// flagging.
+func WithSlowRequestThreshold(d time.Duration) Option {
+	return func(s *Service) { s.slowThreshold = d }
+}
+
 // WithReplicationPrimary mounts the replication endpoints (stream,
 // status, snapshot, ack) and surfaces primary-side replication state
 // in /api/v0/stats. Any journaled server can act as a primary; the
@@ -163,9 +195,16 @@ func WithReplicationFollower(f *repl.Follower, primaryURL string, maxLag uint64)
 
 // New builds a service over the given store.
 func New(store StoreAPI, opts ...Option) *Service {
-	s := &Service{store: store, MaxBodyBytes: 64 << 20, metrics: newHTTPMetrics()}
+	s := &Service{store: store, MaxBodyBytes: 64 << 20}
 	for _, o := range opts {
 		o(s)
+	}
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	s.metrics = newHTTPMetrics(s.reg)
+	if s.admission != nil {
+		s.admission.register(s.reg)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/v0/documents", s.handleDocuments)
@@ -175,6 +214,7 @@ func New(store StoreAPI, opts ...Option) *Service {
 	mux.HandleFunc("/api/v0/lineage", s.handleCrossLineage)
 	mux.HandleFunc("/api/v0/stats", s.handleStats)
 	mux.HandleFunc("/api/v0/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics", s.handlePromMetrics)
 	mux.HandleFunc("/api/v0/health", s.handleHealth)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/explorer", s.handleExplorerIndex)
@@ -186,6 +226,7 @@ func New(store StoreAPI, opts ...Option) *Service {
 		mux.HandleFunc(repl.PathAck, s.replPrimary.HandleAck)
 	}
 	s.handler = chain(mux,
+		s.withTrace,
 		s.withLogging,
 		s.withMetrics,
 		s.withRateLimit,
@@ -351,6 +392,19 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rep)
 }
 
+// handlePromMetrics is the Prometheus text-format twin of
+// /api/v0/metrics: every instrument registered with the service's
+// registry (HTTP histograms, WAL, store, replication, admission)
+// rendered in exposition format 0.0.4.
+func (s *Service) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "metrics is GET-only")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
 func (s *Service) handleDocuments(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeErr(w, http.StatusMethodNotAllowed, "use GET to list, PUT /api/v0/documents/{id} to upload")
@@ -420,7 +474,10 @@ func (s *Service) handleDocumentCRUD(w http.ResponseWriter, r *http.Request, id 
 			writeErr(w, http.StatusBadRequest, "read body: %v", err)
 			return
 		}
+		tr := obs.FromContext(r.Context())
+		parseSpan := tr.StartSpan("parse")
 		doc, err := prov.ParseJSON(body)
+		parseSpan.End()
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, "invalid PROV-JSON: %v", err)
 			return

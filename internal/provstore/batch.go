@@ -6,7 +6,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/prov"
 	"repro/internal/wal"
 )
@@ -31,14 +33,17 @@ import (
 // is exactly what encoding/json would produce, so recovery's
 // json.Unmarshal path is unchanged.
 type batchEncoder struct {
-	buf bytes.Buffer
-	n   int
+	buf   bytes.Buffer
+	n     int
+	trace string
 }
 
 // newBatchEncoder pre-sizes the frame: ops sub-ops carrying payloadHint
-// total id+doc bytes, plus per-op framing overhead.
-func newBatchEncoder(ops, payloadHint int) *batchEncoder {
-	e := &batchEncoder{}
+// total id+doc bytes, plus per-op framing overhead. trace, when
+// non-empty, is carried on the batch record (not per sub-op) so
+// follower apply logs can name the originating request.
+func newBatchEncoder(ops, payloadHint int, trace string) *batchEncoder {
+	e := &batchEncoder{trace: trace}
 	e.buf.Grow(64 + payloadHint + ops*48)
 	e.buf.WriteString(`{"op":"batch","ops":[`)
 	return e
@@ -88,7 +93,15 @@ func (e *batchEncoder) addDelete(id string, shard uint32) error {
 }
 
 func (e *batchEncoder) finish() []byte {
-	e.buf.WriteString(`]}`)
+	e.buf.WriteByte(']')
+	if e.trace != "" {
+		// Mirror journalOp's field order (trace after ops) so the frame
+		// stays byte-identical to what encoding/json would produce.
+		qt, _ := json.Marshal(e.trace) // marshaling a string cannot fail
+		e.buf.WriteString(`,"trace":`)
+		e.buf.Write(qt)
+	}
+	e.buf.WriteByte('}')
 	return e.buf.Bytes()
 }
 
@@ -114,11 +127,20 @@ func rollbackBatch(applied []batchEntry) {
 
 // lockShards write-locks every shard index in the set, in ascending
 // order. Put/Delete hold at most one shard lock at a time and batches
-// always acquire ascending, so the ordering rules out deadlock.
-func (s *Store) lockShards(idxs []uint32) {
+// always acquire ascending, so the ordering rules out deadlock. The
+// total wait feeds the lock-wait histogram (and the trace's "lock"
+// span); each shard's counter gets its own queueing share.
+func (s *Store) lockShards(idxs []uint32, tr *obs.Trace) {
+	start := time.Now()
 	for _, i := range idxs {
-		s.shards[i].mu.Lock()
+		sh := s.shards[i]
+		t0 := time.Now()
+		sh.mu.Lock()
+		sh.lockWaitNanos.Add(int64(time.Since(t0)))
 	}
+	total := time.Since(start)
+	s.lockWait.Observe(int64(total))
+	tr.Observe("lock", total)
 }
 
 func (s *Store) unlockShards(idxs []uint32) {
@@ -216,6 +238,7 @@ func (s *Store) PutBatchRawCtx(ctx context.Context, items map[string]BatchItem) 
 		}
 	}
 
+	tr := obs.FromContext(ctx)
 	var op []byte
 	if s.wal != nil {
 		raws := make([][]byte, len(ids))
@@ -231,7 +254,7 @@ func (s *Store) PutBatchRawCtx(ctx context.Context, items map[string]BatchItem) 
 			raws[i] = raw
 			size += len(raw) + len(id)
 		}
-		enc := newBatchEncoder(len(ids), size)
+		enc := newBatchEncoder(len(ids), size, tr.ID())
 		for i, id := range ids {
 			if err := enc.addPut(id, s.shardIndex(id), raws[i]); err != nil {
 				return fmt.Errorf("provstore: journal encode %q: %w", id, err)
@@ -241,13 +264,14 @@ func (s *Store) PutBatchRawCtx(ctx context.Context, items map[string]BatchItem) 
 	}
 
 	idxs := s.shardSet(ids)
-	s.lockShards(idxs)
+	s.lockShards(idxs, tr)
 	if err := ctx.Err(); err != nil {
 		// Deadline expired while queued on the shard locks: nothing
 		// applied, nothing staged, no ticket consumed.
 		s.unlockShards(idxs)
 		return err
 	}
+	applySpan := tr.StartSpan("project")
 	applied := make([]batchEntry, 0, len(ids))
 	for _, id := range ids {
 		sh := s.shardFor(id)
@@ -259,7 +283,10 @@ func (s *Store) PutBatchRawCtx(ctx context.Context, items map[string]BatchItem) 
 		}
 		applied = append(applied, batchEntry{sh: sh, id: id, prev: prev})
 	}
+	applySpan.End()
+	stageSpan := tr.StartSpan("stage")
 	ticket, staged, err := s.stageBatchLocked(op, applied)
+	stageSpan.End()
 	s.unlockShards(idxs)
 	if err != nil {
 		return err
@@ -296,9 +323,10 @@ func (s *Store) DeleteBatchCtx(ctx context.Context, ids []string) error {
 		}
 	}
 
+	tr := obs.FromContext(ctx)
 	var op []byte
 	if s.wal != nil {
-		enc := newBatchEncoder(len(ids), 0)
+		enc := newBatchEncoder(len(ids), 0, tr.ID())
 		for _, id := range ids {
 			if err := enc.addDelete(id, s.shardIndex(id)); err != nil {
 				return fmt.Errorf("provstore: journal encode %q: %w", id, err)
@@ -308,7 +336,7 @@ func (s *Store) DeleteBatchCtx(ctx context.Context, ids []string) error {
 	}
 
 	idxs := s.shardSet(ids)
-	s.lockShards(idxs)
+	s.lockShards(idxs, tr)
 	if err := ctx.Err(); err != nil {
 		s.unlockShards(idxs)
 		return err

@@ -79,6 +79,11 @@ type journalOp struct {
 	Shard uint32          `json:"shard,omitempty"`
 	Doc   json.RawMessage `json:"doc,omitempty"` // PROV-JSON for puts
 	Ops   []journalOp     `json:"ops,omitempty"` // sub-ops for batches
+	// Trace is the originating request's trace ID, carried so follower
+	// apply logs can name the request a replicated record came from.
+	// Purely observational: replay ignores it, and omitempty keeps
+	// pre-tracing journals byte-compatible.
+	Trace string `json:"trace,omitempty"`
 }
 
 // storeSnapshot is the full-state snapshot payload. Shards records the
@@ -207,17 +212,17 @@ func (s *Store) replayOp(op journalOp, seq uint64) error {
 }
 
 // encodePutOp frames a put for the journal.
-func encodePutOp(id string, doc *prov.Document, shard uint32) ([]byte, error) {
+func encodePutOp(id string, doc *prov.Document, shard uint32, trace string) ([]byte, error) {
 	raw, err := doc.MarshalJSON()
 	if err != nil {
 		return nil, err
 	}
-	return json.Marshal(journalOp{Op: "put", ID: id, Shard: shard, Doc: raw})
+	return json.Marshal(journalOp{Op: "put", ID: id, Shard: shard, Doc: raw, Trace: trace})
 }
 
 // encodeDeleteOp frames a delete for the journal.
-func encodeDeleteOp(id string, shard uint32) ([]byte, error) {
-	return json.Marshal(journalOp{Op: "delete", ID: id, Shard: shard})
+func encodeDeleteOp(id string, shard uint32, trace string) ([]byte, error) {
+	return json.Marshal(journalOp{Op: "delete", ID: id, Shard: shard, Trace: trace})
 }
 
 // maybeSnapshot triggers a checkpoint every SnapshotEvery mutations,

@@ -138,6 +138,9 @@ func (s *Store) ApplyReplicated(rec wal.Record) (t wal.Ticket, ok bool, err erro
 	}
 	s.noteApplied(rec.Seq)
 	s.maybeSnapshot(p.count())
+	if s.applyObs != nil {
+		s.applyObs(rec.Seq, p.op.Op, p.op.Trace)
+	}
 	return t, true, nil
 }
 
@@ -180,7 +183,7 @@ func (s *Store) applyAndStage(p parsedOp, payload []byte) (wal.Ticket, error) {
 			ids[i] = sub.op.ID
 		}
 		idxs := s.shardSet(ids)
-		s.lockShards(idxs)
+		s.lockShards(idxs, nil)
 		defer s.unlockShards(idxs)
 		applied := make([]batchEntry, 0, len(p.subs))
 		for _, sub := range p.subs {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graphdb"
 	"repro/internal/prov"
@@ -19,6 +20,11 @@ type shard struct {
 	g     *graphdb.Graph
 	docs  map[string]*prov.Document
 	roots map[string]map[prov.QName]graphdb.NodeID // docID -> element -> node
+
+	// lockWaitNanos accumulates how long mutations waited for mu, the
+	// per-shard contention signal behind the
+	// yprov_shard_lock_wait_seconds_total series.
+	lockWaitNanos atomic.Int64
 }
 
 // newShard builds an empty shard with the indexes every lineage/search

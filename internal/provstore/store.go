@@ -15,10 +15,13 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/graphdb"
+	"repro/internal/obs"
 	"repro/internal/prov"
 	"repro/internal/wal"
 )
@@ -42,6 +45,16 @@ type Store struct {
 	suspectBitRot bool         // recovery truncated ahead of intact frames
 	follower      bool         // read-only apply mode (see replica.go)
 	snapMu        sync.Mutex
+
+	// lockWait is the store-wide shard-lock wait histogram (per-shard
+	// cumulative counters live on the shards). Always live; RegisterObs
+	// exposes it.
+	lockWait *obs.Histogram
+
+	// applyObs, when set (before any concurrent use — see
+	// SetApplyObserver), is invoked after each successfully applied
+	// replicated record; followers hook their apply log here.
+	applyObs func(seq uint64, op, trace string)
 }
 
 // New returns an empty store with the default shard count (GOMAXPROCS
@@ -59,11 +72,62 @@ func NewSharded(n int) *Store {
 		n = defaultShardCount()
 	}
 	n = roundPow2(n)
-	s := &Store{shards: make([]*shard, n), mask: uint32(n - 1)}
+	s := &Store{
+		shards:   make([]*shard, n),
+		mask:     uint32(n - 1),
+		lockWait: obs.NewDurationHistogram(),
+	}
 	for i := range s.shards {
 		s.shards[i] = newShard()
 	}
 	return s
+}
+
+// lockShard write-locks sh, folding the wait into the lock-wait
+// histogram, the shard's cumulative counter, and — when the context
+// carries a trace — the request's "lock" span.
+func (s *Store) lockShard(sh *shard, tr *obs.Trace) {
+	start := time.Now()
+	sh.mu.Lock()
+	wait := time.Since(start)
+	sh.lockWaitNanos.Add(int64(wait))
+	s.lockWait.Observe(int64(wait))
+	tr.Observe("lock", wait)
+}
+
+// SetApplyObserver installs fn to run after every successfully applied
+// replicated record (see ApplyReplicated). It must be called before
+// the store sees concurrent use — NewFollower does so during setup.
+func (s *Store) SetApplyObserver(fn func(seq uint64, op, trace string)) {
+	s.applyObs = fn
+}
+
+// RegisterObs exposes the store's instruments on reg: the shard
+// lock-wait histogram, per-shard cumulative wait counters, document /
+// applied-sequence gauges, and — for journaled stores — the WAL's own
+// instruments plus snapshot-failure counts. Nil-safe on reg.
+func (s *Store) RegisterObs(reg *obs.Registry) {
+	reg.RegisterHistogram("yprov_shard_lock_wait_seconds",
+		"Time mutations wait for their shard's write lock.", nil, s.lockWait)
+	for i := range s.shards {
+		sh := s.shards[i]
+		reg.RegisterCounterFunc("yprov_shard_lock_wait_seconds_total",
+			"Cumulative mutation wait per shard lock.",
+			obs.Labels{"shard": strconv.Itoa(i)},
+			func() float64 { return float64(sh.lockWaitNanos.Load()) * 1e-9 })
+	}
+	reg.RegisterGaugeFunc("yprov_store_documents",
+		"Documents currently stored.", nil,
+		func() float64 { return float64(s.Count()) })
+	reg.RegisterGaugeFunc("yprov_store_applied_seq",
+		"Journal sequence high-water mark applied to the store.", nil,
+		func() float64 { return float64(s.AppliedSeq()) })
+	if s.wal != nil {
+		s.wal.RegisterObs(reg)
+		reg.RegisterCounterFunc("yprov_store_snapshot_errors_total",
+			"Failed background checkpoints.", nil,
+			func() float64 { return float64(atomic.LoadUint64(&s.snapErrs)) })
+	}
 }
 
 // Put stores (or replaces) a document under id. On journaled stores
@@ -96,15 +160,16 @@ func (s *Store) PutCtx(ctx context.Context, id string, doc *prov.Document) error
 	if _, err := doc.Validate(); err != nil {
 		return fmt.Errorf("provstore: refusing invalid document: %w", err)
 	}
+	tr := obs.FromContext(ctx)
 	var op []byte
 	if s.wal != nil {
 		var err error
-		if op, err = encodePutOp(id, doc, s.shardIndex(id)); err != nil {
+		if op, err = encodePutOp(id, doc, s.shardIndex(id), tr.ID()); err != nil {
 			return fmt.Errorf("provstore: journal encode %q: %w", id, err)
 		}
 	}
 	sh := s.shardFor(id)
-	sh.mu.Lock()
+	s.lockShard(sh, tr)
 	if err := ctx.Err(); err != nil {
 		// The deadline expired while queued on the shard lock: nothing
 		// has been applied or staged yet, so bail without a ticket.
@@ -112,13 +177,17 @@ func (s *Store) PutCtx(ctx context.Context, id string, doc *prov.Document) error
 		return err
 	}
 	prev := sh.docs[id] // stored clone, for rollback if staging fails
+	applySpan := tr.StartSpan("project")
 	err := sh.putLocked(id, doc)
+	applySpan.End()
+	stageSpan := tr.StartSpan("stage")
 	ticket, staged, err := s.stageLocked(op, err, func() {
 		sh.deleteLocked(id)
 		if prev != nil {
 			_ = sh.putLocked(id, prev) // re-projecting a previously valid doc cannot fail
 		}
 	})
+	stageSpan.End()
 	sh.mu.Unlock()
 	if err != nil {
 		return err
@@ -168,7 +237,10 @@ func (s *Store) commitStaged(ctx context.Context, t wal.Ticket, staged bool, n i
 	if !staged {
 		return nil
 	}
-	if err := t.CommitCtx(ctx); err != nil {
+	commitSpan := obs.FromContext(ctx).StartSpan("commit")
+	err := t.CommitCtx(ctx)
+	commitSpan.End()
+	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return err
 		}
@@ -205,15 +277,16 @@ func (s *Store) DeleteCtx(ctx context.Context, id string) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	tr := obs.FromContext(ctx)
 	var op []byte
 	if s.wal != nil {
 		var err error
-		if op, err = encodeDeleteOp(id, s.shardIndex(id)); err != nil {
+		if op, err = encodeDeleteOp(id, s.shardIndex(id), tr.ID()); err != nil {
 			return fmt.Errorf("provstore: journal encode %q: %w", id, err)
 		}
 	}
 	sh := s.shardFor(id)
-	sh.mu.Lock()
+	s.lockShard(sh, tr)
 	if err := ctx.Err(); err != nil {
 		sh.mu.Unlock()
 		return err

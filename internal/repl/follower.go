@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/provstore"
 	"repro/internal/wal"
 )
@@ -133,6 +134,12 @@ type Follower struct {
 	primaryLastSeq uint64
 	lagBytes       int64
 	lastContact    time.Time // last successful primary exchange
+
+	// reconnects counts stream sessions that ended and went back
+	// through the retry loop; appliedRecs counts replicated records
+	// applied. Exposed via RegisterObs.
+	reconnects  obs.Counter
+	appliedRecs obs.Counter
 }
 
 // NewFollower builds the apply loop over an Open'd follower store.
@@ -144,7 +151,7 @@ func NewFollower(store *provstore.Store, cfg FollowerConfig) (*Follower, error) 
 		return nil, fmt.Errorf("repl: FollowerConfig.PrimaryURL is required")
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Follower{
+	f := &Follower{
 		store:        store,
 		cfg:          cfg.withDefaults(),
 		rng:          rand.New(rand.NewSource(time.Now().UnixNano())),
@@ -155,7 +162,44 @@ func NewFollower(store *provstore.Store, cfg FollowerConfig) (*Follower, error) 
 		ctx:          ctx,
 		cancel:       cancel,
 		lastContact:  time.Now(), // boot counts as contact until proven otherwise
-	}, nil
+	}
+	// Installed before Run starts, so the apply loop observes it safely.
+	// Records that carried a trace ID surface it in the apply log — the
+	// last hop of end-to-end request tracing.
+	store.SetApplyObserver(func(seq uint64, op, trace string) {
+		f.appliedRecs.Inc()
+		if trace != "" {
+			f.cfg.Logger.Printf("repl: follower %s applied seq=%d op=%s trace=%s", f.cfg.ID, seq, op, trace)
+		}
+	})
+	return f, nil
+}
+
+// RegisterObs exposes the follower's replication instruments on reg:
+// lag gauges (records + bytes), stream connectivity, durable progress,
+// and reconnect/apply counters. Nil-safe on reg.
+func (f *Follower) RegisterObs(reg *obs.Registry) {
+	reg.RegisterGaugeFunc("yprov_repl_lag_records",
+		"Records the follower trails the primary's committed tail by.", nil,
+		func() float64 { return float64(f.Status().FollowerLag) })
+	reg.RegisterGaugeFunc("yprov_repl_lag_bytes",
+		"Journal bytes the follower trails the primary by.", nil,
+		func() float64 { return float64(f.Status().FollowerLagByte) })
+	reg.RegisterGaugeFunc("yprov_repl_connected",
+		"1 while the replication stream is up.", nil,
+		func() float64 {
+			if f.Status().Connected {
+				return 1
+			}
+			return 0
+		})
+	reg.RegisterGaugeFunc("yprov_repl_durable_seq",
+		"Highest replicated sequence durable in the local journal.", nil,
+		func() float64 { return float64(f.Status().DurableSeq) })
+	reg.RegisterCounter("yprov_repl_reconnects_total",
+		"Stream sessions that ended and re-entered the retry loop.", nil, &f.reconnects)
+	reg.RegisterCounter("yprov_repl_applied_records_total",
+		"Replicated records applied to the local store.", nil, &f.appliedRecs)
 }
 
 // Run connects and applies until Stop. It never returns an error —
@@ -177,6 +221,7 @@ func (f *Follower) Run() {
 		default:
 		}
 		progressed, err := f.streamOnce()
+		f.reconnects.Inc()
 		if progressed {
 			delay = f.cfg.RetryBase
 			f.mu.Lock()

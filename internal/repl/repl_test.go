@@ -45,14 +45,14 @@ type primaryNode struct {
 	http  *httptest.Server
 }
 
-func startPrimary(t *testing.T, dir string, d provstore.Durability) *primaryNode {
+func startPrimary(t *testing.T, dir string, d provstore.Durability, opts ...provservice.Option) *primaryNode {
 	t.Helper()
 	store, err := provstore.Open(dir, d)
 	if err != nil {
 		t.Fatal(err)
 	}
 	rs := repl.NewServer(store.Log(), d.Fsync)
-	svc := provservice.New(store, provservice.WithReplicationPrimary(rs))
+	svc := provservice.New(store, append([]provservice.Option{provservice.WithReplicationPrimary(rs)}, opts...)...)
 	ts := httptest.NewServer(svc)
 	n := &primaryNode{store: store, repl: rs, svc: svc, http: ts}
 	t.Cleanup(func() { n.stop(t) })

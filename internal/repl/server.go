@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -44,6 +45,37 @@ func NewServer(log *wal.Log, fsync bool) *Server {
 		stop:      make(chan struct{}),
 		followers: make(map[string]*followerState),
 	}
+}
+
+// RegisterObs exposes the primary's replication instruments on reg:
+// live follower count and the worst per-follower lag in records and
+// bytes. Nil-safe on reg.
+func (s *Server) RegisterObs(reg *obs.Registry) {
+	reg.RegisterGaugeFunc("yprov_repl_followers",
+		"Followers with a live ack within the TTL.", nil,
+		func() float64 { return float64(len(s.Status().Followers)) })
+	reg.RegisterGaugeFunc("yprov_repl_max_follower_lag_records",
+		"Largest per-follower record lag behind the committed tail.", nil,
+		func() float64 {
+			var worst uint64
+			for _, f := range s.Status().Followers {
+				if f.LagRecords > worst {
+					worst = f.LagRecords
+				}
+			}
+			return float64(worst)
+		})
+	reg.RegisterGaugeFunc("yprov_repl_max_follower_lag_bytes",
+		"Largest per-follower journal-byte lag.", nil,
+		func() float64 {
+			var worst int64
+			for _, f := range s.Status().Followers {
+				if f.LagBytes > worst {
+					worst = f.LagBytes
+				}
+			}
+			return float64(worst)
+		})
 }
 
 // Stop terminates every active stream (and refuses new ones), so HTTP

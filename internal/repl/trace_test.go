@@ -1,0 +1,111 @@
+package repl_test
+
+import (
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/provservice"
+	"repro/internal/provstore"
+	"repro/internal/repl"
+)
+
+// syncBuf is a concurrency-safe log sink: the follower's ack posts hit
+// the primary's logger while the test reads it.
+type syncBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestTraceEndToEnd is the ISSUE-7 acceptance walk: one trace ID,
+// chosen by the client, must be visible at every hop — echoed on the
+// response (with the span breakdown including the WAL commit wait),
+// printed in the primary's request log, and printed by the follower
+// when the replicated record is applied.
+func TestTraceEndToEnd(t *testing.T) {
+	var primaryLog, followerLog syncBuf
+	primary := startPrimary(t, t.TempDir(), provstore.Durability{Fsync: false},
+		provservice.WithLogger(log.New(&primaryLog, "", 0)),
+		provservice.WithSlowRequestThreshold(time.Nanosecond), // every request is "slow": always log spans
+	)
+
+	fstore := startFollowerStore(t, t.TempDir(), primary.http.URL, 0, false)
+	cfg := followerConfig(primary.http.URL, "trace-follower", false)
+	cfg.Logger = log.New(&followerLog, "", 0)
+	f, err := repl.NewFollower(fstore, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go f.Run()
+	t.Cleanup(func() {
+		f.Stop()
+		_ = fstore.Close()
+	})
+
+	const traceID = "e2e-trace-0042"
+	req, err := http.NewRequest(http.MethodPut, primary.http.URL+"/api/v0/documents/traced-doc",
+		strings.NewReader(`{"entity":{"ex:data":{"prov:type":"provml:Dataset"}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(obs.TraceHeader, traceID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT = %d", resp.StatusCode)
+	}
+
+	// Hop 1: the response echoes the client's trace ID and the span
+	// breakdown includes the WAL commit wait.
+	if got := resp.Header.Get(obs.TraceHeader); got != traceID {
+		t.Fatalf("response trace = %q, want %q", got, traceID)
+	}
+	spans := resp.Header.Get(obs.SpanHeader)
+	for _, span := range []string{"parse=", "lock=", "stage=", "commit="} {
+		if !strings.Contains(spans, span) {
+			t.Errorf("span header missing %q: %q", span, spans)
+		}
+	}
+
+	// Hop 2: the primary's request log carries the ID and the spans.
+	if pl := primaryLog.String(); !strings.Contains(pl, "trace "+traceID) || !strings.Contains(pl, "commit=") {
+		t.Fatalf("primary request log missing trace/spans:\n%s", pl)
+	}
+
+	// Hop 3: the follower logs the same ID when it applies the record.
+	waitApplied(t, fstore, primary.store.AppliedSeq())
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if fl := followerLog.String(); strings.Contains(fl, "trace="+traceID) && strings.Contains(fl, "op=put") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower apply log missing trace:\n%s", followerLog.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// And the document really is on the follower.
+	if _, ok := fstore.Get("traced-doc"); !ok {
+		t.Fatal("traced-doc not applied on follower")
+	}
+}

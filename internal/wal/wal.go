@@ -31,6 +31,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrClosed is returned by operations on a closed log.
@@ -189,6 +191,11 @@ type Log struct {
 	commitNanos atomic.Int64
 	batchRecs   atomic.Int64
 
+	// Durability histograms, always live (Observe is a few atomic
+	// adds); RegisterObs exposes them for scraping.
+	fsyncHist *obs.Histogram // per-fsync latency, ns
+	batchHist *obs.Histogram // records per group-commit batch
+
 	statsMu sync.Mutex
 	appends uint64
 	commits uint64
@@ -300,6 +307,8 @@ func Open(dir string, opts Options) (*Log, *RecoveredState, error) {
 		lastWritten: lastSeq,
 		segs:        segs,
 		tailCh:      make(chan struct{}),
+		fsyncHist:   obs.NewDurationHistogram(),
+		batchHist:   obs.NewSizeHistogram(),
 	}
 	l.committed.Store(lastSeq)
 	l.staged.Store(lastSeq)
@@ -492,10 +501,13 @@ func (l *Log) commitBuf(buf []byte, top uint64) error {
 	l.segs[len(l.segs)-1].size = l.fSize
 	l.lastWritten = top
 	if l.opts.Fsync {
+		fsyncStart := time.Now()
 		if err := l.f.Sync(); err != nil {
 			return l.setFailed(fmt.Errorf("wal: fsync: %w", err))
 		}
+		l.fsyncHist.ObserveSince(fsyncStart)
 	}
+	l.batchHist.Observe(recs)
 	l.observeCommit(time.Since(start), recs)
 	l.statsMu.Lock()
 	l.commits++
@@ -532,6 +544,38 @@ func (l *Log) observeCommit(d time.Duration, recs int64) {
 	} else {
 		l.batchRecs.Store(prev + (recs-prev)/8)
 	}
+}
+
+// RegisterObs exposes the log's durability instruments on reg: fsync
+// latency and group-commit batch-size histograms, the live
+// commit-queue depth, and the operation counters behind Stats.
+// Nil-safe on reg.
+func (l *Log) RegisterObs(reg *obs.Registry) {
+	reg.RegisterHistogram("yprov_wal_fsync_seconds",
+		"Latency of WAL fsync calls on the group-commit path.", nil, l.fsyncHist)
+	reg.RegisterHistogram("yprov_wal_group_commit_records",
+		"Records per WAL group-commit batch.", nil, l.batchHist)
+	reg.RegisterGaugeFunc("yprov_wal_commit_queue_depth",
+		"Staged records whose group commit has not yet reached disk.", nil,
+		func() float64 { return float64(l.QueueDepth()) })
+	reg.RegisterGaugeFunc("yprov_wal_commit_latency_seconds",
+		"Smoothed write+fsync latency of recent commit batches.", nil,
+		func() float64 { return l.CommitLatency().Seconds() })
+	reg.RegisterGaugeFunc("yprov_wal_committed_seq",
+		"Highest sequence durably committed to the journal.", nil,
+		func() float64 { return float64(l.CommittedSeq()) })
+	counter := func(name, help string, v *uint64) {
+		reg.RegisterCounterFunc(name, help, nil, func() float64 {
+			l.statsMu.Lock()
+			defer l.statsMu.Unlock()
+			return float64(*v)
+		})
+	}
+	counter("yprov_wal_appends_total", "Records staged to the WAL.", &l.appends)
+	counter("yprov_wal_commits_total", "Group-commit batches written.", &l.commits)
+	counter("yprov_wal_syncs_total", "fsync calls issued by group commit.", &l.syncs)
+	counter("yprov_wal_snapshots_total", "Snapshots written.", &l.snaps)
+	counter("yprov_wal_segments_removed_total", "Segments deleted by compaction.", &l.removed)
 }
 
 // QueueDepth reports the number of staged records whose group commit
