@@ -505,6 +505,78 @@ func BenchmarkProvParse(b *testing.B) {
 	}
 }
 
+// codecBenchDoc builds the populated run document the codec benchmarks
+// serialize — the same shape BenchmarkProvParse uses, so json rows are
+// directly comparable.
+func codecBenchDoc(b *testing.B) *prov.Document {
+	b.Helper()
+	run := benchRun(b)
+	for i := 0; i < 500; i++ {
+		_ = run.LogMetric("loss", metrics.Training, int64(i), float64(i))
+	}
+	doc, err := run.BuildProv(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return doc
+}
+
+// BenchmarkCodecEncode compares serializing one populated run document
+// as PROV-JSON vs the compact binary WAL codec. The binary row is the
+// journal-encode hot path; bytes/op shows the wire-size ratio.
+func BenchmarkCodecEncode(b *testing.B) {
+	doc := codecBenchDoc(b)
+	b.Run("json", func(b *testing.B) {
+		b.ReportAllocs()
+		var n int
+		for i := 0; i < b.N; i++ {
+			j, err := doc.MarshalJSON()
+			if err != nil {
+				b.Fatal(err)
+			}
+			n = len(j)
+		}
+		b.SetBytes(int64(n))
+	})
+	b.Run("binary", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			buf = prov.AppendBinary(buf[:0], doc)
+		}
+		b.SetBytes(int64(len(buf)))
+	})
+}
+
+// BenchmarkCodecDecode compares parsing the two encodings back into a
+// Document — the recovery/follower-apply hot path.
+func BenchmarkCodecDecode(b *testing.B) {
+	doc := codecBenchDoc(b)
+	j, err := doc.MarshalJSON()
+	if err != nil {
+		b.Fatal(err)
+	}
+	bin := prov.AppendBinary(nil, doc)
+	b.Run("json", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(j)))
+		for i := 0; i < b.N; i++ {
+			if _, err := prov.ParseJSON(j); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("binary", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(bin)))
+		for i := 0; i < b.N; i++ {
+			if _, err := prov.ParseBinary(bin); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkTrainsimRun measures one full simulated run.
 func BenchmarkTrainsimRun(b *testing.B) {
 	spec, err := trainsim.PaperSpec(trainsim.MaskedAutoencoder, "600M", 64)

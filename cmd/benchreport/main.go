@@ -4,17 +4,22 @@
 // (WALAppend/nosync, WALAppend/fsync, Recovery), the PR-3 concurrency
 // pairs (ShardedPutParallel, MixedReadWrite, each single-lock vs
 // sharded), the PR-4 bulk-ingestion pair (BatchPut, sequential Puts vs
-// one group-committed batch), and the PR-5 replication pipeline
+// one group-committed batch), the PR-5 replication pipeline
 // (ReplicationThroughput: follower catch-up over HTTP, records/s in
-// the metrics column) — and writes a JSON report comparing them
-// against their baselines, extending the repository's performance
-// trajectory. For the paired rows the baseline is measured in the same
-// run, so the reported speedup is the scaling factor on the current
-// machine.
+// the metrics column), and the PR-8 WAL record codec pairs
+// (CodecEncode, CodecDecode: PROV-JSON vs the compact binary codec on
+// the same document) — and writes a JSON report comparing them against
+// their baselines, extending the repository's performance trajectory.
+// For the paired rows the baseline is measured in the same run, so the
+// reported speedup is the scaling factor on the current machine.
+//
+// The report is also diffed against a previous report (-baseline,
+// default BENCH_PR5.json): rows whose allocs/op or bytes/op grew past
+// -tol are flagged on stderr and recorded under "regressions".
 //
 // Usage:
 //
-//	go run ./cmd/benchreport [-out BENCH_PR5.json] [-benchtime 1s]
+//	go run ./cmd/benchreport [-out BENCH_PR8.json] [-baseline BENCH_PR5.json] [-benchtime 1s]
 package main
 
 import (
@@ -50,12 +55,16 @@ var seedNsPerOp = map[string]float64{
 
 // baselineFor maps a benchmark to the same-run row that serves as its
 // baseline: the sharded-engine rows are compared against the single-
-// lock layout measured on the same machine moments earlier, so Speedup
-// reports the sharding win rather than drift against a stale constant.
+// lock layout measured on the same machine moments earlier (and the
+// binary codec rows against the JSON codec on the same document), so
+// Speedup reports the structural win rather than drift against a stale
+// constant.
 var baselineFor = map[string]string{
 	"ShardedPutParallel/sharded": "ShardedPutParallel/single-lock",
 	"MixedReadWrite/sharded":     "MixedReadWrite/single-lock",
 	"BatchPut/size=100":          "BatchPut/sequential-100",
+	"CodecEncode/binary":         "CodecEncode/json",
+	"CodecDecode/binary":         "CodecDecode/json",
 }
 
 type row struct {
@@ -76,7 +85,44 @@ type report struct {
 	GoMaxProcs int    `json:"gomaxprocs"`
 	Benchtime  string `json:"benchtime"`
 	Unit       string `json:"unit"`
-	Rows       []row  `json:"benchmarks"`
+	// Regressions lists rows whose allocs/op or bytes/op grew beyond
+	// tolerance versus the -baseline report — time can look flat on a
+	// noisy box while the allocation profile quietly rots, so the gate
+	// watches all three columns.
+	Regressions []string `json:"regressions,omitempty"`
+	Rows        []row    `json:"benchmarks"`
+}
+
+// regressionsAgainst compares this run's rows to a previous report,
+// flagging any shared row whose allocs/op or bytes/op grew more than
+// tol (fractional, e.g. 0.10 = +10%), or whose ns/op grew more than
+// 3*tol (wider: wall time is far noisier across machines than the
+// allocation counters, which are exact).
+func regressionsAgainst(prev *report, rows []row, tol float64) []string {
+	prevRows := make(map[string]row, len(prev.Rows))
+	for _, r := range prev.Rows {
+		prevRows[r.Name] = r
+	}
+	var out []string
+	for _, r := range rows {
+		p, ok := prevRows[r.Name]
+		if !ok {
+			continue
+		}
+		if p.Allocs > 0 && float64(r.Allocs) > float64(p.Allocs)*(1+tol) {
+			out = append(out, fmt.Sprintf("%s: allocs/op %d -> %d (+%.0f%%)",
+				r.Name, p.Allocs, r.Allocs, (float64(r.Allocs)/float64(p.Allocs)-1)*100))
+		}
+		if p.BytesIter > 0 && float64(r.BytesIter) > float64(p.BytesIter)*(1+tol) {
+			out = append(out, fmt.Sprintf("%s: bytes/op %d -> %d (+%.0f%%)",
+				r.Name, p.BytesIter, r.BytesIter, (float64(r.BytesIter)/float64(p.BytesIter)-1)*100))
+		}
+		if p.NsOp > 0 && r.NsOp > p.NsOp*(1+3*tol) {
+			out = append(out, fmt.Sprintf("%s: ns/op %.1f -> %.1f (+%.0f%%)",
+				r.Name, p.NsOp, r.NsOp, (r.NsOp/p.NsOp-1)*100))
+		}
+	}
+	return out
 }
 
 func benchRun() *core.Run {
@@ -107,9 +153,25 @@ func lineageFixture(depth int) (*provstore.Store, *prov.Document) {
 	return s, d
 }
 
+// codecDoc builds the populated run document the codec rows serialize —
+// the same shape as bench_test.go's codecBenchDoc, so the rows line up.
+func codecDoc() *prov.Document {
+	run := benchRun()
+	for i := 0; i < 500; i++ {
+		_ = run.LogMetric("loss", metrics.Training, int64(i), float64(i))
+	}
+	doc, err := run.BuildProv(nil)
+	if err != nil {
+		panic(err)
+	}
+	return doc
+}
+
 func main() {
 	testing.Init() // register test.* flags so benchtime is settable
-	out := flag.String("out", "BENCH_PR5.json", "output path for the JSON report")
+	out := flag.String("out", "BENCH_PR8.json", "output path for the JSON report")
+	baseline := flag.String("baseline", "BENCH_PR5.json", "previous report to flag alloc/byte regressions against (empty to skip)")
+	tol := flag.Float64("tol", 0.10, "fractional regression tolerance for allocs/bytes (ns/op gets 3x this)")
 	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark target run time")
 	flag.Parse()
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
@@ -255,6 +317,46 @@ func main() {
 				b.StartTimer()
 			}
 		}},
+		{"CodecEncode/json", func(b *testing.B) {
+			doc := codecDoc()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := doc.MarshalJSON(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"CodecEncode/binary", func(b *testing.B) {
+			doc := codecDoc()
+			var buf []byte
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = prov.AppendBinary(buf[:0], doc)
+			}
+			_ = buf
+		}},
+		{"CodecDecode/json", func(b *testing.B) {
+			doc := codecDoc()
+			j, err := doc.MarshalJSON()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := prov.ParseJSON(j); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"CodecDecode/binary", func(b *testing.B) {
+			bin := prov.AppendBinary(nil, codecDoc())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := prov.ParseBinary(bin); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 	}
 
 	rep := report{
@@ -304,6 +406,22 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, " %12.1f ns/op  (seed %12.1f, %6.1fx)\n", ns, r.SeedNsOp, r.Speedup)
 		rep.Rows = append(rep.Rows, r)
+	}
+
+	if *baseline != "" {
+		if prevBytes, err := os.ReadFile(*baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: no baseline %s (%v), skipping regression check\n", *baseline, err)
+		} else {
+			var prev report
+			if err := json.Unmarshal(prevBytes, &prev); err != nil {
+				fmt.Fprintln(os.Stderr, "benchreport: bad baseline:", err)
+				os.Exit(1)
+			}
+			rep.Regressions = regressionsAgainst(&prev, rep.Rows, *tol)
+			for _, r := range rep.Regressions {
+				fmt.Fprintln(os.Stderr, "REGRESSION", r)
+			}
+		}
 	}
 
 	payload, err := json.MarshalIndent(rep, "", "  ")

@@ -106,14 +106,31 @@ type halfEdge struct {
 // per-relationship-type buckets kept in insertion order. The type-filtered
 // traversal that dominates lineage queries selects one bucket directly
 // instead of filtering a flat relationship list.
+//
+// Most PROV nodes see exactly one relationship type per direction (an
+// entity is wasGeneratedBy, an activity used, ...), so the first type's
+// bucket lives inline and the map only materializes when a second type
+// appears — bulk projection then allocates one edge slice per node
+// instead of a map, a types slice, and their growth.
 type bucketSet struct {
-	types   []string // relationship types in first-use order
-	buckets map[string][]halfEdge
+	t0      string     // first relationship type seen (inline bucket)
+	b0      []halfEdge // edges of t0 while no map exists
+	types   []string   // relationship types in first-use order (spilled)
+	buckets map[string][]halfEdge // nil until a second type appears
 }
 
 func (b *bucketSet) add(relType string, e halfEdge) {
 	if b.buckets == nil {
+		if len(b.b0) == 0 || relType == b.t0 {
+			b.t0 = relType
+			b.b0 = append(b.b0, e)
+			return
+		}
+		// Second type: spill the inline bucket into the map layout.
 		b.buckets = make(map[string][]halfEdge, 2)
+		b.buckets[b.t0] = b.b0
+		b.types = append(b.types, b.t0)
+		b.b0 = nil
 	}
 	lst, ok := b.buckets[relType]
 	if !ok {
@@ -123,6 +140,18 @@ func (b *bucketSet) add(relType string, e halfEdge) {
 }
 
 func (b *bucketSet) remove(relType string, rel RelID) {
+	if b.buckets == nil {
+		if relType != b.t0 {
+			return
+		}
+		for i, e := range b.b0 {
+			if e.rel == rel {
+				b.b0 = append(b.b0[:i], b.b0[i+1:]...)
+				return
+			}
+		}
+		return
+	}
 	lst := b.buckets[relType]
 	for i, e := range lst {
 		if e.rel == rel {
@@ -136,6 +165,17 @@ func (b *bucketSet) remove(relType string, rel RelID) {
 // false stops the iteration, and forEach reports whether it ran to
 // completion.
 func (b *bucketSet) forEach(relType string, fn func(other NodeID, rel RelID) bool) bool {
+	if b.buckets == nil {
+		if relType != "" && relType != b.t0 {
+			return true
+		}
+		for _, e := range b.b0 {
+			if !fn(e.other, e.rel) {
+				return false
+			}
+		}
+		return true
+	}
 	if relType != "" {
 		for _, e := range b.buckets[relType] {
 			if !fn(e.other, e.rel) {
@@ -189,6 +229,53 @@ func makePropKey(v interface{}) propKey {
 	return propKey{str: fmt.Sprint(v)}
 }
 
+// nodeSet is a small-footprint node-id set for index postings. Unique
+// property values (every node's qname, for instance) index exactly one
+// node, so the single-member case lives inline in the posting map's
+// value slot; a real map materializes only when a second node shares
+// the value. This keeps bulk projection from allocating one set map
+// per indexed node.
+type nodeSet struct {
+	single NodeID // inline member while m == nil (0 = empty)
+	m      map[NodeID]struct{}
+}
+
+// with returns the set including id (value-semantics update).
+func (s nodeSet) with(id NodeID) nodeSet {
+	if s.m != nil {
+		s.m[id] = struct{}{}
+		return s
+	}
+	if s.single == 0 || s.single == id {
+		s.single = id
+		return s
+	}
+	return nodeSet{m: map[NodeID]struct{}{s.single: {}, id: {}}}
+}
+
+// without returns the set with id removed.
+func (s nodeSet) without(id NodeID) nodeSet {
+	if s.m != nil {
+		delete(s.m, id)
+		return s
+	}
+	if s.single == id {
+		s.single = 0
+	}
+	return s
+}
+
+// sorted returns the members in ascending order.
+func (s nodeSet) sorted() []NodeID {
+	if s.m == nil {
+		if s.single == 0 {
+			return []NodeID{}
+		}
+		return []NodeID{s.single}
+	}
+	return sortedNodeIDs(s.m)
+}
+
 // Graph is the engine. All methods are safe for concurrent use.
 type Graph struct {
 	mu      sync.RWMutex
@@ -197,9 +284,50 @@ type Graph struct {
 	adj     map[NodeID]*nodeAdj
 	byLabel map[string]map[NodeID]struct{}
 	// propIndex[label][prop][valueKey] -> node set
-	propIndex map[string]map[string]map[propKey]map[NodeID]struct{}
+	propIndex map[string]map[string]map[propKey]nodeSet
 	nextNode  NodeID
 	nextRel   RelID
+
+	// Slab arenas for the per-node/-rel bookkeeping structs. Bulk
+	// projection creates thousands of nodes and relationships back to
+	// back; carving them out of chunked slabs replaces one heap object
+	// per element with one per chunk. Entries are handed out exactly
+	// once (never recycled), so a deleted element's struct just waits
+	// for its chunk to drop out of all maps.
+	nodeSlab []Node
+	relSlab  []Rel
+	adjSlab  []nodeAdj
+}
+
+// slabChunk is the arena granularity: small enough that a sparse graph
+// wastes little, large enough to amortize allocation on bulk loads.
+const slabChunk = 256
+
+func (g *Graph) allocNode() *Node {
+	if len(g.nodeSlab) == 0 {
+		g.nodeSlab = make([]Node, slabChunk)
+	}
+	n := &g.nodeSlab[0]
+	g.nodeSlab = g.nodeSlab[1:]
+	return n
+}
+
+func (g *Graph) allocRel() *Rel {
+	if len(g.relSlab) == 0 {
+		g.relSlab = make([]Rel, slabChunk)
+	}
+	r := &g.relSlab[0]
+	g.relSlab = g.relSlab[1:]
+	return r
+}
+
+func (g *Graph) allocAdj() *nodeAdj {
+	if len(g.adjSlab) == 0 {
+		g.adjSlab = make([]nodeAdj, slabChunk)
+	}
+	ad := &g.adjSlab[0]
+	g.adjSlab = g.adjSlab[1:]
+	return ad
 }
 
 // New returns an empty graph.
@@ -209,7 +337,7 @@ func New() *Graph {
 		rels:      make(map[RelID]*Rel),
 		adj:       make(map[NodeID]*nodeAdj),
 		byLabel:   make(map[string]map[NodeID]struct{}),
-		propIndex: make(map[string]map[string]map[propKey]map[NodeID]struct{}),
+		propIndex: make(map[string]map[string]map[propKey]nodeSet),
 	}
 }
 
@@ -234,7 +362,8 @@ func (g *Graph) CreateNodeOwned(labels []string, props Props) (NodeID, error) {
 	defer g.mu.Unlock()
 	g.nextNode++
 	id := g.nextNode
-	n := &Node{ID: id, Labels: labels, Props: props}
+	n := g.allocNode()
+	n.ID, n.Labels, n.Props = id, labels, props
 	g.nodes[id] = n
 	for _, l := range n.Labels {
 		if g.byLabel[l] == nil {
@@ -255,10 +384,7 @@ func (g *Graph) indexNodeLocked(label string, n *Node) {
 	for prop, values := range idx {
 		if v, ok := n.Props[prop]; ok {
 			key := makePropKey(v)
-			if values[key] == nil {
-				values[key] = make(map[NodeID]struct{})
-			}
-			values[key][n.ID] = struct{}{}
+			values[key] = values[key].with(n.ID)
 		}
 	}
 }
@@ -272,8 +398,9 @@ func (g *Graph) unindexNodeLocked(n *Node) {
 		}
 		for prop, values := range idx {
 			if v, ok := n.Props[prop]; ok {
-				if set, ok := values[makePropKey(v)]; ok {
-					delete(set, n.ID)
+				key := makePropKey(v)
+				if set, ok := values[key]; ok {
+					values[key] = set.without(n.ID)
 				}
 			}
 		}
@@ -384,7 +511,9 @@ func (g *Graph) CreateRelOwned(from, to NodeID, relType string, props Props) (Re
 	}
 	g.nextRel++
 	id := g.nextRel
-	g.rels[id] = &Rel{ID: id, Type: relType, From: from, To: to, Props: props}
+	r := g.allocRel()
+	r.ID, r.Type, r.From, r.To, r.Props = id, relType, from, to, props
+	g.rels[id] = r
 	g.adjFor(from).out.add(relType, halfEdge{rel: id, other: to})
 	g.adjFor(to).in.add(relType, halfEdge{rel: id, other: from})
 	return id, nil
@@ -393,7 +522,7 @@ func (g *Graph) CreateRelOwned(from, to NodeID, relType string, props Props) (Re
 func (g *Graph) adjFor(id NodeID) *nodeAdj {
 	ad := g.adj[id]
 	if ad == nil {
-		ad = &nodeAdj{}
+		ad = g.allocAdj()
 		g.adj[id] = ad
 	}
 	return ad
@@ -470,18 +599,15 @@ func (g *Graph) CreateIndex(label, prop string) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.propIndex[label] == nil {
-		g.propIndex[label] = make(map[string]map[propKey]map[NodeID]struct{})
+		g.propIndex[label] = make(map[string]map[propKey]nodeSet)
 	}
-	values := make(map[propKey]map[NodeID]struct{})
+	values := make(map[propKey]nodeSet)
 	g.propIndex[label][prop] = values
 	for id := range g.byLabel[label] {
 		n := g.nodes[id]
 		if v, ok := n.Props[prop]; ok {
 			key := makePropKey(v)
-			if values[key] == nil {
-				values[key] = make(map[NodeID]struct{})
-			}
-			values[key][id] = struct{}{}
+			values[key] = values[key].with(id)
 		}
 	}
 }
@@ -509,7 +635,7 @@ func (g *Graph) FindNodes(label, prop string, value interface{}) []NodeID {
 	defer g.mu.RUnlock()
 	if idx, ok := g.propIndex[label]; ok {
 		if values, ok := idx[prop]; ok {
-			return sortedNodeIDs(values[want])
+			return values[want].sorted()
 		}
 	}
 	var out []NodeID
@@ -730,9 +856,10 @@ func (g *Graph) Clear() {
 	g.rels = make(map[RelID]*Rel)
 	g.adj = make(map[NodeID]*nodeAdj)
 	g.byLabel = make(map[string]map[NodeID]struct{})
+	g.nodeSlab, g.relSlab, g.adjSlab = nil, nil, nil
 	for label := range g.propIndex {
 		for prop := range g.propIndex[label] {
-			g.propIndex[label][prop] = make(map[propKey]map[NodeID]struct{})
+			g.propIndex[label][prop] = make(map[propKey]nodeSet)
 		}
 	}
 }

@@ -161,6 +161,15 @@ type Report struct {
 	DocsIngested int                `json:"docs_ingested"`
 	OpsPerSec    float64            `json:"ops_per_sec"`
 	DocsPerSec   float64            `json:"docs_per_sec"`
+	// IngestBytes is the wire payload of every acknowledged upload
+	// (request bodies, before HTTP framing); JournalBytes is the growth
+	// of the server's WAL over the timed run (from /stats, absent on
+	// in-memory servers). Together they make wire-vs-WAL amplification
+	// visible per scenario.
+	IngestBytes        int64   `json:"ingest_bytes"`
+	IngestBytesPerSec  float64 `json:"ingest_bytes_per_sec"`
+	JournalBytes       int64   `json:"journal_bytes,omitempty"`
+	JournalBytesPerSec float64 `json:"journal_bytes_per_sec,omitempty"`
 	Latency      LatencySummary     `json:"latency"`
 	PerOp        map[string]OpStats `json:"per_op"`
 	// ErrorsByStatus breaks Errors down by HTTP status code ("429",
@@ -186,6 +195,7 @@ type Report struct {
 // workerResult is one worker's tallies, merged after the run.
 type workerResult struct {
 	ops, errs, docs int
+	wireBytes       int64
 	shed            int
 	acked           []string
 	perOp           map[string]OpStats
@@ -244,6 +254,24 @@ func Run(cfg Config) (Report, error) {
 	}
 	hot := seedIDs[:max(1, len(seedIDs)/10)] // the hotspot working set
 
+	// Wire-size constants for the ingest-bytes tally: every upload ships
+	// the same document body, so a batch line costs a fixed base plus the
+	// id, and a single PUT costs the bare document JSON.
+	docJSON, err := doc.MarshalJSON()
+	if err != nil {
+		return Report{}, fmt.Errorf("loadgen: marshal workload doc: %w", err)
+	}
+	emptyLine, err := provclient.EncodeBatchLine("", docJSON)
+	if err != nil {
+		return Report{}, fmt.Errorf("loadgen: encode batch line: %w", err)
+	}
+	batchLineBase := len(emptyLine) + 1 // +1 for the NDJSON newline
+
+	// Journal growth is measured over the timed run only (preload is
+	// done), from the WAL disk-bytes gauge in /stats; in-memory servers
+	// report no durability block and the journal columns stay zero.
+	journalBefore, haveJournal := journalDiskBytes(client())
+
 	// Per-worker pacing: each worker spaces operation starts by
 	// concurrency/rate so the fleet sums to cfg.Rate.
 	var pace time.Duration
@@ -262,6 +290,7 @@ func Run(cfg Config) (Report, error) {
 			results[g] = runWorker(workerConfig{
 				cfg: cfg, client: client(), replicas: replicaSet(),
 				doc: doc, leaf: leaf,
+				docBytes: len(docJSON), lineBase: batchLineBase,
 				seedIDs: seedIDs, hot: hot, pace: pace,
 				rng: rand.New(rand.NewSource(cfg.Seed + int64(g))),
 				id:  g, deadline: deadline,
@@ -284,6 +313,7 @@ func Run(cfg Config) (Report, error) {
 		rep.Ops += r.ops
 		rep.Errors += r.errs
 		rep.DocsIngested += r.docs
+		rep.IngestBytes += r.wireBytes
 		rep.Shed += r.shed
 		acked = append(acked, r.acked...)
 		if rep.FirstError == "" {
@@ -331,12 +361,30 @@ func Run(cfg Config) (Report, error) {
 			}
 		}
 	}
+	if haveJournal {
+		if after, ok := journalDiskBytes(client()); ok && after > journalBefore {
+			rep.JournalBytes = after - journalBefore
+		}
+	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		rep.OpsPerSec = float64(rep.Ops) / secs
 		rep.DocsPerSec = float64(rep.DocsIngested) / secs
+		rep.IngestBytesPerSec = float64(rep.IngestBytes) / secs
+		rep.JournalBytesPerSec = float64(rep.JournalBytes) / secs
 	}
 	rep.Latency = summarize(all)
 	return rep, nil
+}
+
+// journalDiskBytes reads the server's WAL on-disk size from /stats.
+// ok is false when the server is in-memory (no durability block) or the
+// stats call fails.
+func journalDiskBytes(c *provclient.Client) (int64, bool) {
+	st, err := c.Stats()
+	if err != nil || st.Durability == nil {
+		return 0, false
+	}
+	return st.Durability.DiskBytes, true
 }
 
 // workerConfig is everything one worker goroutine needs.
@@ -346,6 +394,8 @@ type workerConfig struct {
 	replicas *provclient.ReplicaSet // reads: fan across replicas when set
 	doc      *prov.Document
 	leaf     prov.QName
+	docBytes int // wire bytes of one document body (single PUT)
+	lineBase int // wire bytes of one batch line minus the id
 	seedIDs  []string
 	hot      []string
 	pace     time.Duration
@@ -379,7 +429,7 @@ func runWorker(w workerConfig) workerResult {
 		tr := obs.NewTrace("")
 		ctx := obs.WithTrace(context.Background(), tr)
 		opStart := time.Now()
-		err := w.execOp(ctx, kind, n, &res)
+		wire, err := w.execOp(ctx, kind, n, &res)
 		elapsed := time.Since(opStart)
 		res.latencies = append(res.latencies, elapsed)
 		res.noteSlow(kind, elapsed, tr.ID())
@@ -389,6 +439,7 @@ func runWorker(w workerConfig) workerResult {
 		switch {
 		case err == nil:
 			res.docs += docs
+			res.wireBytes += wire
 		case w.cfg.Scenario == Chaos && isShed(err):
 			// Admission control said no before accepting the write: the
 			// server is keeping its durability promise, not breaking one.
@@ -465,29 +516,33 @@ func isShed(err error) bool {
 
 // execOp performs one operation, recording chaos-scenario acks in res.
 // ctx carries the operation's trace so every request (including hedges
-// and failovers) is stamped with one ID.
-func (w *workerConfig) execOp(ctx context.Context, kind string, n int, res *workerResult) error {
+// and failovers) is stamped with one ID. On success it also reports the
+// wire bytes the operation uploaded, feeding the ingest-bytes tally.
+func (w *workerConfig) execOp(ctx context.Context, kind string, n int, res *workerResult) (int64, error) {
 	switch kind {
 	case "upload-acked":
 		id := fmt.Sprintf("chaos-w%d-n%d", w.id, n)
 		if err := w.client.UploadCtx(ctx, id, w.doc); err != nil {
-			return err
+			return 0, err
 		}
 		res.acked = append(res.acked, id)
-		return nil
+		return int64(w.docBytes), nil
 	case "upload":
 		batch := make(map[string]*prov.Document, w.cfg.BatchSize)
+		var wire int64
 		for i := 0; i < w.cfg.BatchSize; i++ {
-			batch[fmt.Sprintf("w%d-n%d-i%d", w.id, n, i)] = w.doc
+			id := fmt.Sprintf("w%d-n%d-i%d", w.id, n, i)
+			batch[id] = w.doc
+			wire += int64(w.lineBase + len(id))
 		}
 		if w.cfg.BatchSize == 1 { // comparison mode: the single-PUT path
 			for id, d := range batch {
-				return w.client.UploadCtx(ctx, id, d)
+				return int64(w.docBytes), w.client.UploadCtx(ctx, id, d)
 			}
 		}
-		return w.client.UploadBatchCtx(ctx, batch)
+		return wire, w.client.UploadBatchCtx(ctx, batch)
 	case "upload-hot":
-		return w.client.UploadCtx(ctx, w.hot[w.rng.Intn(len(w.hot))], w.doc)
+		return int64(w.docBytes), w.client.UploadCtx(ctx, w.hot[w.rng.Intn(len(w.hot))], w.doc)
 	case "lineage":
 		id := w.seedIDs[w.rng.Intn(len(w.seedIDs))]
 		if w.cfg.Scenario == HotDoc && w.rng.Float64() < 0.9 {
@@ -501,14 +556,14 @@ func (w *workerConfig) execOp(ctx context.Context, kind string, n int, res *work
 			nodes, err = w.client.LineageCtx(ctx, id, w.leaf, "ancestors", 0)
 		}
 		if err != nil {
-			return err
+			return 0, err
 		}
 		if len(nodes) == 0 {
-			return fmt.Errorf("loadgen: empty lineage for %s", id)
+			return 0, fmt.Errorf("loadgen: empty lineage for %s", id)
 		}
-		return nil
+		return 0, nil
 	default:
-		return fmt.Errorf("loadgen: unknown op %q", kind)
+		return 0, fmt.Errorf("loadgen: unknown op %q", kind)
 	}
 }
 
@@ -537,6 +592,13 @@ func (r Report) String() string {
 		r.Scenario, r.Concurrency, r.BatchSize, r.DurationSecs)
 	s += fmt.Sprintf("ops=%d (%.1f ops/s)  docs=%d (%.1f docs/s)  errors=%d\n",
 		r.Ops, r.OpsPerSec, r.DocsIngested, r.DocsPerSec, r.Errors)
+	s += fmt.Sprintf("ingest=%d B (%.1f KB/s)", r.IngestBytes, r.IngestBytesPerSec/1024)
+	if r.JournalBytes > 0 {
+		s += fmt.Sprintf("  journal=%d B (%.1f KB/s)  wal/wire=%.2fx",
+			r.JournalBytes, r.JournalBytesPerSec/1024,
+			float64(r.JournalBytes)/float64(max(r.IngestBytes, 1)))
+	}
+	s += "\n"
 	s += fmt.Sprintf("latency p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms\n",
 		r.Latency.P50Ms, r.Latency.P90Ms, r.Latency.P99Ms, r.Latency.MaxMs)
 	if r.Scenario == Chaos {

@@ -242,6 +242,31 @@ func (c *Collection) Snapshot() []Series {
 	return out
 }
 
+// SeriesStats pairs a series key with its summary statistics.
+type SeriesStats struct {
+	Key   Key
+	Stats Stats
+}
+
+// StatsSnapshot returns summary statistics for every series in key
+// order, computed under the shard read locks without copying any
+// points. Consumers that only need aggregates (the provenance document
+// builder summarizes each series into a handful of attributes) skip
+// the deep point copies Snapshot pays for.
+func (c *Collection) StatsSnapshot() []SeriesStats {
+	var out []SeriesStats
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for k, s := range sh.series {
+			out = append(out, SeriesStats{Key: k, Stats: s.Stats()})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.String() < out[j].Key.String() })
+	return out
+}
+
 // Each invokes fn with a snapshot of every series, in key order.
 func (c *Collection) Each(fn func(Series)) {
 	for _, s := range c.Snapshot() {

@@ -1,8 +1,8 @@
 package prov
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 	"time"
 )
 
@@ -131,7 +131,7 @@ func NewDocument() *Document {
 // AddEntity inserts (or returns the existing) entity with the given id.
 func (d *Document) AddEntity(id QName, attrs Attrs) *Element {
 	if e, ok := d.Entities[id]; ok {
-		mergeAttrs(e.Attrs, attrs)
+		e.Attrs = mergeAttrs(e.Attrs, attrs)
 		return e
 	}
 	e := &Element{ID: id, Attrs: ensureAttrs(attrs)}
@@ -142,7 +142,7 @@ func (d *Document) AddEntity(id QName, attrs Attrs) *Element {
 // AddActivity inserts (or returns the existing) activity with the given id.
 func (d *Document) AddActivity(id QName, attrs Attrs) *Activity {
 	if a, ok := d.Activities[id]; ok {
-		mergeAttrs(a.Attrs, attrs)
+		a.Attrs = mergeAttrs(a.Attrs, attrs)
 		return a
 	}
 	a := &Activity{Element: Element{ID: id, Attrs: ensureAttrs(attrs)}}
@@ -153,7 +153,7 @@ func (d *Document) AddActivity(id QName, attrs Attrs) *Activity {
 // AddAgent inserts (or returns the existing) agent with the given id.
 func (d *Document) AddAgent(id QName, attrs Attrs) *Element {
 	if g, ok := d.Agents[id]; ok {
-		mergeAttrs(g.Attrs, attrs)
+		g.Attrs = mergeAttrs(g.Attrs, attrs)
 		return g
 	}
 	g := &Element{ID: id, Attrs: ensureAttrs(attrs)}
@@ -168,16 +168,28 @@ func ensureAttrs(a Attrs) Attrs {
 	return a
 }
 
-func mergeAttrs(dst, src Attrs) {
+// mergeAttrs copies src into dst, allocating dst only when there is
+// something to copy (binary-decoded elements carry nil Attrs until an
+// attribute actually lands on them).
+func mergeAttrs(dst, src Attrs) Attrs {
+	if len(src) == 0 {
+		return dst
+	}
+	if dst == nil {
+		dst = make(Attrs, len(src))
+	}
 	for k, v := range src {
 		dst[k] = v
 	}
+	return dst
 }
 
-// nextRelID mints a fresh blank-node relation identifier.
+// nextRelID mints a fresh blank-node relation identifier. Plain
+// concatenation: Sprintf showed up in BuildProv profiles at ~9% of the
+// relation-heavy document builds.
 func (d *Document) nextRelID(kind RelationKind) string {
 	d.relSeq++
-	return fmt.Sprintf("_:%s%d", shortKind(kind), d.relSeq)
+	return "_:" + shortKind(kind) + strconv.Itoa(d.relSeq)
 }
 
 func shortKind(kind RelationKind) string {

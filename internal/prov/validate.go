@@ -59,15 +59,18 @@ func (d *Document) Validate() ([]ValidationIssue, error) {
 		}
 	}
 
-	for _, id := range d.EntityIDs() {
+	// Element checks iterate the maps directly: the overwhelmingly
+	// common all-valid document then allocates nothing, at the cost of
+	// unordered issues when elements ARE broken (relation issues below
+	// keep their slice order; nothing relies on element-issue order).
+	for id := range d.Entities {
 		checkQName("entity", id)
 	}
-	for _, id := range d.AgentIDs() {
+	for id := range d.Agents {
 		checkQName("agent", id)
 	}
-	for _, id := range d.ActivityIDs() {
+	for id, a := range d.Activities {
 		checkQName("activity", id)
-		a := d.Activities[id]
 		if !a.StartTime.IsZero() && !a.EndTime.IsZero() && a.EndTime.Before(a.StartTime) {
 			addErr("activity %s ends (%s) before it starts (%s)", id, a.EndTime, a.StartTime)
 		}

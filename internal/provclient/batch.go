@@ -3,6 +3,7 @@ package provclient
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -57,6 +58,24 @@ func EncodeBatchLine(id string, provJSON []byte) ([]byte, error) {
 	}{ID: id, Doc: provJSON})
 }
 
+// BatchBinaryContentType is the Content-Type selecting the compact
+// binary batch request encoding on documents:batch (mirrors
+// provservice.BatchBinaryContentType).
+const BatchBinaryContentType = "application/x-yprov-batch"
+
+// EncodeBinaryBatchRecord frames one binary batch record: uvarint id
+// length + id, then a 4-byte little-endian blob length + the document's
+// tagged binary encoding. Appends to dst and returns the result.
+func EncodeBinaryBatchRecord(dst []byte, id string, doc *prov.Document) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(id)))
+	dst = append(dst, id...)
+	at := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = prov.AppendBinary(dst, doc)
+	binary.LittleEndian.PutUint32(dst[at:], uint32(len(dst)-at-4))
+	return dst
+}
+
 // UploadBatch stores every document as one atomic batch: either the
 // whole map is accepted (and durable together, one group commit
 // server-side) or nothing is stored and the returned *BatchError lists
@@ -91,9 +110,34 @@ func (c *Client) UploadBatchCtx(ctx context.Context, docs map[string]*prov.Docum
 	return c.uploadBatchNDJSON(ctx, body.Bytes())
 }
 
+// UploadBatchBinaryCtx is UploadBatchCtx using the compact binary
+// request encoding: documents ship as tagged binary blobs the server
+// journals verbatim, skipping both the client-side JSON marshal and
+// the server-side re-encode.
+func (c *Client) UploadBatchBinaryCtx(ctx context.Context, docs map[string]*prov.Document) error {
+	if len(docs) == 0 {
+		return nil
+	}
+	ids := make([]string, 0, len(docs))
+	for id := range docs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var body []byte
+	for _, id := range ids {
+		body = EncodeBinaryBatchRecord(body, id, docs[id])
+	}
+	return c.uploadBatchBody(ctx, body, BatchBinaryContentType)
+}
+
 // uploadBatchNDJSON posts an already-framed NDJSON body.
 func (c *Client) uploadBatchNDJSON(ctx context.Context, body []byte) error {
-	payload, status, hdr, err := c.doCtx(ctx, http.MethodPost, "/api/v0/documents:batch", body)
+	return c.uploadBatchBody(ctx, body, "application/json")
+}
+
+// uploadBatchBody posts one framed batch body with the given encoding.
+func (c *Client) uploadBatchBody(ctx context.Context, body []byte, contentType string) error {
+	payload, status, hdr, err := c.doCtxTyped(ctx, http.MethodPost, "/api/v0/documents:batch", body, contentType)
 	if err != nil {
 		return err
 	}
@@ -134,6 +178,10 @@ type BatchWriterOptions struct {
 	// loop returns the context error instead of waiting out its delay).
 	// Default context.Background(), i.e. never canceled.
 	Context context.Context
+	// Binary ships batches in the compact binary encoding
+	// (BatchBinaryContentType) instead of NDJSON: documents are encoded
+	// once with the binary codec and journaled server-side verbatim.
+	Binary bool
 }
 
 func (o BatchWriterOptions) withDefaults() BatchWriterOptions {
@@ -213,13 +261,20 @@ func (w *BatchWriter) Add(id string, doc *prov.Document) error {
 	if id == "" {
 		return fmt.Errorf("provclient: empty document id")
 	}
-	raw, err := doc.MarshalJSON()
-	if err != nil {
-		return fmt.Errorf("provclient: marshal %q: %w", id, err)
-	}
-	line, err := EncodeBatchLine(id, raw)
-	if err != nil {
-		return fmt.Errorf("provclient: encode %q: %w", id, err)
+	var line []byte
+	sep := 0 // binary records are self-framing; NDJSON lines get a newline
+	if w.opts.Binary {
+		line = EncodeBinaryBatchRecord(nil, id, doc)
+	} else {
+		raw, err := doc.MarshalJSON()
+		if err != nil {
+			return fmt.Errorf("provclient: marshal %q: %w", id, err)
+		}
+		line, err = EncodeBatchLine(id, raw)
+		if err != nil {
+			return fmt.Errorf("provclient: encode %q: %w", id, err)
+		}
+		sep = 1
 	}
 
 	w.mu.Lock()
@@ -238,7 +293,7 @@ func (w *BatchWriter) Add(id string, doc *prov.Document) error {
 	} else {
 		w.byID[id] = len(w.lines)
 		w.lines = append(w.lines, line)
-		w.bytes += len(line) + 1
+		w.bytes += len(line) + sep
 		if len(w.lines) == 1 && w.opts.FlushInterval > 0 {
 			w.timer = time.AfterFunc(w.opts.FlushInterval, w.timedFlush)
 		}
@@ -295,7 +350,9 @@ func (w *BatchWriter) flush(background bool) error {
 	var body bytes.Buffer
 	for _, l := range lines {
 		body.Write(l)
-		body.WriteByte('\n')
+		if !w.opts.Binary {
+			body.WriteByte('\n')
+		}
 	}
 	err := w.shipWithRetry(body.Bytes())
 	if err != nil && background {
@@ -317,9 +374,13 @@ func (w *BatchWriter) flush(background bool) error {
 // Retry-After it no longer cares about.
 func (w *BatchWriter) shipWithRetry(body []byte) error {
 	ctx := w.opts.Context
+	contentType := "application/json"
+	if w.opts.Binary {
+		contentType = BatchBinaryContentType
+	}
 	var err error
 	for attempt := 0; ; attempt++ {
-		err = w.c.uploadBatchNDJSON(ctx, body)
+		err = w.c.uploadBatchBody(ctx, body, contentType)
 		if err == nil || !IsRetryable(err) || attempt >= w.opts.MaxRetries {
 			return err
 		}

@@ -141,6 +141,12 @@ func (c *Client) do(method, path string, body []byte) ([]byte, int, http.Header,
 // working on the request (and stop queueing for fsync) once the client
 // has given up, instead of only when the connection drops.
 func (c *Client) doCtx(ctx context.Context, method, path string, body []byte) ([]byte, int, http.Header, error) {
+	return c.doCtxTyped(ctx, method, path, body, "application/json")
+}
+
+// doCtxTyped is doCtx with an explicit request Content-Type (the batch
+// endpoint negotiates its encoding on it).
+func (c *Client) doCtxTyped(ctx context.Context, method, path string, body []byte, contentType string) ([]byte, int, http.Header, error) {
 	var rdr io.Reader
 	if body != nil {
 		rdr = bytes.NewReader(body)
@@ -150,7 +156,7 @@ func (c *Client) doCtx(ctx context.Context, method, path string, body []byte) ([
 		return nil, 0, nil, err
 	}
 	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", contentType)
 	}
 	if dl, ok := ctx.Deadline(); ok {
 		if ms := time.Until(dl).Milliseconds(); ms > 0 {

@@ -3,11 +3,13 @@ package provservice
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 
 	"repro/internal/obs"
 	"repro/internal/prov"
@@ -16,17 +18,29 @@ import (
 
 // POST /api/v0/documents:batch — bulk ingestion.
 //
-// The request body is newline-delimited JSON (NDJSON): one
-// {"id": "...", "doc": {PROV-JSON}} object per line, blank lines
-// ignored. Lines are decoded incrementally off the wire — the body is
-// never buffered whole — subject to a per-line cap (MaxLineBytes) on
-// top of the middleware's total body cap (MaxBodyBytes).
+// Two request encodings are negotiated on Content-Type:
 //
-// The batch is atomic: every line must parse and every document must be
-// valid, or the whole request is rejected with one error entry per
-// failing line and nothing is stored. Accepted batches commit through
-// provstore.PutBatch — one WAL record, one group-commit fsync — so a
-// crash can never surface part of a batch.
+//   - NDJSON (the default): one {"id": "...", "doc": {PROV-JSON}}
+//     object per line, blank lines ignored. Lines are decoded
+//     incrementally off the wire — the body is never buffered whole —
+//     subject to a per-line cap (MaxLineBytes) on top of the
+//     middleware's total body cap (MaxBodyBytes).
+//
+//   - BatchBinaryContentType: a sequence of length-prefixed records,
+//     each a uvarint id length + id bytes followed by a 4-byte
+//     little-endian blob length + document blob. Blobs are tagged like
+//     journaled document blobs ('{' opens PROV-JSON, prov.BinaryDocTag
+//     opens the compact binary codec), so validated wire bytes flow
+//     into the WAL verbatim with no re-encode.
+//
+// Either way the batch is atomic: every record must parse and every
+// document must be valid, or the whole request is rejected with one
+// error entry per failing record and nothing is stored. Accepted
+// batches commit through provstore.PutBatch — one WAL record, one
+// group-commit fsync — so a crash can never surface part of a batch.
+
+// BatchBinaryContentType selects the binary batch request encoding.
+const BatchBinaryContentType = "application/x-yprov-batch"
 
 // batchLineError reports one rejected NDJSON line (1-based).
 type batchLineError struct {
@@ -60,6 +74,10 @@ func writeBatchRejected(w http.ResponseWriter, status int, lineErrs []batchLineE
 func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, "batch ingestion is POST-only")
+		return
+	}
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, BatchBinaryContentType) {
+		s.handleBatchBinary(w, r)
 		return
 	}
 	docs := make(map[string]provstore.BatchItem)
@@ -139,6 +157,12 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	parseSpan.End()
+	s.commitBatch(w, r, docs, ids, lineErrs)
+}
+
+// commitBatch is the shared tail of both batch encodings: reject on
+// accumulated per-record errors, otherwise store atomically and answer.
+func (s *Service) commitBatch(w http.ResponseWriter, r *http.Request, docs map[string]provstore.BatchItem, ids []string, lineErrs []batchLineError) {
 	if len(lineErrs) > 0 {
 		writeBatchRejected(w, http.StatusUnprocessableEntity, lineErrs)
 		return
@@ -164,6 +188,101 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.setSeqHeader(w)
 	writeJSON(w, http.StatusCreated, map[string]interface{}{"created": len(ids), "ids": ids})
+}
+
+// handleBatchBinary decodes the length-prefixed binary batch encoding.
+// Framing damage (a truncated or oversized prefix) aborts the scan —
+// nothing after it can be trusted — while per-document problems are
+// recorded per record and the scan continues, mirroring the NDJSON
+// path's line diagnostics.
+func (s *Service) handleBatchBinary(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "batch body exceeds %d bytes", mbe.Limit)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	docs := make(map[string]provstore.BatchItem)
+	var lineErrs []batchLineError
+	ids := make([]string, 0, 16)
+	parseSpan := obs.FromContext(r.Context()).StartSpan("parse")
+	pos, rec := 0, 0
+scan:
+	for pos < len(body) {
+		rec++
+		idLen, n := binary.Uvarint(body[pos:])
+		if n <= 0 || idLen > uint64(len(body)-pos-n) {
+			lineErrs = append(lineErrs, batchLineError{Line: rec, Error: "truncated id prefix"})
+			break
+		}
+		pos += n
+		id := string(body[pos : pos+int(idLen)])
+		pos += int(idLen)
+		if len(body)-pos < 4 {
+			lineErrs = append(lineErrs, batchLineError{Line: rec, ID: id, Error: "truncated blob length"})
+			break
+		}
+		blobLen := int(binary.LittleEndian.Uint32(body[pos:]))
+		pos += 4
+		if blobLen > len(body)-pos {
+			lineErrs = append(lineErrs, batchLineError{Line: rec, ID: id, Error: "truncated document blob"})
+			break
+		}
+		if max := s.maxLineBytes(); blobLen > max {
+			lineErrs = append(lineErrs, batchLineError{Line: rec, ID: id,
+				Error: fmt.Sprintf("document blob exceeds %d bytes", max)})
+			pos += blobLen
+			continue
+		}
+		blob := body[pos : pos+blobLen]
+		pos += blobLen
+		switch {
+		case id == "":
+			lineErrs = append(lineErrs, batchLineError{Line: rec, Error: "missing document id"})
+		case len(blob) == 0:
+			lineErrs = append(lineErrs, batchLineError{Line: rec, ID: id, Error: "missing doc"})
+		default:
+			if _, dup := docs[id]; dup {
+				lineErrs = append(lineErrs, batchLineError{Line: rec, ID: id,
+					Error: fmt.Sprintf("duplicate id %q in batch", id)})
+				break
+			}
+			var doc *prov.Document
+			var perr error
+			if blob[0] == '{' {
+				doc, perr = prov.ParseJSON(blob)
+			} else {
+				doc, perr = prov.ParseBinary(blob)
+			}
+			if perr != nil {
+				lineErrs = append(lineErrs, batchLineError{Line: rec, ID: id, Error: "invalid document: " + perr.Error()})
+				break
+			}
+			if _, verr := doc.Validate(); verr != nil {
+				lineErrs = append(lineErrs, batchLineError{Line: rec, ID: id, Error: "invalid document: " + verr.Error()})
+				break
+			}
+			// The validated wire blob is journaled verbatim (it carries
+			// its own format tag), sparing the store a re-encode.
+			docs[id] = provstore.BatchItem{Doc: doc, Raw: blob}
+			ids = append(ids, id)
+			if max := s.maxBatchDocs(); len(docs) > max {
+				writeErr(w, http.StatusRequestEntityTooLarge, "batch exceeds %d documents", max)
+				return
+			}
+		}
+		if len(lineErrs) >= maxBatchLineErrors {
+			lineErrs = append(lineErrs, batchLineError{Line: rec + 1,
+				Error: fmt.Sprintf("aborting after %d invalid records", maxBatchLineErrors)})
+			break scan
+		}
+	}
+	parseSpan.End()
+	s.commitBatch(w, r, docs, ids, lineErrs)
 }
 
 // readLimitedLine reads one line (without its trailing newline) from

@@ -1,9 +1,7 @@
 package provstore
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
 	"sort"
 	"time"
@@ -16,94 +14,17 @@ import (
 // Bulk ingestion. PutBatch and DeleteBatch apply N documents as one
 // atomic unit: every document is validated up front, all owning shards
 // are locked together, and the whole batch is journaled as a single
-// write-ahead-log record ({"op":"batch","ops":[...]}). One record means
-// one Stage, one group-commit ticket, and one fsync for the entire
-// batch — and, because a record is the WAL's atomicity unit (CRC-framed,
-// truncated whole if torn), crash recovery can only ever replay the
-// whole batch or none of it. Any validation, projection, or staging
-// failure rolls every shard back to its pre-batch state before the
-// error is returned, so a failed batch is invisible to readers, to
-// later snapshots, and to replay.
-
-// batchEncoder frames a {"op":"batch","ops":[...]} journal record by
-// hand. Going through json.Marshal(journalOp{Ops: ...}) would re-scan
-// and re-compact every document's already-encoded bytes (RawMessage
-// round-trips through the encoder); appending them verbatim keeps the
-// journal cost of a batch proportional to one buffer write. The output
-// is exactly what encoding/json would produce, so recovery's
-// json.Unmarshal path is unchanged.
-type batchEncoder struct {
-	buf   bytes.Buffer
-	n     int
-	trace string
-}
-
-// newBatchEncoder pre-sizes the frame: ops sub-ops carrying payloadHint
-// total id+doc bytes, plus per-op framing overhead. trace, when
-// non-empty, is carried on the batch record (not per sub-op) so
-// follower apply logs can name the originating request.
-func newBatchEncoder(ops, payloadHint int, trace string) *batchEncoder {
-	e := &batchEncoder{trace: trace}
-	e.buf.Grow(64 + payloadHint + ops*48)
-	e.buf.WriteString(`{"op":"batch","ops":[`)
-	return e
-}
-
-func (e *batchEncoder) sep() {
-	if e.n > 0 {
-		e.buf.WriteByte(',')
-	}
-	e.n++
-}
-
-// writeIDShard emits `"op":"...","id":...,"shard":...` for one sub-op.
-func (e *batchEncoder) writeIDShard(op, id string, shard uint32) error {
-	qid, err := json.Marshal(id) // ids can hold any bytes; let json escape them
-	if err != nil {
-		return err
-	}
-	e.buf.WriteString(`{"op":"`)
-	e.buf.WriteString(op)
-	e.buf.WriteString(`","id":`)
-	e.buf.Write(qid)
-	if shard > 0 { // mirror journalOp's omitempty
-		fmt.Fprintf(&e.buf, `,"shard":%d`, shard)
-	}
-	return nil
-}
-
-func (e *batchEncoder) addPut(id string, shard uint32, doc []byte) error {
-	e.sep()
-	if err := e.writeIDShard("put", id, shard); err != nil {
-		return err
-	}
-	e.buf.WriteString(`,"doc":`)
-	e.buf.Write(doc)
-	e.buf.WriteByte('}')
-	return nil
-}
-
-func (e *batchEncoder) addDelete(id string, shard uint32) error {
-	e.sep()
-	if err := e.writeIDShard("delete", id, shard); err != nil {
-		return err
-	}
-	e.buf.WriteByte('}')
-	return nil
-}
-
-func (e *batchEncoder) finish() []byte {
-	e.buf.WriteByte(']')
-	if e.trace != "" {
-		// Mirror journalOp's field order (trace after ops) so the frame
-		// stays byte-identical to what encoding/json would produce.
-		qt, _ := json.Marshal(e.trace) // marshaling a string cannot fail
-		e.buf.WriteString(`,"trace":`)
-		e.buf.Write(qt)
-	}
-	e.buf.WriteByte('}')
-	return e.buf.Bytes()
-}
+// write-ahead-log record (a binary batch envelope; see codec.go). One
+// record means one Stage, one group-commit ticket, and one fsync for
+// the entire batch — and, because a record is the WAL's atomicity unit
+// (CRC-framed, truncated whole if torn), crash recovery can only ever
+// replay the whole batch or none of it. Sub-op document bytes — wire
+// JSON from the HTTP handler or binary blobs alike — are appended to
+// the record verbatim, so journaling a batch costs one buffer write,
+// not a re-encode. Any validation, projection, or staging failure rolls
+// every shard back to its pre-batch state before the error is returned,
+// so a failed batch is invisible to readers, to later snapshots, and to
+// replay.
 
 // batchEntry is one (shard, id, previous document) triple recorded
 // while a batch is applied, so a later failure can unwind it.
@@ -241,26 +162,19 @@ func (s *Store) PutBatchRawCtx(ctx context.Context, items map[string]BatchItem) 
 	tr := obs.FromContext(ctx)
 	var op []byte
 	if s.wal != nil {
-		raws := make([][]byte, len(ids))
 		size := 0
-		for i, id := range ids {
-			raw := items[id].Raw
-			if raw == nil {
-				var err error
-				if raw, err = items[id].Doc.MarshalJSON(); err != nil {
-					return fmt.Errorf("provstore: journal encode %q: %w", id, err)
-				}
-			}
-			raws[i] = raw
-			size += len(raw) + len(id)
+		for _, id := range ids {
+			size += len(items[id].Raw) + len(id)
 		}
-		enc := newBatchEncoder(len(ids), size, tr.ID())
-		for i, id := range ids {
-			if err := enc.addPut(id, s.shardIndex(id), raws[i]); err != nil {
-				return fmt.Errorf("provstore: journal encode %q: %w", id, err)
-			}
+		enc := newRecBatchEncoder(len(ids), size, tr.ID())
+		for _, id := range ids {
+			// Raw bytes (validated wire JSON or a binary blob) pass
+			// through verbatim; otherwise the document is encoded with
+			// the compact binary codec.
+			enc.addPut(id, s.shardIndex(id), items[id].Raw, items[id].Doc)
 		}
 		op = enc.finish()
+		defer putOpBuf(op)
 	}
 
 	idxs := s.shardSet(ids)
@@ -326,13 +240,12 @@ func (s *Store) DeleteBatchCtx(ctx context.Context, ids []string) error {
 	tr := obs.FromContext(ctx)
 	var op []byte
 	if s.wal != nil {
-		enc := newBatchEncoder(len(ids), 0, tr.ID())
+		enc := newRecBatchEncoder(len(ids), 0, tr.ID())
 		for _, id := range ids {
-			if err := enc.addDelete(id, s.shardIndex(id)); err != nil {
-				return fmt.Errorf("provstore: journal encode %q: %w", id, err)
-			}
+			enc.addDelete(id, s.shardIndex(id))
 		}
 		op = enc.finish()
+		defer putOpBuf(op)
 	}
 
 	idxs := s.shardSet(ids)

@@ -1,0 +1,399 @@
+package provstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/prov"
+)
+
+// Binary WAL record codec. The WAL's frame format is untouched
+// (length|crc32c|seq|payload); only the payload encoding changes. Every
+// payload opens with a one-byte tag: '{' (0x7B) marks a legacy JSON
+// journalOp — the PR 2–7 format, still decoded everywhere — and
+// recBinaryTag marks the compact binary envelope below. Old data dirs
+// and mixed-format journals therefore replay with no migration, and a
+// follower on this build applies either format a primary ships.
+//
+// Envelope layout (varints are unsigned LEB128 via encoding/binary):
+//
+//	byte    recBinaryTag (0x01)
+//	byte    op            recOpPut | recOpDelete | recOpBatch
+//	varint  len + bytes   trace id (empty = untraced)
+//	put:    varint shard, varint len + id, varint len + doc blob
+//	delete: varint shard, varint len + id
+//	batch:  varint n, then per sub-op:
+//	        byte op (put/delete), varint shard, varint len + id,
+//	        puts: varint len + doc blob
+//
+// A doc blob is itself tagged by its first byte: '{' = PROV-JSON
+// (parsed with prov.ParseJSON — this is how validated wire bytes pass
+// through the journal without a re-encode), prov.BinaryDocTag = the
+// compact document codec (prov.ParseBinary). Snapshots reuse the same
+// convention (see appendSnapshot / decodeSnapshot).
+const (
+	recBinaryTag = 0x01
+
+	recOpPut    = 1
+	recOpDelete = 2
+	recOpBatch  = 3
+)
+
+// opBufPool recycles record-encode scratch buffers across mutations.
+// wal.Stage copies the payload into the log's pending buffer before
+// returning, so a staged buffer can be recycled as soon as staging is
+// done — the journal-encode path then costs zero steady-state
+// allocations. Oversized buffers (a huge batch) are dropped rather than
+// pinned in the pool.
+var opBufPool = sync.Pool{
+	New: func() interface{} { b := make([]byte, 0, 1024); return &b },
+}
+
+const maxPooledOpBuf = 1 << 20
+
+func getOpBuf() []byte { return (*(opBufPool.Get().(*[]byte)))[:0] }
+
+func putOpBuf(b []byte) {
+	if cap(b) > maxPooledOpBuf {
+		return
+	}
+	b = b[:0]
+	opBufPool.Put(&b)
+}
+
+func appendLenBytes(dst []byte, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func appendLenString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// appendPutRecord encodes a put record into dst. The document is
+// serialized with the compact binary codec.
+func appendPutRecord(dst []byte, id string, doc *prov.Document, shard uint32, trace string) []byte {
+	dst = append(dst, recBinaryTag, recOpPut)
+	dst = appendLenString(dst, trace)
+	dst = binary.AppendUvarint(dst, uint64(shard))
+	dst = appendLenString(dst, id)
+	return appendBlob(dst, nil, doc)
+}
+
+// appendBlob appends a length-prefixed doc blob: raw bytes verbatim
+// when raw is non-nil (already-encoded JSON or binary), else the binary
+// encoding of doc. The length prefix is fixed-width 4 bytes so the blob
+// can be encoded straight into dst without a sizing pass.
+func appendBlob(dst []byte, raw []byte, doc *prov.Document) []byte {
+	if raw != nil {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(raw)))
+		return append(dst, raw...)
+	}
+	at := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = prov.AppendBinary(dst, doc)
+	binary.LittleEndian.PutUint32(dst[at:], uint32(len(dst)-at-4))
+	return dst
+}
+
+// appendDeleteRecord encodes a delete record into dst.
+func appendDeleteRecord(dst []byte, id string, shard uint32, trace string) []byte {
+	dst = append(dst, recBinaryTag, recOpDelete)
+	dst = appendLenString(dst, trace)
+	dst = binary.AppendUvarint(dst, uint64(shard))
+	return appendLenString(dst, id)
+}
+
+// recBatchEncoder accumulates one binary batch record. Unlike the old
+// JSON frame, sub-op doc bytes are appended verbatim (JSON wire bytes
+// or binary blobs alike) — no re-scan, no escaping pass.
+type recBatchEncoder struct {
+	buf []byte
+	n   int
+	at  int // offset of the varint count placeholder
+}
+
+// newRecBatchEncoder starts a batch record in a pooled buffer sized for
+// payloadHint doc/id bytes. Release with finishAndRelease's buffer via
+// putOpBuf after staging.
+func newRecBatchEncoder(ops, payloadHint int, trace string) *recBatchEncoder {
+	buf := getOpBuf()
+	if need := payloadHint + ops*16 + len(trace) + 16; cap(buf) < need {
+		buf = make([]byte, 0, need)
+	}
+	buf = append(buf, recBinaryTag, recOpBatch)
+	buf = appendLenString(buf, trace)
+	e := &recBatchEncoder{buf: buf, at: len(buf)}
+	// Fixed-width count (4 bytes LE) so sub-ops can stream in without a
+	// counting pass.
+	e.buf = append(e.buf, 0, 0, 0, 0)
+	return e
+}
+
+func (e *recBatchEncoder) addPut(id string, shard uint32, raw []byte, doc *prov.Document) {
+	e.n++
+	e.buf = append(e.buf, recOpPut)
+	e.buf = binary.AppendUvarint(e.buf, uint64(shard))
+	e.buf = appendLenString(e.buf, id)
+	e.buf = appendBlob(e.buf, raw, doc)
+}
+
+func (e *recBatchEncoder) addDelete(id string, shard uint32) {
+	e.n++
+	e.buf = append(e.buf, recOpDelete)
+	e.buf = binary.AppendUvarint(e.buf, uint64(shard))
+	e.buf = appendLenString(e.buf, id)
+}
+
+func (e *recBatchEncoder) finish() []byte {
+	binary.LittleEndian.PutUint32(e.buf[e.at:], uint32(e.n))
+	return e.buf
+}
+
+// recReader is a bounds-checked cursor over a binary record payload.
+type recReader struct {
+	buf []byte
+	pos int
+}
+
+var errRecTruncated = fmt.Errorf("provstore: truncated binary record")
+
+func (r *recReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, errRecTruncated
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *recReader) byte() (byte, error) {
+	if r.pos >= len(r.buf) {
+		return 0, errRecTruncated
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *recReader) lenBytes() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.buf)-r.pos) {
+		return nil, errRecTruncated
+	}
+	b := r.buf[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	return b, nil
+}
+
+func (r *recReader) lenString() (string, error) {
+	b, err := r.lenBytes()
+	return string(b), err
+}
+
+func (r *recReader) u32() (uint32, error) {
+	if len(r.buf)-r.pos < 4 {
+		return 0, errRecTruncated
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.pos:])
+	r.pos += 4
+	return v, nil
+}
+
+func (r *recReader) blob() ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(n) > uint64(len(r.buf)-r.pos) {
+		return nil, errRecTruncated
+	}
+	b := r.buf[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	return b, nil
+}
+
+// parseDocBlob decodes a tagged doc blob: PROV-JSON or binary.
+func parseDocBlob(blob []byte) (*prov.Document, error) {
+	if len(blob) == 0 {
+		return nil, fmt.Errorf("provstore: empty document blob")
+	}
+	if blob[0] == '{' {
+		return prov.ParseJSON(blob)
+	}
+	return prov.ParseBinary(blob)
+}
+
+// decodeRecordPayload turns one journal/replication payload into a
+// parse-validated operation, dispatching on the payload tag. Both the
+// recovery replay and the follower apply path come through here.
+func decodeRecordPayload(payload []byte, seq uint64) (parsedOp, error) {
+	if len(payload) == 0 {
+		return parsedOp{}, fmt.Errorf("provstore: record seq %d: empty payload", seq)
+	}
+	if payload[0] == '{' { // legacy JSON journalOp
+		var op journalOp
+		if err := json.Unmarshal(payload, &op); err != nil {
+			return parsedOp{}, fmt.Errorf("provstore: record seq %d: %w", seq, err)
+		}
+		return parseOp(op, seq, true)
+	}
+	if payload[0] != recBinaryTag {
+		return parsedOp{}, fmt.Errorf("provstore: record seq %d: unknown payload tag 0x%02x", seq, payload[0])
+	}
+	r := &recReader{buf: payload, pos: 1}
+	opByte, err := r.byte()
+	if err != nil {
+		return parsedOp{}, fmt.Errorf("provstore: record seq %d: %w", seq, err)
+	}
+	trace, err := r.lenString()
+	if err != nil {
+		return parsedOp{}, fmt.Errorf("provstore: record seq %d: %w", seq, err)
+	}
+	p := parsedOp{op: journalOp{Trace: trace}}
+	switch opByte {
+	case recOpPut, recOpDelete:
+		sub, err := decodeSimpleOp(r, opByte, seq)
+		if err != nil {
+			return parsedOp{}, err
+		}
+		p.op.Op, p.op.ID, p.op.Shard = sub.op.Op, sub.op.ID, sub.op.Shard
+		p.doc = sub.doc
+	case recOpBatch:
+		n, err := r.u32()
+		if err != nil {
+			return parsedOp{}, fmt.Errorf("provstore: record seq %d: %w", seq, err)
+		}
+		if uint64(n) > uint64(len(payload)-r.pos) {
+			return parsedOp{}, fmt.Errorf("provstore: record seq %d: batch count %d exceeds payload", seq, n)
+		}
+		p.op.Op = "batch"
+		p.subs = make([]parsedOp, 0, n)
+		for i := uint32(0); i < n; i++ {
+			ob, err := r.byte()
+			if err != nil {
+				return parsedOp{}, fmt.Errorf("provstore: record seq %d: %w", seq, err)
+			}
+			if ob != recOpPut && ob != recOpDelete {
+				return parsedOp{}, fmt.Errorf("provstore: record seq %d: bad batch sub-op 0x%02x", seq, ob)
+			}
+			sub, err := decodeSimpleOp(r, ob, seq)
+			if err != nil {
+				return parsedOp{}, err
+			}
+			p.subs = append(p.subs, sub)
+		}
+	default:
+		return parsedOp{}, fmt.Errorf("provstore: record seq %d: unknown op 0x%02x", seq, opByte)
+	}
+	if r.pos != len(payload) {
+		return parsedOp{}, fmt.Errorf("provstore: record seq %d: %d trailing bytes", seq, len(payload)-r.pos)
+	}
+	return p, nil
+}
+
+func decodeSimpleOp(r *recReader, opByte byte, seq uint64) (parsedOp, error) {
+	shard, err := r.uvarint()
+	if err != nil {
+		return parsedOp{}, fmt.Errorf("provstore: record seq %d: %w", seq, err)
+	}
+	id, err := r.lenString()
+	if err != nil {
+		return parsedOp{}, fmt.Errorf("provstore: record seq %d: %w", seq, err)
+	}
+	p := parsedOp{op: journalOp{ID: id, Shard: uint32(shard)}}
+	if opByte == recOpDelete {
+		p.op.Op = "delete"
+		return p, nil
+	}
+	p.op.Op = "put"
+	blob, err := r.blob()
+	if err != nil {
+		return parsedOp{}, fmt.Errorf("provstore: record seq %d: %w", seq, err)
+	}
+	doc, err := parseDocBlob(blob)
+	if err != nil {
+		return parsedOp{}, fmt.Errorf("provstore: record seq %d (%q): %w", seq, id, err)
+	}
+	p.doc = doc
+	return p, nil
+}
+
+// appendSnapshot encodes the full-state snapshot in binary: tag, the
+// writer's shard count, then per document a length-prefixed id and a
+// tagged doc blob.
+func appendSnapshot(dst []byte, docs map[string]*prov.Document, shards int) []byte {
+	dst = append(dst, recBinaryTag)
+	dst = binary.AppendUvarint(dst, uint64(shards))
+	dst = binary.AppendUvarint(dst, uint64(len(docs)))
+	for id, d := range docs {
+		dst = appendLenString(dst, id)
+		dst = appendBlob(dst, nil, d)
+	}
+	return dst
+}
+
+// restoreSnapshot replays a snapshot payload — legacy JSON
+// (storeSnapshot) or binary — into the not-yet-published store.
+func (s *Store) restoreSnapshot(payload []byte) error {
+	if len(payload) == 0 {
+		return nil
+	}
+	if payload[0] == '{' {
+		var snap storeSnapshot
+		if err := json.Unmarshal(payload, &snap); err != nil {
+			return fmt.Errorf("provstore: recover snapshot: %w", err)
+		}
+		for id, raw := range snap.Docs {
+			doc, err := prov.ParseJSON(raw)
+			if err != nil {
+				return fmt.Errorf("provstore: recover snapshot doc %q: %w", id, err)
+			}
+			if err := s.shardFor(id).putLockedOwned(id, doc); err != nil {
+				return fmt.Errorf("provstore: recover snapshot doc %q: %w", id, err)
+			}
+		}
+		return nil
+	}
+	if payload[0] != recBinaryTag {
+		return fmt.Errorf("provstore: recover snapshot: unknown payload tag 0x%02x", payload[0])
+	}
+	r := &recReader{buf: payload, pos: 1}
+	if _, err := r.uvarint(); err != nil { // writer's shard count: informational
+		return fmt.Errorf("provstore: recover snapshot: %w", err)
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return fmt.Errorf("provstore: recover snapshot: %w", err)
+	}
+	if n > uint64(len(payload)-r.pos) {
+		return fmt.Errorf("provstore: recover snapshot: doc count %d exceeds payload", n)
+	}
+	for i := uint64(0); i < n; i++ {
+		id, err := r.lenString()
+		if err != nil {
+			return fmt.Errorf("provstore: recover snapshot: %w", err)
+		}
+		blob, err := r.blob()
+		if err != nil {
+			return fmt.Errorf("provstore: recover snapshot doc %q: %w", id, err)
+		}
+		doc, err := parseDocBlob(blob)
+		if err != nil {
+			return fmt.Errorf("provstore: recover snapshot doc %q: %w", id, err)
+		}
+		if err := s.shardFor(id).putLockedOwned(id, doc); err != nil {
+			return fmt.Errorf("provstore: recover snapshot doc %q: %w", id, err)
+		}
+	}
+	if r.pos != len(payload) {
+		return fmt.Errorf("provstore: recover snapshot: %d trailing bytes", len(payload)-r.pos)
+	}
+	return nil
+}

@@ -151,78 +151,58 @@ func (s *Store) SuspectBitRot() bool { return s.suspectBitRot }
 // recorded shard hints are ignored, which is what makes old journals
 // and different shard counts interchangeable.
 func (s *Store) restore(rec *wal.RecoveredState) error {
-	if rec.SnapshotPayload != nil {
-		var snap storeSnapshot
-		if err := json.Unmarshal(rec.SnapshotPayload, &snap); err != nil {
-			return fmt.Errorf("provstore: recover snapshot: %w", err)
-		}
-		for id, raw := range snap.Docs {
-			doc, err := prov.ParseJSON(raw)
-			if err != nil {
-				return fmt.Errorf("provstore: recover snapshot doc %q: %w", id, err)
-			}
-			if err := s.shardFor(id).putLocked(id, doc); err != nil {
-				return fmt.Errorf("provstore: recover snapshot doc %q: %w", id, err)
-			}
-		}
+	if err := s.restoreSnapshot(rec.SnapshotPayload); err != nil {
+		return err
 	}
 	for _, r := range rec.Records {
-		var op journalOp
-		if err := json.Unmarshal(r.Payload, &op); err != nil {
-			return fmt.Errorf("provstore: recover journal seq %d: %w", r.Seq, err)
+		p, err := decodeRecordPayload(r.Payload, r.Seq)
+		if err != nil {
+			return err
 		}
-		if err := s.replayOp(op, r.Seq); err != nil {
+		if err := s.replayParsed(p, r.Seq); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// replayOp applies one recovered journal operation. Batches recurse
-// over their sub-ops — the record was written atomically, so by the
-// time replayOp sees it the whole batch is known durable.
-func (s *Store) replayOp(op journalOp, seq uint64) error {
-	switch op.Op {
+// replayParsed applies one recovered journal operation. Batches iterate
+// their sub-ops — the record was written atomically, so by the time
+// replayParsed sees it the whole batch is known durable. Decoded
+// documents are exclusively owned by the replay, so they are installed
+// without the defensive clone the public Put path pays.
+func (s *Store) replayParsed(p parsedOp, seq uint64) error {
+	switch p.op.Op {
 	case "put":
-		doc, err := prov.ParseJSON(op.Doc)
-		if err != nil {
-			return fmt.Errorf("provstore: recover journal seq %d (%q): %w", seq, op.ID, err)
-		}
-		if err := s.shardFor(op.ID).putLocked(op.ID, doc); err != nil {
-			return fmt.Errorf("provstore: recover journal seq %d (%q): %w", seq, op.ID, err)
+		if err := s.shardFor(p.op.ID).putLockedOwned(p.op.ID, p.doc); err != nil {
+			return fmt.Errorf("provstore: recover journal seq %d (%q): %w", seq, p.op.ID, err)
 		}
 	case "delete":
-		sh := s.shardFor(op.ID)
-		if _, ok := sh.docs[op.ID]; ok {
-			sh.deleteLocked(op.ID)
+		sh := s.shardFor(p.op.ID)
+		if _, ok := sh.docs[p.op.ID]; ok {
+			sh.deleteLocked(p.op.ID)
 		}
 	case "batch":
-		for _, sub := range op.Ops {
-			if sub.Op == "batch" {
-				return fmt.Errorf("provstore: recover journal seq %d: nested batch", seq)
-			}
-			if err := s.replayOp(sub, seq); err != nil {
+		for _, sub := range p.subs {
+			if err := s.replayParsed(sub, seq); err != nil {
 				return err
 			}
 		}
 	default:
-		return fmt.Errorf("provstore: recover journal seq %d: unknown op %q", seq, op.Op)
+		return fmt.Errorf("provstore: recover journal seq %d: unknown op %q", seq, p.op.Op)
 	}
 	return nil
 }
 
-// encodePutOp frames a put for the journal.
+// encodePutOp frames a put for the journal (binary record codec, fresh
+// buffer). Hot paths use appendPutRecord with a pooled buffer instead.
 func encodePutOp(id string, doc *prov.Document, shard uint32, trace string) ([]byte, error) {
-	raw, err := doc.MarshalJSON()
-	if err != nil {
-		return nil, err
-	}
-	return json.Marshal(journalOp{Op: "put", ID: id, Shard: shard, Doc: raw, Trace: trace})
+	return appendPutRecord(nil, id, doc, shard, trace), nil
 }
 
 // encodeDeleteOp frames a delete for the journal.
 func encodeDeleteOp(id string, shard uint32, trace string) ([]byte, error) {
-	return json.Marshal(journalOp{Op: "delete", ID: id, Shard: shard, Trace: trace})
+	return appendDeleteRecord(nil, id, shard, trace), nil
 }
 
 // maybeSnapshot triggers a checkpoint every SnapshotEvery mutations,
@@ -289,18 +269,7 @@ func (s *Store) checkpointLocked() error {
 		sh.mu.RUnlock()
 	}
 
-	snap := storeSnapshot{Docs: make(map[string]json.RawMessage, len(docs)), Shards: len(s.shards)}
-	for id, d := range docs {
-		raw, err := d.MarshalJSON()
-		if err != nil {
-			return fmt.Errorf("provstore: checkpoint %q: %w", id, err)
-		}
-		snap.Docs[id] = raw
-	}
-	payload, err := json.Marshal(snap)
-	if err != nil {
-		return fmt.Errorf("provstore: checkpoint: %w", err)
-	}
+	payload := appendSnapshot(nil, docs, len(s.shards))
 	if err := s.wal.WriteSnapshot(seq, payload); err != nil {
 		return fmt.Errorf("provstore: checkpoint: %w", err)
 	}

@@ -1,7 +1,6 @@
 package provstore
 
 import (
-	"encoding/json"
 	"fmt"
 
 	"repro/internal/prov"
@@ -44,7 +43,9 @@ func (s *Store) readOnlyGuard() error {
 
 // parsedOp is a journal operation decoded and parse-validated before
 // anything is journaled or applied, so a malformed record is rejected
-// while the follower state is still untouched.
+// while the follower state is still untouched. Both payload formats
+// (legacy JSON and the binary record codec) decode into this shape —
+// see decodeRecordPayload in codec.go.
 type parsedOp struct {
 	op   journalOp
 	doc  *prov.Document // puts only
@@ -53,26 +54,23 @@ type parsedOp struct {
 
 // parseReplicatedOp decodes and validates one record payload.
 func parseReplicatedOp(payload []byte, seq uint64) (parsedOp, error) {
-	var op journalOp
-	if err := json.Unmarshal(payload, &op); err != nil {
-		return parsedOp{}, fmt.Errorf("provstore: replicated record seq %d: %w", seq, err)
-	}
-	return parseOp(op, seq, true)
+	return decodeRecordPayload(payload, seq)
 }
 
+// parseOp lifts a decoded legacy JSON journalOp into a parsedOp.
 func parseOp(op journalOp, seq uint64, batchOK bool) (parsedOp, error) {
 	p := parsedOp{op: op}
 	switch op.Op {
 	case "put":
 		doc, err := prov.ParseJSON(op.Doc)
 		if err != nil {
-			return parsedOp{}, fmt.Errorf("provstore: replicated record seq %d (%q): %w", seq, op.ID, err)
+			return parsedOp{}, fmt.Errorf("provstore: record seq %d (%q): %w", seq, op.ID, err)
 		}
 		p.doc = doc
 	case "delete":
 	case "batch":
 		if !batchOK {
-			return parsedOp{}, fmt.Errorf("provstore: replicated record seq %d: nested batch", seq)
+			return parsedOp{}, fmt.Errorf("provstore: record seq %d: nested batch", seq)
 		}
 		for _, sub := range op.Ops {
 			ps, err := parseOp(sub, seq, false)
@@ -82,7 +80,7 @@ func parseOp(op journalOp, seq uint64, batchOK bool) (parsedOp, error) {
 			p.subs = append(p.subs, ps)
 		}
 	default:
-		return parsedOp{}, fmt.Errorf("provstore: replicated record seq %d: unknown op %q", seq, op.Op)
+		return parsedOp{}, fmt.Errorf("provstore: record seq %d: unknown op %q", seq, op.Op)
 	}
 	return p, nil
 }
@@ -163,7 +161,7 @@ func (s *Store) applyAndStage(p parsedOp, payload []byte) (wal.Ticket, error) {
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
 		prev := sh.docs[p.op.ID]
-		if err := sh.putLocked(p.op.ID, p.doc); err != nil {
+		if err := sh.putLockedOwned(p.op.ID, p.doc); err != nil {
 			return wal.Ticket{}, fmt.Errorf("provstore: apply replicated put %q: %w", p.op.ID, err)
 		}
 		return stage([]batchEntry{{sh: sh, id: p.op.ID, prev: prev}})
@@ -193,7 +191,7 @@ func (s *Store) applyAndStage(p parsedOp, payload []byte) (wal.Ticket, error) {
 				if prev != nil {
 					sh.deleteLocked(sub.op.ID)
 				}
-			} else if err := sh.putLocked(sub.op.ID, sub.doc); err != nil {
+			} else if err := sh.putLockedOwned(sub.op.ID, sub.doc); err != nil {
 				rollbackBatch(applied)
 				return wal.Ticket{}, fmt.Errorf("provstore: apply replicated batch %q: %w", sub.op.ID, err)
 			}

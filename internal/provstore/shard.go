@@ -43,17 +43,54 @@ func newShard() *shard {
 	}
 }
 
+// relTypes caches the graph relationship type for every PROV relation
+// kind; ToUpper on the hot projection path both allocated and burned
+// cycles per relation.
+var relTypes = func() map[prov.RelationKind]string {
+	m := make(map[prov.RelationKind]string, len(prov.AllRelationKinds))
+	for _, k := range prov.AllRelationKinds {
+		m[k] = strings.ToUpper(string(k))
+	}
+	return m
+}()
+
 // relTypeFor maps PROV relation kinds to graph relationship types.
 func relTypeFor(kind prov.RelationKind) string {
+	if t, ok := relTypes[kind]; ok {
+		return t
+	}
 	return strings.ToUpper(string(kind))
 }
+
+// Shared immutable label slices handed to CreateNodeOwned. graphdb
+// never mutates node labels, so every projection of the same class can
+// share one slice instead of allocating per element.
+var (
+	labelEntity   = []string{"Entity"}
+	labelActivity = []string{"Activity"}
+	labelAgent    = []string{"Agent"}
+)
 
 // putLocked applies a validated document to the shard's in-memory
 // state, all-or-nothing: the new graph projection is built first and
 // torn back down on any error, and the old document is replaced only on
-// success. sh.mu must be held exclusively.
-func (sh *shard) putLocked(id string, doc *prov.Document) (err error) {
-	nodes := make(map[prov.QName]graphdb.NodeID)
+// success. The caller keeps ownership of doc; the shard stores a deep
+// clone. sh.mu must be held exclusively.
+func (sh *shard) putLocked(id string, doc *prov.Document) error {
+	return sh.putDocLocked(id, doc, false)
+}
+
+// putLockedOwned is putLocked for documents the caller hands over —
+// decoded journal/replication records that nothing else references.
+// Skipping the defensive clone is what lets recovery and follower apply
+// run allocation-proportional to the decode, not twice it.
+func (sh *shard) putLockedOwned(id string, doc *prov.Document) error {
+	return sh.putDocLocked(id, doc, true)
+}
+
+func (sh *shard) putDocLocked(id string, doc *prov.Document, owned bool) (err error) {
+	nodeCount := len(doc.Entities) + len(doc.Activities) + len(doc.Agents)
+	nodes := make(map[prov.QName]graphdb.NodeID, nodeCount)
 	defer func() {
 		if err != nil {
 			for _, nid := range nodes {
@@ -62,19 +99,24 @@ func (sh *shard) putLocked(id string, doc *prov.Document) (err error) {
 		}
 	}()
 
-	addElement := func(label string, el *prov.Element, extra graphdb.Props) error {
+	// One boxed copy of the doc id serves every node and relation
+	// property map instead of re-boxing the string per element.
+	var docVal interface{} = id
+
+	addElement := func(labels []string, el *prov.Element, extra graphdb.Props) error {
 		props := make(graphdb.Props, len(el.Attrs)+len(extra)+2)
 		props["qname"] = string(el.ID)
-		props["doc"] = id
+		props["doc"] = docVal
 		for k, v := range el.Attrs {
 			props[attrPropKey(k)] = attrPropValue(v)
 		}
 		for k, v := range extra {
 			props[k] = v
 		}
-		// The freshly built map and label slice are handed over — the
-		// Owned variants skip graphdb's defensive copies on this hot path.
-		nid, err := sh.g.CreateNodeOwned([]string{label}, props)
+		// The freshly built map is handed over — the Owned variants skip
+		// graphdb's defensive copies on this hot path. The label slice is
+		// shared and immutable (graphdb never mutates labels).
+		nid, err := sh.g.CreateNodeOwned(labels, props)
 		if err != nil {
 			return err
 		}
@@ -83,37 +125,49 @@ func (sh *shard) putLocked(id string, doc *prov.Document) (err error) {
 	}
 
 	for _, qid := range doc.EntityIDs() {
-		if err := addElement("Entity", doc.Entities[qid], nil); err != nil {
+		if err := addElement(labelEntity, doc.Entities[qid], nil); err != nil {
 			return err
 		}
 	}
 	for _, qid := range doc.ActivityIDs() {
 		a := doc.Activities[qid]
-		extra := graphdb.Props{}
-		if !a.StartTime.IsZero() {
-			extra["startTime"] = a.StartTime.UnixNano()
+		var extra graphdb.Props
+		if !a.StartTime.IsZero() || !a.EndTime.IsZero() {
+			extra = make(graphdb.Props, 2)
+			if !a.StartTime.IsZero() {
+				extra["startTime"] = a.StartTime.UnixNano()
+			}
+			if !a.EndTime.IsZero() {
+				extra["endTime"] = a.EndTime.UnixNano()
+			}
 		}
-		if !a.EndTime.IsZero() {
-			extra["endTime"] = a.EndTime.UnixNano()
-		}
-		if err := addElement("Activity", &a.Element, extra); err != nil {
+		if err := addElement(labelActivity, &a.Element, extra); err != nil {
 			return err
 		}
 	}
 	for _, qid := range doc.AgentIDs() {
-		if err := addElement("Agent", doc.Agents[qid], nil); err != nil {
+		if err := addElement(labelAgent, doc.Agents[qid], nil); err != nil {
 			return err
 		}
 	}
+	// Timeless relations all carry the identical {"doc": id} property
+	// bag, and graphdb never mutates relationship props after creation,
+	// so one shared map serves every such edge of the document.
+	var sharedRelProps graphdb.Props
 	for _, rel := range doc.Relations {
 		from, ok1 := nodes[rel.Subject]
 		to, ok2 := nodes[rel.Object]
 		if !ok1 || !ok2 {
 			return fmt.Errorf("provstore: relation %s references unknown nodes", rel.ID)
 		}
-		props := graphdb.Props{"doc": id}
-		if !rel.Time.IsZero() {
-			props["time"] = rel.Time.UnixNano()
+		var props graphdb.Props
+		if rel.Time.IsZero() {
+			if sharedRelProps == nil {
+				sharedRelProps = graphdb.Props{"doc": docVal}
+			}
+			props = sharedRelProps
+		} else {
+			props = graphdb.Props{"doc": docVal, "time": rel.Time.UnixNano()}
 		}
 		if _, err := sh.g.CreateRelOwned(from, to, relTypeFor(rel.Kind), props); err != nil {
 			return err
@@ -123,7 +177,11 @@ func (sh *shard) putLocked(id string, doc *prov.Document) (err error) {
 	if _, exists := sh.docs[id]; exists {
 		sh.deleteLocked(id)
 	}
-	sh.docs[id] = doc.Clone()
+	if owned {
+		sh.docs[id] = doc
+	} else {
+		sh.docs[id] = doc.Clone()
+	}
 	sh.roots[id] = nodes
 	return nil
 }

@@ -163,10 +163,11 @@ func (s *Store) PutCtx(ctx context.Context, id string, doc *prov.Document) error
 	tr := obs.FromContext(ctx)
 	var op []byte
 	if s.wal != nil {
-		var err error
-		if op, err = encodePutOp(id, doc, s.shardIndex(id), tr.ID()); err != nil {
-			return fmt.Errorf("provstore: journal encode %q: %w", id, err)
-		}
+		// Pooled scratch: wal.Stage copies the payload, so the buffer is
+		// recyclable the moment this call returns (the defer runs after
+		// the commit wait, well past staging).
+		op = appendPutRecord(getOpBuf(), id, doc, s.shardIndex(id), tr.ID())
+		defer putOpBuf(op)
 	}
 	sh := s.shardFor(id)
 	s.lockShard(sh, tr)
@@ -280,10 +281,8 @@ func (s *Store) DeleteCtx(ctx context.Context, id string) error {
 	tr := obs.FromContext(ctx)
 	var op []byte
 	if s.wal != nil {
-		var err error
-		if op, err = encodeDeleteOp(id, s.shardIndex(id), tr.ID()); err != nil {
-			return fmt.Errorf("provstore: journal encode %q: %w", id, err)
-		}
+		op = appendDeleteRecord(getOpBuf(), id, s.shardIndex(id), tr.ID())
+		defer putOpBuf(op)
 	}
 	sh := s.shardFor(id)
 	s.lockShard(sh, tr)

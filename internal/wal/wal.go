@@ -168,11 +168,14 @@ type Log struct {
 	// Live-tail subscription: committed is the highest sequence whose
 	// commit batch has fully reached the segment file (and been fsynced
 	// when Options.Fsync is set) — the publication point replication
-	// readers may stream up to. tailCh is closed and replaced on every
-	// advance so any number of waiters wake per commit.
+	// readers may stream up to. tailCh is created lazily by the first
+	// waiter and closed+cleared on every advance, so any number of
+	// waiters wake per commit while an unwatched log (no replication
+	// tails — the common single-node case) commits without allocating a
+	// wake channel per batch.
 	committed atomic.Uint64
 	tailMu    sync.Mutex
-	tailCh    chan struct{}
+	tailCh    chan struct{} // nil = no waiters since the last advance
 	tailDone  bool
 
 	// compactFloor is the replication cursor honored by Compact: records
@@ -306,7 +309,6 @@ func Open(dir string, opts Options) (*Log, *RecoveredState, error) {
 		snapSeq:     rec.SnapshotSeq,
 		lastWritten: lastSeq,
 		segs:        segs,
-		tailCh:      make(chan struct{}),
 		fsyncHist:   obs.NewDurationHistogram(),
 		batchHist:   obs.NewSizeHistogram(),
 	}
@@ -619,7 +621,10 @@ func (l *Log) EstimateCommitWait() time.Duration {
 }
 
 // advanceCommitted raises the committed watermark and wakes every
-// WaitCommitted subscriber.
+// WaitCommitted subscriber. The watermark is published before the wake
+// channel is consumed, so a woken (or newly arriving) waiter always
+// observes the advance. With no subscribers the advance is a single
+// atomic store plus a mutex round trip — no per-commit allocation.
 func (l *Log) advanceCommitted(seq uint64) {
 	if seq <= l.committed.Load() {
 		return
@@ -627,9 +632,11 @@ func (l *Log) advanceCommitted(seq uint64) {
 	l.committed.Store(seq)
 	l.tailMu.Lock()
 	ch := l.tailCh
-	l.tailCh = make(chan struct{})
+	l.tailCh = nil
 	l.tailMu.Unlock()
-	close(ch)
+	if ch != nil {
+		close(ch)
+	}
 }
 
 // CommittedSeq reports the highest sequence number that is safe to
@@ -664,9 +671,15 @@ func (l *Log) SnapshotSeq() uint64 {
 func (l *Log) WaitCommitted(after uint64, cancel <-chan struct{}) (seq uint64, ok bool) {
 	for {
 		l.tailMu.Lock()
+		if l.tailCh == nil && !l.tailDone {
+			l.tailCh = make(chan struct{})
+		}
 		ch := l.tailCh
 		done := l.tailDone
 		l.tailMu.Unlock()
+		// Re-check only after the wake channel is registered: an advance
+		// that lands in between will close the captured channel, so the
+		// wakeup cannot be lost.
 		if cur := l.committed.Load(); cur > after {
 			return cur, true
 		}
@@ -790,7 +803,10 @@ func (l *Log) Close() error {
 	l.tailMu.Lock()
 	if !l.tailDone {
 		l.tailDone = true
-		close(l.tailCh)
+		if l.tailCh != nil {
+			close(l.tailCh)
+			l.tailCh = nil
+		}
 	}
 	l.tailMu.Unlock()
 	unlockDir(l.lock)
