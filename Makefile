@@ -39,14 +39,15 @@ bench-compile: bench
 # concurrency pairs (single-lock vs sharded), the bulk-ingestion pair
 # (sequential Puts vs one group-committed batch), the replication
 # pipeline (follower catch-up throughput), the histogram-observe hot
-# path every one of those now pays per request/fsync/lock, and the WAL
-# record codec pair (JSON vs binary encode/decode, allocs tracked).
+# path every one of those now pays per request/fsync/lock, the WAL
+# record codec pair (JSON vs binary encode/decode, allocs tracked), and
+# the cached lineage read path (cold vs warm vs invalidated).
 bench-key:
-	$(GO) test -run '^$$' -bench 'BenchmarkLogMetric$$|BenchmarkZarrAppend$$|BenchmarkLineage$$|BenchmarkBuildProv$$|BenchmarkWALAppend$$|BenchmarkRecovery$$|BenchmarkShardedPutParallel$$|BenchmarkMixedReadWrite$$|BenchmarkBatchPut$$|BenchmarkReplicationThroughput$$|BenchmarkHistObserve$$|BenchmarkCodecEncode$$|BenchmarkCodecDecode$$' -benchmem -benchtime 1s .
+	$(GO) test -run '^$$' -bench 'BenchmarkLogMetric$$|BenchmarkZarrAppend$$|BenchmarkLineage$$|BenchmarkBuildProv$$|BenchmarkWALAppend$$|BenchmarkRecovery$$|BenchmarkShardedPutParallel$$|BenchmarkMixedReadWrite$$|BenchmarkBatchPut$$|BenchmarkReplicationThroughput$$|BenchmarkHistObserve$$|BenchmarkCodecEncode$$|BenchmarkCodecDecode$$|BenchmarkLineageCached$$' -benchmem -benchtime 1s .
 
 # Regenerate the committed performance-trajectory report.
 bench-report:
-	$(GO) run ./cmd/benchreport -out BENCH_PR8.json
+	$(GO) run ./cmd/benchreport -out BENCH_PR9.json -baseline BENCH_PR8.json
 
 # Exposition-format gate: the strict Prometheus 0.0.4 parser in
 # internal/obs must accept everything GET /metrics serves, and the

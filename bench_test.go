@@ -436,6 +436,18 @@ func BenchmarkMixedReadWrite(b *testing.B) {
 	}
 }
 
+// BenchmarkLineageCached measures the full HTTP lineage read path
+// through the seq-invalidated response cache: cold (purged every
+// request), warm (pure hits — the acceptance point is >= 10x over
+// cold), and invalidated (a write precedes every read, so caching buys
+// nothing). Bodies live in internal/shardbench, shared with
+// cmd/benchreport.
+func BenchmarkLineageCached(b *testing.B) {
+	for _, mode := range shardbench.LineageCachedModes() {
+		b.Run(mode, shardbench.LineageCached(mode))
+	}
+}
+
 // BenchmarkReplicationThroughput measures WAL-shipping replication: a
 // fresh follower per iteration streams the primary's whole journal over
 // HTTP, re-journals it locally, and projects it into its own sharded

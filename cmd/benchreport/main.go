@@ -6,20 +6,23 @@
 // sharded), the PR-4 bulk-ingestion pair (BatchPut, sequential Puts vs
 // one group-committed batch), the PR-5 replication pipeline
 // (ReplicationThroughput: follower catch-up over HTTP, records/s in
-// the metrics column), and the PR-8 WAL record codec pairs
-// (CodecEncode, CodecDecode: PROV-JSON vs the compact binary codec on
-// the same document) — and writes a JSON report comparing them against
-// their baselines, extending the repository's performance trajectory.
-// For the paired rows the baseline is measured in the same run, so the
-// reported speedup is the scaling factor on the current machine.
+// the metrics column), the PR-8 WAL record codec pairs (CodecEncode,
+// CodecDecode: PROV-JSON vs the compact binary codec on the same
+// document), and the PR-9 cached read path (LineageCached: the full
+// HTTP lineage route cold, warm, and invalidated-every-request, with
+// warm baselined against cold from the same run) — and writes a JSON
+// report comparing them against their baselines, extending the
+// repository's performance trajectory. For the paired rows the
+// baseline is measured in the same run, so the reported speedup is the
+// scaling factor on the current machine.
 //
 // The report is also diffed against a previous report (-baseline,
-// default BENCH_PR5.json): rows whose allocs/op or bytes/op grew past
+// default BENCH_PR8.json): rows whose allocs/op or bytes/op grew past
 // -tol are flagged on stderr and recorded under "regressions".
 //
 // Usage:
 //
-//	go run ./cmd/benchreport [-out BENCH_PR8.json] [-baseline BENCH_PR5.json] [-benchtime 1s]
+//	go run ./cmd/benchreport [-out BENCH_PR9.json] [-baseline BENCH_PR8.json] [-benchtime 1s]
 package main
 
 import (
@@ -65,6 +68,8 @@ var baselineFor = map[string]string{
 	"BatchPut/size=100":          "BatchPut/sequential-100",
 	"CodecEncode/binary":         "CodecEncode/json",
 	"CodecDecode/binary":         "CodecDecode/json",
+	"LineageCached/warm":         "LineageCached/cold",
+	"LineageCached/invalidated":  "LineageCached/cold",
 }
 
 type row struct {
@@ -169,8 +174,8 @@ func codecDoc() *prov.Document {
 
 func main() {
 	testing.Init() // register test.* flags so benchtime is settable
-	out := flag.String("out", "BENCH_PR8.json", "output path for the JSON report")
-	baseline := flag.String("baseline", "BENCH_PR5.json", "previous report to flag alloc/byte regressions against (empty to skip)")
+	out := flag.String("out", "BENCH_PR9.json", "output path for the JSON report")
+	baseline := flag.String("baseline", "BENCH_PR8.json", "previous report to flag alloc/byte regressions against (empty to skip)")
 	tol := flag.Float64("tol", 0.10, "fractional regression tolerance for allocs/bytes (ns/op gets 3x this)")
 	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark target run time")
 	flag.Parse()
@@ -357,6 +362,9 @@ func main() {
 				}
 			}
 		}},
+		{"LineageCached/cold", shardbench.LineageCached("cold")},
+		{"LineageCached/warm", shardbench.LineageCached("warm")},
+		{"LineageCached/invalidated", shardbench.LineageCached("invalidated")},
 	}
 
 	rep := report{

@@ -20,6 +20,10 @@
 //	           and every acknowledged write is read back after the run;
 //	           any acked write lost is a non-zero exit. -chaos selects
 //	           this scenario directly.
+//	readcache — 100% lineage reads over the hottest 10% of documents;
+//	           the report adds the run-window read-cache hit ratio from
+//	           /api/v0/stats. Compare against a -read-cache-bytes=0
+//	           server to measure the cache's throughput win.
 //
 // -smoke shrinks the run to a bounded sub-second workload; the same
 // mode is exercised as an integration test in internal/loadgen.
@@ -39,14 +43,14 @@ import (
 func main() {
 	url := flag.String("url", "http://localhost:3000", "base URL of the yprov-server to load (the primary: all writes go here)")
 	replicaURLs := flag.String("replica-urls", "", "comma-separated read-replica base URLs; read scenarios split across them with failover")
-	scenario := flag.String("scenario", "mixed", "workload mix: ingest | lineage | mixed | hotspot | chaos")
+	scenario := flag.String("scenario", "mixed", "workload mix: ingest | lineage | mixed | hotspot | chaos | readcache")
 	chaos := flag.Bool("chaos", false, "shorthand for -scenario chaos (acked-write verification, 429s counted as shed)")
 	concurrency := flag.Int("concurrency", 8, "concurrent workers")
 	duration := flag.Duration("duration", 10*time.Second, "run length")
 	rate := flag.Float64("rate", 0, "target total ops/second (0 = unthrottled)")
 	batch := flag.Int("batch", 25, "documents per upload op (1 = single PUTs)")
 	preload := flag.Int("preload", 64, "documents seeded before the clock starts")
-	depth := flag.Int("depth", 12, "lineage chain depth of generated documents")
+	depth := flag.Int("depth", 0, "lineage chain depth of generated documents (0 = scenario default: 512 for readcache, else 12)")
 	token := flag.String("token", "", "bearer token for mutating requests")
 	seed := flag.Int64("seed", 0, "RNG seed for the op mix (0 = time-based)")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")

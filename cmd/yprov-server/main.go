@@ -13,6 +13,7 @@
 //	             [-replicate-from URL] [-advertise-addr ADDR] [-max-lag N]
 //	             [-max-inflight-writes N] [-max-commit-queue N]
 //	             [-shed-latency-target D] [-request-timeout D]
+//	             [-read-cache-entries N] [-read-cache-bytes N] [-max-depth N]
 //
 // The store is sharded: documents spread over -shards independent
 // graph+lock slices (default GOMAXPROCS, rounded to a power of two) so
@@ -101,6 +102,9 @@ func main() {
 	maxCommitQueue := flag.Int64("max-commit-queue", 0, "shed writes with 429 when the journal commit queue is deeper than this (0 disables)")
 	shedLatencyTarget := flag.Duration("shed-latency-target", 0, "shed writes with 429 when the estimated commit wait exceeds this (0 disables)")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline; clients may shorten it via X-Yprov-Timeout-Ms (0 disables)")
+	readCacheEntries := flag.Int("read-cache-entries", 4096, "max encoded responses held by the seq-invalidated read cache (0 disables caching)")
+	readCacheBytes := flag.Int64("read-cache-bytes", 64<<20, "max total body bytes held by the read cache (0 disables caching)")
+	maxDepth := flag.Int("max-depth", 1024, "cap on lineage/subgraph/cross-lineage ?depth= and ?hops= traversals")
 	flag.Parse()
 
 	if *exportDir != "" && *dataDir != "" && samePath(*exportDir, *dataDir) {
@@ -199,6 +203,12 @@ func main() {
 	if *requestTimeout > 0 {
 		opts = append(opts, provservice.WithRequestTimeout(*requestTimeout))
 	}
+	if *readCacheEntries > 0 && *readCacheBytes > 0 {
+		opts = append(opts, provservice.WithReadCache(*readCacheEntries, *readCacheBytes))
+	}
+	if *maxDepth > 0 {
+		opts = append(opts, provservice.WithMaxTraversalDepth(*maxDepth))
+	}
 	var replServer *repl.Server
 	var replFollower *repl.Follower
 	if follower {
@@ -271,6 +281,9 @@ func main() {
 		"max_commit_queue":    *maxCommitQueue,
 		"shed_latency_ms":     shedLatencyTarget.Milliseconds(),
 		"request_timeout_ms":  requestTimeout.Milliseconds(),
+		"read_cache_entries":  *readCacheEntries,
+		"read_cache_bytes":    *readCacheBytes,
+		"max_depth":           *maxDepth,
 	})
 	log.Printf("config: %s", effective)
 

@@ -13,6 +13,7 @@ package loadgen
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/prov"
 	"repro/internal/provclient"
+	"repro/internal/readcache"
 	"repro/internal/shardbench"
 )
 
@@ -49,10 +51,22 @@ const (
 	// back after the run — the zero-acked-write-loss check for runs
 	// against a fault-injected or overloaded server.
 	Chaos Scenario = "chaos"
+	// ReadCacheHeavy is 100% lineage reads over the hottest 10% of
+	// documents — a small enough key set that the server's
+	// seq-invalidated read cache should absorb nearly every request.
+	// Documents default to deep chains (ChainDepth 512, matching
+	// BenchmarkLineageCached) so each miss pays a real traversal+encode
+	// and the cache's win is visible over HTTP overhead. The report
+	// includes the run-window cache hit ratio scraped from
+	// /api/v0/stats; compare against a -read-cache-entries=0 server to
+	// measure the cache's throughput win.
+	ReadCacheHeavy Scenario = "readcache"
 )
 
 // Scenarios lists every built-in scenario.
-func Scenarios() []Scenario { return []Scenario{IngestHeavy, LineageHeavy, Mixed, HotDoc, Chaos} }
+func Scenarios() []Scenario {
+	return []Scenario{IngestHeavy, LineageHeavy, Mixed, HotDoc, Chaos, ReadCacheHeavy}
+}
 
 // Config parameterizes one load-generation run. Zero values select
 // defaults.
@@ -105,7 +119,11 @@ func (c Config) withDefaults() Config {
 		c.Preload = 64
 	}
 	if c.ChainDepth <= 0 {
-		c.ChainDepth = 12
+		if c.Scenario == ReadCacheHeavy {
+			c.ChainDepth = 512 // deep enough that a cache miss costs a real traversal
+		} else {
+			c.ChainDepth = 12
+		}
 	}
 	if c.Seed == 0 {
 		c.Seed = time.Now().UnixNano()
@@ -190,6 +208,13 @@ type Report struct {
 	Shed        int `json:"shed,omitempty"`
 	AckedWrites int `json:"acked_writes,omitempty"`
 	AckedLost   int `json:"acked_lost,omitempty"`
+	// Read-cache tallies for the timed window, scraped from the server's
+	// /api/v0/stats read_cache block before and after the run. Present
+	// only when the server reports a cache (readcache scenario, or any
+	// run against a cache-enabled server).
+	CacheHits     uint64  `json:"cache_hits,omitempty"`
+	CacheMisses   uint64  `json:"cache_misses,omitempty"`
+	CacheHitRatio float64 `json:"cache_hit_ratio,omitempty"`
 }
 
 // workerResult is one worker's tallies, merged after the run.
@@ -271,6 +296,9 @@ func Run(cfg Config) (Report, error) {
 	// done), from the WAL disk-bytes gauge in /stats; in-memory servers
 	// report no durability block and the journal columns stay zero.
 	journalBefore, haveJournal := journalDiskBytes(client())
+	// Cache counters likewise delta over the timed window only, so the
+	// reported hit ratio excludes preload-time compulsory misses.
+	cacheBefore, haveCache := readCacheStats(client())
 
 	// Per-worker pacing: each worker spaces operation starts by
 	// concurrency/rate so the fleet sums to cfg.Rate.
@@ -366,6 +394,15 @@ func Run(cfg Config) (Report, error) {
 			rep.JournalBytes = after - journalBefore
 		}
 	}
+	if haveCache {
+		if after, ok := readCacheStats(client()); ok {
+			rep.CacheHits = after.Hits - cacheBefore.Hits
+			rep.CacheMisses = after.Misses - cacheBefore.Misses
+			if total := rep.CacheHits + rep.CacheMisses; total > 0 {
+				rep.CacheHitRatio = float64(rep.CacheHits) / float64(total)
+			}
+		}
+	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		rep.OpsPerSec = float64(rep.Ops) / secs
 		rep.DocsPerSec = float64(rep.DocsIngested) / secs
@@ -385,6 +422,31 @@ func journalDiskBytes(c *provclient.Client) (int64, bool) {
 		return 0, false
 	}
 	return st.Durability.DiskBytes, true
+}
+
+// readCacheStats scrapes the read_cache block from /api/v0/stats.
+// ok is false when the server runs without a read cache (the block is
+// absent) or the stats call fails.
+func readCacheStats(c *provclient.Client) (readcache.Stats, bool) {
+	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/api/v0/stats", nil)
+	if err != nil {
+		return readcache.Stats{}, false
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return readcache.Stats{}, false
+	}
+	defer resp.Body.Close()
+	var out struct {
+		ReadCache *readcache.Stats `json:"read_cache"`
+	}
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&out) != nil || out.ReadCache == nil {
+		return readcache.Stats{}, false
+	}
+	return *out.ReadCache, true
 }
 
 // workerConfig is everything one worker goroutine needs.
@@ -500,6 +562,8 @@ func (w *workerConfig) pickOp(n int) (string, int) {
 			return "upload-acked", 1
 		}
 		return "lineage", 0
+	case ReadCacheHeavy:
+		return "lineage", 0
 	default: // Mixed
 		if n%8 == 0 {
 			return "upload", w.cfg.BatchSize
@@ -545,7 +609,12 @@ func (w *workerConfig) execOp(ctx context.Context, kind string, n int, res *work
 		return int64(w.docBytes), w.client.UploadCtx(ctx, w.hot[w.rng.Intn(len(w.hot))], w.doc)
 	case "lineage":
 		id := w.seedIDs[w.rng.Intn(len(w.seedIDs))]
-		if w.cfg.Scenario == HotDoc && w.rng.Float64() < 0.9 {
+		switch {
+		case w.cfg.Scenario == ReadCacheHeavy:
+			// A key set small enough that the read cache can hold every
+			// response: after one compulsory miss per id, hits dominate.
+			id = w.hot[w.rng.Intn(len(w.hot))]
+		case w.cfg.Scenario == HotDoc && w.rng.Float64() < 0.9:
 			id = w.hot[w.rng.Intn(len(w.hot))]
 		}
 		var nodes []prov.QName
@@ -603,6 +672,10 @@ func (r Report) String() string {
 		r.Latency.P50Ms, r.Latency.P90Ms, r.Latency.P99Ms, r.Latency.MaxMs)
 	if r.Scenario == Chaos {
 		s += fmt.Sprintf("chaos: shed=%d acked=%d acked_lost=%d\n", r.Shed, r.AckedWrites, r.AckedLost)
+	}
+	if r.CacheHits+r.CacheMisses > 0 {
+		s += fmt.Sprintf("cache: hits=%d misses=%d hit_ratio=%.3f\n",
+			r.CacheHits, r.CacheMisses, r.CacheHitRatio)
 	}
 	for _, k := range sortedOpKinds(r.PerOp) {
 		v := r.PerOp[k]

@@ -40,7 +40,7 @@ func TestSmokeAllScenarios(t *testing.T) {
 				if rep.DocsIngested == 0 {
 					t.Fatal("write scenario ingested no documents")
 				}
-			case LineageHeavy:
+			case LineageHeavy, ReadCacheHeavy:
 				if rep.DocsIngested != 0 {
 					t.Fatalf("read scenario reported %d ingested docs", rep.DocsIngested)
 				}
@@ -141,6 +141,36 @@ func TestChaosScenarioUnderOverload(t *testing.T) {
 		t.Fatalf("%d acked writes lost (first: %s)", rep.AckedLost, rep.FirstError)
 	}
 	t.Logf("chaos smoke: %d acked, %d shed, read p99 %.2fms", rep.AckedWrites, rep.Shed, rep.Latency.P99Ms)
+}
+
+// TestReadCacheScenarioReportsHitRatio: against a cache-enabled
+// server, the readcache scenario's hot key set is small enough that
+// the run-window hit ratio must be high, and the cache counters must
+// appear in both the report struct and its rendering.
+func TestReadCacheScenarioReportsHitRatio(t *testing.T) {
+	store := provstore.New()
+	svc := provservice.New(store, provservice.WithReadCache(1024, 16<<20))
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+
+	rep, err := Run(Config{BaseURL: srv.URL, Scenario: ReadCacheHeavy, Seed: 5, Smoke: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("readcache run had %d errors (first: %s)", rep.Errors, rep.FirstError)
+	}
+	if rep.CacheHits == 0 {
+		t.Fatalf("no cache hits recorded: %+v", rep)
+	}
+	// Smoke preloads 8 docs, hot set = 1 id: after one compulsory miss
+	// every read of that id is a hit.
+	if rep.CacheHitRatio < 0.5 {
+		t.Fatalf("hit ratio %.3f too low for a single-key hot set", rep.CacheHitRatio)
+	}
+	if !strings.Contains(rep.String(), "hit_ratio=") {
+		t.Fatalf("report rendering missing cache line:\n%s", rep)
+	}
 }
 
 // TestRunFailsFastWhenUnreachable: a dead endpoint is a setup error,

@@ -1,0 +1,159 @@
+package provclient
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/prov"
+	"repro/internal/provservice"
+	"repro/internal/provstore"
+)
+
+func pagingServer(t *testing.T, n int) (*Client, *provstore.Store) {
+	t.Helper()
+	store := provstore.NewSharded(4)
+	for i := 0; i < n; i++ {
+		d := prov.NewDocument()
+		d.AddEntity("ex:item", prov.Attrs{"prov:type": prov.Str("provml:Thing")})
+		d.AddActivity("ex:act", nil)
+		d.WasGeneratedBy("ex:item", "ex:act", time.Time{})
+		if err := store.Put(fmt.Sprintf("doc-%03d", i), d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(provservice.New(store, provservice.WithReadCache(256, 1<<20)))
+	t.Cleanup(srv.Close)
+	return New(srv.URL), store
+}
+
+func TestListPageWalksWholeStore(t *testing.T) {
+	c, _ := pagingServer(t, 23)
+	var ids []string
+	cursor := ""
+	pages := 0
+	for {
+		page, next, err := c.ListPage(context.Background(), cursor, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(page) > 10 {
+			t.Fatalf("page of %d exceeds limit", len(page))
+		}
+		ids = append(ids, page...)
+		pages++
+		if next == "" {
+			break
+		}
+		cursor = next
+	}
+	if len(ids) != 23 || pages != 3 {
+		t.Fatalf("crawl got %d ids over %d pages, want 23 over 3", len(ids), pages)
+	}
+	for i, id := range ids {
+		if want := fmt.Sprintf("doc-%03d", i); id != want {
+			t.Fatalf("ids[%d] = %s, want %s", i, id, want)
+		}
+	}
+}
+
+func TestDocumentsIterator(t *testing.T) {
+	c, _ := pagingServer(t, 15)
+	var ids []string
+	for id, err := range c.Documents(context.Background(), 4) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if len(ids) != 15 {
+		t.Fatalf("iterator yielded %d ids, want 15", len(ids))
+	}
+	// Early break stops cleanly mid-page.
+	got := 0
+	for _, err := range c.Documents(context.Background(), 4) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got++; got == 6 {
+			break
+		}
+	}
+	if got != 6 {
+		t.Fatalf("broke after %d ids, want 6", got)
+	}
+}
+
+func TestListStreamNDJSON(t *testing.T) {
+	c, _ := pagingServer(t, 31)
+	var ids []string
+	for id, err := range c.ListStream(context.Background()) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if len(ids) != 31 {
+		t.Fatalf("stream yielded %d ids, want 31", len(ids))
+	}
+	for i, id := range ids {
+		if want := fmt.Sprintf("doc-%03d", i); id != want {
+			t.Fatalf("ids[%d] = %s, want %s", i, id, want)
+		}
+	}
+}
+
+func TestSearchByTypePageEquivalence(t *testing.T) {
+	c, _ := pagingServer(t, 12)
+	full, err := c.SearchByType("provml:Thing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != 12 {
+		t.Fatalf("unpaginated search: %d hits", len(full))
+	}
+	var paged []provstore.SearchResult
+	cursor := ""
+	for {
+		page, next, err := c.SearchByTypePage(context.Background(), "provml:Thing", cursor, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paged = append(paged, page...)
+		if next == "" {
+			break
+		}
+		cursor = next
+	}
+	if fmt.Sprint(paged) != fmt.Sprint(full) {
+		t.Fatalf("paged search diverged:\n paged %v\n  full %v", paged, full)
+	}
+}
+
+func TestCrossLineagePage(t *testing.T) {
+	c, _ := pagingServer(t, 9)
+	// Every document shares the nodes ex:item/ex:act, so the cross-doc
+	// result is a handful of rows; limit=1 forces a cursor per row.
+	var rows []provstore.CrossNode
+	cursor := ""
+	for {
+		page, next, err := c.CrossLineagePage(context.Background(), "ex:item", provstore.Ancestors, 0, cursor, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, page...)
+		if next == "" {
+			break
+		}
+		cursor = next
+	}
+	full, err := c.CrossLineage("ex:item", provstore.Ancestors, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(rows) != fmt.Sprint(full) {
+		t.Fatalf("cross-lineage pages diverged:\n paged %v\n  full %v", rows, full)
+	}
+}

@@ -1,0 +1,409 @@
+package provservice
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/provstore"
+	"repro/internal/readcache"
+)
+
+// The read path. Every cacheable read funnels through serveRead: the
+// handler canonicalizes its query into a cache key, names the document
+// ids the query touches (none = store-wide), and supplies a fill that
+// computes the fully encoded response body. serveRead resolves the
+// read version — the max applied-seq watermark over the touched shards
+// (StoreAPI.ReadVersion) — answers If-None-Match with 304 when the
+// client's ETag still validates, consults the seq-invalidated cache,
+// and writes the body with Content-Length set up front.
+//
+// Version capture happens BEFORE the fill runs. Versions are monotone,
+// so if a later lookup finds the same version, no touched shard applied
+// a mutation in between and the cached body is byte-equal to a fresh
+// computation. The converse race — a mutation landing between capture
+// and fill — can only cache *newer* state under the older version,
+// which readers at that version may legitimately observe (the write
+// was concurrent with their request); it is never stale.
+
+// defaultMaxTraversalDepth bounds ?depth= / ?hops= traversals when the
+// server does not override it (-max-depth).
+const defaultMaxTraversalDepth = 1024
+
+// Pagination bounds: cursor-only requests page by defaultPageLimit;
+// explicit limits are capped at maxPageLimit.
+const (
+	defaultPageLimit = 1000
+	maxPageLimit     = 100000
+)
+
+// WithReadCache enables the seq-invalidated response cache, bounded to
+// maxEntries encoded bodies and maxBytes total body bytes. Either
+// bound <= 0 leaves caching off (reads always recompute).
+func WithReadCache(maxEntries int, maxBytes int64) Option {
+	return func(s *Service) {
+		if maxEntries > 0 && maxBytes > 0 {
+			s.cache = readcache.New(maxEntries, maxBytes)
+		}
+	}
+}
+
+// WithMaxTraversalDepth caps the ?depth= / ?hops= query parameters on
+// lineage, subgraph, and cross-document lineage (default 1024).
+// Explicit values above the cap are rejected with 400; absent or zero
+// ("unbounded") values are clamped to it, so no request can walk an
+// arbitrarily deep closure while holding a shard read lock.
+func WithMaxTraversalDepth(n int) Option {
+	return func(s *Service) {
+		if n > 0 {
+			s.maxTraversalDepth = n
+		}
+	}
+}
+
+// ReadCache exposes the service's response cache (nil when disabled) —
+// benchmarks and tests use it to purge between phases.
+func (s *Service) ReadCache() *readcache.Cache { return s.cache }
+
+// httpError carries a response status through a cache fill, so the
+// fill can say "404, not found" without writing to the socket itself
+// (fills run once per miss and may be shared by coalesced requests).
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func httpErrf(status int, format string, args ...interface{}) *httpError {
+	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// readKey canonicalizes a query into a cache key. Parts are joined
+// with an unambiguous separator so distinct queries cannot collide.
+func readKey(parts ...string) string {
+	return strings.Join(parts, "\x1f")
+}
+
+// jsonEntry encodes v exactly like writeJSON does (compact JSON plus
+// trailing newline), as a cacheable entry.
+func jsonEntry(v interface{}) (readcache.Entry, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return readcache.Entry{}, httpErrf(http.StatusInternalServerError, "encode response: %v", err)
+	}
+	return readcache.Entry{Body: append(b, '\n'), ContentType: "application/json"}, nil
+}
+
+// makeETag derives the strong validator for (key, version). The epoch
+// scopes validators to one server process: in-memory stores restart
+// their sequence space from zero, so without it a client could revive
+// a pre-restart ETag against unrelated state.
+func (s *Service) makeETag(key string, version uint64) string {
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, key)
+	return fmt.Sprintf("\"%x-%d-%x\"", s.etagEpoch, version, h.Sum64())
+}
+
+// etagMatches implements the If-None-Match comparison against a strong
+// validator: "*" matches any current representation; weak tags (W/...)
+// never match a strong one.
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		if part == "*" || part == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// serveRead runs one cacheable read end to end: version resolution,
+// conditional-GET short circuit, cache lookup with single-flight fill,
+// and the final write. ids scope the version to the touched shards
+// (empty = store-wide); withETag enables the conditional-GET contract.
+func (s *Service) serveRead(w http.ResponseWriter, r *http.Request, key string, ids []string, withETag bool, fill func() (readcache.Entry, error)) {
+	version := s.store.ReadVersion(ids...)
+	var etag string
+	if withETag {
+		etag = s.makeETag(key, version)
+		if etagMatches(r.Header.Get("If-None-Match"), etag) {
+			// The client's representation was produced at this exact
+			// (key, version): no touched shard has advanced, so the body
+			// is unchanged and need not be recomputed or resent.
+			w.Header().Set("ETag", etag)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	var (
+		e   readcache.Entry
+		hit bool
+		err error
+	)
+	if s.cache != nil {
+		e, hit, err = s.cache.Do(key, version, fill)
+	} else {
+		e, err = fill()
+	}
+	if err != nil {
+		var he *httpError
+		if errors.As(err, &he) {
+			writeErr(w, he.status, "%s", he.msg)
+			return
+		}
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if withETag {
+		w.Header().Set("ETag", etag)
+	}
+	if s.cache != nil {
+		state := "miss"
+		if hit {
+			state = "hit"
+		}
+		w.Header().Set("X-Yprov-Cache", state)
+	}
+	ct := e.ContentType
+	if ct == "" {
+		ct = "application/json"
+	}
+	w.Header().Set("Content-Type", ct)
+	w.Header().Set("Content-Length", strconv.Itoa(len(e.Body)))
+	if _, werr := w.Write(e.Body); werr != nil {
+		writeFailures.Inc()
+	}
+}
+
+// parseBoundedDepth parses the named traversal-depth parameter
+// (?depth= or ?hops=). def applies when the parameter is absent.
+// Explicit values above the server cap get a 400 naming the cap.
+// zeroUnbounded marks parameters where 0 historically meant "no
+// bound" (lineage depth): those clamp silently to the cap, so no
+// request can walk an arbitrarily deep closure while holding a shard
+// read lock. For subgraph hops, 0 legitimately means "just the node"
+// and is kept. The resolved value doubles as the canonical form in
+// cache keys, so depth=0 and depth=<cap> share an entry — they
+// compute identical responses.
+func (s *Service) parseBoundedDepth(w http.ResponseWriter, r *http.Request, name string, def int, zeroUnbounded bool) (int, bool) {
+	max := s.maxTraversalDepth
+	v := def
+	if ds := r.URL.Query().Get(name); ds != "" {
+		n, err := strconv.Atoi(ds)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "bad %s %q", name, ds)
+			return 0, false
+		}
+		if n > max {
+			writeErr(w, http.StatusBadRequest, "%s %d exceeds the server maximum of %d", name, n, max)
+			return 0, false
+		}
+		v = n
+	}
+	if zeroUnbounded && v == 0 {
+		v = max
+	}
+	return v, true
+}
+
+// Cursors are opaque to clients: base64url over the last id of the
+// previous page. Pages are stable under concurrent writes in the same
+// sense the unpaginated listing is per-shard consistent — ids sort
+// ascending, the cursor names a position in that order, and a crawl
+// observes every id not created or deleted mid-crawl exactly once.
+func encodeCursor(last string) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(last))
+}
+
+func decodeCursor(c string) (string, error) {
+	b, err := base64.RawURLEncoding.DecodeString(c)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// parsePage parses ?limit=&cursor=. No limit and no cursor means the
+// legacy unpaginated response (limit 0); a cursor without a limit
+// pages by defaultPageLimit.
+func parsePage(w http.ResponseWriter, r *http.Request) (limit int, after string, ok bool) {
+	q := r.URL.Query()
+	if ls := q.Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n <= 0 {
+			writeErr(w, http.StatusBadRequest, "bad limit %q", ls)
+			return 0, "", false
+		}
+		if n > maxPageLimit {
+			n = maxPageLimit
+		}
+		limit = n
+	}
+	if cs := q.Get("cursor"); cs != "" {
+		a, err := decodeCursor(cs)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad cursor %q", cs)
+			return 0, "", false
+		}
+		after = a
+		if limit == 0 {
+			limit = defaultPageLimit
+		}
+	}
+	return limit, after, true
+}
+
+// searchCursorKey is the cursor position of one search hit: results
+// sort by (Doc, Node), so the pair names a unique position. \x00
+// cannot appear in either field's meaningful prefix ordering.
+func searchCursorKey(r provstore.SearchResult) string {
+	return r.Doc + "\x00" + string(r.Node)
+}
+
+// pageSearch slices sorted search results to the page after the
+// cursor. next is "" on the final page.
+func pageSearch(results []provstore.SearchResult, after string, limit int) (page []provstore.SearchResult, next string) {
+	i := 0
+	if after != "" {
+		i = sort.Search(len(results), func(j int) bool { return searchCursorKey(results[j]) > after })
+	}
+	results = results[i:]
+	if limit <= 0 || len(results) <= limit {
+		return results, ""
+	}
+	page = results[:limit]
+	return page, encodeCursor(searchCursorKey(page[len(page)-1]))
+}
+
+// pageCross is pageSearch for cross-document lineage (sorted by Node).
+func pageCross(nodes []provstore.CrossNode, after string, limit int) (page []provstore.CrossNode, next string) {
+	i := 0
+	if after != "" {
+		i = sort.Search(len(nodes), func(j int) bool { return string(nodes[j].Node) > after })
+	}
+	nodes = nodes[i:]
+	if limit <= 0 || len(nodes) <= limit {
+		return nodes, ""
+	}
+	page = nodes[:limit]
+	return page, encodeCursor(string(page[len(page)-1].Node))
+}
+
+// wantsNDJSON reports whether the client opted into streaming
+// newline-delimited JSON.
+func wantsNDJSON(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
+// ndjsonWriter streams one JSON value per line, flushing every
+// flushEvery lines so a slow consumer sees steady progress instead of
+// one buffered burst. Write errors latch: streaming responses cannot
+// change status mid-body, so the best the server can do is stop
+// encoding, count the failure, and let the connection close.
+type ndjsonWriter struct {
+	rc  *http.ResponseController
+	enc *json.Encoder
+	n   int
+	err error
+}
+
+const ndjsonFlushEvery = 512
+
+func newNDJSON(w http.ResponseWriter) *ndjsonWriter {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	return &ndjsonWriter{rc: http.NewResponseController(w), enc: json.NewEncoder(w)}
+}
+
+// write emits one line; false means the stream is dead.
+func (nw *ndjsonWriter) write(v interface{}) bool {
+	if nw.err != nil {
+		return false
+	}
+	if err := nw.enc.Encode(v); err != nil {
+		nw.err = err
+		writeFailures.Inc()
+		return false
+	}
+	nw.n++
+	if nw.n%ndjsonFlushEvery == 0 {
+		_ = nw.rc.Flush()
+	}
+	return true
+}
+
+func (nw *ndjsonWriter) finish() { _ = nw.rc.Flush() }
+
+// streamDocuments is the NDJSON document listing: one JSON string per
+// line, fetched page by page through ListAfter so no full id list is
+// ever materialized and no shard lock is held across the write. limit
+// 0 streams the whole store.
+func (s *Service) streamDocuments(w http.ResponseWriter, after string, limit int) {
+	nw := newNDJSON(w)
+	const page = 1024
+	remaining := limit
+	for {
+		n := page
+		if remaining > 0 && remaining < n {
+			n = remaining
+		}
+		ids, more := s.store.ListAfter(after, n)
+		for _, id := range ids {
+			if !nw.write(id) {
+				return
+			}
+		}
+		if len(ids) == 0 || !more {
+			break
+		}
+		if remaining > 0 {
+			remaining -= len(ids)
+			if remaining <= 0 {
+				break
+			}
+		}
+		after = ids[len(ids)-1]
+	}
+	nw.finish()
+}
+
+// cacheObsStats surfaces the cache counters in /api/v0/stats.
+func (s *Service) cacheStats() *readcache.Stats {
+	if s.cache == nil {
+		return nil
+	}
+	st := s.cache.Stats()
+	return &st
+}
+
+// registerReadObs wires read-path instruments that live at package
+// scope (writeJSON cannot reach a Service) onto this service's
+// registry. The counters are process-wide; with several services in
+// one process each registry reports the shared totals.
+func (s *Service) registerReadObs() {
+	s.reg.RegisterCounter("yprov_response_encode_errors_total",
+		"Responses whose JSON encoding failed before the status line was written (client saw a 500, not a truncated 200).",
+		nil, &encodeErrors)
+	s.reg.RegisterCounter("yprov_response_write_errors_total",
+		"Response bodies the client connection failed to accept.",
+		nil, &writeFailures)
+	if s.cache != nil {
+		s.cache.RegisterObs(s.reg)
+	}
+}
+
+// encodeErrors counts writeJSON marshal failures; writeFailures counts
+// socket-level body-write failures (including NDJSON streams).
+var encodeErrors, writeFailures obs.Counter

@@ -1,0 +1,442 @@
+package provservice
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/prov"
+	"repro/internal/provstore"
+)
+
+// revMarker matches the fixed-width revision stamp revDoc embeds.
+var revMarker = regexp.MustCompile(`[0-9]{8}`)
+
+// revDoc builds a document whose entity carries a fixed-width revision
+// marker, so a reader can order the states it observes by comparing
+// the marker strings.
+func revDoc(rev int) *prov.Document {
+	d := prov.NewDocument()
+	d.AddEntity("ex:e", prov.Attrs{"provml:rev": prov.Str(fmt.Sprintf("%08d", rev))})
+	d.AddActivity("ex:a", nil)
+	d.WasGeneratedBy("ex:e", "ex:a", time.Time{})
+	return d
+}
+
+// cachedServer builds a service with the read cache enabled over a
+// store with the given shard count.
+func cachedServer(t *testing.T, shards int, opts ...Option) (*httptest.Server, *provstore.Store) {
+	t.Helper()
+	store := provstore.NewSharded(shards)
+	svc := New(store, append([]Option{WithReadCache(1024, 16 << 20)}, opts...)...)
+	srv := httptest.NewServer(svc)
+	t.Cleanup(srv.Close)
+	return srv, store
+}
+
+func get(t *testing.T, url string, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestETagConditionalGet: document GETs and lineage carry a strong
+// ETag; If-None-Match on an unchanged store answers 304 with no body;
+// any write to the document invalidates the validator.
+func TestETagConditionalGet(t *testing.T) {
+	srv, store := cachedServer(t, 4)
+	if err := store.Put("doc1", revDoc(1)); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{
+		"/api/v0/documents/doc1",
+		"/api/v0/documents/doc1/lineage?node=ex:e&direction=ancestors",
+	} {
+		t.Run(path, func(t *testing.T) {
+			resp, body := get(t, srv.URL+path, nil)
+			if resp.StatusCode != 200 || len(body) == 0 {
+				t.Fatalf("GET: %d, %d bytes", resp.StatusCode, len(body))
+			}
+			etag := resp.Header.Get("ETag")
+			if etag == "" || !strings.HasPrefix(etag, "\"") {
+				t.Fatalf("ETag = %q, want a quoted strong validator", etag)
+			}
+			resp, notModBody := get(t, srv.URL+path, map[string]string{"If-None-Match": etag})
+			if resp.StatusCode != http.StatusNotModified {
+				t.Fatalf("conditional GET = %d, want 304", resp.StatusCode)
+			}
+			if len(notModBody) != 0 {
+				t.Fatalf("304 carried %d body bytes", len(notModBody))
+			}
+			// A write to the document makes the validator stale: full 200
+			// with a fresh ETag and the new content.
+			if err := store.Put("doc1", revDoc(2)); err != nil {
+				t.Fatal(err)
+			}
+			resp, body2 := get(t, srv.URL+path, map[string]string{"If-None-Match": etag})
+			if resp.StatusCode != 200 {
+				t.Fatalf("post-write conditional GET = %d, want 200", resp.StatusCode)
+			}
+			if newTag := resp.Header.Get("ETag"); newTag == etag || newTag == "" {
+				t.Fatalf("ETag not refreshed after write: %q", newTag)
+			}
+			if string(body2) == string(body) && strings.Contains(string(body), "rev") {
+				t.Fatal("post-write body identical to pre-write body")
+			}
+		})
+	}
+}
+
+// TestCacheHitHeaderAndInvalidation: the X-Yprov-Cache header reports
+// miss on first computation, hit on repeat, and miss again after a
+// write to a touched shard.
+func TestCacheHitHeaderAndInvalidation(t *testing.T) {
+	srv, store := cachedServer(t, 1)
+	if err := store.Put("doc1", revDoc(1)); err != nil {
+		t.Fatal(err)
+	}
+	url := srv.URL + "/api/v0/documents/doc1/lineage?node=ex:e&direction=ancestors"
+	resp, _ := get(t, url, nil)
+	if got := resp.Header.Get("X-Yprov-Cache"); got != "miss" {
+		t.Fatalf("first GET cache = %q, want miss", got)
+	}
+	resp, _ = get(t, url, nil)
+	if got := resp.Header.Get("X-Yprov-Cache"); got != "hit" {
+		t.Fatalf("second GET cache = %q, want hit", got)
+	}
+	// Any write to the single shard advances the watermark: stale entry.
+	if err := store.Put("other", revDoc(1)); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = get(t, url, nil)
+	if got := resp.Header.Get("X-Yprov-Cache"); got != "miss" {
+		t.Fatalf("post-write GET cache = %q, want miss", got)
+	}
+}
+
+// TestCachedReadsNeverGoBackwards is the PR's core coherence check:
+// with a writer continuously bumping a document's revision, concurrent
+// cached readers must observe a non-decreasing revision sequence — a
+// cached body served at version V can never show older state than an
+// earlier read did.
+func TestCachedReadsNeverGoBackwards(t *testing.T) {
+	srv, store := cachedServer(t, 2)
+	if err := store.Put("doc1", revDoc(0)); err != nil {
+		t.Fatal(err)
+	}
+	url := srv.URL + "/api/v0/documents/doc1"
+
+	const readers, reads, revs = 4, 150, 150
+	stop := make(chan struct{})
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for i := 1; i <= revs; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := store.Put("doc1", revDoc(i)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	var readerWG sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			last := ""
+			for i := 0; i < reads; i++ {
+				resp, body := get(t, url, nil)
+				if resp.StatusCode != 200 {
+					t.Errorf("GET = %d", resp.StatusCode)
+					return
+				}
+				// The rev marker is fixed-width, so string order is
+				// numeric order.
+				rev := revMarker.FindString(string(body))
+				if rev == "" {
+					t.Errorf("no rev marker in body %q", body)
+					return
+				}
+				if rev < last {
+					t.Errorf("revision went backwards: %q after %q", rev, last)
+					return
+				}
+				last = rev
+			}
+		}()
+	}
+	readerWG.Wait()
+	close(stop)
+	writerWG.Wait()
+}
+
+// TestListPaginationEquivalence: for every shard layout, walking the
+// cursor pages and streaming NDJSON both reproduce the unpaginated
+// listing exactly.
+func TestListPaginationEquivalence(t *testing.T) {
+	for _, shards := range []int{1, 4, 16} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			srv, store := cachedServer(t, shards)
+			const n = 57
+			for i := 0; i < n; i++ {
+				if err := store.Put(fmt.Sprintf("doc-%03d", i), revDoc(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Unpaginated baseline.
+			_, body := get(t, srv.URL+"/api/v0/documents", nil)
+			var full struct {
+				Documents  []string `json:"documents"`
+				NextCursor string   `json:"next_cursor"`
+			}
+			if err := json.Unmarshal(body, &full); err != nil {
+				t.Fatal(err)
+			}
+			if len(full.Documents) != n || full.NextCursor != "" {
+				t.Fatalf("unpaginated: %d ids, cursor %q", len(full.Documents), full.NextCursor)
+			}
+			// Cursor crawl at an awkward page size.
+			var paged []string
+			cursor := ""
+			for {
+				u := srv.URL + "/api/v0/documents?limit=10"
+				if cursor != "" {
+					u += "&cursor=" + cursor
+				}
+				resp, body := get(t, u, nil)
+				if resp.StatusCode != 200 {
+					t.Fatalf("page GET = %d", resp.StatusCode)
+				}
+				var page struct {
+					Documents  []string `json:"documents"`
+					NextCursor string   `json:"next_cursor"`
+				}
+				if err := json.Unmarshal(body, &page); err != nil {
+					t.Fatal(err)
+				}
+				paged = append(paged, page.Documents...)
+				if page.NextCursor == "" {
+					break
+				}
+				cursor = page.NextCursor
+			}
+			if fmt.Sprint(paged) != fmt.Sprint(full.Documents) {
+				t.Fatalf("cursor crawl diverged:\n paged %v\n  full %v", paged, full.Documents)
+			}
+			// NDJSON stream.
+			resp, body := get(t, srv.URL+"/api/v0/documents", map[string]string{"Accept": "application/x-ndjson"})
+			if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+				t.Fatalf("stream Content-Type = %q", ct)
+			}
+			var streamed []string
+			sc := bufio.NewScanner(strings.NewReader(string(body)))
+			for sc.Scan() {
+				var id string
+				if err := json.Unmarshal(sc.Bytes(), &id); err != nil {
+					t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+				}
+				streamed = append(streamed, id)
+			}
+			if fmt.Sprint(streamed) != fmt.Sprint(full.Documents) {
+				t.Fatalf("NDJSON stream diverged:\n stream %v\n   full %v", streamed, full.Documents)
+			}
+		})
+	}
+}
+
+// TestSearchPaginationEquivalence: cursor pages over /search union to
+// the unpaginated result set, in order.
+func TestSearchPaginationEquivalence(t *testing.T) {
+	srv, store := cachedServer(t, 4)
+	const n = 23
+	for i := 0; i < n; i++ {
+		d := prov.NewDocument()
+		d.AddEntity("ex:item", prov.Attrs{"prov:type": prov.Str("provml:Thing")})
+		if err := store.Put(fmt.Sprintf("doc-%03d", i), d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, body := get(t, srv.URL+"/api/v0/search?type=provml:Thing", nil)
+	var full struct {
+		Results []provstore.SearchResult `json:"results"`
+	}
+	if err := json.Unmarshal(body, &full); err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Results) != n {
+		t.Fatalf("unpaginated search: %d results, want %d", len(full.Results), n)
+	}
+	var paged []provstore.SearchResult
+	cursor := ""
+	for {
+		u := srv.URL + "/api/v0/search?type=provml:Thing&limit=7"
+		if cursor != "" {
+			u += "&cursor=" + cursor
+		}
+		_, body := get(t, u, nil)
+		var page struct {
+			Results    []provstore.SearchResult `json:"results"`
+			NextCursor string                   `json:"next_cursor"`
+		}
+		if err := json.Unmarshal(body, &page); err != nil {
+			t.Fatal(err)
+		}
+		paged = append(paged, page.Results...)
+		if page.NextCursor == "" {
+			break
+		}
+		cursor = page.NextCursor
+	}
+	if fmt.Sprint(paged) != fmt.Sprint(full.Results) {
+		t.Fatalf("search crawl diverged:\n paged %v\n  full %v", paged, full.Results)
+	}
+}
+
+// TestDepthAndHopsClamp: explicit traversal depths above the server
+// cap are rejected with a 400 naming the cap; depth=0 (historically
+// "unbounded") silently clamps; subgraph hops=0 still means "just the
+// node".
+func TestDepthAndHopsClamp(t *testing.T) {
+	srv, store := cachedServer(t, 1, WithMaxTraversalDepth(4))
+	if err := store.Put("doc1", revDoc(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := get(t, srv.URL+"/api/v0/documents/doc1/lineage?node=ex:e&depth=5", nil)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "maximum of 4") {
+		t.Fatalf("over-cap depth: %d %s", resp.StatusCode, body)
+	}
+	resp, _ = get(t, srv.URL+"/api/v0/documents/doc1/lineage?node=ex:e&depth=0", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("depth=0 (clamped) = %d, want 200", resp.StatusCode)
+	}
+	resp, body = get(t, srv.URL+"/api/v0/documents/doc1/subgraph?node=ex:e&hops=9", nil)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "maximum of 4") {
+		t.Fatalf("over-cap hops: %d %s", resp.StatusCode, body)
+	}
+	// hops=0 is a valid request for the bare node, not "unbounded".
+	resp, body = get(t, srv.URL+"/api/v0/documents/doc1/subgraph?node=ex:e&hops=0", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("hops=0 = %d, want 200", resp.StatusCode)
+	}
+	sub, err := prov.ParseJSON(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(sub.EntityIDs()) + len(sub.ActivityIDs()) + len(sub.AgentIDs()); n != 1 {
+		t.Fatalf("hops=0 subgraph has %d nodes, want just ex:e", n)
+	}
+	resp, body = get(t, srv.URL+"/api/v0/lineage?node=ex:e&depth=5", nil)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "maximum of 4") {
+		t.Fatalf("cross-lineage over-cap depth: %d %s", resp.StatusCode, body)
+	}
+	resp, _ = get(t, srv.URL+"/api/v0/documents/doc1/lineage?node=ex:e&depth=bogus", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed depth = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestWriteJSONEncodeError: a body that cannot be marshaled must yield
+// a real 500 (headers not yet written, so the status is honest) and
+// bump the encode-error counter — not a 200 with a truncated body.
+func TestWriteJSONEncodeError(t *testing.T) {
+	before := encodeErrors.Value()
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, map[string]interface{}{"bad": make(chan int)})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil || eb.Error == "" {
+		t.Fatalf("500 body not an error envelope: %q (%v)", rec.Body.String(), err)
+	}
+	if encodeErrors.Value() != before+1 {
+		t.Fatalf("encodeErrors = %d, want %d", encodeErrors.Value(), before+1)
+	}
+}
+
+// TestStatsExposesReadCache: /api/v0/stats carries the read_cache
+// block when the cache is on, and omits it when off.
+func TestStatsExposesReadCache(t *testing.T) {
+	srv, store := cachedServer(t, 1)
+	if err := store.Put("doc1", revDoc(1)); err != nil {
+		t.Fatal(err)
+	}
+	get(t, srv.URL+"/api/v0/documents/doc1", nil) // one miss
+	get(t, srv.URL+"/api/v0/documents/doc1", nil) // one hit
+	_, body := get(t, srv.URL+"/api/v0/stats", nil)
+	var st struct {
+		ReadCache *struct {
+			Hits     uint64  `json:"hits"`
+			Misses   uint64  `json:"misses"`
+			HitRatio float64 `json:"hit_ratio"`
+		} `json:"read_cache"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ReadCache == nil || st.ReadCache.Hits == 0 || st.ReadCache.Misses == 0 {
+		t.Fatalf("read_cache block missing or empty: %s", body)
+	}
+
+	plain := httptest.NewServer(New(provstore.New()))
+	defer plain.Close()
+	_, body = get(t, plain.URL+"/api/v0/stats", nil)
+	if strings.Contains(string(body), "read_cache") {
+		t.Fatalf("cache-less stats leaked a read_cache block: %s", body)
+	}
+}
+
+// TestMetricsExposeReadCache: the Prometheus endpoint serves the cache
+// series.
+func TestMetricsExposeReadCache(t *testing.T) {
+	srv, store := cachedServer(t, 1)
+	if err := store.Put("doc1", revDoc(1)); err != nil {
+		t.Fatal(err)
+	}
+	get(t, srv.URL+"/api/v0/documents/doc1", nil)
+	get(t, srv.URL+"/api/v0/documents/doc1", nil)
+	_, body := get(t, srv.URL+"/metrics", nil)
+	for _, series := range []string{
+		"yprov_readcache_hits_total",
+		"yprov_readcache_misses_total",
+		"yprov_readcache_hit_ratio",
+		"yprov_response_encode_errors_total",
+	} {
+		if !strings.Contains(string(body), series) {
+			t.Fatalf("metrics missing %s", series)
+		}
+	}
+}

@@ -1,13 +1,13 @@
 // Package provservice exposes the provstore over the yProv RESTful API:
 //
-//	GET    /api/v0/documents                 list document ids
+//	GET    /api/v0/documents                 list document ids (?limit=&cursor=; NDJSON via Accept)
 //	POST   /api/v0/documents:batch           bulk upload (NDJSON, atomic; see batch.go)
 //	PUT    /api/v0/documents/{id}            upload a PROV-JSON document
-//	GET    /api/v0/documents/{id}            fetch a document
+//	GET    /api/v0/documents/{id}            fetch a document (strong ETag / If-None-Match)
 //	DELETE /api/v0/documents/{id}            delete a document
-//	GET    /api/v0/documents/{id}/lineage    ?node=ex:x&direction=ancestors&depth=3
-//	GET    /api/v0/documents/{id}/subgraph   ?node=ex:x&hops=2
-//	GET    /api/v0/search                    ?type=provml:Model | ?key=provml:name&value=x
+//	GET    /api/v0/documents/{id}/lineage    ?node=ex:x&direction=ancestors&depth=3 (ETag)
+//	GET    /api/v0/documents/{id}/subgraph   ?node=ex:x&hops=2 (ETag)
+//	GET    /api/v0/search                    ?type=provml:Model | ?key=provml:name&value=x (?limit=&cursor=)
 //	GET    /api/v0/stats                     store statistics (+ replication state)
 //	GET    /api/v0/metrics                   HTTP telemetry (in-flight, latency)
 //	GET    /healthz                          liveness; degraded on lagged followers
@@ -25,6 +25,7 @@
 package provservice
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/prov"
 	"repro/internal/provstore"
+	"repro/internal/readcache"
 	"repro/internal/repl"
 )
 
@@ -64,6 +66,14 @@ type StoreAPI interface {
 	FindByType(typeName string) []provstore.SearchResult
 	FindByAttr(key string, value interface{}) []provstore.SearchResult
 	CrossDocLineage(start prov.QName, dir provstore.LineageDirection, depth int) ([]provstore.CrossNode, error)
+	// ListAfter is the cursor-pagination primitive: up to limit ids
+	// strictly greater than after, sorted, plus whether more remain.
+	ListAfter(after string, limit int) ([]string, bool)
+	// ReadVersion is the cache fingerprint for a read touching the
+	// given document ids (none = store-wide): the max applied-seq
+	// watermark over the owning shards. Monotone; changes whenever any
+	// touched shard applies a mutation. See internal/readcache.
+	ReadVersion(ids ...string) uint64
 	Stats() provstore.Stats
 	// AppliedSeq is the journal high-water mark backing the X-Yprov-Seq
 	// write token and the X-Yprov-Min-Seq read-your-writes check (0 for
@@ -117,6 +127,13 @@ type Service struct {
 	// Overload hardening (see admission.go).
 	admission      *admission    // write shedding; nil = disabled
 	requestTimeout time.Duration // per-request context deadline; 0 = none
+
+	// Read path (see readpath.go): the seq-invalidated response cache
+	// (nil = disabled), the traversal-depth cap for ?depth=/?hops=, and
+	// the process epoch scoping ETag validators to this server run.
+	cache             *readcache.Cache
+	maxTraversalDepth int
+	etagEpoch         uint64
 
 	// Graceful shutdown: Close refuses new requests, drains in-flight
 	// ones, then flushes and closes the store. In-flight requests hold
@@ -195,7 +212,12 @@ func WithReplicationFollower(f *repl.Follower, primaryURL string, maxLag uint64)
 
 // New builds a service over the given store.
 func New(store StoreAPI, opts ...Option) *Service {
-	s := &Service{store: store, MaxBodyBytes: 64 << 20}
+	s := &Service{
+		store:             store,
+		MaxBodyBytes:      64 << 20,
+		maxTraversalDepth: defaultMaxTraversalDepth,
+		etagEpoch:         uint64(time.Now().UnixNano()),
+	}
 	for _, o := range opts {
 		o(s)
 	}
@@ -206,6 +228,7 @@ func New(store StoreAPI, opts ...Option) *Service {
 	if s.admission != nil {
 		s.admission.register(s.reg)
 	}
+	s.registerReadObs()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/v0/documents", s.handleDocuments)
 	mux.HandleFunc("/api/v0/documents:batch", s.handleBatch)
@@ -325,10 +348,42 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// jsonBufPool recycles writeJSON encode buffers; buffers that grew
+// past maxPooledBuf are dropped so one giant response cannot pin its
+// allocation forever.
+var jsonBufPool = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+
+const maxPooledBuf = 1 << 20
+
+// writeJSON encodes v into a pooled buffer BEFORE committing a status
+// line. The old encode-straight-to-socket version wrote the 200 first,
+// so a marshal failure mid-encode produced a silently truncated 200
+// body; now a failed encode is counted and surfaces as a real 500.
+// Socket write failures after the header cannot change the status —
+// they are counted (yprov_response_write_errors_total) and the
+// connection is left to die. Responses too large to buffer should use
+// the streaming read path (NDJSON / pagination) instead.
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer func() {
+		if buf.Cap() <= maxPooledBuf {
+			jsonBufPool.Put(buf)
+		}
+	}()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		encodeErrors.Inc()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_ = json.NewEncoder(w).Encode(errorBody{Error: fmt.Sprintf("encode response: %v", err)})
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		writeFailures.Inc()
+	}
 }
 
 func writeErr(w http.ResponseWriter, status int, format string, args ...interface{}) {
@@ -410,7 +465,28 @@ func (s *Service) handleDocuments(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "use GET to list, PUT /api/v0/documents/{id} to upload")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{"documents": s.store.List()})
+	limit, after, ok := parsePage(w, r)
+	if !ok {
+		return
+	}
+	if wantsNDJSON(r) {
+		s.streamDocuments(w, after, limit)
+		return
+	}
+	key := readKey("list", after, strconv.Itoa(limit))
+	s.serveRead(w, r, key, nil, false, func() (readcache.Entry, error) {
+		body := map[string]interface{}{}
+		if limit > 0 {
+			ids, more := s.store.ListAfter(after, limit)
+			body["documents"] = ids
+			if more && len(ids) > 0 {
+				body["next_cursor"] = encodeCursor(ids[len(ids)-1])
+			}
+		} else {
+			body["documents"] = s.store.List()
+		}
+		return jsonEntry(body)
+	})
 }
 
 // splitDocPath parses /api/v0/documents/{id}[/{verb}] from the
@@ -451,18 +527,17 @@ func (s *Service) handleDocument(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleDocumentCRUD(w http.ResponseWriter, r *http.Request, id string) {
 	switch r.Method {
 	case http.MethodGet:
-		doc, ok := s.store.Get(id)
-		if !ok {
-			writeErr(w, http.StatusNotFound, "document %q does not exist", id)
-			return
-		}
-		payload, err := doc.MarshalIndent()
-		if err != nil {
-			writeErr(w, http.StatusInternalServerError, "marshal: %v", err)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		_, _ = w.Write(payload)
+		s.serveRead(w, r, readKey("doc", id), []string{id}, true, func() (readcache.Entry, error) {
+			doc, ok := s.store.Get(id)
+			if !ok {
+				return readcache.Entry{}, httpErrf(http.StatusNotFound, "document %q does not exist", id)
+			}
+			payload, err := doc.MarshalIndent()
+			if err != nil {
+				return readcache.Entry{}, httpErrf(http.StatusInternalServerError, "marshal: %v", err)
+			}
+			return readcache.Entry{Body: payload, ContentType: "application/json"}, nil
+		})
 	case http.MethodPut, http.MethodPost:
 		body, err := io.ReadAll(r.Body)
 		if err != nil {
@@ -539,22 +614,19 @@ func (s *Service) handleLineage(w http.ResponseWriter, r *http.Request, id strin
 	if dir == "" {
 		dir = provstore.Ancestors
 	}
-	depth := 0
-	if ds := r.URL.Query().Get("depth"); ds != "" {
-		var err error
-		depth, err = strconv.Atoi(ds)
-		if err != nil || depth < 0 {
-			writeErr(w, http.StatusBadRequest, "bad depth %q", ds)
-			return
-		}
-	}
-	nodes, err := s.store.Lineage(id, prov.QName(node), dir, depth)
-	if err != nil {
-		writeErr(w, http.StatusNotFound, "%v", err)
+	depth, ok := s.parseBoundedDepth(w, r, "depth", 0, true)
+	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"document": id, "node": node, "direction": dir, "depth": depth, "nodes": nodes,
+	key := readKey("lineage", id, node, string(dir), strconv.Itoa(depth))
+	s.serveRead(w, r, key, []string{id}, true, func() (readcache.Entry, error) {
+		nodes, err := s.store.Lineage(id, prov.QName(node), dir, depth)
+		if err != nil {
+			return readcache.Entry{}, httpErrf(http.StatusNotFound, "%v", err)
+		}
+		return jsonEntry(map[string]interface{}{
+			"document": id, "node": node, "direction": dir, "depth": depth, "nodes": nodes,
+		})
 	})
 }
 
@@ -568,27 +640,22 @@ func (s *Service) handleSubgraph(w http.ResponseWriter, r *http.Request, id stri
 		writeErr(w, http.StatusBadRequest, "missing ?node=")
 		return
 	}
-	hops := 1
-	if hs := r.URL.Query().Get("hops"); hs != "" {
-		var err error
-		hops, err = strconv.Atoi(hs)
-		if err != nil || hops < 0 {
-			writeErr(w, http.StatusBadRequest, "bad hops %q", hs)
-			return
+	hops, ok := s.parseBoundedDepth(w, r, "hops", 1, false)
+	if !ok {
+		return
+	}
+	key := readKey("subgraph", id, node, strconv.Itoa(hops))
+	s.serveRead(w, r, key, []string{id}, true, func() (readcache.Entry, error) {
+		sub, err := s.store.Subgraph(id, prov.QName(node), hops)
+		if err != nil {
+			return readcache.Entry{}, httpErrf(http.StatusNotFound, "%v", err)
 		}
-	}
-	sub, err := s.store.Subgraph(id, prov.QName(node), hops)
-	if err != nil {
-		writeErr(w, http.StatusNotFound, "%v", err)
-		return
-	}
-	payload, err := sub.MarshalIndent()
-	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "marshal: %v", err)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	_, _ = w.Write(payload)
+		payload, err := sub.MarshalIndent()
+		if err != nil {
+			return readcache.Entry{}, httpErrf(http.StatusInternalServerError, "marshal: %v", err)
+		}
+		return readcache.Entry{Body: payload, ContentType: "application/json"}, nil
+	})
 }
 
 func (s *Service) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -597,24 +664,53 @@ func (s *Service) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
-	var hits []provstore.SearchResult
+	var find func() []provstore.SearchResult
+	var key string
 	switch {
 	case q.Get("type") != "":
-		hits = s.store.FindByType(q.Get("type"))
+		t := q.Get("type")
+		find = func() []provstore.SearchResult { return s.store.FindByType(t) }
+		key = readKey("search", "type", t)
 	case q.Get("key") != "" && q.Get("value") != "":
-		hits = s.store.FindByAttr(q.Get("key"), q.Get("value"))
+		k, v := q.Get("key"), q.Get("value")
+		find = func() []provstore.SearchResult { return s.store.FindByAttr(k, v) }
+		key = readKey("search", "attr", k, v)
 	default:
 		writeErr(w, http.StatusBadRequest, "need ?type= or ?key=&value=")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{"results": hits})
+	limit, after, ok := parsePage(w, r)
+	if !ok {
+		return
+	}
+	if wantsNDJSON(r) {
+		hits, _ := pageSearch(find(), after, limit)
+		nw := newNDJSON(w)
+		for _, h := range hits {
+			if !nw.write(h) {
+				return
+			}
+		}
+		nw.finish()
+		return
+	}
+	key = readKey(key, after, strconv.Itoa(limit))
+	s.serveRead(w, r, key, nil, false, func() (readcache.Entry, error) {
+		hits, next := pageSearch(find(), after, limit)
+		body := map[string]interface{}{"results": hits}
+		if next != "" {
+			body["next_cursor"] = next
+		}
+		return jsonEntry(body)
+	})
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	body := struct {
 		provstore.Stats
-		Replication *repl.Status `json:"replication,omitempty"`
-	}{Stats: s.store.Stats()}
+		Replication *repl.Status     `json:"replication,omitempty"`
+		ReadCache   *readcache.Stats `json:"read_cache,omitempty"`
+	}{Stats: s.store.Stats(), ReadCache: s.cacheStats()}
 	switch {
 	case s.replFollower != nil:
 		body.Replication = s.replFollower.Status()
@@ -640,21 +736,43 @@ func (s *Service) handleCrossLineage(w http.ResponseWriter, r *http.Request) {
 	if dir == "" {
 		dir = provstore.Ancestors
 	}
-	depth := 0
-	if ds := r.URL.Query().Get("depth"); ds != "" {
-		var err error
-		depth, err = strconv.Atoi(ds)
-		if err != nil || depth < 0 {
-			writeErr(w, http.StatusBadRequest, "bad depth %q", ds)
-			return
-		}
-	}
-	nodes, err := s.store.CrossDocLineage(prov.QName(node), dir, depth)
-	if err != nil {
-		writeErr(w, http.StatusNotFound, "%v", err)
+	depth, ok := s.parseBoundedDepth(w, r, "depth", 0, true)
+	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"node": node, "direction": dir, "depth": depth, "nodes": nodes,
+	limit, after, ok := parsePage(w, r)
+	if !ok {
+		return
+	}
+	if wantsNDJSON(r) {
+		nodes, err := s.store.CrossDocLineage(prov.QName(node), dir, depth)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		page, _ := pageCross(nodes, after, limit)
+		nw := newNDJSON(w)
+		for _, n := range page {
+			if !nw.write(n) {
+				return
+			}
+		}
+		nw.finish()
+		return
+	}
+	key := readKey("xlineage", node, string(dir), strconv.Itoa(depth), after, strconv.Itoa(limit))
+	s.serveRead(w, r, key, nil, false, func() (readcache.Entry, error) {
+		nodes, err := s.store.CrossDocLineage(prov.QName(node), dir, depth)
+		if err != nil {
+			return readcache.Entry{}, httpErrf(http.StatusNotFound, "%v", err)
+		}
+		page, next := pageCross(nodes, after, limit)
+		body := map[string]interface{}{
+			"node": node, "direction": dir, "depth": depth, "nodes": page,
+		}
+		if next != "" {
+			body["next_cursor"] = next
+		}
+		return jsonEntry(body)
 	})
 }

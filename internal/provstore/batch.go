@@ -201,6 +201,9 @@ func (s *Store) PutBatchRawCtx(ctx context.Context, items map[string]BatchItem) 
 	stageSpan := tr.StartSpan("stage")
 	ticket, staged, err := s.stageBatchLocked(op, applied)
 	stageSpan.End()
+	if err == nil {
+		s.noteShardsApplied(idxs, s.mutationSeq(ticket, staged))
+	}
 	s.unlockShards(idxs)
 	if err != nil {
 		return err
@@ -267,9 +270,22 @@ func (s *Store) DeleteBatchCtx(ctx context.Context, ids []string) error {
 		applied = append(applied, batchEntry{sh: sh, id: id, prev: prev})
 	}
 	ticket, staged, err := s.stageBatchLocked(op, applied)
+	if err == nil {
+		s.noteShardsApplied(idxs, s.mutationSeq(ticket, staged))
+	}
 	s.unlockShards(idxs)
 	if err != nil {
 		return err
 	}
 	return s.commitStaged(ctx, ticket, staged, len(ids))
+}
+
+// noteShardsApplied advances the read watermark of every shard a batch
+// touched. The whole batch is one journal record, so every involved
+// shard lands on the same sequence. Called while the shard locks are
+// still held (see Store.PutCtx).
+func (s *Store) noteShardsApplied(idxs []uint32, seq uint64) {
+	for _, i := range idxs {
+		s.shards[i].noteApplied(seq)
+	}
 }

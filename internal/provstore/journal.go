@@ -154,6 +154,16 @@ func (s *Store) restore(rec *wal.RecoveredState) error {
 	if err := s.restoreSnapshot(rec.SnapshotPayload); err != nil {
 		return err
 	}
+	// Rebuild read watermarks: the snapshot may hold documents from any
+	// shard, so every shard starts at the snapshot horizon; tail records
+	// then advance their owning shards. A shard's recovered watermark is
+	// therefore always >= its pre-crash value — a cache keyed on the old
+	// value can never validate against newer state.
+	if rec.SnapshotSeq > 0 {
+		for _, sh := range s.shards {
+			sh.applied.Store(rec.SnapshotSeq)
+		}
+	}
 	for _, r := range rec.Records {
 		p, err := decodeRecordPayload(r.Payload, r.Seq)
 		if err != nil {
@@ -174,14 +184,17 @@ func (s *Store) restore(rec *wal.RecoveredState) error {
 func (s *Store) replayParsed(p parsedOp, seq uint64) error {
 	switch p.op.Op {
 	case "put":
-		if err := s.shardFor(p.op.ID).putLockedOwned(p.op.ID, p.doc); err != nil {
+		sh := s.shardFor(p.op.ID)
+		if err := sh.putLockedOwned(p.op.ID, p.doc); err != nil {
 			return fmt.Errorf("provstore: recover journal seq %d (%q): %w", seq, p.op.ID, err)
 		}
+		sh.noteApplied(seq)
 	case "delete":
 		sh := s.shardFor(p.op.ID)
 		if _, ok := sh.docs[p.op.ID]; ok {
 			sh.deleteLocked(p.op.ID)
 		}
+		sh.noteApplied(seq)
 	case "batch":
 		for _, sub := range p.subs {
 			if err := s.replayParsed(sub, seq); err != nil {

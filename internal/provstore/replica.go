@@ -130,7 +130,7 @@ func (s *Store) ApplyReplicated(rec wal.Record) (t wal.Ticket, ok bool, err erro
 	if err != nil {
 		return wal.Ticket{}, false, err
 	}
-	t, err = s.applyAndStage(p, rec.Payload)
+	t, err = s.applyAndStage(p, rec.Payload, rec.Seq)
 	if err != nil {
 		return wal.Ticket{}, false, err
 	}
@@ -145,8 +145,10 @@ func (s *Store) ApplyReplicated(rec wal.Record) (t wal.Ticket, ok bool, err erro
 // applyAndStage applies one validated op and stages its payload while
 // the owning shard locks are held, unwinding the apply when staging
 // fails so the in-memory state never runs ahead of the local journal
-// on an error path.
-func (s *Store) applyAndStage(p parsedOp, payload []byte) (wal.Ticket, error) {
+// on an error path. On success every involved shard's read watermark
+// advances to seq (still under the locks), so follower-side caches
+// invalidate exactly like the primary's.
+func (s *Store) applyAndStage(p parsedOp, payload []byte, seq uint64) (wal.Ticket, error) {
 	stage := func(applied []batchEntry) (wal.Ticket, error) {
 		t, err := s.wal.Stage(payload)
 		if err != nil {
@@ -164,17 +166,28 @@ func (s *Store) applyAndStage(p parsedOp, payload []byte) (wal.Ticket, error) {
 		if err := sh.putLockedOwned(p.op.ID, p.doc); err != nil {
 			return wal.Ticket{}, fmt.Errorf("provstore: apply replicated put %q: %w", p.op.ID, err)
 		}
-		return stage([]batchEntry{{sh: sh, id: p.op.ID, prev: prev}})
+		t, err := stage([]batchEntry{{sh: sh, id: p.op.ID, prev: prev}})
+		if err == nil {
+			sh.noteApplied(seq)
+		}
+		return t, err
 	case "delete":
 		sh := s.shardFor(p.op.ID)
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
 		prev := sh.docs[p.op.ID]
+		var t wal.Ticket
+		var err error
 		if prev != nil {
 			sh.deleteLocked(p.op.ID)
-			return stage([]batchEntry{{sh: sh, id: p.op.ID, prev: prev}})
+			t, err = stage([]batchEntry{{sh: sh, id: p.op.ID, prev: prev}})
+		} else {
+			t, err = stage(nil) // delete of a missing doc: tolerated, like replay
 		}
-		return stage(nil) // delete of a missing doc: tolerated, like replay
+		if err == nil {
+			sh.noteApplied(seq)
+		}
+		return t, err
 	default: // "batch" (parseOp admits nothing else)
 		ids := make([]string, len(p.subs))
 		for i, sub := range p.subs {
@@ -197,6 +210,10 @@ func (s *Store) applyAndStage(p parsedOp, payload []byte) (wal.Ticket, error) {
 			}
 			applied = append(applied, batchEntry{sh: sh, id: sub.op.ID, prev: prev})
 		}
-		return stage(applied)
+		t, err := stage(applied)
+		if err == nil {
+			s.noteShardsApplied(idxs, seq)
+		}
+		return t, err
 	}
 }

@@ -25,6 +25,24 @@ type shard struct {
 	// per-shard contention signal behind the
 	// yprov_shard_lock_wait_seconds_total series.
 	lockWaitNanos atomic.Int64
+
+	// applied is the shard's read watermark: the sequence of the newest
+	// mutation applied here (journal seq on durable stores, Store.memSeq
+	// tick on in-memory ones). Reads validate cached responses against
+	// the max watermark of the shards they touch — see watermark.go.
+	applied atomic.Uint64
+}
+
+// noteApplied raises the shard's read watermark to seq. Mutations on
+// the same shard are serialized by mu, but recovery and concurrent
+// callers may race, so the maximum is taken with a CAS loop.
+func (sh *shard) noteApplied(seq uint64) {
+	for {
+		cur := sh.applied.Load()
+		if seq <= cur || sh.applied.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
 }
 
 // newShard builds an empty shard with the indexes every lineage/search

@@ -46,6 +46,10 @@ type Store struct {
 	follower      bool         // read-only apply mode (see replica.go)
 	snapMu        sync.Mutex
 
+	// memSeq numbers mutations on in-memory stores so per-shard read
+	// watermarks stay monotone without a journal (see watermark.go).
+	memSeq atomic.Uint64
+
 	// lockWait is the store-wide shard-lock wait histogram (per-shard
 	// cumulative counters live on the shards). Always live; RegisterObs
 	// exposes it.
@@ -189,6 +193,12 @@ func (s *Store) PutCtx(ctx context.Context, id string, doc *prov.Document) error
 		}
 	})
 	stageSpan.End()
+	if err == nil {
+		// Advance the read watermark while the write lock is still held,
+		// so by the time readers can observe the new state its version is
+		// already published.
+		sh.noteApplied(s.mutationSeq(ticket, staged))
+	}
 	sh.mu.Unlock()
 	if err != nil {
 		return err
@@ -300,6 +310,9 @@ func (s *Store) DeleteCtx(ctx context.Context, id string) error {
 	ticket, staged, err := s.stageLocked(op, err, func() {
 		_ = sh.putLocked(id, prev) // restore the removed projection
 	})
+	if err == nil {
+		sh.noteApplied(s.mutationSeq(ticket, staged))
+	}
 	sh.mu.Unlock()
 	if err != nil {
 		return err
@@ -424,11 +437,15 @@ type Stats struct {
 func (s *Store) Stats() Stats {
 	st := Stats{Shards: len(s.shards)}
 	for _, sh := range s.shards {
+		// All three counts must come from the same instant: a put holds
+		// the shard write lock across both the docs map and the graph
+		// projection, so reading the graph counts after dropping the
+		// RLock could pair docs=N with the nodes of N+1 documents.
 		sh.mu.RLock()
 		st.Documents += len(sh.docs)
-		sh.mu.RUnlock()
 		st.Nodes += sh.g.NodeCount()
 		st.Rels += sh.g.RelCount()
+		sh.mu.RUnlock()
 	}
 	if s.wal != nil {
 		st.Durability = &DurabilityStats{

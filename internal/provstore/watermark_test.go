@@ -1,0 +1,338 @@
+package provstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/prov"
+)
+
+// watermarkDoc is a 2-node, 1-rel document used by the watermark and
+// stats-consistency tests (counts stay trivially predictable).
+func watermarkDoc(tag string) *prov.Document {
+	d := prov.NewDocument()
+	d.AddEntity("ex:e", prov.Attrs{"provml:name": prov.Str(tag)})
+	d.AddActivity("ex:a", nil)
+	d.WasGeneratedBy("ex:e", "ex:a", time.Time{})
+	return d
+}
+
+// TestReadVersionAdvancesPerShard: a mutation bumps the watermark of
+// the shards it touches and no others, and the store-wide version is
+// the max over all shards.
+func TestReadVersionAdvancesPerShard(t *testing.T) {
+	s := NewSharded(8)
+	doc := watermarkDoc("d")
+
+	if v := s.ReadVersion("a"); v != 0 {
+		t.Fatalf("fresh store version = %d, want 0", v)
+	}
+	if err := s.Put("a", doc); err != nil {
+		t.Fatal(err)
+	}
+	va := s.ReadVersion("a")
+	if va == 0 {
+		t.Fatal("put did not advance the owning shard's watermark")
+	}
+	// Find an id owned by a different shard: its version must be
+	// untouched by the write to "a".
+	other := ""
+	for i := 0; i < 64; i++ {
+		id := fmt.Sprintf("probe-%d", i)
+		if s.shardFor(id) != s.shardFor("a") {
+			other = id
+			break
+		}
+	}
+	if other == "" {
+		t.Fatal("no id hashed to a different shard")
+	}
+	if v := s.ReadVersion(other); v != 0 {
+		t.Fatalf("unrelated shard's version = %d, want 0", v)
+	}
+	if v := s.ReadVersion(); v != va {
+		t.Fatalf("store-wide version = %d, want %d", v, va)
+	}
+
+	// Deletes advance it too (including through the same shard).
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if v := s.ReadVersion("a"); v <= va {
+		t.Fatalf("delete did not advance the watermark: %d <= %d", v, va)
+	}
+
+	// Batches bump every involved shard at once.
+	batch := map[string]*prov.Document{}
+	for i := 0; i < 16; i++ {
+		batch[fmt.Sprintf("b-%d", i)] = doc
+	}
+	before := s.ReadVersion()
+	if err := s.PutBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	for id := range batch {
+		if v := s.ReadVersion(id); v <= before {
+			t.Fatalf("batch left %s's shard at version %d (<= %d)", id, v, before)
+		}
+	}
+}
+
+// TestReadVersionMonotoneUnderConcurrency: the watermark never goes
+// backwards while writers race, and always reaches the final value.
+func TestReadVersionMonotoneUnderConcurrency(t *testing.T) {
+	s := NewSharded(4)
+	doc := watermarkDoc("d")
+	const writers, writes = 4, 100
+
+	stop := make(chan struct{})
+	var watcher sync.WaitGroup
+	watcher.Add(1)
+	go func() { // watcher: versions must be non-decreasing
+		defer watcher.Done()
+		last := uint64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := s.ReadVersion()
+			if v < last {
+				t.Errorf("version went backwards: %d after %d", v, last)
+				return
+			}
+			last = v
+		}
+	}()
+	var writersWG sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		writersWG.Add(1)
+		go func(g int) {
+			defer writersWG.Done()
+			for i := 0; i < writes; i++ {
+				if err := s.Put(fmt.Sprintf("w%d-%d", g, i), doc); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	writersWG.Wait()
+	close(stop)
+	watcher.Wait()
+
+	if v := s.ReadVersion(); v < uint64(writers*writes) {
+		t.Fatalf("final version %d < %d mutations", v, writers*writes)
+	}
+}
+
+// TestFollowerApplyAdvancesWatermark: replicated applies bump the
+// owning shard's watermark with the primary's sequence numbers, so a
+// read cache keyed on ReadVersion invalidates on follower catch-up
+// exactly like on local writes.
+func TestFollowerApplyAdvancesWatermark(t *testing.T) {
+	f := openFollower(t, t.TempDir())
+	defer f.Close()
+	doc := watermarkDoc("d")
+
+	if _, ok, err := f.ApplyReplicated(putRecord(t, 1, "x", doc)); err != nil || !ok {
+		t.Fatalf("apply seq 1: ok=%v err=%v", ok, err)
+	}
+	if v := f.ReadVersion("x"); v != 1 {
+		t.Fatalf("follower watermark = %d, want 1", v)
+	}
+	if _, ok, err := f.ApplyReplicated(putRecord(t, 2, "x", doc)); err != nil || !ok {
+		t.Fatalf("apply seq 2: ok=%v err=%v", ok, err)
+	}
+	if v := f.ReadVersion("x"); v != 2 {
+		t.Fatalf("follower watermark = %d, want 2", v)
+	}
+	// A duplicate (at-or-below watermark) apply is skipped and must not
+	// disturb the version.
+	if _, ok, err := f.ApplyReplicated(putRecord(t, 2, "x", doc)); err != nil || ok {
+		t.Fatalf("duplicate apply: ok=%v err=%v", ok, err)
+	}
+	if v := f.ReadVersion("x"); v != 2 {
+		t.Fatalf("duplicate apply moved the watermark to %d", v)
+	}
+}
+
+// TestRecoveryRestoresWatermarks: a reopened store's per-shard
+// watermarks are at least what they were before the crash — recovery
+// seeds every shard with the snapshot sequence and replay bumps owners
+// — so cached entries from a previous process can never validate as
+// current (they also carry a different ETag epoch, but the store-level
+// invariant must hold on its own).
+func TestRecoveryRestoresWatermarks(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Durability{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := watermarkDoc("d")
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("doc-%d", i), doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.ReadVersion()
+	perID := map[string]uint64{}
+	for i := 0; i < 10; i++ {
+		id := fmt.Sprintf("doc-%d", i)
+		perID[id] = s.ReadVersion(id)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir, Durability{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if v := r.ReadVersion(); v < before {
+		t.Fatalf("recovered store-wide version %d < pre-crash %d", v, before)
+	}
+	for id, want := range perID {
+		if v := r.ReadVersion(id); v < want {
+			t.Fatalf("recovered %s version %d < pre-crash %d", id, v, want)
+		}
+	}
+}
+
+// TestRecoveryFromSnapshotSeedsAllShards: after a snapshot, even
+// shards whose documents were all in the snapshot (no tail records)
+// must report at least the snapshot sequence.
+func TestRecoveryFromSnapshotSeedsAllShards(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Durability{SnapshotEvery: 5, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := watermarkDoc("d")
+	for i := 0; i < 20; i++ { // crosses several snapshot thresholds
+		if err := s.Put(fmt.Sprintf("doc-%d", i), doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir, Durability{SnapshotEvery: 5, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i, sh := range r.shards {
+		if v := sh.applied.Load(); v == 0 {
+			t.Fatalf("shard %d recovered with zero watermark", i)
+		}
+	}
+}
+
+// TestStatsNotTorn: Documents, Nodes, and Rels come from one RLock per
+// shard, so on a single-shard store racing writers can never produce a
+// snapshot where the graph counts disagree with the document count
+// (every test doc contributes exactly 2 nodes and 1 rel).
+func TestStatsNotTorn(t *testing.T) {
+	s := NewSharded(1)
+	const writers, writes = 4, 50
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var torn []string
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := s.Stats()
+			if st.Nodes != 2*st.Documents || st.Rels != st.Documents {
+				torn = append(torn, fmt.Sprintf("docs=%d nodes=%d rels=%d", st.Documents, st.Nodes, st.Rels))
+				return
+			}
+		}
+	}()
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			doc := watermarkDoc("d")
+			for i := 0; i < writes; i++ {
+				if err := s.Put(fmt.Sprintf("w%d-%d", g, i), doc); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	go func() {
+		for s.Count() < writers*writes {
+			time.Sleep(time.Millisecond)
+		}
+		close(stop)
+	}()
+	wg.Wait()
+	if len(torn) > 0 {
+		t.Fatalf("torn stats snapshot: %s", torn[0])
+	}
+}
+
+// TestListAfterEquivalence: paging through ListAfter reconstructs
+// exactly List(), in order, for every shard layout — the server-side
+// guarantee behind cursor pagination.
+func TestListAfterEquivalence(t *testing.T) {
+	for _, shards := range []int{1, 4, 16} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			s := NewSharded(shards)
+			doc := watermarkDoc("d")
+			const n = 137 // not a multiple of any page size below
+			for i := 0; i < n; i++ {
+				if err := s.Put(fmt.Sprintf("doc-%04d", i), doc); err != nil {
+					t.Fatal(err)
+				}
+			}
+			full := s.List()
+			if len(full) != n {
+				t.Fatalf("List returned %d ids", len(full))
+			}
+			for _, limit := range []int{1, 10, 64, 200} {
+				var paged []string
+				after := ""
+				for {
+					ids, more := s.ListAfter(after, limit)
+					if len(ids) > limit {
+						t.Fatalf("page of %d exceeds limit %d", len(ids), limit)
+					}
+					paged = append(paged, ids...)
+					if !more {
+						break
+					}
+					if len(ids) == 0 {
+						t.Fatal("more=true with an empty page")
+					}
+					after = ids[len(ids)-1]
+				}
+				if len(paged) != len(full) {
+					t.Fatalf("limit %d: paged %d ids, want %d", limit, len(paged), len(full))
+				}
+				for i := range full {
+					if paged[i] != full[i] {
+						t.Fatalf("limit %d: paged[%d] = %s, want %s", limit, i, paged[i], full[i])
+					}
+				}
+			}
+			// limit <= 0 degrades to the full listing with no cursor.
+			ids, more := s.ListAfter("", 0)
+			if more || len(ids) != n {
+				t.Fatalf("ListAfter(_, 0) = %d ids, more=%v", len(ids), more)
+			}
+		})
+	}
+}

@@ -1,0 +1,81 @@
+package shardbench
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/provservice"
+	"repro/internal/provstore"
+)
+
+// lineageCachedDepth sizes the chain the cached-lineage benchmark
+// traverses: deep enough that the fill (graph walk + JSON encode) is
+// the dominant cost a warm hit avoids.
+const lineageCachedDepth = 512
+
+// LineageCached measures the full HTTP read path of one lineage query
+// through the seq-invalidated response cache, in three modes:
+//
+//	cold        — the cache is purged before every request, so each one
+//	              pays the full graph walk and JSON encode (plus the
+//	              cache store).
+//	warm        — the same query repeats against an untouched store;
+//	              after the first fill every request is a cache hit.
+//	invalidated — every request is preceded by a small write to the
+//	              store (a single shard, so the watermark the query
+//	              reads always advances): the worst case where caching
+//	              buys nothing and costs a store per request.
+//
+// Requests go through Service.ServeHTTP with in-memory recorders — the
+// whole middleware chain and encode path are measured, but no sockets.
+func LineageCached(mode string) func(b *testing.B) {
+	return func(b *testing.B) {
+		store := provstore.NewSharded(1)
+		if err := store.Put("chain", ChainDoc(lineageCachedDepth)); err != nil {
+			b.Fatal(err)
+		}
+		svc := provservice.New(store, provservice.WithReadCache(1024, 64<<20))
+		path := fmt.Sprintf("/api/v0/documents/chain/lineage?node=ex:e%d&direction=ancestors",
+			lineageCachedDepth-1)
+		tiny := ChainDoc(1)
+		if mode == "warm" {
+			// Pay the compulsory miss outside the timer so every measured
+			// request is a hit, even on the b.N=1 calibration run.
+			rec := httptest.NewRecorder()
+			svc.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+			if rec.Code != 200 {
+				b.Fatalf("prime: HTTP %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			switch mode {
+			case "cold":
+				svc.ReadCache().Purge()
+			case "invalidated":
+				// The store has one shard, so this write always bumps the
+				// watermark the lineage query reads — every cached entry is
+				// stale by the time the request arrives.
+				b.StopTimer()
+				if err := store.Put(fmt.Sprintf("inv-%d", i%128), tiny); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			req := httptest.NewRequest("GET", path, nil)
+			rec := httptest.NewRecorder()
+			svc.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				b.Fatalf("HTTP %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+		b.StopTimer()
+		if st := svc.ReadCache().Stats(); mode == "warm" && st.Hits == 0 {
+			b.Fatal("warm mode recorded no cache hits")
+		}
+	}
+}
+
+// LineageCachedModes lists the benchmark's sub-modes in display order.
+func LineageCachedModes() []string { return []string{"cold", "warm", "invalidated"} }
