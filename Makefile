@@ -40,20 +40,24 @@ bench-compile: bench
 # (sequential Puts vs one group-committed batch), the replication
 # pipeline (follower catch-up throughput), the histogram-observe hot
 # path every one of those now pays per request/fsync/lock, the WAL
-# record codec pair (JSON vs binary encode/decode, allocs tracked), and
-# the cached lineage read path (cold vs warm vs invalidated).
+# record codec pair (JSON vs binary encode/decode, allocs tracked),
+# the cached lineage read path (cold vs warm vs invalidated), and the
+# flight recorder's per-request admission path (unsampled fast-path
+# rejection — the <100ns contract — vs sampled record retention).
 bench-key:
-	$(GO) test -run '^$$' -bench 'BenchmarkLogMetric$$|BenchmarkZarrAppend$$|BenchmarkLineage$$|BenchmarkBuildProv$$|BenchmarkWALAppend$$|BenchmarkRecovery$$|BenchmarkShardedPutParallel$$|BenchmarkMixedReadWrite$$|BenchmarkBatchPut$$|BenchmarkReplicationThroughput$$|BenchmarkHistObserve$$|BenchmarkCodecEncode$$|BenchmarkCodecDecode$$|BenchmarkLineageCached$$' -benchmem -benchtime 1s .
+	$(GO) test -run '^$$' -bench 'BenchmarkLogMetric$$|BenchmarkZarrAppend$$|BenchmarkLineage$$|BenchmarkBuildProv$$|BenchmarkWALAppend$$|BenchmarkRecovery$$|BenchmarkShardedPutParallel$$|BenchmarkMixedReadWrite$$|BenchmarkBatchPut$$|BenchmarkReplicationThroughput$$|BenchmarkHistObserve$$|BenchmarkCodecEncode$$|BenchmarkCodecDecode$$|BenchmarkLineageCached$$|BenchmarkFlightRecord$$' -benchmem -benchtime 1s .
 
 # Regenerate the committed performance-trajectory report.
 bench-report:
-	$(GO) run ./cmd/benchreport -out BENCH_PR9.json -baseline BENCH_PR8.json
+	$(GO) run ./cmd/benchreport -out BENCH_PR10.json -baseline BENCH_PR9.json
 
 # Exposition-format gate: the strict Prometheus 0.0.4 parser in
-# internal/obs must accept everything GET /metrics serves, and the
-# registry's own output must round-trip through it.
+# internal/obs must accept everything GET /metrics serves — including
+# trace-ID exemplars on histogram buckets — and the registry's own
+# output (and the flight recorder's runtime-telemetry gauges) must
+# round-trip through it.
 metrics-format:
-	$(GO) test -count=1 -run 'TestPromMetricsExposition|TestRegistryExposition|TestValidateExposition' ./internal/provservice/ ./internal/obs/
+	$(GO) test -count=1 -run 'TestPromMetricsExposition|TestPromMetricsExemplars|TestRegistryExposition|TestValidateExposition|TestExemplar|TestRuntimeTelemetry' ./internal/provservice/ ./internal/obs/ ./internal/flightrec/
 
 # Full gate: build, static checks, unit tests, the race-detector pass
 # over every package, the exposition-format gate, and the benchmark

@@ -19,6 +19,7 @@
 //	BenchmarkBatchPut/*        — bulk ingestion, sequential Puts vs one group-committed batch
 //	BenchmarkReplicationThroughput — WAL-shipping follower catch-up (records/s streamed + applied)
 //	BenchmarkHistObserve       — one histogram observation (the metrics hot path on every request)
+//	BenchmarkFlightRecord      — flight-recorder admission on the response path (unsampled vs sampled)
 package repro
 
 import (
@@ -28,6 +29,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/flightrec"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/prov"
@@ -491,6 +493,64 @@ func BenchmarkHistObserve(b *testing.B) {
 				v += 4099
 			}
 		})
+	})
+}
+
+// flightRecFixture builds a recorder in steady state: the p99 trigger
+// armed (so the rolling latency histogram is paid for) and the route's
+// slow log full of 50ms entries, so a 200µs request takes the longest
+// rejection path — histogram observe, trigger counter, slow-log
+// cached-min check — before being turned away.
+func flightRecFixture(b *testing.B, sampleEvery int) *flightrec.Recorder {
+	b.Helper()
+	rec := flightrec.New(flightrec.Config{P99Threshold: 2 * time.Second, SampleEvery: sampleEvery})
+	for i := 0; i < 8; i++ {
+		rec.Add(&flightrec.Completed{Trace: fmt.Sprintf("seed%d", i), Route: "lineage", Dur: 50 * time.Millisecond})
+	}
+	return rec
+}
+
+// BenchmarkFlightRecord measures the flight recorder's cost per
+// completed request. unsampled is the acceptance row: an unremarkable
+// request (no error, no shed, under every threshold) must cost
+// <100ns; sampled adds building and retaining the full record with a
+// span breakdown, the price paid only by the kept minority.
+func BenchmarkFlightRecord(b *testing.B) {
+	b.Run("unsampled", func(b *testing.B) {
+		rec := flightRecFixture(b, -1)
+		defer rec.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if rec.Observe("lineage", 200, false, 200*time.Microsecond) {
+				b.Fatal("unremarkable request sampled in")
+			}
+		}
+	})
+	b.Run("unsampled-parallel", func(b *testing.B) {
+		rec := flightRecFixture(b, -1)
+		defer rec.Close()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				rec.Observe("lineage", 200, false, 200*time.Microsecond)
+			}
+		})
+	})
+	b.Run("sampled", func(b *testing.B) {
+		rec := flightRecFixture(b, 1)
+		defer rec.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if rec.Observe("lineage", 200, false, 200*time.Microsecond) {
+				rec.Add(&flightrec.Completed{
+					Trace: "bench-trace",
+					Route: "lineage",
+					Dur:   200 * time.Microsecond,
+					Spans: []flightrec.Span{{Name: "lock", Dur: time.Microsecond}, {Name: "cache", Dur: 2 * time.Microsecond}},
+				})
+			}
+		}
 	})
 }
 

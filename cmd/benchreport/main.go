@@ -8,21 +8,24 @@
 // (ReplicationThroughput: follower catch-up over HTTP, records/s in
 // the metrics column), the PR-8 WAL record codec pairs (CodecEncode,
 // CodecDecode: PROV-JSON vs the compact binary codec on the same
-// document), and the PR-9 cached read path (LineageCached: the full
+// document), the PR-9 cached read path (LineageCached: the full
 // HTTP lineage route cold, warm, and invalidated-every-request, with
-// warm baselined against cold from the same run) — and writes a JSON
-// report comparing them against their baselines, extending the
-// repository's performance trajectory. For the paired rows the
-// baseline is measured in the same run, so the reported speedup is the
-// scaling factor on the current machine.
+// warm baselined against cold from the same run), and the PR-10
+// flight-recorder admission path (FlightRecord: the unsampled
+// rejection fast path every request pays — the <100ns contract — and
+// the sampled record-retention path the kept minority pays) — and
+// writes a JSON report comparing them against their baselines,
+// extending the repository's performance trajectory. For the paired
+// rows the baseline is measured in the same run, so the reported
+// speedup is the scaling factor on the current machine.
 //
 // The report is also diffed against a previous report (-baseline,
-// default BENCH_PR8.json): rows whose allocs/op or bytes/op grew past
+// default BENCH_PR9.json): rows whose allocs/op or bytes/op grew past
 // -tol are flagged on stderr and recorded under "regressions".
 //
 // Usage:
 //
-//	go run ./cmd/benchreport [-out BENCH_PR9.json] [-baseline BENCH_PR8.json] [-benchtime 1s]
+//	go run ./cmd/benchreport [-out BENCH_PR10.json] [-baseline BENCH_PR9.json] [-benchtime 1s]
 package main
 
 import (
@@ -36,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/flightrec"
 	"repro/internal/metrics"
 	"repro/internal/prov"
 	"repro/internal/provstore"
@@ -172,10 +176,20 @@ func codecDoc() *prov.Document {
 	return doc
 }
 
+// flightRecFixture builds the steady-state recorder the FlightRecord
+// rows measure (see bench_test.go for the matching go-test rows).
+func flightRecFixture(sampleEvery int) *flightrec.Recorder {
+	rec := flightrec.New(flightrec.Config{P99Threshold: 2 * time.Second, SampleEvery: sampleEvery})
+	for i := 0; i < 8; i++ {
+		rec.Add(&flightrec.Completed{Trace: fmt.Sprintf("seed%d", i), Route: "lineage", Dur: 50 * time.Millisecond})
+	}
+	return rec
+}
+
 func main() {
 	testing.Init() // register test.* flags so benchtime is settable
-	out := flag.String("out", "BENCH_PR9.json", "output path for the JSON report")
-	baseline := flag.String("baseline", "BENCH_PR8.json", "previous report to flag alloc/byte regressions against (empty to skip)")
+	out := flag.String("out", "BENCH_PR10.json", "output path for the JSON report")
+	baseline := flag.String("baseline", "BENCH_PR9.json", "previous report to flag alloc/byte regressions against (empty to skip)")
 	tol := flag.Float64("tol", 0.10, "fractional regression tolerance for allocs/bytes (ns/op gets 3x this)")
 	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark target run time")
 	flag.Parse()
@@ -365,6 +379,34 @@ func main() {
 		{"LineageCached/cold", shardbench.LineageCached("cold")},
 		{"LineageCached/warm", shardbench.LineageCached("warm")},
 		{"LineageCached/invalidated", shardbench.LineageCached("invalidated")},
+		// Same fixture as bench_test.go's BenchmarkFlightRecord: p99
+		// trigger armed, slow log full of 50ms entries, so the 200µs
+		// request takes the longest rejection path before being refused.
+		{"FlightRecord/unsampled", func(b *testing.B) {
+			rec := flightRecFixture(-1)
+			defer rec.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if rec.Observe("lineage", 200, false, 200*time.Microsecond) {
+					b.Fatal("unremarkable request sampled in")
+				}
+			}
+		}},
+		{"FlightRecord/sampled", func(b *testing.B) {
+			rec := flightRecFixture(1)
+			defer rec.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if rec.Observe("lineage", 200, false, 200*time.Microsecond) {
+					rec.Add(&flightrec.Completed{
+						Trace: "bench-trace",
+						Route: "lineage",
+						Dur:   200 * time.Microsecond,
+						Spans: []flightrec.Span{{Name: "lock", Dur: time.Microsecond}, {Name: "cache", Dur: 2 * time.Microsecond}},
+					})
+				}
+			}
+		}},
 	}
 
 	rep := report{

@@ -1,0 +1,264 @@
+// Command yprov-debug fetches flight-recorder diagnostics from a
+// running yprov-server (see internal/flightrec and /api/v0/debug/).
+//
+// Usage:
+//
+//	yprov-debug [-url http://localhost:3000] [-token SECRET]
+//	            [-json] [-out FILE] <command> [args]
+//
+// Commands:
+//
+//	traces [-n N]    retained request traces, newest first
+//	trace <id>       one trace with its full span breakdown
+//	slowlog          top-K slowest requests per route class
+//	bundle [-live]   latest frozen diagnostic bundle (-live captures now)
+//
+// The default output is a human-readable summary; -json prints the raw
+// response body and -out writes it to a file (the natural way to save
+// a bundle for later analysis). Loadgen runs print their slowest
+// operations as ready-to-paste `yprov-debug trace <id>` commands.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/flightrec"
+)
+
+func main() {
+	base := flag.String("url", "http://localhost:3000", "yprov-server base URL")
+	token := flag.String("token", "", "bearer token (debug reads are open by default; kept for proxied setups)")
+	rawJSON := flag.Bool("json", false, "print the raw JSON response instead of the summary")
+	out := flag.String("out", "", "also write the raw JSON response to this file")
+	flag.Usage = usage
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, rest := args[0], args[1:]
+
+	var path string
+	switch cmd {
+	case "traces":
+		fs := flag.NewFlagSet("traces", flag.ExitOnError)
+		n := fs.Int("n", 0, "cap the listing at N traces (0 = the whole ring)")
+		_ = fs.Parse(rest)
+		path = "/api/v0/debug/traces"
+		if *n > 0 {
+			path += fmt.Sprintf("?n=%d", *n)
+		}
+	case "trace":
+		if len(rest) != 1 || rest[0] == "" {
+			fatalf("usage: yprov-debug trace <id>")
+		}
+		path = "/api/v0/debug/traces?trace=" + url.QueryEscape(rest[0])
+	case "slowlog":
+		path = "/api/v0/debug/slowlog"
+	case "bundle":
+		fs := flag.NewFlagSet("bundle", flag.ExitOnError)
+		live := fs.Bool("live", false, "capture the current state instead of the latest frozen bundle")
+		_ = fs.Parse(rest)
+		path = "/api/v0/debug/bundle"
+		if *live {
+			path += "?live=1"
+		}
+	default:
+		fatalf("unknown command %q (want traces, trace, slowlog, or bundle)", cmd)
+	}
+
+	body := fetch(*base, path, *token)
+	if *out != "" {
+		if err := os.WriteFile(*out, body, 0o644); err != nil {
+			fatalf("writing %s: %v", *out, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d bytes to %s\n", len(body), *out)
+	}
+	if *rawJSON {
+		os.Stdout.Write(body)
+		if len(body) > 0 && body[len(body)-1] != '\n' {
+			fmt.Println()
+		}
+		return
+	}
+	switch cmd {
+	case "traces":
+		printTraces(body)
+	case "trace":
+		printTrace(body)
+	case "slowlog":
+		printSlowlog(body)
+	case "bundle":
+		printBundle(body)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `yprov-debug fetches flight-recorder diagnostics from a yprov-server.
+
+usage: yprov-debug [-url URL] [-token SECRET] [-json] [-out FILE] <command>
+
+commands:
+  traces [-n N]    retained request traces, newest first
+  trace <id>       one trace with its full span breakdown
+  slowlog          top-K slowest requests per route class
+  bundle [-live]   latest frozen diagnostic bundle (-live captures now)
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+func fetch(base, path, token string) []byte {
+	req, err := http.NewRequest(http.MethodGet, strings.TrimRight(base, "/")+path, nil)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Do(req)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatalf("reading response: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			fatalf("%s: %s", resp.Status, e.Error)
+		}
+		fatalf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return body
+}
+
+func decode(body []byte, v interface{}) {
+	if err := json.Unmarshal(body, v); err != nil {
+		fatalf("decoding response: %v", err)
+	}
+}
+
+// fmtDur renders a duration at ms resolution for tables.
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.3fms", float64(d)/1e6)
+}
+
+// oneLine is the compact per-trace summary used by listings.
+func oneLine(c *flightrec.Completed) string {
+	extra := ""
+	if c.Cache != "" {
+		extra += " cache=" + c.Cache
+	}
+	if c.Shed {
+		extra += " shed"
+	}
+	return fmt.Sprintf("%-20s %-20s %3d %12s  spans=%d%s",
+		c.Trace, c.Route, c.Status, fmtDur(c.Dur), len(c.Spans), extra)
+}
+
+func printTraces(body []byte) {
+	var listing struct {
+		Retained int                    `json:"retained"`
+		Seen     uint64                 `json:"seen"`
+		Traces   []*flightrec.Completed `json:"traces"`
+	}
+	decode(body, &listing)
+	fmt.Printf("%d trace(s) retained of %d request(s) seen (newest first)\n",
+		listing.Retained, listing.Seen)
+	for _, c := range listing.Traces {
+		fmt.Println(oneLine(c))
+	}
+}
+
+func printTrace(body []byte) {
+	var c flightrec.Completed
+	decode(body, &c)
+	fmt.Printf("trace   %s\nroute   %s\nstatus  %d\nstart   %s\ntotal   %s\n",
+		c.Trace, c.Route, c.Status, c.Start.Format(time.RFC3339Nano), fmtDur(c.Dur))
+	if c.Cache != "" {
+		fmt.Printf("cache   %s\n", c.Cache)
+	}
+	if c.Shed {
+		fmt.Println("shed    true")
+	}
+	if len(c.Spans) == 0 {
+		return
+	}
+	fmt.Println("spans:")
+	for _, sp := range c.Spans {
+		pct := 0.0
+		if c.Dur > 0 {
+			pct = float64(sp.Dur) / float64(c.Dur) * 100
+		}
+		fmt.Printf("  %-12s %12s  %5.1f%%\n", sp.Name, fmtDur(sp.Dur), pct)
+	}
+}
+
+func printSlowlog(body []byte) {
+	var slow struct {
+		SlowLog map[string][]*flightrec.Completed `json:"slowlog"`
+	}
+	decode(body, &slow)
+	routes := make([]string, 0, len(slow.SlowLog))
+	for r := range slow.SlowLog {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, r := range routes {
+		fmt.Printf("%s:\n", r)
+		for _, c := range slow.SlowLog[r] {
+			fmt.Println("  " + oneLine(c))
+		}
+	}
+	if len(routes) == 0 {
+		fmt.Println("slow log is empty")
+	}
+}
+
+func printBundle(body []byte) {
+	var b flightrec.Bundle
+	decode(body, &b)
+	fmt.Printf("reason      %s\nfrozen_at   %s\nrequests    %d seen, %d recorded\ngoroutines  %d\n",
+		b.Reason, b.FrozenAt.Format(time.RFC3339), b.Requests, b.Records, b.NumGoroutine)
+	fmt.Printf("contents    %d trace(s), %d slow-log route(s), %d runtime sample(s), %dB metrics, %dB goroutine dump\n",
+		len(b.Traces), len(b.SlowLog), len(b.Runtime), len(b.Metrics), len(b.Goroutines))
+	if len(b.Config) > 0 {
+		fmt.Printf("config      %s\n", b.Config)
+	}
+	if n := len(b.Traces); n > 0 {
+		fmt.Println("most recent traces:")
+		max := 10
+		if n < max {
+			max = n
+		}
+		for _, c := range b.Traces[:max] {
+			fmt.Println("  " + oneLine(c))
+		}
+		if n > max {
+			fmt.Printf("  ... %d more (use -json or -out to see everything)\n", n-max)
+		}
+	}
+}

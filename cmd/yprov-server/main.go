@@ -14,6 +14,8 @@
 //	             [-max-inflight-writes N] [-max-commit-queue N]
 //	             [-shed-latency-target D] [-request-timeout D]
 //	             [-read-cache-entries N] [-read-cache-bytes N] [-max-depth N]
+//	             [-flightrec-traces N] [-flightrec-sample N]
+//	             [-flightrec-p99 D] [-flightrec-shed-spike N] [-bundle-dir DIR]
 //
 // The store is sharded: documents spread over -shards independent
 // graph+lock slices (default GOMAXPROCS, rounded to a power of two) so
@@ -59,6 +61,16 @@
 // request at or over the threshold with its per-stage span breakdown;
 // -pprof-addr serves net/http/pprof on a separate listener (keep it
 // private — profiles are not for the public API port).
+//
+// The flight recorder (on by default; -flightrec-traces 0 disables it)
+// retains recently completed request traces with span breakdowns, a
+// top-K slow-query log per route class, and a rolling window of
+// runtime telemetry, served under /api/v0/debug/{traces,slowlog,bundle}
+// (see cmd/yprov-debug). Anomalies — the journal's fail-stop latch,
+// replication stalls, shed spikes (-flightrec-shed-spike), p99 over
+// threshold (-flightrec-p99) — freeze a diagnostic bundle capturing
+// the moment things went wrong; SIGQUIT dumps one to -bundle-dir and
+// keeps serving.
 package main
 
 import (
@@ -75,6 +87,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/flightrec"
 	"repro/internal/obs"
 	"repro/internal/provservice"
 	"repro/internal/provstore"
@@ -105,6 +118,11 @@ func main() {
 	readCacheEntries := flag.Int("read-cache-entries", 4096, "max encoded responses held by the seq-invalidated read cache (0 disables caching)")
 	readCacheBytes := flag.Int64("read-cache-bytes", 64<<20, "max total body bytes held by the read cache (0 disables caching)")
 	maxDepth := flag.Int("max-depth", 1024, "cap on lineage/subgraph/cross-lineage ?depth= and ?hops= traversals")
+	frTraces := flag.Int("flightrec-traces", 256, "completed-request traces retained by the flight recorder (0 disables the recorder and /api/v0/debug/)")
+	frSample := flag.Int("flightrec-sample", 16, "flight recorder: record 1 in N unremarkable requests (<0 keeps only errors, sheds, and slow requests)")
+	frP99 := flag.Duration("flightrec-p99", 0, "freeze a diagnostic bundle when observed p99 request latency exceeds this (0 disables the trigger)")
+	frShedSpike := flag.Int("flightrec-shed-spike", 0, "freeze a diagnostic bundle when this many requests are shed within 10s (0 disables the trigger)")
+	bundleDir := flag.String("bundle-dir", "", "directory for SIGQUIT-dumped diagnostic bundles (default: -data-dir, else the working directory)")
 	flag.Parse()
 
 	if *exportDir != "" && *dataDir != "" && samePath(*exportDir, *dataDir) {
@@ -176,8 +194,28 @@ func main() {
 	reg := obs.NewRegistry()
 	store.RegisterObs(reg)
 
+	// The flight recorder retains recent request traces, the slow-query
+	// log, and anomaly-frozen diagnostic bundles; the service mounts
+	// /api/v0/debug/ over it. -slow-request doubles as its always-keep
+	// threshold (0 keeps the recorder's 250ms default).
+	var rec *flightrec.Recorder
+	if *frTraces > 0 {
+		rec = flightrec.New(flightrec.Config{
+			TraceRing:      *frTraces,
+			SlowThreshold:  *slowRequest,
+			SampleEvery:    *frSample,
+			P99Threshold:   *frP99,
+			ShedSpikeCount: *frShedSpike,
+			Logf:           log.Printf,
+		})
+		defer rec.Close()
+	}
+
 	var opts []provservice.Option
 	opts = append(opts, provservice.WithRegistry(reg))
+	if rec != nil {
+		opts = append(opts, provservice.WithFlightRecorder(rec))
+	}
 	if *token != "" {
 		opts = append(opts, provservice.WithToken(*token))
 	}
@@ -219,6 +257,10 @@ func main() {
 			ID:         followerID,
 			Fsync:      *fsync,
 			Logger:     log.Default(),
+			// Replication anomalies — the halt-worthy guards and
+			// persistent stream failures — freeze a diagnostic bundle
+			// capturing the moment the follower got stuck.
+			OnAnomaly: func(reason string) { rec.Freeze("repl", reason) },
 		})
 		if err != nil {
 			log.Fatalf("building follower: %v", err)
@@ -284,8 +326,29 @@ func main() {
 		"read_cache_entries":  *readCacheEntries,
 		"read_cache_bytes":    *readCacheBytes,
 		"max_depth":           *maxDepth,
+		"flightrec_traces":    *frTraces,
+		"flightrec_sample":    *frSample,
+		"flightrec_p99_ms":    frP99.Milliseconds(),
+		"flightrec_shed":      *frShedSpike,
+		"bundle_dir":          resolveBundleDir(*bundleDir, *dataDir),
 	})
 	log.Printf("config: %s", effective)
+	// Bundles frozen from here on embed the effective configuration, so
+	// a dump pins down exactly how the server was running.
+	rec.SetConfig(effective)
+
+	if rec != nil {
+		// SIGQUIT dumps a diagnostic bundle to disk and keeps serving —
+		// the observability twin of the runtime's stack dump. Notify
+		// replaces the default die-with-stack-dump behavior.
+		sigquit := make(chan os.Signal, 1)
+		signal.Notify(sigquit, syscall.SIGQUIT)
+		go func() {
+			for range sigquit {
+				dumpBundle(rec, resolveBundleDir(*bundleDir, *dataDir))
+			}
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() {
@@ -335,6 +398,44 @@ func main() {
 		log.Fatalf("closing store: %v", err)
 	}
 	log.Printf("clean shutdown")
+}
+
+// resolveBundleDir picks where SIGQUIT bundles land: the explicit
+// flag, else the data directory (diagnostics next to the journal they
+// describe), else the working directory.
+func resolveBundleDir(bundleDir, dataDir string) string {
+	if bundleDir != "" {
+		return bundleDir
+	}
+	if dataDir != "" {
+		return dataDir
+	}
+	return "."
+}
+
+// dumpBundle captures the recorder's current state and writes it as a
+// timestamped JSON file. Failures are logged, never fatal — a broken
+// diagnostics path must not take the server down.
+func dumpBundle(rec *flightrec.Recorder, dir string) {
+	b := rec.Capture("sigquit")
+	if b == nil {
+		return
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		log.Printf("bundle dump: marshal: %v", err)
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Printf("bundle dump: %v", err)
+		return
+	}
+	path := filepath.Join(dir, "bundle-"+time.Now().UTC().Format("20060102T150405.000Z")+".json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Printf("bundle dump: %v", err)
+		return
+	}
+	log.Printf("SIGQUIT: diagnostic bundle dumped to %s (%d traces, %dB)", path, len(b.Traces), len(data))
 }
 
 // samePath reports whether two paths name the same directory, seeing

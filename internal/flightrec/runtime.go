@@ -1,0 +1,160 @@
+package flightrec
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// RuntimeSample is one poll of the runtime/metrics package. The pause
+// and latency quantiles are over the cumulative distribution since
+// process start (runtime histograms are never reset), so a step
+// change in the window marks when the tail moved.
+type RuntimeSample struct {
+	UnixNano    int64   `json:"unix_nano"`
+	HeapBytes   uint64  `json:"heap_bytes"`
+	Goroutines  int64   `json:"goroutines"`
+	GCCycles    uint64  `json:"gc_cycles"`
+	GCPauseP99  float64 `json:"gc_pause_p99_s"`
+	SchedLatP99 float64 `json:"sched_lat_p99_s"`
+}
+
+const (
+	rmHeap  = "/memory/classes/heap/objects:bytes"
+	rmGor   = "/sched/goroutines:goroutines"
+	rmGC    = "/gc/cycles/total:gc-cycles"
+	rmPause = "/gc/pauses:seconds"
+	rmSched = "/sched/latencies:seconds"
+)
+
+// runtimePoller keeps a rolling window of RuntimeSamples. The window
+// mutex is touched once per poll interval and per snapshot — never on
+// the request path.
+type runtimePoller struct {
+	every time.Duration
+	max   int
+
+	mu     sync.Mutex
+	window []RuntimeSample
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newRuntimePoller(every time.Duration, max int) *runtimePoller {
+	p := &runtimePoller{
+		every: every,
+		max:   max,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	p.poll() // seed the window so gauges are live immediately
+	go p.run()
+	return p
+}
+
+func (p *runtimePoller) run() {
+	defer close(p.done)
+	t := time.NewTicker(p.every)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.poll()
+		}
+	}
+}
+
+func (p *runtimePoller) close() {
+	close(p.stop)
+	<-p.done
+}
+
+func (p *runtimePoller) poll() {
+	samples := []metrics.Sample{
+		{Name: rmHeap}, {Name: rmGor}, {Name: rmGC}, {Name: rmPause}, {Name: rmSched},
+	}
+	metrics.Read(samples)
+	s := RuntimeSample{UnixNano: time.Now().UnixNano()}
+	for _, m := range samples {
+		switch m.Name {
+		case rmHeap:
+			if m.Value.Kind() == metrics.KindUint64 {
+				s.HeapBytes = m.Value.Uint64()
+			}
+		case rmGor:
+			if m.Value.Kind() == metrics.KindUint64 {
+				s.Goroutines = int64(m.Value.Uint64())
+			}
+		case rmGC:
+			if m.Value.Kind() == metrics.KindUint64 {
+				s.GCCycles = m.Value.Uint64()
+			}
+		case rmPause:
+			if m.Value.Kind() == metrics.KindFloat64Histogram {
+				s.GCPauseP99 = runtimeHistQuantile(m.Value.Float64Histogram(), 0.99)
+			}
+		case rmSched:
+			if m.Value.Kind() == metrics.KindFloat64Histogram {
+				s.SchedLatP99 = runtimeHistQuantile(m.Value.Float64Histogram(), 0.99)
+			}
+		}
+	}
+	p.mu.Lock()
+	p.window = append(p.window, s)
+	if len(p.window) > p.max {
+		p.window = p.window[len(p.window)-p.max:]
+	}
+	p.mu.Unlock()
+}
+
+func (p *runtimePoller) latest() RuntimeSample {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.window) == 0 {
+		return RuntimeSample{}
+	}
+	return p.window[len(p.window)-1]
+}
+
+// Window copies the retained samples, oldest first.
+func (p *runtimePoller) Window() []RuntimeSample {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]RuntimeSample(nil), p.window...)
+}
+
+// runtimeHistQuantile resolves q over a runtime/metrics cumulative
+// histogram to its bucket's upper bound. Bucket i spans
+// [Buckets[i], Buckets[i+1]); the outermost bounds may be ±Inf.
+func runtimeHistQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			ub := h.Buckets[i+1]
+			if math.IsInf(ub, 1) {
+				ub = h.Buckets[i] // fall back to the finite lower bound
+			}
+			return ub
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"sort"
@@ -215,6 +216,26 @@ type Report struct {
 	CacheHits     uint64  `json:"cache_hits,omitempty"`
 	CacheMisses   uint64  `json:"cache_misses,omitempty"`
 	CacheHitRatio float64 `json:"cache_hit_ratio,omitempty"`
+	// Server holds server-side counter movement over the timed run,
+	// scraped from GET /metrics before and after (see ServerDeltas);
+	// absent when the endpoint is unreachable or unparseable.
+	Server *ServerDeltas `json:"server_metrics,omitempty"`
+	// BaseURL records the target so the report can print slow-trace
+	// lookups as ready-to-paste yprov-debug commands.
+	BaseURL string `json:"base_url,omitempty"`
+}
+
+// ServerDeltas are server-side counter deltas over the timed window,
+// computed from two Prometheus scrapes. They complement the client's
+// own tallies: Sheds counts every shed the server performed (not just
+// this client's 429s), EncodeErrors any response that failed to
+// marshal, and BundleFreezes diagnostic bundles frozen by anomaly
+// triggers mid-run — a nonzero value says the flight recorder caught
+// something worth `yprov-debug bundle`.
+type ServerDeltas struct {
+	Sheds         float64 `json:"sheds"`
+	EncodeErrors  float64 `json:"encode_errors"`
+	BundleFreezes float64 `json:"bundle_freezes"`
 }
 
 // workerResult is one worker's tallies, merged after the run.
@@ -299,6 +320,9 @@ func Run(cfg Config) (Report, error) {
 	// Cache counters likewise delta over the timed window only, so the
 	// reported hit ratio excludes preload-time compulsory misses.
 	cacheBefore, haveCache := readCacheStats(client())
+	// Prometheus scrape for the server-side deltas (sheds, encode
+	// errors, bundle freezes) over the same window.
+	metricsBefore, haveMetrics := scrapeMetrics(client())
 
 	// Per-worker pacing: each worker spaces operation starts by
 	// concurrency/rate so the fleet sums to cfg.Rate.
@@ -403,6 +427,16 @@ func Run(cfg Config) (Report, error) {
 			}
 		}
 	}
+	if haveMetrics {
+		if after, ok := scrapeMetrics(client()); ok {
+			rep.Server = &ServerDeltas{
+				Sheds:         metricDelta(metricsBefore, after, "yprov_admission_shed_total"),
+				EncodeErrors:  metricDelta(metricsBefore, after, "yprov_response_encode_errors_total"),
+				BundleFreezes: metricDelta(metricsBefore, after, "yprov_flightrec_freezes_total"),
+			}
+		}
+	}
+	rep.BaseURL = cfg.BaseURL
 	if secs := elapsed.Seconds(); secs > 0 {
 		rep.OpsPerSec = float64(rep.Ops) / secs
 		rep.DocsPerSec = float64(rep.DocsIngested) / secs
@@ -447,6 +481,46 @@ func readCacheStats(c *provclient.Client) (readcache.Stats, bool) {
 		return readcache.Stats{}, false
 	}
 	return *out.ReadCache, true
+}
+
+// scrapeMetrics pulls one Prometheus exposition from GET /metrics.
+// ok is false when the endpoint is missing or the text fails to parse.
+func scrapeMetrics(c *provclient.Client) ([]obs.Sample, bool) {
+	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return nil, false
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false
+	}
+	samples, err := obs.ParseSamples(body)
+	if err != nil {
+		return nil, false
+	}
+	return samples, true
+}
+
+// metricDelta is the movement of a counter family between two scrapes
+// (0 when the family is absent — the subsystem is simply not enabled).
+func metricDelta(before, after []obs.Sample, family string) float64 {
+	b, _ := obs.SumSamples(before, family)
+	a, ok := obs.SumSamples(after, family)
+	if !ok {
+		return 0
+	}
+	return a - b
 }
 
 // workerConfig is everything one worker goroutine needs.
@@ -697,8 +771,20 @@ func (r Report) String() string {
 		s += fmt.Sprintf("client: breaker_opens=%d breaker_closes=%d hedges=%d hedge_wins=%d failovers=%d\n",
 			r.Client.BreakerOpens, r.Client.BreakerCloses, r.Client.Hedges, r.Client.HedgeWins, r.Client.Failovers)
 	}
+	if r.Server != nil {
+		s += fmt.Sprintf("server: sheds=%.0f encode_errors=%.0f bundle_freezes=%.0f\n",
+			r.Server.Sheds, r.Server.EncodeErrors, r.Server.BundleFreezes)
+	}
+	// Slow operations print as ready-to-paste lookups: the server's
+	// flight recorder always samples slow requests, so the full span
+	// breakdown is one command away.
 	for _, so := range r.Slowest {
-		s += fmt.Sprintf("slow: %-12s %8.2fms  trace=%s\n", so.Op, so.Ms, so.Trace)
+		if r.BaseURL != "" {
+			s += fmt.Sprintf("slow: %-12s %8.2fms  yprov-debug -url %s trace %s\n",
+				so.Op, so.Ms, r.BaseURL, so.Trace)
+		} else {
+			s += fmt.Sprintf("slow: %-12s %8.2fms  trace=%s\n", so.Op, so.Ms, so.Trace)
+		}
 	}
 	if r.FirstError != "" {
 		s += "first error: " + r.FirstError + "\n"

@@ -55,6 +55,17 @@ func TestSmokeAllScenarios(t *testing.T) {
 			if !strings.Contains(rep.String(), "latency p50=") {
 				t.Fatalf("report rendering broken:\n%s", rep)
 			}
+			// The Prometheus scrape pair produced server-side deltas.
+			if rep.Server == nil {
+				t.Fatal("report lacks the /metrics scrape deltas")
+			}
+			if rep.Server.Sheds != 0 || rep.Server.EncodeErrors != 0 {
+				t.Fatalf("clean smoke run reported server deltas %+v", rep.Server)
+			}
+			// Slow operations render as paste-ready yprov-debug lookups.
+			if len(rep.Slowest) > 0 && !strings.Contains(rep.String(), "yprov-debug -url "+srv.URL+" trace ") {
+				t.Fatalf("slowest ops not rendered as yprov-debug commands:\n%s", rep)
+			}
 		})
 	}
 }

@@ -40,6 +40,10 @@ type Histogram struct {
 	sum       atomic.Int64
 	min       atomic.Int64
 	max       atomic.Int64
+
+	// exemplars, when enabled, holds one slot per bucket (nil until the
+	// bucket sees an exemplar-carrying observation). See exemplar.go.
+	exemplars []atomic.Pointer[Exemplar]
 }
 
 // NewHistogram builds a histogram covering (0, 2^maxExp] raw units
@@ -107,7 +111,13 @@ func (h *Histogram) bucketIdx(v int64) int {
 
 // Observe records one raw value. Safe for concurrent use.
 func (h *Histogram) Observe(v int64) {
-	h.counts[h.bucketIdx(v)].Add(1)
+	h.observe(v, h.bucketIdx(v))
+}
+
+// observe is Observe with the bucket already resolved, so exemplar
+// attribution reuses the exact index the count landed in.
+func (h *Histogram) observe(v int64, idx int) {
+	h.counts[idx].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
 	for {

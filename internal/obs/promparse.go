@@ -7,6 +7,7 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"unicode/utf8"
 )
 
 // ValidateExposition parses data as Prometheus text format (0.0.4)
@@ -36,7 +37,7 @@ func ValidateExposition(data []byte) error {
 			}
 			continue
 		}
-		name, labels, value, err := parseSample(line)
+		name, labels, value, exemplar, err := parseSample(line)
 		if err != nil {
 			return fmt.Errorf("line %d: %w", lineNo, err)
 		}
@@ -69,8 +70,20 @@ func ValidateExposition(data []byte) error {
 				}
 				delete(labels, "le")
 				key := fam + renderLabels(labels)
-				buckets[key] = append(buckets[key], bucketPoint{le: le, count: value, line: lineNo})
+				pt := bucketPoint{le: le, count: value, line: lineNo}
+				if exemplar != "" {
+					ev, err := parseExemplar(exemplar, line)
+					if err != nil {
+						return fmt.Errorf("line %d: %w", lineNo, err)
+					}
+					pt.exVal, pt.hasEx = ev, true
+				}
+				buckets[key] = append(buckets[key], pt)
+			} else if exemplar != "" {
+				return fmt.Errorf("line %d: exemplar on non-bucket sample %q", lineNo, name)
 			}
+		} else if exemplar != "" {
+			return fmt.Errorf("line %d: exemplar on non-histogram sample %q", lineNo, name)
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -85,17 +98,27 @@ func ValidateExposition(data []byte) error {
 	}
 	for key, pts := range buckets {
 		var prev float64
+		prevLe := math.Inf(-1)
 		infSeen := false
 		for _, p := range pts {
+			leVal := math.Inf(1)
 			if p.le == "+Inf" {
 				infSeen = true
-			} else if _, err := strconv.ParseFloat(p.le, 64); err != nil {
-				return fmt.Errorf("line %d: bad le %q", p.line, p.le)
+			} else {
+				var err error
+				if leVal, err = strconv.ParseFloat(p.le, 64); err != nil {
+					return fmt.Errorf("line %d: bad le %q", p.line, p.le)
+				}
 			}
 			if p.count < prev {
 				return fmt.Errorf("line %d: series %s buckets not cumulative (%g < %g)", p.line, key, p.count, prev)
 			}
 			prev = p.count
+			if p.hasEx && (p.exVal > leVal || p.exVal <= prevLe) {
+				return fmt.Errorf("line %d: series %s exemplar value %g outside its bucket (%g, %g]",
+					p.line, key, p.exVal, prevLe, leVal)
+			}
+			prevLe = leVal
 		}
 		if !infSeen {
 			return fmt.Errorf("series %s has no +Inf bucket", key)
@@ -108,6 +131,8 @@ type bucketPoint struct {
 	le    string
 	count float64
 	line  int
+	exVal float64
+	hasEx bool
 }
 
 func parseComment(line string, types map[string]string, sampled map[string]bool) error {
@@ -146,93 +171,193 @@ func parseComment(line string, types map[string]string, sampled map[string]bool)
 	return nil
 }
 
-// parseSample splits `name{k="v",...} value` into parts, validating
-// each. Timestamps (a trailing integer) are accepted.
-func parseSample(line string) (name string, labels Labels, value float64, err error) {
+// parseSample splits `name{k="v",...} value [timestamp] [# exemplar]`
+// into parts, validating each. Timestamps (a trailing integer) are
+// accepted. The raw exemplar suffix (from '#' on) is returned for the
+// caller to validate in context — exemplars are only legal on
+// histogram bucket samples, which parseSample cannot know.
+func parseSample(line string) (name string, labels Labels, value float64, exemplar string, err error) {
 	rest := line
 	i := strings.IndexAny(rest, "{ ")
 	if i < 0 {
-		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+		return "", nil, 0, "", fmt.Errorf("malformed sample %q", line)
 	}
 	name = rest[:i]
 	if !validMetricName(name) {
-		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+		return "", nil, 0, "", fmt.Errorf("invalid metric name %q", name)
 	}
 	labels = Labels{}
 	if rest[i] == '{' {
-		rest = rest[i+1:]
-		for {
-			rest = strings.TrimLeft(rest, ",")
-			if len(rest) > 0 && rest[0] == '}' {
-				rest = rest[1:]
-				break
-			}
-			eq := strings.Index(rest, "=")
-			if eq < 0 {
-				return "", nil, 0, fmt.Errorf("malformed labels in %q", line)
-			}
-			lname := rest[:eq]
-			if !validLabelName(lname) {
-				return "", nil, 0, fmt.Errorf("invalid label name %q", lname)
-			}
-			rest = rest[eq:]
-			if len(rest) < 2 || rest[0] != '=' || rest[1] != '"' {
-				return "", nil, 0, fmt.Errorf("unquoted label value in %q", line)
-			}
-			rest = rest[2:]
-			var val strings.Builder
-			closed := false
-			for j := 0; j < len(rest); j++ {
-				c := rest[j]
-				if c == '\\' {
-					if j+1 >= len(rest) {
-						return "", nil, 0, fmt.Errorf("dangling escape in %q", line)
-					}
-					j++
-					switch rest[j] {
-					case '\\':
-						val.WriteByte('\\')
-					case '"':
-						val.WriteByte('"')
-					case 'n':
-						val.WriteByte('\n')
-					default:
-						return "", nil, 0, fmt.Errorf("bad escape \\%c in %q", rest[j], line)
-					}
-					continue
-				}
-				if c == '"' {
-					rest = rest[j+1:]
-					closed = true
-					break
-				}
-				val.WriteString(string(c))
-			}
-			if !closed {
-				return "", nil, 0, fmt.Errorf("unterminated label value in %q", line)
-			}
-			if _, dup := labels[lname]; dup {
-				return "", nil, 0, fmt.Errorf("duplicate label %q in %q", lname, line)
-			}
-			labels[lname] = val.String()
+		labels, rest, err = parseLabelSet(rest[i+1:], line)
+		if err != nil {
+			return "", nil, 0, "", err
 		}
 	} else {
 		rest = rest[i:]
 	}
+	// The value/timestamp tail cannot contain '#' (label values can,
+	// but they are behind us now), so the first '#' past the label set
+	// starts the exemplar.
+	if j := strings.IndexByte(rest, '#'); j >= 0 {
+		exemplar = rest[j:]
+		rest = rest[:j]
+	}
 	fields := strings.Fields(rest)
 	if len(fields) < 1 || len(fields) > 2 {
-		return "", nil, 0, fmt.Errorf("expected value [timestamp] in %q", line)
+		return "", nil, 0, "", fmt.Errorf("expected value [timestamp] in %q", line)
 	}
 	value, err = parsePromValue(fields[0])
 	if err != nil {
-		return "", nil, 0, fmt.Errorf("bad value %q in %q", fields[0], line)
+		return "", nil, 0, "", fmt.Errorf("bad value %q in %q", fields[0], line)
 	}
 	if len(fields) == 2 {
 		if _, terr := strconv.ParseInt(fields[1], 10, 64); terr != nil {
-			return "", nil, 0, fmt.Errorf("bad timestamp %q in %q", fields[1], line)
+			return "", nil, 0, "", fmt.Errorf("bad timestamp %q in %q", fields[1], line)
 		}
 	}
-	return name, labels, value, nil
+	return name, labels, value, exemplar, nil
+}
+
+// parseLabelSet consumes a label set starting just past the opening
+// '{' and returns the labels plus the remainder after the closing '}'.
+func parseLabelSet(rest, line string) (Labels, string, error) {
+	labels := Labels{}
+	for {
+		rest = strings.TrimLeft(rest, ",")
+		if len(rest) > 0 && rest[0] == '}' {
+			return labels, rest[1:], nil
+		}
+		eq := strings.Index(rest, "=")
+		if eq < 0 {
+			return nil, "", fmt.Errorf("malformed labels in %q", line)
+		}
+		lname := rest[:eq]
+		if !validLabelName(lname) {
+			return nil, "", fmt.Errorf("invalid label name %q", lname)
+		}
+		rest = rest[eq:]
+		if len(rest) < 2 || rest[0] != '=' || rest[1] != '"' {
+			return nil, "", fmt.Errorf("unquoted label value in %q", line)
+		}
+		rest = rest[2:]
+		var val strings.Builder
+		closed := false
+		for j := 0; j < len(rest); j++ {
+			c := rest[j]
+			if c == '\\' {
+				if j+1 >= len(rest) {
+					return nil, "", fmt.Errorf("dangling escape in %q", line)
+				}
+				j++
+				switch rest[j] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("bad escape \\%c in %q", rest[j], line)
+				}
+				continue
+			}
+			if c == '"' {
+				rest = rest[j+1:]
+				closed = true
+				break
+			}
+			val.WriteString(string(c))
+		}
+		if !closed {
+			return nil, "", fmt.Errorf("unterminated label value in %q", line)
+		}
+		if _, dup := labels[lname]; dup {
+			return nil, "", fmt.Errorf("duplicate label %q in %q", lname, line)
+		}
+		labels[lname] = val.String()
+	}
+}
+
+// parseExemplar validates an exemplar suffix `# {k="v",...} value
+// [timestamp]` (OpenMetrics syntax: a label set capped at 128 runes,
+// a value, and an optional float-seconds timestamp) and returns the
+// exemplar value so the caller can check it against the bucket range.
+func parseExemplar(ex, line string) (float64, error) {
+	rest := strings.TrimLeft(strings.TrimPrefix(ex, "#"), " ")
+	if len(rest) == 0 || rest[0] != '{' {
+		return 0, fmt.Errorf("exemplar without label set in %q", line)
+	}
+	labels, rest, err := parseLabelSet(rest[1:], line)
+	if err != nil {
+		return 0, err
+	}
+	runes := 0
+	for k, v := range labels {
+		runes += utf8.RuneCountInString(k) + utf8.RuneCountInString(v)
+	}
+	if runes > 128 {
+		return 0, fmt.Errorf("exemplar label set over 128 runes in %q", line)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return 0, fmt.Errorf("expected exemplar value [timestamp] in %q", line)
+	}
+	v, err := parsePromValue(fields[0])
+	if err != nil {
+		return 0, fmt.Errorf("bad exemplar value %q in %q", fields[0], line)
+	}
+	if len(fields) == 2 {
+		if _, terr := strconv.ParseFloat(fields[1], 64); terr != nil {
+			return 0, fmt.Errorf("bad exemplar timestamp %q in %q", fields[1], line)
+		}
+	}
+	return v, nil
+}
+
+// Sample is one parsed sample line from a Prometheus text exposition.
+type Sample struct {
+	Name   string
+	Labels Labels
+	Value  float64
+}
+
+// ParseSamples scans a Prometheus text exposition and returns every
+// sample, checking line syntax only (ValidateExposition is the full
+// format oracle). It is the scrape half used by yprov-loadgen to diff
+// server counters across a run.
+func ParseSamples(data []byte) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, value, _, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, Sample{Name: name, Labels: labels, Value: value})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SumSamples totals the values of every series in one family of a
+// parsed exposition (e.g. all reason= series of a shed counter).
+func SumSamples(samples []Sample, family string) (total float64, found bool) {
+	for _, s := range samples {
+		if s.Name == family {
+			total += s.Value
+			found = true
+		}
+	}
+	return total, found
 }
 
 func parsePromValue(s string) (float64, error) {

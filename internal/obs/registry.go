@@ -91,18 +91,36 @@ func (r *Registry) RegisterGaugeFunc(name, help string, labels Labels, f func() 
 
 // RegisterHistogram exposes h in the standard _bucket/_sum/_count
 // shape, bucket bounds scaled to the histogram's exposition unit.
+// Buckets with exemplars enabled render the latest exemplar as a
+// `# {trace_id="..."} value timestamp` suffix on the bucket line.
 func (r *Registry) RegisterHistogram(name, help string, labels Labels, h *Histogram) {
 	r.add(name, help, "histogram", labels, func(w io.Writer, n, l string) {
 		s := h.Snapshot()
 		var cum uint64
 		for i, upper := range h.rawUppers {
 			cum += s.Counts[i]
-			fmt.Fprintf(w, "%s_bucket%s %d\n", n, withLabel(l, "le", fmtFloat(float64(upper)*h.scale)), cum)
+			fmt.Fprintf(w, "%s_bucket%s %d", n, withLabel(l, "le", fmtFloat(float64(upper)*h.scale)), cum)
+			writeExemplar(w, h, i)
+			io.WriteString(w, "\n")
 		}
-		fmt.Fprintf(w, "%s_bucket%s %d\n", n, withLabel(l, "le", "+Inf"), s.Count)
+		fmt.Fprintf(w, "%s_bucket%s %d", n, withLabel(l, "le", "+Inf"), s.Count)
+		writeExemplar(w, h, len(h.rawUppers))
+		io.WriteString(w, "\n")
 		fmt.Fprintf(w, "%s_sum%s %s\n", n, l, fmtFloat(float64(s.Sum)*h.scale))
 		fmt.Fprintf(w, "%s_count%s %d\n", n, l, s.Count)
 	})
+}
+
+// writeExemplar appends bucket i's exemplar suffix, if any, to the
+// current (unterminated) bucket line.
+func writeExemplar(w io.Writer, h *Histogram, i int) {
+	ex, ok := h.ExemplarAt(i)
+	if !ok {
+		return
+	}
+	fmt.Fprintf(w, " # {trace_id=\"%s\"} %s %s",
+		escapeLabel(ex.TraceID), fmtFloat(ex.Value),
+		strconv.FormatFloat(float64(ex.UnixNano)/1e9, 'f', 3, 64))
 }
 
 // WritePrometheus writes the full exposition in Prometheus text

@@ -1,0 +1,123 @@
+package provservice
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/flightrec"
+	"repro/internal/obs"
+)
+
+// The debug surface over the flight recorder (see internal/flightrec).
+// All three endpoints are read-only GETs and, like every other read,
+// need no bearer token: they expose telemetry about requests, never
+// document contents beyond what the trace itself carries (route class,
+// status, span timings).
+//
+//	GET /api/v0/debug/traces            recent retained traces (?n= caps, newest first)
+//	GET /api/v0/debug/traces?trace=ID   one trace by ID (404 if rotated out)
+//	GET /api/v0/debug/slowlog           top-K slowest requests per route class
+//	GET /api/v0/debug/bundle            latest frozen diagnostic bundle (?live=1 captures now)
+
+// recordFlight feeds one completed request into the flight recorder:
+// the cheap Observe policy check first, and only when the request is
+// worth keeping the full record — trace ID, route, cache state, span
+// breakdown — is materialized. A 5xx on a fail-stopped store trips the
+// recorder's fail-stop latch, freezing a diagnostic bundle that, by
+// ordering (Add before NoteFailStop, and Observe always samples 5xx),
+// contains this very request's trace.
+func (s *Service) recordFlight(tr *obs.Trace, route string, sw *statusWriter, start time.Time, d time.Duration) {
+	rec := s.flightrec
+	if rec == nil {
+		return
+	}
+	shed := sw.status == http.StatusTooManyRequests
+	if rec.Observe(route, sw.status, shed, d) {
+		rec.Add(&flightrec.Completed{
+			Trace:  tr.ID(),
+			Route:  route,
+			Status: sw.status,
+			Shed:   shed,
+			Cache:  sw.Header().Get("X-Yprov-Cache"),
+			Start:  start,
+			Dur:    d,
+			Spans:  flightrec.SpansFrom(tr.Spans()),
+		})
+	}
+	if sw.status >= 500 {
+		if reason := s.store.FailStop(); reason != "" {
+			rec.NoteFailStop(reason)
+		}
+	}
+}
+
+// debugRecorder resolves the flight recorder for a debug handler,
+// answering 404 when the feature is disabled (no recorder configured).
+func (s *Service) debugRecorder(w http.ResponseWriter, r *http.Request) (*flightrec.Recorder, bool) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "debug endpoints are GET-only")
+		return nil, false
+	}
+	if s.flightrec == nil {
+		writeErr(w, http.StatusNotFound, "flight recorder is disabled on this server")
+		return nil, false
+	}
+	return s.flightrec, true
+}
+
+func (s *Service) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.debugRecorder(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	if id := q.Get("trace"); id != "" {
+		c := rec.TraceByID(id)
+		if c == nil {
+			writeErr(w, http.StatusNotFound, "trace %q is not retained (rotated out or never sampled)", id)
+			return
+		}
+		writeJSON(w, http.StatusOK, c)
+		return
+	}
+	n := 0
+	if ns := q.Get("n"); ns != "" {
+		v, err := strconv.Atoi(ns)
+		if err != nil || v < 0 {
+			writeErr(w, http.StatusBadRequest, "bad n %q", ns)
+			return
+		}
+		n = v
+	}
+	traces := rec.Traces(n)
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"retained": len(traces),
+		"seen":     rec.RequestsSeen(),
+		"traces":   traces,
+	})
+}
+
+func (s *Service) handleDebugSlowlog(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.debugRecorder(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"slowlog": rec.SlowLog()})
+}
+
+func (s *Service) handleDebugBundle(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.debugRecorder(w, r)
+	if !ok {
+		return
+	}
+	// The frozen bundle is the interesting one — it captured the moment
+	// an anomaly trigger fired. With none frozen (or ?live=1) the
+	// handler captures the current state instead, so the endpoint is
+	// always useful during an incident, latch or no latch.
+	b := rec.Frozen()
+	if b == nil || r.URL.Query().Get("live") != "" {
+		b = rec.Capture("on-demand")
+	}
+	writeJSON(w, http.StatusOK, b)
+}

@@ -1,0 +1,292 @@
+package provservice
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/flightrec"
+	"repro/internal/obs"
+	"repro/internal/provstore"
+	"repro/internal/wal"
+)
+
+// testRecorder builds a flight recorder that keeps everything: every
+// request samples (SlowThreshold 1ns), every request qualifies for the
+// slow log (floor 1ns), and the runtime poller stays quiet.
+func testRecorder(t *testing.T) *flightrec.Recorder {
+	t.Helper()
+	rec := flightrec.New(flightrec.Config{
+		TraceRing:     64,
+		SlowLogK:      4,
+		SlowThreshold: time.Nanosecond,
+		SlowLogFloor:  time.Nanosecond,
+		SampleEvery:   1,
+		RuntimeEvery:  time.Hour,
+		Logf:          t.Logf,
+	})
+	t.Cleanup(rec.Close)
+	return rec
+}
+
+// flightServer is a journaled service with the flight recorder and the
+// read cache enabled, on a FaultFS so tests can latch the journal.
+func flightServer(t *testing.T, rec *flightrec.Recorder) (*httptest.Server, *wal.FaultFS) {
+	t.Helper()
+	ffs := wal.NewFaultFS(nil)
+	store, err := provstore.Open(t.TempDir(), provstore.Durability{Fsync: true, SnapshotEvery: -1, FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	store.RegisterObs(reg)
+	svc := New(store,
+		WithRegistry(reg),
+		WithFlightRecorder(rec),
+		WithReadCache(128, 1<<20),
+	)
+	srv := httptest.NewServer(svc)
+	t.Cleanup(srv.Close)
+	t.Cleanup(func() { _ = svc.Close() })
+	return srv, ffs
+}
+
+// getJSON fetches url and decodes the body into v, returning the
+// response for header/status checks.
+func getJSON(t *testing.T, url string, v interface{}) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+// The headline acceptance path: a completed (slow) request is
+// retrievable from /api/v0/debug/traces by its trace ID, with the full
+// span breakdown — including the read path's cache/fill spans — and
+// the slow log records the cache hit/miss state.
+func TestDebugTracesRetainCompletedRequest(t *testing.T) {
+	rec := testRecorder(t)
+	srv, _ := flightServer(t, rec)
+
+	if resp := putDoc(t, srv.URL, "flight-1", "", nil); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT = %d", resp.StatusCode)
+	}
+
+	// Two reads: a cache miss (fill runs) then a hit (no fill).
+	var missTrace, hitTrace string
+	for i, want := range []string{"miss", "hit"} {
+		resp, err := http.Get(srv.URL + "/api/v0/documents/flight-1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if got := resp.Header.Get("X-Yprov-Cache"); got != want {
+			t.Fatalf("read %d cache state = %q, want %q", i, got, want)
+		}
+		if i == 0 {
+			missTrace = resp.Header.Get(obs.TraceHeader)
+		} else {
+			hitTrace = resp.Header.Get(obs.TraceHeader)
+		}
+	}
+
+	// The listing knows about all three requests.
+	var listing struct {
+		Retained int                    `json:"retained"`
+		Seen     uint64                 `json:"seen"`
+		Traces   []*flightrec.Completed `json:"traces"`
+	}
+	if resp := getJSON(t, srv.URL+"/api/v0/debug/traces", &listing); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/traces = %d", resp.StatusCode)
+	}
+	if listing.Retained < 3 || listing.Seen < 3 {
+		t.Fatalf("listing retained=%d seen=%d, want >= 3 each", listing.Retained, listing.Seen)
+	}
+
+	// Each trace is retrievable by ID with its span breakdown.
+	spansOf := func(id string) map[string]time.Duration {
+		var c flightrec.Completed
+		resp := getJSON(t, srv.URL+"/api/v0/debug/traces?trace="+id, &c)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET trace %s = %d", id, resp.StatusCode)
+		}
+		if c.Trace != id || c.Dur <= 0 {
+			t.Fatalf("trace %s round-trip = %+v", id, c)
+		}
+		spans := map[string]time.Duration{}
+		for _, sp := range c.Spans {
+			spans[sp.Name] = sp.Dur
+		}
+		return spans
+	}
+	miss := spansOf(missTrace)
+	if _, ok := miss["cache"]; !ok {
+		t.Fatalf("miss trace lacks cache span: %v", miss)
+	}
+	if _, ok := miss["fill"]; !ok {
+		t.Fatalf("miss trace lacks fill span: %v", miss)
+	}
+	hit := spansOf(hitTrace)
+	if _, ok := hit["cache"]; !ok {
+		t.Fatalf("hit trace lacks cache span: %v", hit)
+	}
+	if _, ok := hit["fill"]; ok {
+		t.Fatalf("cache hit ran a fill: %v", hit)
+	}
+
+	// The slow log (floor 1ns: everything qualifies) kept the reads
+	// with their cache states.
+	var slow struct {
+		SlowLog map[string][]*flightrec.Completed `json:"slowlog"`
+	}
+	getJSON(t, srv.URL+"/api/v0/debug/slowlog", &slow)
+	states := map[string]bool{}
+	for _, e := range slow.SlowLog["documents/id"] {
+		if e.Cache != "" {
+			states[e.Cache] = true
+		}
+	}
+	if !states["miss"] || !states["hit"] {
+		t.Fatalf("slow log cache states = %v, want both miss and hit", states)
+	}
+
+	// Unknown IDs 404.
+	if resp := getJSON(t, srv.URL+"/api/v0/debug/traces?trace=no-such-trace", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace = %d, want 404", resp.StatusCode)
+	}
+}
+
+// Tripping the journal's fail-stop latch under load freezes a
+// diagnostic bundle that contains the failing request's own trace.
+func TestDebugBundleOnFailStop(t *testing.T) {
+	rec := testRecorder(t)
+	srv, ffs := flightServer(t, rec)
+
+	// Background load so the bundle has context around the failure.
+	for i := 0; i < 8; i++ {
+		if resp := putDoc(t, srv.URL, "pre-", "", nil); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("warmup PUT = %d", resp.StatusCode)
+		}
+	}
+
+	// No bundle frozen while healthy; the endpoint serves a live
+	// capture instead.
+	var live flightrec.Bundle
+	getJSON(t, srv.URL+"/api/v0/debug/bundle", &live)
+	if live.Reason != "on-demand" {
+		t.Fatalf("healthy bundle reason = %q, want on-demand", live.Reason)
+	}
+
+	// Latch the journal: the next journaled write fails, the store
+	// fail-stops, and the request surfaces as a 503.
+	ffs.FailWrites(0, errors.New("injected: device error"))
+	resp := putDoc(t, srv.URL, "victim", "", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("latching PUT = %d, want 503", resp.StatusCode)
+	}
+	victim := resp.Header.Get(obs.TraceHeader)
+	if victim == "" {
+		t.Fatal("latching PUT has no trace ID")
+	}
+
+	var b flightrec.Bundle
+	getJSON(t, srv.URL+"/api/v0/debug/bundle", &b)
+	if !strings.HasPrefix(b.Reason, "fail-stop") {
+		t.Fatalf("bundle reason = %q, want fail-stop trigger", b.Reason)
+	}
+	found := false
+	for _, c := range b.Traces {
+		if c.Trace == victim {
+			if c.Status != http.StatusServiceUnavailable {
+				t.Fatalf("victim trace status = %d", c.Status)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("frozen bundle lacks the failing request's trace %s (%d traces)", victim, len(b.Traces))
+	}
+	if b.Metrics == "" || len(b.Runtime) == 0 {
+		t.Fatalf("bundle missing metrics/runtime: metrics=%dB runtime=%d", len(b.Metrics), len(b.Runtime))
+	}
+	if err := obs.ValidateExposition([]byte(b.Metrics)); err != nil {
+		t.Fatalf("bundle metrics snapshot invalid: %v", err)
+	}
+
+	// ?live=1 sidesteps the frozen bundle.
+	var fresh flightrec.Bundle
+	getJSON(t, srv.URL+"/api/v0/debug/bundle?live=1", &fresh)
+	if fresh.Reason != "on-demand" {
+		t.Fatalf("live bundle reason = %q", fresh.Reason)
+	}
+}
+
+// Without a recorder the debug endpoints answer 404, not 500.
+func TestDebugEndpointsDisabled(t *testing.T) {
+	srv, _ := newTestServer(t)
+	for _, path := range []string{"/api/v0/debug/traces", "/api/v0/debug/slowlog", "/api/v0/debug/bundle"} {
+		resp := getJSON(t, srv.URL+path, nil)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s without recorder = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// The exposition carries trace-ID exemplars on the route histograms
+// and stays valid under the strict parser.
+func TestPromMetricsExemplars(t *testing.T) {
+	rec := testRecorder(t)
+	srv, _ := flightServer(t, rec)
+
+	if resp := putDoc(t, srv.URL, "ex-1", "", nil); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT = %d", resp.StatusCode)
+	}
+	r, err := http.Get(srv.URL + "/api/v0/documents/ex-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r.Body)
+	r.Body.Close()
+	trace := r.Header.Get(obs.TraceHeader)
+
+	mr, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	body, err := io.ReadAll(mr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Fatalf("exposition with exemplars invalid: %v\n%s", err, body)
+	}
+	out := string(body)
+	if !strings.Contains(out, `# {trace_id="`+trace+`"}`) {
+		t.Fatalf("exposition lacks the read's trace exemplar %s", trace)
+	}
+	// The flight recorder's own instruments are registered too.
+	for _, family := range []string{
+		"yprov_flightrec_requests_total",
+		"yprov_runtime_goroutines",
+		"yprov_wal_commit_wait_seconds",
+	} {
+		if !strings.Contains(out, "# TYPE "+family+" ") {
+			t.Fatalf("exposition missing family %s", family)
+		}
+	}
+}

@@ -212,9 +212,13 @@ func (s *Service) withMetrics(next http.Handler) http.Handler {
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
+		d := time.Since(start)
+		tr := obs.FromContext(r.Context())
 		// Classify from the escaped path, like the router does: a %2F
 		// inside a document id must not read as a path separator here.
-		m.observe(routeClass(r.URL.EscapedPath()), sw.status, time.Since(start))
+		route := routeClass(r.URL.EscapedPath())
+		m.observe(route, sw.status, d, tr.ID())
+		s.recordFlight(tr, route, sw, start, d)
 	})
 }
 
@@ -338,6 +342,8 @@ func routeClass(path string) string {
 		return "cross-lineage"
 	case path == "/api/v0/stats":
 		return "stats"
+	case strings.HasPrefix(path, "/api/v0/debug/"):
+		return "debug"
 	case path == "/api/v0/metrics", path == "/metrics":
 		return "metrics"
 	case path == "/api/v0/health", path == "/healthz":
@@ -512,7 +518,7 @@ func (m *httpMetrics) route(name string) *routeMetrics {
 	if v, ok := m.routes.Load(name); ok {
 		return v.(*routeMetrics)
 	}
-	rm := &routeMetrics{hist: obs.NewDurationHistogram()}
+	rm := &routeMetrics{hist: obs.NewDurationHistogram().EnableExemplars()}
 	m.reg.RegisterHistogram("yprov_http_request_seconds",
 		"Request latency by route class.",
 		obs.Labels{"route": name}, rm.hist)
@@ -526,8 +532,10 @@ func (m *httpMetrics) route(name string) *routeMetrics {
 	return rm
 }
 
-// observe records one completed request.
-func (m *httpMetrics) observe(route string, status int, d time.Duration) {
+// observe records one completed request. The trace ID rides along as
+// the latency bucket's exemplar, so a spike in the exposition links
+// straight to a retrievable trace (`yprov-debug trace <id>`).
+func (m *httpMetrics) observe(route string, status int, d time.Duration, traceID string) {
 	m.total.Add(1)
 	idx, _ := statusClass(status)
 	switch idx {
@@ -542,7 +550,7 @@ func (m *httpMetrics) observe(route string, status int, d time.Duration) {
 	}
 	rm := m.route(route)
 	rm.statuses[idx].Inc()
-	rm.hist.ObserveDuration(d)
+	rm.hist.ObserveDurationExemplar(d, traceID)
 }
 
 // routeStats is the latency summary for one route class

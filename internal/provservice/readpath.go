@@ -152,10 +152,23 @@ func (s *Service) serveRead(w http.ResponseWriter, r *http.Request, key string, 
 		hit bool
 		err error
 	)
+	// The "fill" span times the actual computation; the enclosing
+	// "cache" span additionally covers the lookup and any single-flight
+	// wait. A hit shows a tiny cache span and no fill; a leader miss
+	// shows cache ≈ fill; a coalesced request shows a large cache span
+	// with no fill of its own (the leader ran it).
+	tr := obs.FromContext(r.Context())
+	spanned := func() (readcache.Entry, error) {
+		fillSpan := tr.StartSpan("fill")
+		defer fillSpan.End()
+		return fill()
+	}
 	if s.cache != nil {
-		e, hit, err = s.cache.Do(key, version, fill)
+		cacheSpan := tr.StartSpan("cache")
+		e, hit, err = s.cache.Do(key, version, spanned)
+		cacheSpan.End()
 	} else {
-		e, err = fill()
+		e, err = spanned()
 	}
 	if err != nil {
 		var he *httpError

@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/flightrec"
 	"repro/internal/obs"
 	"repro/internal/prov"
 	"repro/internal/provstore"
@@ -128,6 +129,12 @@ type Service struct {
 	admission      *admission    // write shedding; nil = disabled
 	requestTimeout time.Duration // per-request context deadline; 0 = none
 
+	// Flight recorder (see internal/flightrec and debug.go): retains
+	// sampled completed-request traces, a per-route slow-query log, and
+	// anomaly-frozen diagnostic bundles, served under /api/v0/debug/.
+	// nil = disabled.
+	flightrec *flightrec.Recorder
+
 	// Read path (see readpath.go): the seq-invalidated response cache
 	// (nil = disabled), the traversal-depth cap for ?depth=/?hops=, and
 	// the process epoch scoping ETag validators to this server run.
@@ -189,6 +196,21 @@ func WithSlowRequestThreshold(d time.Duration) Option {
 	return func(s *Service) { s.slowThreshold = d }
 }
 
+// WithFlightRecorder retains recently completed request traces, the
+// per-route slow-query log, and anomaly-frozen diagnostic bundles in
+// rec, and mounts the /api/v0/debug/{traces,slowlog,bundle} endpoints
+// over it. The recorder's instruments (and runtime-telemetry gauges)
+// are registered on the service's metrics registry. The caller owns
+// rec's lifecycle (Close).
+func WithFlightRecorder(rec *flightrec.Recorder) Option {
+	return func(s *Service) { s.flightrec = rec }
+}
+
+// FlightRecorder exposes the service's flight recorder (nil when
+// disabled) — servers use it to freeze bundles on external anomalies
+// (replication stalls, SIGQUIT dumps).
+func (s *Service) FlightRecorder() *flightrec.Recorder { return s.flightrec }
+
 // WithReplicationPrimary mounts the replication endpoints (stream,
 // status, snapshot, ack) and surfaces primary-side replication state
 // in /api/v0/stats. Any journaled server can act as a primary; the
@@ -229,6 +251,9 @@ func New(store StoreAPI, opts ...Option) *Service {
 		s.admission.register(s.reg)
 	}
 	s.registerReadObs()
+	if s.flightrec != nil {
+		s.flightrec.RegisterObs(s.reg)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/v0/documents", s.handleDocuments)
 	mux.HandleFunc("/api/v0/documents:batch", s.handleBatch)
@@ -238,6 +263,9 @@ func New(store StoreAPI, opts ...Option) *Service {
 	mux.HandleFunc("/api/v0/stats", s.handleStats)
 	mux.HandleFunc("/api/v0/metrics", s.handleMetrics)
 	mux.HandleFunc("/metrics", s.handlePromMetrics)
+	mux.HandleFunc("/api/v0/debug/traces", s.handleDebugTraces)
+	mux.HandleFunc("/api/v0/debug/slowlog", s.handleDebugSlowlog)
+	mux.HandleFunc("/api/v0/debug/bundle", s.handleDebugBundle)
 	mux.HandleFunc("/api/v0/health", s.handleHealth)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/explorer", s.handleExplorerIndex)

@@ -60,7 +60,7 @@ func (s *Store) lockShards(idxs []uint32, tr *obs.Trace) {
 		sh.lockWaitNanos.Add(int64(time.Since(t0)))
 	}
 	total := time.Since(start)
-	s.lockWait.Observe(int64(total))
+	s.lockWait.ObserveExemplar(int64(total), tr.ID())
 	tr.Observe("lock", total)
 }
 

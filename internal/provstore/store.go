@@ -79,7 +79,7 @@ func NewSharded(n int) *Store {
 	s := &Store{
 		shards:   make([]*shard, n),
 		mask:     uint32(n - 1),
-		lockWait: obs.NewDurationHistogram(),
+		lockWait: obs.NewDurationHistogram().EnableExemplars(),
 	}
 	for i := range s.shards {
 		s.shards[i] = newShard()
@@ -88,14 +88,15 @@ func NewSharded(n int) *Store {
 }
 
 // lockShard write-locks sh, folding the wait into the lock-wait
-// histogram, the shard's cumulative counter, and — when the context
-// carries a trace — the request's "lock" span.
+// histogram (with the trace ID as the bucket's exemplar), the shard's
+// cumulative counter, and — when the context carries a trace — the
+// request's "lock" span.
 func (s *Store) lockShard(sh *shard, tr *obs.Trace) {
 	start := time.Now()
 	sh.mu.Lock()
 	wait := time.Since(start)
 	sh.lockWaitNanos.Add(int64(wait))
-	s.lockWait.Observe(int64(wait))
+	s.lockWait.ObserveExemplar(int64(wait), tr.ID())
 	tr.Observe("lock", wait)
 }
 
@@ -248,8 +249,13 @@ func (s *Store) commitStaged(ctx context.Context, t wal.Ticket, staged bool, n i
 	if !staged {
 		return nil
 	}
-	commitSpan := obs.FromContext(ctx).StartSpan("commit")
+	tr := obs.FromContext(ctx)
+	commitSpan := tr.StartSpan("commit")
+	commitStart := time.Now()
 	err := t.CommitCtx(ctx)
+	if s.wal != nil {
+		s.wal.ObserveCommitWait(time.Since(commitStart), tr.ID())
+	}
 	commitSpan.End()
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {

@@ -13,6 +13,7 @@ import (
 	"net/url"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -68,7 +69,20 @@ type FollowerConfig struct {
 	StaleAfter time.Duration
 	// Logger receives connection lifecycle lines (default: discarded).
 	Logger *log.Logger
+	// OnAnomaly, when set, is notified of replication anomalies worth a
+	// diagnostic snapshot: the halt-worthy guards (fsync mismatch, local
+	// history ahead of the primary, apply failures) fire immediately;
+	// ordinary stream failures fire once when they cross
+	// anomalyFailThreshold consecutive attempts. Called from the apply
+	// loop — keep it fast and non-blocking.
+	OnAnomaly func(reason string)
 }
+
+// anomalyFailThreshold is the consecutive-stream-failure count at
+// which OnAnomaly fires for otherwise ordinary connection errors: low
+// enough to catch a partition while the evidence is fresh, high
+// enough to ignore a primary restart.
+const anomalyFailThreshold = 5
 
 func (c FollowerConfig) withDefaults() FollowerConfig {
 	if c.ID == "" {
@@ -260,7 +274,19 @@ func (f *Follower) setErr(err error) {
 	f.mu.Lock()
 	f.lastErr = err.Error()
 	f.consecFails++
+	fails := f.consecFails
 	f.mu.Unlock()
+	if f.cfg.OnAnomaly == nil {
+		return
+	}
+	// Halt-worthy guards are anomalous on first sight; garden-variety
+	// stream failures only once they persist past the backoff a primary
+	// restart needs.
+	halting := errors.Is(err, ErrFsyncMismatch) || errors.Is(err, ErrLocalAhead) ||
+		strings.Contains(err.Error(), "apply seq")
+	if halting || fails == anomalyFailThreshold {
+		f.cfg.OnAnomaly(err.Error())
+	}
 }
 
 // noteContact stamps a successful primary exchange for staleness

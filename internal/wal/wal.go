@@ -196,8 +196,9 @@ type Log struct {
 
 	// Durability histograms, always live (Observe is a few atomic
 	// adds); RegisterObs exposes them for scraping.
-	fsyncHist *obs.Histogram // per-fsync latency, ns
-	batchHist *obs.Histogram // records per group-commit batch
+	fsyncHist  *obs.Histogram // per-fsync latency, ns
+	batchHist  *obs.Histogram // records per group-commit batch
+	commitWait *obs.Histogram // per-request commit wait, ns; carries trace exemplars
 
 	statsMu sync.Mutex
 	appends uint64
@@ -311,6 +312,7 @@ func Open(dir string, opts Options) (*Log, *RecoveredState, error) {
 		segs:        segs,
 		fsyncHist:   obs.NewDurationHistogram(),
 		batchHist:   obs.NewSizeHistogram(),
+		commitWait:  obs.NewDurationHistogram().EnableExemplars(),
 	}
 	l.committed.Store(lastSeq)
 	l.staged.Store(lastSeq)
@@ -548,6 +550,15 @@ func (l *Log) observeCommit(d time.Duration, recs int64) {
 	}
 }
 
+// ObserveCommitWait folds one request's measured commit wait into the
+// per-request commit-wait histogram, attributing the trace ID as the
+// affected bucket's exemplar. The store calls this around
+// Ticket.CommitCtx — the wait is per request, unlike the per-batch
+// fsync and batch-size histograms observed by the commit leader.
+func (l *Log) ObserveCommitWait(d time.Duration, traceID string) {
+	l.commitWait.ObserveDurationExemplar(d, traceID)
+}
+
 // RegisterObs exposes the log's durability instruments on reg: fsync
 // latency and group-commit batch-size histograms, the live
 // commit-queue depth, and the operation counters behind Stats.
@@ -557,6 +568,8 @@ func (l *Log) RegisterObs(reg *obs.Registry) {
 		"Latency of WAL fsync calls on the group-commit path.", nil, l.fsyncHist)
 	reg.RegisterHistogram("yprov_wal_group_commit_records",
 		"Records per WAL group-commit batch.", nil, l.batchHist)
+	reg.RegisterHistogram("yprov_wal_commit_wait_seconds",
+		"Time one request waits for its group commit, trace-exemplared.", nil, l.commitWait)
 	reg.RegisterGaugeFunc("yprov_wal_commit_queue_depth",
 		"Staged records whose group commit has not yet reached disk.", nil,
 		func() float64 { return float64(l.QueueDepth()) })
